@@ -1,0 +1,55 @@
+"""Ablation: the CLR 1.1 64-local enregistration limit (paper section 5).
+
+    "the CLR 1.0 and 1.1 JITs only consider a maximum of 64 local variables
+    for enregistration (tracking local variables for storage in registers),
+    and all the remaining variable will be located in the stack frame."
+
+A kernel whose hot loop runs over locals declared *after* 70 padding locals
+loses enregistration on stock CLR 1.1 but not on a derived profile with the
+limit removed.
+"""
+
+from repro.lang import compile_source
+from repro.runtimes import CLR11
+from repro.vm.loader import LoadedAssembly
+from repro.vm.machine import Machine
+
+_PAD = "\n        ".join(f"int pad{i} = {i};" for i in range(70))
+_PAD_USE = " + ".join(f"pad{i}" for i in range(70))
+
+MANY_LOCALS = f"""
+class Kernel {{
+    static int Main() {{
+        {_PAD}
+        int a = 1; int b = 2; int c = 3;
+        for (int i = 0; i < 30000; i++) {{ a = b + c; b = c + a; c = a + b; }}
+        int guard = {_PAD_USE};
+        return a + b + c + guard;
+    }}
+}}
+"""
+
+
+def _cycles(profile):
+    machine = Machine(LoadedAssembly(compile_source(MANY_LOCALS)), profile)
+    result = machine.run()
+    return machine.cycles, result
+
+
+def run_ablation():
+    limited_cycles, r1 = _cycles(CLR11)
+    unlimited = CLR11.with_jit(max_tracked_locals=10_000)
+    unlimited_cycles, r2 = _cycles(unlimited)
+    assert r1 == r2
+    return {
+        "clr_64limit_cycles": limited_cycles,
+        "clr_unlimited_cycles": unlimited_cycles,
+        "cliff_penalty": limited_cycles / unlimited_cycles - 1.0,
+    }
+
+
+def test_enregistration_cliff(benchmark):
+    stats = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    benchmark.extra_info.update({k: round(v, 4) for k, v in stats.items()})
+    # the hot locals past slot 64 fall out of registers: a real penalty
+    assert stats["cliff_penalty"] > 0.3, stats

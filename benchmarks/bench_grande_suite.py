@@ -1,0 +1,38 @@
+"""The Grande/DHPC application suite (paper Table 4 rows outside SciMark):
+per-kernel ops/sec on the four micro-section VMs."""
+
+from conftest import record_series
+
+from repro.harness.results import ExperimentResult
+
+GRANDE = (
+    "grande.fibonacci", "grande.sieve", "grande.hanoi", "grande.heapsort",
+    "grande.crypt", "grande.moldyn", "grande.euler", "grande.search",
+    "grande.raytracer",
+)
+
+
+def run_grande_suite(runner):
+    result = ExperimentResult(
+        experiment="grande-suite",
+        title="Table 4 applications: Grande/DHPC kernels (ops/sec)",
+        unit="ops/sec",
+    )
+    for name in GRANDE:
+        runs = runner.run(name)
+        sample = next(iter(runs.values()))
+        for section in sample.sections:
+            result.series[section] = {
+                p: r.section(section).ops_per_sec for p, r in runs.items()
+            }
+    return result
+
+
+def test_grande_suite(benchmark, micro_runner):
+    result = benchmark.pedantic(
+        run_grande_suite, args=(micro_runner,), rounds=1, iterations=1,
+    )
+    record_series(benchmark, result)
+    # the JIT-quality ladder holds on application code too
+    for section, per_profile in result.series.items():
+        assert per_profile["sscli-1.0"] <= per_profile["clr-1.1"], section

@@ -1,0 +1,13 @@
+"""Regenerates paper Graph 12 (matrix styles on CLR 1.1)."""
+
+from conftest import record_series
+
+from repro.harness.experiments import graph12_matrix
+
+
+def test_graph12_matrix(benchmark):
+    result = benchmark.pedantic(
+        graph12_matrix.run, kwargs={"scale": 1.0}, rounds=1, iterations=1,
+    )
+    record_series(benchmark, result)
+    assert result.all_passed, [c.render() for c in result.checks if not c.passed]

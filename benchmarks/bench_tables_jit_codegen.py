@@ -1,0 +1,12 @@
+"""Regenerates paper Tables 5-8 (the per-JIT code listings for the integer
+division loop)."""
+
+from conftest import record_series
+
+from repro.harness.experiments import tables_jit
+
+
+def test_tables5_8_codegen(benchmark):
+    result = benchmark.pedantic(tables_jit.run, rounds=1, iterations=1)
+    record_series(benchmark, result)
+    assert result.all_passed, [c.render() for c in result.checks if not c.passed]

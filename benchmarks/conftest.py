@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness (pytest-benchmark)."""
+
+import pytest
+
+from repro.harness.runner import Runner
+from repro.runtimes import ALL_PROFILES, MICRO_PROFILES
+
+
+@pytest.fixture(scope="session")
+def micro_runner():
+    return Runner(profiles=MICRO_PROFILES, clock_hz=2.8e9)
+
+
+@pytest.fixture(scope="session")
+def full_runner():
+    return Runner(profiles=ALL_PROFILES, clock_hz=2.2e9)
+
+
+def record_series(benchmark, result):
+    """Attach the regenerated graph data + check outcomes to the report."""
+    benchmark.extra_info["experiment"] = result.experiment
+    benchmark.extra_info["series"] = {
+        s: {p: round(v, 1) for p, v in per.items()}
+        for s, per in result.series.items()
+    }
+    benchmark.extra_info["checks"] = {
+        c.description: ("PASS" if c.passed else "FAIL") for c in result.checks
+    }

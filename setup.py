@@ -1,0 +1,6 @@
+"""Setuptools shim so `pip install -e .` works on environments without the
+`wheel` package (legacy editable install path). Configuration lives in
+pyproject.toml."""
+from setuptools import setup
+
+setup()

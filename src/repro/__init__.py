@@ -1,0 +1,56 @@
+"""HPC.NET reproduction (Vogels, SC'03) — a CLI virtual-machine laboratory.
+
+Top-level convenience API::
+
+    import repro
+
+    assembly = repro.compile_source("class P { static int Main() { return 42; } }")
+    result, machine = repro.run(assembly, repro.profiles.CLR11)
+
+The full surface lives in the subpackages: :mod:`repro.lang` (Kernel-C#
+compiler), :mod:`repro.cil` (the IL), :mod:`repro.vm` (interpreter +
+measured engine), :mod:`repro.jit` (per-profile optimization pipelines),
+:mod:`repro.runtimes` (the eight VM profiles), :mod:`repro.benchmarks`
+(the paper's Tables 1-4 suites), :mod:`repro.reference` (validation
+oracles) and :mod:`repro.harness` (runner + Graph 1-12 / Table 5-8
+experiments).
+"""
+
+from typing import TYPE_CHECKING
+
+__version__ = "1.0.0"
+__paper__ = (
+    "Werner Vogels. HPC.NET — are CLI-based Virtual Machines Suitable for "
+    "High Performance Computing? SC'03, Phoenix, AZ."
+)
+
+__all__ = ["compile_source", "run", "profiles", "__version__", "__paper__"]
+
+if TYPE_CHECKING:  # pragma: no cover
+    from . import runtimes as profiles
+    from .lang import compile_source
+
+
+def compile_source(source: str, **kwargs):
+    """Compile Kernel-C# source to a verified CIL assembly
+    (see :func:`repro.lang.compile_source`)."""
+    from .lang import compile_source as _compile
+
+    return _compile(source, **kwargs)
+
+
+def run(assembly, profile, **kwargs):
+    """Execute ``assembly`` on ``profile``; returns ``(result, machine)``."""
+    from .vm.loader import LoadedAssembly
+    from .vm.machine import Machine
+
+    machine = Machine(LoadedAssembly(assembly), profile, **kwargs)
+    return machine.run(), machine
+
+
+def __getattr__(name):
+    if name == "profiles":
+        from . import runtimes
+
+        return runtimes
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

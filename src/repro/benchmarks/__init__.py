@@ -1,0 +1,5 @@
+"""``repro.benchmarks`` — the ported benchmark suites (paper Tables 1-4)."""
+
+from .registry import Benchmark, all_benchmarks, by_suite, get, register
+
+__all__ = ["Benchmark", "all_benchmarks", "by_suite", "get", "register"]

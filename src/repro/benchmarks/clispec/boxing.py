@@ -1,0 +1,70 @@
+"""Boxing — Table 3: "tests the explicit and implicit boxing and unboxing
+of value types" (CLI-specific micro suite)."""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+struct Pair { int a; int b; }
+
+class BoxingBench {
+    static void Main() {
+        int reps = Params.Reps;
+        long ops = (long)reps;
+
+        object o = null;
+        Bench.Start("Boxing:Box:Int");
+        for (int i = 0; i < reps; i++) { o = (object)i; }
+        Bench.Stop("Boxing:Box:Int");
+        Bench.Ops("Boxing:Box:Int", ops);
+
+        int back = 0;
+        Bench.Start("Boxing:Unbox:Int");
+        for (int i = 0; i < reps; i++) { back = (int)o; }
+        Bench.Stop("Boxing:Unbox:Int");
+        Bench.Ops("Boxing:Unbox:Int", ops);
+        if (back != reps - 1) { Bench.Fail("unbox wrong value"); }
+
+        Bench.Start("Boxing:Implicit");
+        int total = 0;
+        for (int i = 0; i < reps; i++) {
+            object tmp = i;         // implicit box
+            total += (int)tmp;      // unbox
+        }
+        Bench.Stop("Boxing:Implicit");
+        Bench.Ops("Boxing:Implicit", ops);
+        if (total != (reps - 1) * reps / 2) { Bench.Fail("implicit boxing sum wrong"); }
+
+        Pair p = new Pair();
+        p.a = 3; p.b = 4;
+        object boxed = null;
+        Bench.Start("Boxing:Box:Struct");
+        for (int i = 0; i < reps; i++) { boxed = (object)p; }
+        Bench.Stop("Boxing:Box:Struct");
+        Bench.Ops("Boxing:Box:Struct", ops);
+
+        Pair q = new Pair();
+        Bench.Start("Boxing:Unbox:Struct");
+        for (int i = 0; i < reps; i++) { q = (Pair)boxed; }
+        Bench.Stop("Boxing:Unbox:Struct");
+        Bench.Ops("Boxing:Unbox:Struct", ops);
+        if (q.a != 3 || q.b != 4) { Bench.Fail("struct unbox mismatch"); }
+    }
+}
+"""
+
+SECTIONS = (
+    "Boxing:Box:Int", "Boxing:Unbox:Int", "Boxing:Implicit",
+    "Boxing:Box:Struct", "Boxing:Unbox:Struct",
+)
+
+BOXING = register(
+    Benchmark(
+        name="clispec.boxing",
+        suite="cli-specific",
+        description="explicit/implicit boxing and unboxing of value types",
+        source=SOURCE,
+        params={"Reps": 2500},
+        paper_params={"Reps": 10_000_000},
+        sections=SECTIONS,
+    )
+)

@@ -1,0 +1,165 @@
+"""Crypt — Table 4: "Performs IDEA (International Data Encryption
+Algorithm) encryption and decryption on an array of N bytes" (JGF section 2
+Crypt).
+
+Full IDEA: 52-subkey schedule from a 128-bit user key, 8.5 rounds over
+64-bit blocks with mul-mod-65537 / add-mod-65536 / xor mixing, and the
+inverse key schedule (multiplicative inverses mod 65537) for decryption.
+Validation: decrypt(encrypt(plain)) == plain, plus a ciphertext checksum.
+"""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class Idea {
+    // multiply a*b mod 65537 (with 0 meaning 65536), the IDEA "mul" op
+    static int Mul(int a, int b) {
+        if (a == 0) { return (65537 - b) & 65535; }
+        if (b == 0) { return (65537 - a) & 65535; }
+        int p = a * b;
+        int lo = p & 65535;
+        int hi = (p >> 16) & 65535;
+        int r = lo - hi;
+        if (lo < hi) { r = r + 1; }
+        return r & 65535;
+    }
+
+    // multiplicative inverse mod 65537 (extended Euclid), IDEA convention
+    static int Inv(int x) {
+        if (x <= 1) { return x; }
+        // iterative extended Euclid on (65537, x)
+        int a = 65537;
+        int b = x;
+        int u0 = 0;
+        int u1 = 1;
+        while (b != 0) {
+            int q = a / b;
+            int r = a - q * b;
+            a = b;
+            b = r;
+            int u2 = u0 - q * u1;
+            u0 = u1;
+            u1 = u2;
+        }
+        if (u0 < 0) { u0 = u0 + 65537; }
+        return u0 & 65535;
+    }
+
+    static int[] EncryptionKey(int[] userKey) {
+        int[] z = new int[52];
+        for (int i = 0; i < 8; i++) { z[i] = userKey[i]; }
+        for (int i = 8; i < 52; i++) {
+            int imod = i & 7;
+            if (imod == 6) {
+                z[i] = ((z[i - 7] << 9) | (z[i - 14] >> 7)) & 65535;
+            } else if (imod == 7) {
+                z[i] = ((z[i - 15] << 9) | (z[i - 14] >> 7)) & 65535;
+            } else {
+                z[i] = ((z[i - 7] << 9) | (z[i - 6] >> 7)) & 65535;
+            }
+        }
+        return z;
+    }
+
+    static int[] DecryptionKey(int[] z) {
+        int[] dk = new int[52];
+        dk[48] = Inv(z[0]);
+        dk[49] = (65536 - z[1]) & 65535;
+        dk[50] = (65536 - z[2]) & 65535;
+        dk[51] = Inv(z[3]);
+        for (int r = 0; r < 8; r++) {
+            int zi = 4 + r * 6;
+            int di = 42 - r * 6;
+            dk[di + 4] = z[zi];
+            dk[di + 5] = z[zi + 1];
+            dk[di] = Inv(z[zi + 2]);
+            if (r == 7) {
+                dk[di + 1] = (65536 - z[zi + 3]) & 65535;
+                dk[di + 2] = (65536 - z[zi + 4]) & 65535;
+            } else {
+                dk[di + 1] = (65536 - z[zi + 4]) & 65535;
+                dk[di + 2] = (65536 - z[zi + 3]) & 65535;
+            }
+            dk[di + 3] = Inv(z[zi + 5]);
+        }
+        return dk;
+    }
+
+    // process text (16-bit words, 4 per block) with the given key schedule
+    static void Cipher(int[] text, int[] result, int[] key) {
+        int blocks = text.Length / 4;
+        for (int b = 0; b < blocks; b++) {
+            int p = b * 4;
+            int x1 = text[p];
+            int x2 = text[p + 1];
+            int x3 = text[p + 2];
+            int x4 = text[p + 3];
+            int k = 0;
+            for (int round = 0; round < 8; round++) {
+                x1 = Mul(x1, key[k]);
+                x2 = (x2 + key[k + 1]) & 65535;
+                x3 = (x3 + key[k + 2]) & 65535;
+                x4 = Mul(x4, key[k + 3]);
+                int t1 = x1 ^ x3;
+                int t2 = x2 ^ x4;
+                t1 = Mul(t1, key[k + 4]);
+                t2 = (t1 + t2) & 65535;
+                t2 = Mul(t2, key[k + 5]);
+                t1 = (t1 + t2) & 65535;
+                x1 = x1 ^ t2;
+                x4 = x4 ^ t1;
+                int tmp = x2 ^ t1;
+                x2 = x3 ^ t2;
+                x3 = tmp;
+                k = k + 6;
+            }
+            result[p] = Mul(x1, key[48]);
+            result[p + 1] = (x3 + key[49]) & 65535;
+            result[p + 2] = (x2 + key[50]) & 65535;
+            result[p + 3] = Mul(x4, key[51]);
+        }
+    }
+
+    static void Main() {
+        int words = Params.Words;   // 16-bit words; must be multiple of 4
+        int[] userKey = new int[8];
+        int seed = 12345;
+        for (int i = 0; i < 8; i++) {
+            seed = (seed * 4096 + 150889) % 714025;
+            userKey[i] = seed & 65535;
+        }
+        int[] z = EncryptionKey(userKey);
+        int[] dk = DecryptionKey(z);
+
+        int[] plain = new int[words];
+        for (int i = 0; i < words; i++) { plain[i] = (i * 40503 + 17) & 65535; }
+        int[] crypt1 = new int[words];
+        int[] plain2 = new int[words];
+
+        Bench.Start("Grande:Crypt");
+        Cipher(plain, crypt1, z);
+        Cipher(crypt1, plain2, dk);
+        Bench.Stop("Grande:Crypt");
+        Bench.Ops("Grande:Crypt", (long)words * 2L * 2L);  // bytes enc + dec
+
+        for (int i = 0; i < words; i++) {
+            if (plain[i] != plain2[i]) { Bench.Fail("IDEA round trip failed"); return; }
+        }
+        double checksum = 0.0;
+        for (int i = 0; i < words; i++) { checksum += crypt1[i]; }
+        Bench.Result("Grande:Crypt", checksum);
+    }
+}
+"""
+
+CRYPT = register(
+    Benchmark(
+        name="grande.crypt",
+        suite="jg2-section2",
+        description="IDEA encryption + decryption round trip",
+        source=SOURCE,
+        params={"Words": 512},
+        paper_params={"Words": 1_500_000},
+        sections=("Grande:Crypt",),
+    )
+)

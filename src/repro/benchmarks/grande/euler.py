@@ -1,0 +1,205 @@
+"""Euler — Table 4: "Solves the time-dependent Euler equations for flow in
+a channel with a bump on one of the walls.  It uses a structured, irregular
+Nx4N mesh" (JGF section 3 Euler).
+
+Substitution note (DESIGN.md section 2): JGF's solver is a cell-centered
+fourth-order Runge-Kutta scheme on a body-fitted curvilinear mesh; here the
+channel-with-bump is a structured N x 4N finite-volume grid where the bump
+is a stair-stepped solid region on the lower wall, advanced with a
+first-order Rusanov (local Lax-Friedrichs) scheme.  The workload shape —
+sweeping a structured mesh of 4-component conserved states with
+nearest-neighbour flux stencils — is the same; the physics is simplified.
+Validation: in-guest mass-conservation/finiteness checks plus density
+bounds, and an oracle comparison against the identical Python scheme.
+"""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class Euler {
+    static int ni;
+    static int nj;
+    static double[,] rho;
+    static double[,] ru;    // x-momentum
+    static double[,] rv;    // y-momentum
+    static double[,] e;     // total energy
+    static int[,] solid;    // 1 = inside the bump
+    static double gamma;
+
+    static void Setup(int n) {
+        nj = n;
+        ni = 4 * n;
+        gamma = 1.4;
+        rho = new double[ni, nj];
+        ru = new double[ni, nj];
+        rv = new double[ni, nj];
+        e = new double[ni, nj];
+        solid = new int[ni, nj];
+
+        // circular-arc bump on the lower wall, stair-stepped
+        int bumpStart = ni / 4;
+        int bumpEnd = ni / 2;
+        for (int i = bumpStart; i < bumpEnd; i++) {
+            double t = (double)(i - bumpStart) / (double)(bumpEnd - bumpStart);
+            double h = 0.2 * (double)nj * 4.0 * t * (1.0 - t);
+            for (int j = 0; j < nj; j++) {
+                if ((double)j < h) { solid[i, j] = 1; }
+            }
+        }
+
+        // uniform subsonic inflow: rho=1, u=0.5, v=0, p=1
+        double p0 = 1.0;
+        for (int i = 0; i < ni; i++) {
+            for (int j = 0; j < nj; j++) {
+                rho[i, j] = 1.0;
+                ru[i, j] = 0.5;
+                rv[i, j] = 0.0;
+                e[i, j] = p0 / (gamma - 1.0) + 0.5 * (ru[i, j] * ru[i, j]) / rho[i, j];
+            }
+        }
+    }
+
+    static double Pressure(double r, double mu, double mv, double en) {
+        return (gamma - 1.0) * (en - 0.5 * (mu * mu + mv * mv) / r);
+    }
+
+    static void Step(double dt) {
+        double[,] nrho = new double[ni, nj];
+        double[,] nru = new double[ni, nj];
+        double[,] nrv = new double[ni, nj];
+        double[,] ne = new double[ni, nj];
+
+        for (int i = 1; i < ni - 1; i++) {
+            for (int j = 1; j < nj - 1; j++) {
+                if (solid[i, j] == 1) { continue; }
+                // Rusanov flux differences in x and y
+                double r0 = rho[i, j]; double m0 = ru[i, j]; double n0 = rv[i, j]; double e0 = e[i, j];
+                double p0 = Pressure(r0, m0, n0, e0);
+                double a0 = Math.Sqrt(gamma * p0 / r0) + Math.Abs(m0 / r0) + Math.Abs(n0 / r0);
+
+                double dr = 0.0; double dm = 0.0; double dn = 0.0; double de = 0.0;
+
+                // x-direction neighbours (mirror at solid faces)
+                for (int s = -1; s <= 1; s += 2) {
+                    int ii = i + s;
+                    double r1; double m1; double n1; double e1;
+                    if (solid[ii, j] == 1) {
+                        r1 = r0; m1 = -m0; n1 = n0; e1 = e0;   // reflective wall
+                    } else {
+                        r1 = rho[ii, j]; m1 = ru[ii, j]; n1 = rv[ii, j]; e1 = e[ii, j];
+                    }
+                    double p1 = Pressure(r1, m1, n1, e1);
+                    double u0 = m0 / r0; double u1 = m1 / r1;
+                    // physical flux average minus dissipation, signed by s
+                    double fr = 0.5 * (m0 + m1);
+                    double fm = 0.5 * (m0 * u0 + p0 + m1 * u1 + p1);
+                    double fn = 0.5 * (n0 * u0 + n1 * u1);
+                    double fe = 0.5 * ((e0 + p0) * u0 + (e1 + p1) * u1);
+                    double diss = 0.5 * a0;
+                    dr += s * fr - diss * (r1 - r0);
+                    dm += s * fm - diss * (m1 - m0);
+                    dn += s * fn - diss * (n1 - n0);
+                    de += s * fe - diss * (e1 - e0);
+                }
+                // y-direction neighbours
+                for (int s = -1; s <= 1; s += 2) {
+                    int jj = j + s;
+                    double r1; double m1; double n1; double e1;
+                    if (solid[i, jj] == 1) {
+                        r1 = r0; m1 = m0; n1 = -n0; e1 = e0;
+                    } else {
+                        r1 = rho[i, jj]; m1 = ru[i, jj]; n1 = rv[i, jj]; e1 = e[i, jj];
+                    }
+                    double p1 = Pressure(r1, m1, n1, e1);
+                    double v0 = n0 / r0; double v1 = n1 / r1;
+                    double fr = 0.5 * (n0 + n1);
+                    double fm = 0.5 * (m0 * v0 + m1 * v1);
+                    double fn = 0.5 * (n0 * v0 + p0 + n1 * v1 + p1);
+                    double fe = 0.5 * ((e0 + p0) * v0 + (e1 + p1) * v1);
+                    double diss = 0.5 * a0;
+                    dr += s * fr - diss * (r1 - r0);
+                    dm += s * fm - diss * (m1 - m0);
+                    dn += s * fn - diss * (n1 - n0);
+                    de += s * fe - diss * (e1 - e0);
+                }
+
+                nrho[i, j] = r0 - dt * dr;
+                nru[i, j] = m0 - dt * dm;
+                nrv[i, j] = n0 - dt * dn;
+                ne[i, j] = e0 - dt * de;
+            }
+        }
+
+        // interior update; boundaries: inflow fixed (i=0), outflow copy
+        for (int i = 1; i < ni - 1; i++) {
+            for (int j = 1; j < nj - 1; j++) {
+                if (solid[i, j] == 1) { continue; }
+                rho[i, j] = nrho[i, j];
+                ru[i, j] = nru[i, j];
+                rv[i, j] = nrv[i, j];
+                e[i, j] = ne[i, j];
+            }
+        }
+        for (int j = 0; j < nj; j++) {
+            rho[ni - 1, j] = rho[ni - 2, j];
+            ru[ni - 1, j] = ru[ni - 2, j];
+            rv[ni - 1, j] = rv[ni - 2, j];
+            e[ni - 1, j] = e[ni - 2, j];
+        }
+        for (int i = 0; i < ni; i++) {
+            rho[i, 0] = rho[i, 1]; ru[i, 0] = ru[i, 1]; rv[i, 0] = -rv[i, 1]; e[i, 0] = e[i, 1];
+            rho[i, nj - 1] = rho[i, nj - 2]; ru[i, nj - 1] = ru[i, nj - 2];
+            rv[i, nj - 1] = -rv[i, nj - 2]; e[i, nj - 1] = e[i, nj - 2];
+        }
+    }
+
+    static double TotalMass() {
+        double mass = 0.0;
+        for (int i = 0; i < ni; i++) {
+            for (int j = 0; j < nj; j++) {
+                if (solid[i, j] == 0) { mass += rho[i, j]; }
+            }
+        }
+        return mass;
+    }
+
+    static void Main() {
+        int n = Params.N;
+        int steps = Params.Steps;
+        Setup(n);
+        double mass0 = TotalMass();
+
+        long cells = (long)ni * (long)nj * (long)steps;
+        Bench.Start("Grande:Euler");
+        for (int s = 0; s < steps; s++) { Step(0.02); }
+        Bench.Stop("Grande:Euler");
+        Bench.Ops("Grande:Euler", cells);
+
+        double mass1 = TotalMass();
+        Bench.Result("Grande:Euler", mass0);
+        Bench.Result("Grande:Euler", mass1);
+        Bench.Result("Grande:Euler", rho[ni / 2, nj / 2]);
+        if (mass1 != mass1) { Bench.Fail("Euler produced NaN"); }
+        for (int i = 0; i < ni; i++) {
+            for (int j = 0; j < nj; j++) {
+                if (solid[i, j] == 0 && (rho[i, j] <= 0.0 || rho[i, j] > 100.0)) {
+                    Bench.Fail("Euler density out of physical range");
+                    return;
+                }
+            }
+        }
+    }
+}
+"""
+
+EULER = register(
+    Benchmark(
+        name="grande.euler",
+        suite="jg2-section3",
+        description="2-D Euler channel-with-bump flow, structured Nx4N mesh",
+        source=SOURCE,
+        params={"N": 8, "Steps": 3},
+        paper_params={"N": 64, "Steps": "200+"},
+        sections=("Grande:Euler",),
+    )
+)

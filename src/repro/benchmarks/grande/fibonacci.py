@@ -1,0 +1,38 @@
+"""Fibonacci — Table 4: "Calculates the 40th Fibonacci number. It measures
+the cost of many recursive method calls" (DHPC section 2a)."""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class Fib {
+    static long Compute(int n) {
+        if (n < 2) { return (long)n; }
+        return Compute(n - 1) + Compute(n - 2);
+    }
+
+    static void Main() {
+        int n = Params.N;
+        Bench.Start("Grande:Fibonacci");
+        long result = Compute(n);
+        Bench.Stop("Grande:Fibonacci");
+        // calls(n) = 2*fib(n+1)-1; report recursive calls as ops
+        long calls = 2L * Compute(n + 1) - 1L;
+        Bench.Ops("Grande:Fibonacci", calls);
+        Bench.Result("Grande:Fibonacci", (double)result);
+        if (n == 18 && result != 2584L) { Bench.Fail("fib(18) != 2584"); }
+        if (n == 20 && result != 6765L) { Bench.Fail("fib(20) != 6765"); }
+    }
+}
+"""
+
+FIBONACCI = register(
+    Benchmark(
+        name="grande.fibonacci",
+        suite="dhpc-2a",
+        description="naive recursive Fibonacci (method-call cost)",
+        source=SOURCE,
+        params={"N": 18},
+        paper_params={"N": 40},
+        sections=("Grande:Fibonacci",),
+    )
+)

@@ -1,0 +1,40 @@
+"""Hanoi — Table 4: "Solves the 25-disk Tower of Hanoi problem"."""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class Hanoi {
+    static long moves;
+
+    static void Solve(int n, int src, int dst, int via) {
+        if (n == 1) { moves = moves + 1L; return; }
+        Solve(n - 1, src, via, dst);
+        moves = moves + 1L;
+        Solve(n - 1, via, dst, src);
+    }
+
+    static void Main() {
+        int disks = Params.Disks;
+        moves = 0L;
+        Bench.Start("Grande:Hanoi");
+        Solve(disks, 0, 2, 1);
+        Bench.Stop("Grande:Hanoi");
+        Bench.Ops("Grande:Hanoi", moves);
+        Bench.Result("Grande:Hanoi", (double)moves);
+        long expected = (1L << disks) - 1L;
+        if (moves != expected) { Bench.Fail("Hanoi move count wrong"); }
+    }
+}
+"""
+
+HANOI = register(
+    Benchmark(
+        name="grande.hanoi",
+        suite="dhpc-2a",
+        description="Tower of Hanoi recursion",
+        source=SOURCE,
+        params={"Disks": 14},
+        paper_params={"Disks": 25},
+        sections=("Grande:Hanoi",),
+    )
+)

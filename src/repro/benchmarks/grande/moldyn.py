@@ -1,0 +1,163 @@
+"""MolDyn — Table 4: "an N-body code modeling argon atoms interacting under
+a Lennard-Jones potential in a cubic spatial volume with periodic boundary
+conditions.  The computationally intense component [...] is the force
+calculation [...] an outer loop over all particles [...] and an inner loop
+ranging from the current particle number to the total number of particles."
+
+Port of the JGF MolDyn structure: FCC lattice start, Maxwellian-ish
+velocities from the shared LCG, velocity-Verlet-style update, cutoffless
+pairwise LJ forces, periodic minimum-image convention.  Validation: total
+(kinetic + potential) energy recorded for oracle comparison and required
+to stay finite and drift-bounded in-guest.
+"""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class MolDyn {
+    static int n;
+    static double side;
+    static double[] x; static double[] y; static double[] z;
+    static double[] vx; static double[] vy; static double[] vz;
+    static double[] fx; static double[] fy; static double[] fz;
+    static double epot;
+    static double vir;
+
+    static int seed;
+    static double NextRand() {
+        seed = (seed * 1309 + 13849) & 65535;
+        return (double)seed / 65536.0 - 0.5;
+    }
+
+    static void Setup(int mm) {
+        // mm^3 * 4 particles on an FCC lattice (like JGF's mm-cubed setup)
+        n = 4 * mm * mm * mm;
+        double density = 0.83134;
+        side = Math.Pow((double)n / density, 1.0 / 3.0);
+        x = new double[n]; y = new double[n]; z = new double[n];
+        vx = new double[n]; vy = new double[n]; vz = new double[n];
+        fx = new double[n]; fy = new double[n]; fz = new double[n];
+
+        double a = side / (double)mm;
+        int ij = 0;
+        for (int i = 0; i < mm; i++) {
+            for (int j = 0; j < mm; j++) {
+                for (int k = 0; k < mm; k++) {
+                    // 4 atoms of the FCC cell
+                    x[ij] = i * a;           y[ij] = j * a;           z[ij] = k * a;           ij++;
+                    x[ij] = i * a + a * 0.5; y[ij] = j * a + a * 0.5; z[ij] = k * a;           ij++;
+                    x[ij] = i * a + a * 0.5; y[ij] = j * a;           z[ij] = k * a + a * 0.5; ij++;
+                    x[ij] = i * a;           y[ij] = j * a + a * 0.5; z[ij] = k * a + a * 0.5; ij++;
+                }
+            }
+        }
+        seed = 6751;
+        double sumx = 0.0; double sumy = 0.0; double sumz = 0.0;
+        for (int i = 0; i < n; i++) {
+            vx[i] = NextRand(); vy[i] = NextRand(); vz[i] = NextRand();
+            sumx += vx[i]; sumy += vy[i]; sumz += vz[i];
+        }
+        // zero net momentum
+        for (int i = 0; i < n; i++) {
+            vx[i] -= sumx / (double)n;
+            vy[i] -= sumy / (double)n;
+            vz[i] -= sumz / (double)n;
+        }
+    }
+
+    static void Forces() {
+        epot = 0.0;
+        vir = 0.0;
+        double sideh = side * 0.5;
+        for (int i = 0; i < n; i++) { fx[i] = 0.0; fy[i] = 0.0; fz[i] = 0.0; }
+        for (int i = 0; i < n - 1; i++) {
+            double xi = x[i]; double yi = y[i]; double zi = z[i];
+            double fxi = 0.0; double fyi = 0.0; double fzi = 0.0;
+            for (int j = i + 1; j < n; j++) {
+                double dx = xi - x[j];
+                double dy = yi - y[j];
+                double dz = zi - z[j];
+                if (dx > sideh) { dx -= side; } else if (dx < -sideh) { dx += side; }
+                if (dy > sideh) { dy -= side; } else if (dy < -sideh) { dy += side; }
+                if (dz > sideh) { dz -= side; } else if (dz < -sideh) { dz += side; }
+                double r2 = dx * dx + dy * dy + dz * dz;
+                if (r2 < 0.25) { r2 = 0.25; }   // avoid lattice-overlap blowup
+                double r2i = 1.0 / r2;
+                double r6i = r2i * r2i * r2i;
+                double lj = 48.0 * r6i * (r6i - 0.5) * r2i;
+                epot += 4.0 * r6i * (r6i - 1.0);
+                vir += lj * r2;
+                double fxc = lj * dx;
+                double fyc = lj * dy;
+                double fzc = lj * dz;
+                fxi += fxc; fyi += fyc; fzi += fzc;
+                fx[j] -= fxc; fy[j] -= fyc; fz[j] -= fzc;
+            }
+            fx[i] += fxi; fy[i] += fyi; fz[i] += fzi;
+        }
+    }
+
+    static double Kinetic() {
+        double sum = 0.0;
+        for (int i = 0; i < n; i++) {
+            sum += 0.5 * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
+        }
+        return sum;
+    }
+
+    static void Step(double dt) {
+        for (int i = 0; i < n; i++) {
+            vx[i] += 0.5 * dt * fx[i];
+            vy[i] += 0.5 * dt * fy[i];
+            vz[i] += 0.5 * dt * fz[i];
+            x[i] += dt * vx[i];
+            y[i] += dt * vy[i];
+            z[i] += dt * vz[i];
+            if (x[i] < 0.0) { x[i] += side; } else if (x[i] >= side) { x[i] -= side; }
+            if (y[i] < 0.0) { y[i] += side; } else if (y[i] >= side) { y[i] -= side; }
+            if (z[i] < 0.0) { z[i] += side; } else if (z[i] >= side) { z[i] -= side; }
+        }
+        Forces();
+        for (int i = 0; i < n; i++) {
+            vx[i] += 0.5 * dt * fx[i];
+            vy[i] += 0.5 * dt * fy[i];
+            vz[i] += 0.5 * dt * fz[i];
+        }
+    }
+
+    static void Main() {
+        int mm = Params.MM;
+        int steps = Params.Steps;
+        double dt = 0.0005;
+        Setup(mm);
+        Forces();
+        double e0 = Kinetic() + epot;
+
+        long interactions = (long)n * (long)(n - 1) / 2L * (long)steps;
+        Bench.Start("Grande:MolDyn");
+        for (int s = 0; s < steps; s++) { Step(dt); }
+        Bench.Stop("Grande:MolDyn");
+        Bench.Ops("Grande:MolDyn", interactions);
+
+        double e1 = Kinetic() + epot;
+        Bench.Result("Grande:MolDyn", e0);
+        Bench.Result("Grande:MolDyn", e1);
+        if (e1 != e1) { Bench.Fail("MolDyn energy NaN"); }
+        double drift = Math.Abs(e1 - e0);
+        double scale = Math.Abs(e0) + 1.0;
+        if (drift / scale > 0.05) { Bench.Fail("MolDyn energy drift too large"); }
+    }
+}
+"""
+
+MOLDYN = register(
+    Benchmark(
+        name="grande.moldyn",
+        suite="jg2-section3",
+        description="Lennard-Jones N-body dynamics (argon), JGF MolDyn structure",
+        source=SOURCE,
+        params={"MM": 2, "Steps": 3},
+        paper_params={"MM": 8, "Steps": 50},
+        sections=("Grande:MolDyn",),
+    )
+)

@@ -1,0 +1,165 @@
+"""RayTracer — Table 4: "measures the performance of a 3D ray tracer.  The
+scene rendered contains 64 spheres, and is rendered at a resolution of NxN
+pixels" (JGF section 3 RayTracer).
+
+JGF-style structure: sphere grid scene, one point light, Phong shading with
+shadow rays and specular reflection to a fixed depth; objects are heap
+classes (Vec/Ray/Isect) exactly like the Java original, so the benchmark
+also exercises allocation.  Deterministic checksum over the image.
+"""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class Vec3 {
+    double x; double y; double z;
+    Vec3(double a, double b, double c) { x = a; y = b; z = c; }
+    static Vec3 Add(Vec3 a, Vec3 b) { return new Vec3(a.x + b.x, a.y + b.y, a.z + b.z); }
+    static Vec3 Sub(Vec3 a, Vec3 b) { return new Vec3(a.x - b.x, a.y - b.y, a.z - b.z); }
+    static Vec3 Scale(Vec3 a, double s) { return new Vec3(a.x * s, a.y * s, a.z * s); }
+    static double Dot(Vec3 a, Vec3 b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+    static Vec3 Norm(Vec3 a) {
+        double len = Math.Sqrt(Dot(a, a));
+        if (len == 0.0) { return new Vec3(0.0, 0.0, 0.0); }
+        return Scale(a, 1.0 / len);
+    }
+}
+
+class Sphere {
+    Vec3 center;
+    double radius;
+    double diffuse;
+    double specular;
+    double reflect;
+    double shade;   // base gray level
+
+    // returns distance or -1
+    double Intersect(Vec3 origin, Vec3 dir) {
+        Vec3 oc = Vec3.Sub(center, origin);
+        double b = Vec3.Dot(oc, dir);
+        double det = b * b - Vec3.Dot(oc, oc) + radius * radius;
+        if (det < 0.0) { return -1.0; }
+        double root = Math.Sqrt(det);
+        double t = b - root;
+        if (t > 1.0e-6) { return t; }
+        t = b + root;
+        if (t > 1.0e-6) { return t; }
+        return -1.0;
+    }
+}
+
+class RayTracer {
+    static Sphere[] scene;
+    static Vec3 light;
+    static long rays;
+
+    static void BuildScene(int grid) {
+        int count = grid * grid;
+        scene = new Sphere[count];
+        int idx = 0;
+        for (int i = 0; i < grid; i++) {
+            for (int j = 0; j < grid; j++) {
+                Sphere s = new Sphere();
+                s.center = new Vec3(
+                    -3.0 + i * 6.0 / (grid - 1 + 1),
+                    -3.0 + j * 6.0 / (grid - 1 + 1),
+                    6.0 + ((i + j) % 3) * 1.5);
+                s.radius = 0.8;
+                s.diffuse = 0.7;
+                s.specular = 0.3;
+                s.reflect = (i + j) % 2 == 0 ? 0.3 : 0.0;
+                s.shade = 0.3 + 0.7 * ((double)(i * grid + j) / (double)count);
+                scene[idx] = s;
+                idx++;
+            }
+        }
+        light = new Vec3(-5.0, 6.0, -2.0);
+    }
+
+    static int FindHit(Vec3 origin, Vec3 dir, double[] tOut) {
+        int hit = -1;
+        double tBest = 1.0e30;
+        for (int k = 0; k < scene.Length; k++) {
+            double t = scene[k].Intersect(origin, dir);
+            if (t > 0.0 && t < tBest) { tBest = t; hit = k; }
+        }
+        tOut[0] = tBest;
+        return hit;
+    }
+
+    static double Trace(Vec3 origin, Vec3 dir, int depth) {
+        rays = rays + 1L;
+        double[] tOut = new double[1];
+        int hit = FindHit(origin, dir, tOut);
+        if (hit < 0) { return 0.05; }   // background
+        Sphere s = scene[hit];
+        Vec3 p = Vec3.Add(origin, Vec3.Scale(dir, tOut[0]));
+        Vec3 normal = Vec3.Norm(Vec3.Sub(p, s.center));
+        Vec3 toLight = Vec3.Norm(Vec3.Sub(light, p));
+
+        double brightness = 0.1 * s.shade;  // ambient
+        // shadow ray
+        double[] st = new double[1];
+        Vec3 shadowOrigin = Vec3.Add(p, Vec3.Scale(normal, 1.0e-4));
+        int blocker = FindHit(shadowOrigin, toLight, st);
+        rays = rays + 1L;
+        bool lit = true;
+        if (blocker >= 0) {
+            Vec3 toLightFull = Vec3.Sub(light, p);
+            double lightDist = Math.Sqrt(Vec3.Dot(toLightFull, toLightFull));
+            if (st[0] < lightDist) { lit = false; }
+        }
+        if (lit) {
+            double diff = Vec3.Dot(normal, toLight);
+            if (diff > 0.0) { brightness += s.diffuse * diff * s.shade; }
+            // Phong specular on the reflected direction
+            Vec3 refl = Vec3.Sub(Vec3.Scale(normal, 2.0 * Vec3.Dot(normal, toLight)), toLight);
+            double spec = Vec3.Dot(refl, Vec3.Scale(dir, -1.0));
+            if (spec > 0.0) { brightness += s.specular * spec * spec * spec * spec; }
+        }
+        if (depth > 0 && s.reflect > 0.0) {
+            Vec3 rdir = Vec3.Sub(dir, Vec3.Scale(normal, 2.0 * Vec3.Dot(normal, dir)));
+            brightness += s.reflect * Trace(shadowOrigin, Vec3.Norm(rdir), depth - 1);
+        }
+        if (brightness > 1.0) { brightness = 1.0; }
+        return brightness;
+    }
+
+    static void Main() {
+        int size = Params.Size;
+        int grid = Params.Grid;
+        BuildScene(grid);
+        rays = 0L;
+
+        Vec3 eye = new Vec3(0.0, 0.0, -4.0);
+        double checksum = 0.0;
+        Bench.Start("Grande:RayTracer");
+        for (int py = 0; py < size; py++) {
+            for (int px = 0; px < size; px++) {
+                double sx = -1.0 + 2.0 * (double)px / (double)size;
+                double sy = -1.0 + 2.0 * (double)py / (double)size;
+                Vec3 dir = Vec3.Norm(new Vec3(sx, sy, 2.0));
+                double value = Trace(eye, dir, 2);
+                checksum += value;
+            }
+        }
+        Bench.Stop("Grande:RayTracer");
+        Bench.Ops("Grande:RayTracer", (long)size * (long)size);
+        Bench.Result("Grande:RayTracer", checksum);
+        Bench.Result("Grande:RayTracer", (double)rays);
+        if (checksum <= 0.0) { Bench.Fail("raytracer produced an empty image"); }
+    }
+}
+"""
+
+RAYTRACER = register(
+    Benchmark(
+        name="grande.raytracer",
+        suite="jg2-section3",
+        description="sphere-scene ray tracer with shadows and reflection",
+        source=SOURCE,
+        params={"Size": 12, "Grid": 3},
+        paper_params={"Size": 150, "Grid": 8},
+        sections=("Grande:RayTracer",),
+    )
+)

@@ -1,0 +1,146 @@
+"""Search — Table 4: "Solves a game of connect-4 on a 6x7 board using a
+alpha-beta pruned search technique.  The benchmark is memory and integer
+intensive" (JGF section 3 Search).
+
+Depth-limited alpha-beta over the standard 6x7 board with a transposition
+table (open-addressed int arrays, the memory-intensive part) and a
+positional evaluation.  Deterministic: records the root score and the node
+count.
+"""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class Connect4 {
+    static int[] board;      // 0 empty, 1 us, 2 them (column-major 7x6)
+    static int[] height;     // next free row per column
+    static long nodes;
+    static int[] ttKey;
+    static int[] ttVal;
+    static int ttSize;
+
+    static int Eval() {
+        // score line segments of length 4 for both players
+        int score = 0;
+        for (int c = 0; c < 7; c++) {
+            for (int r = 0; r < 6; r++) {
+                score += SegScore(c, r, 1, 0);
+                score += SegScore(c, r, 0, 1);
+                score += SegScore(c, r, 1, 1);
+                score += SegScore(c, r, 1, -1);
+            }
+        }
+        return score;
+    }
+
+    static int SegScore(int c, int r, int dc, int dr) {
+        int endC = c + 3 * dc;
+        int endR = r + 3 * dr;
+        if (endC < 0 || endC >= 7 || endR < 0 || endR >= 6) { return 0; }
+        int mine = 0; int theirs = 0;
+        for (int k = 0; k < 4; k++) {
+            int v = board[(c + k * dc) * 6 + (r + k * dr)];
+            if (v == 1) { mine++; } else if (v == 2) { theirs++; }
+        }
+        if (mine > 0 && theirs > 0) { return 0; }
+        if (mine > 0) { return mine * mine; }
+        if (theirs > 0) { return -(theirs * theirs); }
+        return 0;
+    }
+
+    static bool Wins(int col, int player) {
+        int row = height[col] - 1;   // the stone just placed
+        return Line(col, row, player, 1, 0) || Line(col, row, player, 0, 1)
+            || Line(col, row, player, 1, 1) || Line(col, row, player, 1, -1);
+    }
+
+    static bool Line(int c, int r, int player, int dc, int dr) {
+        int count = 1;
+        for (int s = 1; s < 4; s++) {
+            int cc = c + s * dc; int rr = r + s * dr;
+            if (cc < 0 || cc >= 7 || rr < 0 || rr >= 6 || board[cc * 6 + rr] != player) { break; }
+            count++;
+        }
+        for (int s = 1; s < 4; s++) {
+            int cc = c - s * dc; int rr = r - s * dr;
+            if (cc < 0 || cc >= 7 || rr < 0 || rr >= 6 || board[cc * 6 + rr] != player) { break; }
+            count++;
+        }
+        return count >= 4;
+    }
+
+    static int Hash() {
+        int h = 17;
+        for (int i = 0; i < 42; i++) { h = h * 31 + board[i]; }
+        if (h < 0) { h = -h; }
+        return h;
+    }
+
+    static int AlphaBeta(int depth, int alpha, int beta, int player) {
+        nodes = nodes + 1L;
+        if (depth == 0) { return player == 1 ? Eval() : -Eval(); }
+
+        int h = Hash() % ttSize;
+        if (ttKey[h] == depth * 1000003 + Hash() % 1000003) { return ttVal[h]; }
+
+        int best = -1000000;
+        bool moved = false;
+        for (int c = 0; c < 7; c++) {
+            if (height[c] >= 6) { continue; }
+            moved = true;
+            board[c * 6 + height[c]] = player;
+            height[c] = height[c] + 1;
+            int value;
+            if (Wins(c, player)) {
+                value = 100000 - (8 - depth);
+            } else {
+                value = -AlphaBeta(depth - 1, -beta, -alpha, 3 - player);
+            }
+            height[c] = height[c] - 1;
+            board[c * 6 + height[c]] = 0;
+            if (value > best) { best = value; }
+            if (best > alpha) { alpha = best; }
+            if (alpha >= beta) { break; }
+        }
+        if (!moved) { return 0; }
+        ttKey[h] = depth * 1000003 + Hash() % 1000003;
+        ttVal[h] = best;
+        return best;
+    }
+
+    static void Main() {
+        int depth = Params.Depth;
+        board = new int[42];
+        height = new int[7];
+        ttSize = Params.TTSize;
+        ttKey = new int[ttSize];
+        ttVal = new int[ttSize];
+        nodes = 0L;
+
+        // a fixed opening so the position is non-trivial
+        board[3 * 6 + 0] = 1; height[3] = 1;
+        board[3 * 6 + 1] = 2; height[3] = 2;
+        board[2 * 6 + 0] = 1; height[2] = 1;
+
+        Bench.Start("Grande:Search");
+        int score = AlphaBeta(depth, -1000000, 1000000, 2);
+        Bench.Stop("Grande:Search");
+        Bench.Ops("Grande:Search", nodes);
+        Bench.Result("Grande:Search", (double)score);
+        Bench.Result("Grande:Search", (double)nodes);
+        if (nodes < 10L) { Bench.Fail("search explored too few nodes"); }
+    }
+}
+"""
+
+SEARCH = register(
+    Benchmark(
+        name="grande.search",
+        suite="jg2-section3",
+        description="connect-4 alpha-beta search with transposition table",
+        source=SOURCE,
+        params={"Depth": 4, "TTSize": 4093},
+        paper_params={"Depth": "full solve", "TTSize": "large"},
+        sections=("Grande:Search",),
+    )
+)

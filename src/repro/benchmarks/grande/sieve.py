@@ -1,0 +1,46 @@
+"""Sieve — Table 4: "Calculates prime numbers using the Sieve of
+Eratosthenes. It uses integer arithmetic with a lot of array overhead."
+"""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class Sieve {
+    static int CountPrimes(int limit) {
+        bool[] composite = new bool[limit + 1];
+        int count = 0;
+        for (int p = 2; p <= limit; p++) {
+            if (!composite[p]) {
+                count = count + 1;
+                for (int k = p + p; k <= limit; k += p) { composite[k] = true; }
+            }
+        }
+        return count;
+    }
+
+    static void Main() {
+        int limit = Params.Limit;
+        int reps = Params.Reps;
+        int count = 0;
+        Bench.Start("Grande:Sieve");
+        for (int r = 0; r < reps; r++) { count = CountPrimes(limit); }
+        Bench.Stop("Grande:Sieve");
+        Bench.Ops("Grande:Sieve", (long)limit * (long)reps);
+        Bench.Result("Grande:Sieve", (double)count);
+        if (limit == 10000 && count != 1229) { Bench.Fail("pi(10000) != 1229"); }
+        if (limit == 1000 && count != 168) { Bench.Fail("pi(1000) != 168"); }
+    }
+}
+"""
+
+SIEVE = register(
+    Benchmark(
+        name="grande.sieve",
+        suite="dhpc-2a",
+        description="Sieve of Eratosthenes prime counting",
+        source=SOURCE,
+        params={"Limit": 10000, "Reps": 1},
+        paper_params={"Limit": 1_000_000, "Reps": "timed"},
+        sections=("Grande:Sieve",),
+    )
+)

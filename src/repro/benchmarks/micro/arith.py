@@ -1,0 +1,173 @@
+"""Arith — Table 1: "Measures the performance of arithmetic operations."
+
+The Graph 1-3 subject.  Per JGF section-1 style, each timed section executes
+four interleaved operations per loop iteration over live variables so the
+compiler cannot collapse the work; ops/sec = 4 * Reps / elapsed.
+
+Integer division uses the exact paper Table 5 shape (repeatedly dividing
+the previous result by a loop-invariant divisor) so the CLR's constant
+staging quirk and Rotor's cdq emulation land on this code path.
+"""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class ArithBench {
+    static void Main() {
+        IntOps();
+        LongOps();
+        FloatOps();
+        DoubleOps();
+    }
+
+    static void IntOps() {
+        int reps = Params.Reps;
+        long ops = (long)reps * 4L;
+
+        int a1 = 1; int a2 = 2; int a3 = 3; int a4 = 4;
+        Bench.Start("Arith:Add:Int");
+        for (int i = 0; i < reps; i++) {
+            a1 = a2 + a3; a2 = a3 + a4; a3 = a4 + a1; a4 = a1 + a2;
+        }
+        Bench.Stop("Arith:Add:Int");
+        Bench.Ops("Arith:Add:Int", ops);
+        if (a1 + a2 + a3 + a4 == 0) { Bench.Fail("Arith:Add:Int degenerate"); }
+
+        int m1 = 3; int m2 = 5; int m3 = 7; int m4 = 9;
+        Bench.Start("Arith:Mul:Int");
+        for (int i = 0; i < reps; i++) {
+            m1 = m2 * m3; m2 = m3 * m4; m3 = m4 * m1; m4 = m1 * m2;
+        }
+        Bench.Stop("Arith:Mul:Int");
+        Bench.Ops("Arith:Mul:Int", ops);
+
+        int i1 = int.MaxValue; int i2 = 3; int i3 = 5; int i4 = 7;
+        Bench.Start("Arith:Div:Int");
+        for (int i = 0; i < reps; i++) {
+            i1 = i1 / i2;
+            i1 = i1 / i3;
+            i1 = i1 / i4;
+            if (i1 == 0) { i1 = int.MaxValue; }
+            i1 = i1 / i2;
+        }
+        Bench.Stop("Arith:Div:Int");
+        Bench.Ops("Arith:Div:Int", ops);
+    }
+
+    static void LongOps() {
+        int reps = Params.Reps / 2;
+        long ops = (long)reps * 4L;
+
+        long a1 = 1L; long a2 = 2L; long a3 = 3L; long a4 = 4L;
+        Bench.Start("Arith:Add:Long");
+        for (int i = 0; i < reps; i++) {
+            a1 = a2 + a3; a2 = a3 + a4; a3 = a4 + a1; a4 = a1 + a2;
+        }
+        Bench.Stop("Arith:Add:Long");
+        Bench.Ops("Arith:Add:Long", ops);
+
+        long m1 = 3L; long m2 = 5L; long m3 = 7L; long m4 = 9L;
+        Bench.Start("Arith:Mul:Long");
+        for (int i = 0; i < reps; i++) {
+            m1 = m2 * m3; m2 = m3 * m4; m3 = m4 * m1; m4 = m1 * m2;
+        }
+        Bench.Stop("Arith:Mul:Long");
+        Bench.Ops("Arith:Mul:Long", ops);
+
+        long d1 = long.MaxValue; long d2 = 3L; long d3 = 5L; long d4 = 7L;
+        Bench.Start("Arith:Div:Long");
+        for (int i = 0; i < reps; i++) {
+            d1 = d1 / d2;
+            d1 = d1 / d3;
+            d1 = d1 / d4;
+            if (d1 == 0L) { d1 = long.MaxValue; }
+            d1 = d1 / d2;
+        }
+        Bench.Stop("Arith:Div:Long");
+        Bench.Ops("Arith:Div:Long", ops);
+    }
+
+    static void FloatOps() {
+        int reps = Params.Reps;
+        long ops = (long)reps * 4L;
+
+        float a1 = 1.5f; float a2 = 2.5f; float a3 = 3.5f; float a4 = 4.5f;
+        Bench.Start("Arith:Add:Float");
+        for (int i = 0; i < reps; i++) {
+            a1 = a2 + a3; a2 = a3 + a4; a3 = a4 - a1; a4 = a1 - a2;
+        }
+        Bench.Stop("Arith:Add:Float");
+        Bench.Ops("Arith:Add:Float", ops);
+
+        float m1 = 1.001f; float m2 = 1.002f; float m3 = 1.003f; float m4 = 1.004f;
+        Bench.Start("Arith:Mul:Float");
+        for (int i = 0; i < reps; i++) {
+            m1 = m2 * m3; m2 = m3 * m4; m3 = m4 / m1; m4 = m1 * m2;
+        }
+        Bench.Stop("Arith:Mul:Float");
+        Bench.Ops("Arith:Mul:Float", ops);
+
+        float d1 = 1.0e20f; float d2 = 1.001f; float d3 = 1.002f; float d4 = 1.003f;
+        Bench.Start("Arith:Div:Float");
+        for (int i = 0; i < reps; i++) {
+            d1 = d1 / d2;
+            d1 = d1 / d3;
+            d1 = d1 / d4;
+            if (d1 < 1.0f) { d1 = 1.0e20f; }
+            d1 = d1 / d2;
+        }
+        Bench.Stop("Arith:Div:Float");
+        Bench.Ops("Arith:Div:Float", ops);
+    }
+
+    static void DoubleOps() {
+        int reps = Params.Reps;
+        long ops = (long)reps * 4L;
+
+        double a1 = 1.5; double a2 = 2.5; double a3 = 3.5; double a4 = 4.5;
+        Bench.Start("Arith:Add:Double");
+        for (int i = 0; i < reps; i++) {
+            a1 = a2 + a3; a2 = a3 + a4; a3 = a4 - a1; a4 = a1 - a2;
+        }
+        Bench.Stop("Arith:Add:Double");
+        Bench.Ops("Arith:Add:Double", ops);
+
+        double m1 = 1.001; double m2 = 1.002; double m3 = 1.003; double m4 = 1.004;
+        Bench.Start("Arith:Mul:Double");
+        for (int i = 0; i < reps; i++) {
+            m1 = m2 * m3; m2 = m3 * m4; m3 = m4 / m1; m4 = m1 * m2;
+        }
+        Bench.Stop("Arith:Mul:Double");
+        Bench.Ops("Arith:Mul:Double", ops);
+
+        double d1 = 1.0e200; double d2 = 1.001; double d3 = 1.002; double d4 = 1.003;
+        Bench.Start("Arith:Div:Double");
+        for (int i = 0; i < reps; i++) {
+            d1 = d1 / d2;
+            d1 = d1 / d3;
+            d1 = d1 / d4;
+            if (d1 < 1.0) { d1 = 1.0e200; }
+            d1 = d1 / d2;
+        }
+        Bench.Stop("Arith:Div:Double");
+        Bench.Ops("Arith:Div:Double", ops);
+    }
+}
+"""
+
+INT_SECTIONS = ("Arith:Add:Int", "Arith:Mul:Int", "Arith:Div:Int")
+LONG_SECTIONS = ("Arith:Add:Long", "Arith:Mul:Long", "Arith:Div:Long")
+FLOAT_SECTIONS = ("Arith:Add:Float", "Arith:Mul:Float", "Arith:Div:Float")
+DOUBLE_SECTIONS = ("Arith:Add:Double", "Arith:Mul:Double", "Arith:Div:Double")
+
+ARITH = register(
+    Benchmark(
+        name="micro.arith",
+        suite="jg2-section1",
+        description="arithmetic throughput for int/long/float/double add, multiply, divide",
+        source=SOURCE,
+        params={"Reps": 6000},
+        paper_params={"Reps": 10_000_000},
+        sections=INT_SECTIONS + LONG_SECTIONS + FLOAT_SECTIONS + DOUBLE_SECTIONS,
+    )
+)

@@ -1,0 +1,105 @@
+"""Assign — Table 1: "Measures the cost of assigning to different types of
+variable" (JGF section 1).
+
+Variants: local variable, static field, instance field, array element —
+for int and double.  The per-variant gap is dominated by how the JIT
+addresses each storage class (register vs static base vs object header vs
+indexed), so the spread widens on the weaker JITs.
+"""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class AssignTarget {
+    int instInt;
+    double instDouble;
+    static int statInt;
+    static double statDouble;
+}
+class AssignBench {
+    static int statInt;
+    static double statDouble;
+
+    static void Main() {
+        int reps = Params.Reps;
+        long ops = (long)reps * 4L;
+
+        int l1 = 0; int l2 = 0; int l3 = 0; int l4 = 0;
+        Bench.Start("Assign:Local:Int");
+        for (int i = 0; i < reps; i++) { l1 = i; l2 = i; l3 = i; l4 = i; }
+        Bench.Stop("Assign:Local:Int");
+        Bench.Ops("Assign:Local:Int", ops);
+        if (l1 + l2 + l3 + l4 == -1) { Bench.Fail("degenerate"); }
+
+        double d1 = 0.0; double d2 = 0.0; double d3 = 0.0; double d4 = 0.0;
+        Bench.Start("Assign:Local:Double");
+        for (int i = 0; i < reps; i++) { d1 = i; d2 = i; d3 = i; d4 = i; }
+        Bench.Stop("Assign:Local:Double");
+        Bench.Ops("Assign:Local:Double", ops);
+
+        Bench.Start("Assign:Static:Int");
+        for (int i = 0; i < reps; i++) {
+            statInt = i; AssignTarget.statInt = i; statInt = i; AssignTarget.statInt = i;
+        }
+        Bench.Stop("Assign:Static:Int");
+        Bench.Ops("Assign:Static:Int", ops);
+
+        Bench.Start("Assign:Static:Double");
+        for (int i = 0; i < reps; i++) {
+            statDouble = i; AssignTarget.statDouble = i; statDouble = i; AssignTarget.statDouble = i;
+        }
+        Bench.Stop("Assign:Static:Double");
+        Bench.Ops("Assign:Static:Double", ops);
+
+        AssignTarget t = new AssignTarget();
+        Bench.Start("Assign:Instance:Int");
+        for (int i = 0; i < reps; i++) {
+            t.instInt = i; t.instInt = i; t.instInt = i; t.instInt = i;
+        }
+        Bench.Stop("Assign:Instance:Int");
+        Bench.Ops("Assign:Instance:Int", ops);
+
+        Bench.Start("Assign:Instance:Double");
+        for (int i = 0; i < reps; i++) {
+            t.instDouble = i; t.instDouble = i; t.instDouble = i; t.instDouble = i;
+        }
+        Bench.Stop("Assign:Instance:Double");
+        Bench.Ops("Assign:Instance:Double", ops);
+
+        int[] arr = new int[16];
+        Bench.Start("Assign:Array:Int");
+        for (int i = 0; i < reps; i++) {
+            arr[0] = i; arr[1] = i; arr[2] = i; arr[3] = i;
+        }
+        Bench.Stop("Assign:Array:Int");
+        Bench.Ops("Assign:Array:Int", ops);
+
+        double[] darr = new double[16];
+        Bench.Start("Assign:Array:Double");
+        for (int i = 0; i < reps; i++) {
+            darr[0] = i; darr[1] = i; darr[2] = i; darr[3] = i;
+        }
+        Bench.Stop("Assign:Array:Double");
+        Bench.Ops("Assign:Array:Double", ops);
+    }
+}
+"""
+
+SECTIONS = (
+    "Assign:Local:Int", "Assign:Local:Double",
+    "Assign:Static:Int", "Assign:Static:Double",
+    "Assign:Instance:Int", "Assign:Instance:Double",
+    "Assign:Array:Int", "Assign:Array:Double",
+)
+
+ASSIGN = register(
+    Benchmark(
+        name="micro.assign",
+        suite="jg2-section1",
+        description="assignment cost: local / static / instance / array element",
+        source=SOURCE,
+        params={"Reps": 5000},
+        paper_params={"Reps": 10_000_000},
+        sections=SECTIONS,
+    )
+)

@@ -1,0 +1,65 @@
+"""Cast — Table 1: "Tests the performance of casting between different
+primitive types" (JGF section 1).
+
+int<->float, int<->double, long<->float, long<->double round trips; the
+float->int direction is the expensive one on x87-era hardware (mode
+switches), which ``conv_r_i`` models.
+"""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class CastBench {
+    static void Main() {
+        int reps = Params.Reps;
+        long ops = (long)reps * 4L;
+
+        int i1 = 9; float f1 = 9.0f;
+        Bench.Start("Cast:IntFloat");
+        for (int k = 0; k < reps; k++) {
+            f1 = (float)i1; i1 = (int)f1; f1 = (float)i1; i1 = (int)f1;
+        }
+        Bench.Stop("Cast:IntFloat");
+        Bench.Ops("Cast:IntFloat", ops);
+        if (i1 != 9) { Bench.Fail("Cast:IntFloat value drift"); }
+
+        int i2 = 17; double d1 = 17.0;
+        Bench.Start("Cast:IntDouble");
+        for (int k = 0; k < reps; k++) {
+            d1 = (double)i2; i2 = (int)d1; d1 = (double)i2; i2 = (int)d1;
+        }
+        Bench.Stop("Cast:IntDouble");
+        Bench.Ops("Cast:IntDouble", ops);
+
+        long l1 = 123456789L; float f2 = 0.0f;
+        Bench.Start("Cast:LongFloat");
+        for (int k = 0; k < reps; k++) {
+            f2 = (float)l1; l1 = (long)f2; f2 = (float)l1; l1 = (long)f2;
+        }
+        Bench.Stop("Cast:LongFloat");
+        Bench.Ops("Cast:LongFloat", ops);
+
+        long l2 = 987654321L; double d2 = 0.0;
+        Bench.Start("Cast:LongDouble");
+        for (int k = 0; k < reps; k++) {
+            d2 = (double)l2; l2 = (long)d2; d2 = (double)l2; l2 = (long)d2;
+        }
+        Bench.Stop("Cast:LongDouble");
+        Bench.Ops("Cast:LongDouble", ops);
+    }
+}
+"""
+
+SECTIONS = ("Cast:IntFloat", "Cast:IntDouble", "Cast:LongFloat", "Cast:LongDouble")
+
+CAST = register(
+    Benchmark(
+        name="micro.cast",
+        suite="jg2-section1",
+        description="primitive cast round-trip cost",
+        source=SOURCE,
+        params={"Reps": 5000},
+        paper_params={"Reps": 10_000_000},
+        sections=SECTIONS,
+    )
+)

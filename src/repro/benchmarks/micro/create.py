@@ -1,0 +1,86 @@
+"""Create — Table 1: "Tests the performance of creating objects and arrays"
+(JGF section 1).
+
+Object creation exercises allocator + GC-share costs (per-profile
+``alloc_base``/``alloc_per_word``/``gc_per_kbyte``); array creation adds the
+zeroing term proportional to length.
+"""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class Empty { }
+class FourFields { int a; int b; double c; double d; }
+class Linked { Linked next; int v; }
+
+class CreateBench {
+    static void Main() {
+        int reps = Params.Reps;
+
+        Bench.Start("Create:Object:Simple");
+        for (int i = 0; i < reps; i++) {
+            Empty e1 = new Empty(); Empty e2 = new Empty();
+            Empty e3 = new Empty(); Empty e4 = new Empty();
+        }
+        Bench.Stop("Create:Object:Simple");
+        Bench.Ops("Create:Object:Simple", (long)reps * 4L);
+
+        Bench.Start("Create:Object:Fields");
+        for (int i = 0; i < reps; i++) {
+            FourFields f1 = new FourFields(); FourFields f2 = new FourFields();
+            FourFields f3 = new FourFields(); FourFields f4 = new FourFields();
+        }
+        Bench.Stop("Create:Object:Fields");
+        Bench.Ops("Create:Object:Fields", (long)reps * 4L);
+
+        Bench.Start("Create:Array:Int:16");
+        for (int i = 0; i < reps; i++) {
+            int[] a1 = new int[16]; int[] a2 = new int[16];
+        }
+        Bench.Stop("Create:Array:Int:16");
+        Bench.Ops("Create:Array:Int:16", (long)reps * 2L);
+
+        Bench.Start("Create:Array:Int:512");
+        for (int i = 0; i < reps / 4; i++) {
+            int[] a1 = new int[512];
+        }
+        Bench.Stop("Create:Array:Int:512");
+        Bench.Ops("Create:Array:Int:512", (long)(reps / 4));
+
+        Bench.Start("Create:Array:Object:16");
+        for (int i = 0; i < reps; i++) {
+            Empty[] oa = new Empty[16];
+        }
+        Bench.Stop("Create:Array:Object:16");
+        Bench.Ops("Create:Array:Object:16", (long)reps);
+
+        // a short linked structure per iteration: allocation + pointer writes
+        Bench.Start("Create:Graph");
+        for (int i = 0; i < reps / 2; i++) {
+            Linked head = new Linked();
+            Linked a = new Linked(); a.v = i; a.next = head;
+            Linked b = new Linked(); b.v = i + 1; b.next = a;
+        }
+        Bench.Stop("Create:Graph");
+        Bench.Ops("Create:Graph", (long)(reps / 2) * 3L);
+    }
+}
+"""
+
+SECTIONS = (
+    "Create:Object:Simple", "Create:Object:Fields",
+    "Create:Array:Int:16", "Create:Array:Int:512",
+    "Create:Array:Object:16", "Create:Graph",
+)
+
+CREATE = register(
+    Benchmark(
+        name="micro.create",
+        suite="jg2-section1",
+        description="object and array creation throughput",
+        source=SOURCE,
+        params={"Reps": 2000},
+        paper_params={"Reps": 1_000_000},
+        sections=SECTIONS,
+    )
+)

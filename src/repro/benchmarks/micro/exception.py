@@ -1,0 +1,67 @@
+"""Exception — Table 1: "Measures the cost of creating, throwing and
+catching exceptions, both in the current method and further down the call
+tree" (JGF section 1).  The Graph 5 subject.
+
+Three sections per the paper's graph: ``Throw`` (throw+catch in the same
+method), ``New`` (constructing the exception object only), ``Method``
+(the throw happens ``Depth`` calls down and unwinds back up).
+"""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class ExceptionBench {
+    static void Thrower(int depth) {
+        if (depth <= 0) { throw new Exception("deep"); }
+        Thrower(depth - 1);
+    }
+
+    static void Main() {
+        int reps = Params.Reps;
+        int depth = Params.Depth;
+
+        int caught = 0;
+        Bench.Start("Exception:Throw");
+        for (int i = 0; i < reps; i++) {
+            try { throw new Exception("x"); }
+            catch (Exception e) { caught++; }
+        }
+        Bench.Stop("Exception:Throw");
+        Bench.Ops("Exception:Throw", (long)reps);
+        if (caught != reps) { Bench.Fail("Exception:Throw lost exceptions"); }
+
+        Exception last = null;
+        Bench.Start("Exception:New");
+        for (int i = 0; i < reps; i++) {
+            last = new Exception("object only");
+        }
+        Bench.Stop("Exception:New");
+        Bench.Ops("Exception:New", (long)reps);
+        if (last == null) { Bench.Fail("Exception:New degenerate"); }
+
+        caught = 0;
+        Bench.Start("Exception:Method");
+        for (int i = 0; i < reps; i++) {
+            try { Thrower(depth); }
+            catch (Exception e) { caught++; }
+        }
+        Bench.Stop("Exception:Method");
+        Bench.Ops("Exception:Method", (long)reps);
+        if (caught != reps) { Bench.Fail("Exception:Method lost exceptions"); }
+    }
+}
+"""
+
+SECTIONS = ("Exception:Throw", "Exception:New", "Exception:Method")
+
+EXCEPTION = register(
+    Benchmark(
+        name="micro.exception",
+        suite="jg2-section1",
+        description="exception throw/catch, allocation, and deep-unwind cost",
+        source=SOURCE,
+        params={"Reps": 300, "Depth": 6},
+        paper_params={"Reps": 1_000_000, "Depth": 10},
+        sections=SECTIONS,
+    )
+)

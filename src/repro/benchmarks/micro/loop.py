@@ -1,0 +1,47 @@
+"""Loop — Table 1: "Measures loop overheads" (JGF section 1): the Graph 4
+subject.  ``For``, ``ReverseFor`` and ``While`` over a live accumulator so
+the loop cannot be deleted; ops = iterations.
+"""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class LoopBench {
+    static void Main() {
+        int reps = Params.Reps;
+        int guard = 0;
+
+        Bench.Start("Loop:For");
+        for (int i = 0; i < reps; i++) { guard = guard + 1; }
+        Bench.Stop("Loop:For");
+        Bench.Ops("Loop:For", (long)reps);
+
+        Bench.Start("Loop:ReverseFor");
+        for (int i = reps; i > 0; i--) { guard = guard + 1; }
+        Bench.Stop("Loop:ReverseFor");
+        Bench.Ops("Loop:ReverseFor", (long)reps);
+
+        int k = 0;
+        Bench.Start("Loop:While");
+        while (k < reps) { guard = guard + 1; k = k + 1; }
+        Bench.Stop("Loop:While");
+        Bench.Ops("Loop:While", (long)reps);
+
+        if (guard != reps * 3) { Bench.Fail("Loop guard mismatch"); }
+    }
+}
+"""
+
+SECTIONS = ("Loop:For", "Loop:ReverseFor", "Loop:While")
+
+LOOP = register(
+    Benchmark(
+        name="micro.loop",
+        suite="jg2-section1",
+        description="for / reverse-for / while loop overhead",
+        source=SOURCE,
+        params={"Reps": 30000},
+        paper_params={"Reps": 100_000_000},
+        sections=SECTIONS,
+    )
+)

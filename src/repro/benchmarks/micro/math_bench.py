@@ -1,0 +1,218 @@
+"""Math — Table 1: "Measures the performance of all the methods in the Math
+library" — the Graphs 6-8 subject (26 routines in three groups).
+
+Group I: Abs/Max/Min over int/long/float/double; group II: trigonometry;
+group III: floor/ceil/sqrt/exp/log/pow/rint/random/round.  calls/sec per
+routine; the CLR's intrinsified x87 math vs the JVMs' strict libraries is
+one of the paper's consistent findings.
+"""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class MathBench {
+    static void Main() {
+        GroupOne();
+        GroupTwo();
+        GroupThree();
+    }
+
+    static void GroupOne() {
+        int reps = Params.Reps;
+        long ops = (long)reps * 2L;
+
+        int ri = 0;
+        Bench.Start("Math:AbsInt");
+        for (int i = 0; i < reps; i++) { ri = Math.Abs(i - 500); ri = Math.Abs(ri - 100); }
+        Bench.Stop("Math:AbsInt");
+        Bench.Ops("Math:AbsInt", ops);
+
+        long rl = 0L;
+        Bench.Start("Math:AbsLong");
+        for (int i = 0; i < reps; i++) { rl = Math.Abs((long)(i - 500)); rl = Math.Abs(rl - 100L); }
+        Bench.Stop("Math:AbsLong");
+        Bench.Ops("Math:AbsLong", ops);
+
+        float rf = 0.0f;
+        Bench.Start("Math:AbsFloat");
+        for (int i = 0; i < reps; i++) { rf = Math.Abs(i - 500.5f); rf = Math.Abs(rf - 100.0f); }
+        Bench.Stop("Math:AbsFloat");
+        Bench.Ops("Math:AbsFloat", ops);
+
+        double rd = 0.0;
+        Bench.Start("Math:AbsDouble");
+        for (int i = 0; i < reps; i++) { rd = Math.Abs(i - 500.5); rd = Math.Abs(rd - 100.0); }
+        Bench.Stop("Math:AbsDouble");
+        Bench.Ops("Math:AbsDouble", ops);
+
+        Bench.Start("Math:MaxInt");
+        for (int i = 0; i < reps; i++) { ri = Math.Max(i, 500); ri = Math.Max(ri, i + 1); }
+        Bench.Stop("Math:MaxInt");
+        Bench.Ops("Math:MaxInt", ops);
+
+        Bench.Start("Math:MaxLong");
+        for (int i = 0; i < reps; i++) { rl = Math.Max((long)i, 500L); rl = Math.Max(rl, (long)i + 1L); }
+        Bench.Stop("Math:MaxLong");
+        Bench.Ops("Math:MaxLong", ops);
+
+        Bench.Start("Math:MaxFloat");
+        for (int i = 0; i < reps; i++) { rf = Math.Max((float)i, 500.0f); rf = Math.Max(rf, (float)i + 1.0f); }
+        Bench.Stop("Math:MaxFloat");
+        Bench.Ops("Math:MaxFloat", ops);
+
+        Bench.Start("Math:MaxDouble");
+        for (int i = 0; i < reps; i++) { rd = Math.Max((double)i, 500.0); rd = Math.Max(rd, (double)i + 1.0); }
+        Bench.Stop("Math:MaxDouble");
+        Bench.Ops("Math:MaxDouble", ops);
+
+        Bench.Start("Math:MinInt");
+        for (int i = 0; i < reps; i++) { ri = Math.Min(i, 500); ri = Math.Min(ri, i + 1); }
+        Bench.Stop("Math:MinInt");
+        Bench.Ops("Math:MinInt", ops);
+
+        Bench.Start("Math:MinLong");
+        for (int i = 0; i < reps; i++) { rl = Math.Min((long)i, 500L); rl = Math.Min(rl, (long)i + 1L); }
+        Bench.Stop("Math:MinLong");
+        Bench.Ops("Math:MinLong", ops);
+
+        Bench.Start("Math:MinFloat");
+        for (int i = 0; i < reps; i++) { rf = Math.Min((float)i, 500.0f); rf = Math.Min(rf, (float)i + 1.0f); }
+        Bench.Stop("Math:MinFloat");
+        Bench.Ops("Math:MinFloat", ops);
+
+        Bench.Start("Math:MinDouble");
+        for (int i = 0; i < reps; i++) { rd = Math.Min((double)i, 500.0); rd = Math.Min(rd, (double)i + 1.0); }
+        Bench.Stop("Math:MinDouble");
+        Bench.Ops("Math:MinDouble", ops);
+    }
+
+    static void GroupTwo() {
+        int reps = Params.Reps / 2;
+        long ops = (long)reps;
+        double x = 0.0; double r = 0.0;
+
+        Bench.Start("Math:SinDouble");
+        for (int i = 0; i < reps; i++) { x = i * 0.001; r += Math.Sin(x); }
+        Bench.Stop("Math:SinDouble");
+        Bench.Ops("Math:SinDouble", ops);
+
+        Bench.Start("Math:CosDouble");
+        for (int i = 0; i < reps; i++) { x = i * 0.001; r += Math.Cos(x); }
+        Bench.Stop("Math:CosDouble");
+        Bench.Ops("Math:CosDouble", ops);
+
+        Bench.Start("Math:TanDouble");
+        for (int i = 0; i < reps; i++) { x = i * 0.001; r += Math.Tan(x); }
+        Bench.Stop("Math:TanDouble");
+        Bench.Ops("Math:TanDouble", ops);
+
+        Bench.Start("Math:AsinDouble");
+        for (int i = 0; i < reps; i++) { x = (i % 1000) * 0.001; r += Math.Asin(x); }
+        Bench.Stop("Math:AsinDouble");
+        Bench.Ops("Math:AsinDouble", ops);
+
+        Bench.Start("Math:AcosDouble");
+        for (int i = 0; i < reps; i++) { x = (i % 1000) * 0.001; r += Math.Acos(x); }
+        Bench.Stop("Math:AcosDouble");
+        Bench.Ops("Math:AcosDouble", ops);
+
+        Bench.Start("Math:AtanDouble");
+        for (int i = 0; i < reps; i++) { x = i * 0.01; r += Math.Atan(x); }
+        Bench.Stop("Math:AtanDouble");
+        Bench.Ops("Math:AtanDouble", ops);
+
+        Bench.Start("Math:Atan2Double");
+        for (int i = 0; i < reps; i++) { x = i * 0.01; r += Math.Atan2(x, 2.0); }
+        Bench.Stop("Math:Atan2Double");
+        Bench.Ops("Math:Atan2Double", ops);
+
+        if (r != r) { Bench.Fail("Math trig produced NaN"); }
+    }
+
+    static void GroupThree() {
+        int reps = Params.Reps / 2;
+        long ops = (long)reps;
+        double x = 0.0; double r = 0.0;
+
+        Bench.Start("Math:FloorDouble");
+        for (int i = 0; i < reps; i++) { x = i * 0.37; r += Math.Floor(x); }
+        Bench.Stop("Math:FloorDouble");
+        Bench.Ops("Math:FloorDouble", ops);
+
+        Bench.Start("Math:CeilDouble");
+        for (int i = 0; i < reps; i++) { x = i * 0.37; r += Math.Ceiling(x); }
+        Bench.Stop("Math:CeilDouble");
+        Bench.Ops("Math:CeilDouble", ops);
+
+        Bench.Start("Math:SqrtDouble");
+        for (int i = 0; i < reps; i++) { r += Math.Sqrt(i + 1.0); }
+        Bench.Stop("Math:SqrtDouble");
+        Bench.Ops("Math:SqrtDouble", ops);
+
+        Bench.Start("Math:ExpDouble");
+        for (int i = 0; i < reps; i++) { x = (i % 100) * 0.01; r += Math.Exp(x); }
+        Bench.Stop("Math:ExpDouble");
+        Bench.Ops("Math:ExpDouble", ops);
+
+        Bench.Start("Math:LogDouble");
+        for (int i = 0; i < reps; i++) { r += Math.Log(i + 1.0); }
+        Bench.Stop("Math:LogDouble");
+        Bench.Ops("Math:LogDouble", ops);
+
+        Bench.Start("Math:PowDouble");
+        for (int i = 0; i < reps; i++) { x = 1.0 + (i % 10) * 0.1; r += Math.Pow(x, 2.5); }
+        Bench.Stop("Math:PowDouble");
+        Bench.Ops("Math:PowDouble", ops);
+
+        Bench.Start("Math:RintDouble");
+        for (int i = 0; i < reps; i++) { x = i * 0.37; r += Math.Rint(x); }
+        Bench.Stop("Math:RintDouble");
+        Bench.Ops("Math:RintDouble", ops);
+
+        Bench.Start("Math:Random");
+        for (int i = 0; i < reps; i++) { r += Math.Random(); }
+        Bench.Stop("Math:Random");
+        Bench.Ops("Math:Random", ops);
+
+        float rf = 0.0f;
+        Bench.Start("Math:RoundFloat");
+        for (int i = 0; i < reps; i++) { rf += Math.Round(i * 0.37f); }
+        Bench.Stop("Math:RoundFloat");
+        Bench.Ops("Math:RoundFloat", ops);
+
+        Bench.Start("Math:RoundDouble");
+        for (int i = 0; i < reps; i++) { r += Math.Round(i * 0.37); }
+        Bench.Stop("Math:RoundDouble");
+        Bench.Ops("Math:RoundDouble", ops);
+
+        if (r != r) { Bench.Fail("Math group three produced NaN"); }
+    }
+}
+"""
+
+GROUP1 = (
+    "Math:AbsInt", "Math:AbsLong", "Math:AbsFloat", "Math:AbsDouble",
+    "Math:MaxInt", "Math:MaxLong", "Math:MaxFloat", "Math:MaxDouble",
+    "Math:MinInt", "Math:MinLong", "Math:MinFloat", "Math:MinDouble",
+)
+GROUP2 = (
+    "Math:SinDouble", "Math:CosDouble", "Math:TanDouble", "Math:AsinDouble",
+    "Math:AcosDouble", "Math:AtanDouble", "Math:Atan2Double",
+)
+GROUP3 = (
+    "Math:FloorDouble", "Math:CeilDouble", "Math:SqrtDouble", "Math:ExpDouble",
+    "Math:LogDouble", "Math:PowDouble", "Math:RintDouble", "Math:Random",
+    "Math:RoundFloat", "Math:RoundDouble",
+)
+
+MATH = register(
+    Benchmark(
+        name="micro.math",
+        suite="jg2-section1",
+        description="Math library call throughput, 26 routines (Graphs 6-8)",
+        source=SOURCE,
+        params={"Reps": 2000},
+        paper_params={"Reps": 10_000_000},
+        sections=GROUP1 + GROUP2 + GROUP3,
+    )
+)

@@ -1,0 +1,84 @@
+"""Method — Table 1: "Determines the cost of method calls" (JGF section 1).
+
+Same-class static, instance (non-virtual), virtual dispatched, and
+other-class static/instance variants.  JITs that inline (CLR, IBM) collapse
+the trivial static calls; virtual calls always pay the dispatch.
+"""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class Other {
+    static int StatAdd(int x) { return x + 1; }
+    int InstAdd(int x) { return x + 1; }
+}
+class MethodBench {
+    int field;
+
+    static int StatAdd(int x) { return x + 1; }
+    int InstAdd(int x) { return x + 1; }
+    virtual int VirtAdd(int x) { return x + 1; }
+
+    static void Main() {
+        int reps = Params.Reps;
+        long ops = (long)reps * 4L;
+        int v = 0;
+
+        Bench.Start("Method:Same:Static");
+        for (int i = 0; i < reps; i++) {
+            v = StatAdd(v); v = StatAdd(v); v = StatAdd(v); v = StatAdd(v);
+        }
+        Bench.Stop("Method:Same:Static");
+        Bench.Ops("Method:Same:Static", ops);
+
+        MethodBench self = new MethodBench();
+        Bench.Start("Method:Same:Instance");
+        for (int i = 0; i < reps; i++) {
+            v = self.InstAdd(v); v = self.InstAdd(v); v = self.InstAdd(v); v = self.InstAdd(v);
+        }
+        Bench.Stop("Method:Same:Instance");
+        Bench.Ops("Method:Same:Instance", ops);
+
+        Bench.Start("Method:Same:Virtual");
+        for (int i = 0; i < reps; i++) {
+            v = self.VirtAdd(v); v = self.VirtAdd(v); v = self.VirtAdd(v); v = self.VirtAdd(v);
+        }
+        Bench.Stop("Method:Same:Virtual");
+        Bench.Ops("Method:Same:Virtual", ops);
+
+        Bench.Start("Method:Other:Static");
+        for (int i = 0; i < reps; i++) {
+            v = Other.StatAdd(v); v = Other.StatAdd(v); v = Other.StatAdd(v); v = Other.StatAdd(v);
+        }
+        Bench.Stop("Method:Other:Static");
+        Bench.Ops("Method:Other:Static", ops);
+
+        Other other = new Other();
+        Bench.Start("Method:Other:Instance");
+        for (int i = 0; i < reps; i++) {
+            v = other.InstAdd(v); v = other.InstAdd(v); v = other.InstAdd(v); v = other.InstAdd(v);
+        }
+        Bench.Stop("Method:Other:Instance");
+        Bench.Ops("Method:Other:Instance", ops);
+
+        if (v != reps * 20) { Bench.Fail("Method call count mismatch"); }
+    }
+}
+"""
+
+SECTIONS = (
+    "Method:Same:Static", "Method:Same:Instance", "Method:Same:Virtual",
+    "Method:Other:Static", "Method:Other:Instance",
+)
+
+METHOD = register(
+    Benchmark(
+        name="micro.method",
+        suite="jg2-section1",
+        description="method invocation cost by dispatch kind",
+        source=SOURCE,
+        params={"Reps": 3000},
+        paper_params={"Reps": 10_000_000},
+        sections=SECTIONS,
+    )
+)

@@ -1,0 +1,81 @@
+"""Serial — Table 1: "Tests the performance of serialization, both writing
+and reading of objects to and from a file" (JGF section 1).
+
+A linked structure of ``Nodes`` objects plus a payload array per node is
+round-tripped through the Serializer stream; throughput is objects/sec.
+"""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class SerNode {
+    int id;
+    double weight;
+    int[] payload;
+    SerNode next;
+}
+class SerialBench {
+    static SerNode BuildChain(int n, int payload) {
+        SerNode head = null;
+        for (int i = 0; i < n; i++) {
+            SerNode node = new SerNode();
+            node.id = i;
+            node.weight = i * 1.5;
+            node.payload = new int[payload];
+            for (int k = 0; k < payload; k++) { node.payload[k] = i + k; }
+            node.next = head;
+            head = node;
+        }
+        return head;
+    }
+
+    static void Main() {
+        int reps = Params.Reps;
+        int nodes = Params.Nodes;
+        int payload = Params.Payload;
+        SerNode chain = BuildChain(nodes, payload);
+
+        int bytes = 0;
+        Bench.Start("Serial:Write");
+        for (int i = 0; i < reps; i++) {
+            bytes = Serializer.WriteObject(chain);
+        }
+        Bench.Stop("Serial:Write");
+        Bench.Ops("Serial:Write", (long)reps * (long)nodes);
+        Bench.Result("Serial:Write", bytes);
+
+        SerNode back = null;
+        Bench.Start("Serial:Read");
+        for (int i = 0; i < reps; i++) {
+            back = (SerNode)Serializer.ReadObject();
+        }
+        Bench.Stop("Serial:Read");
+        Bench.Ops("Serial:Read", (long)reps * (long)nodes);
+
+        // validate the round trip
+        SerNode p = chain; SerNode q = back;
+        while (p != null) {
+            if (q == null || p.id != q.id || p.weight != q.weight
+                || p.payload[payload - 1] != q.payload[payload - 1]) {
+                Bench.Fail("Serial round-trip mismatch");
+                return;
+            }
+            p = p.next; q = q.next;
+        }
+    }
+}
+"""
+
+SECTIONS = ("Serial:Write", "Serial:Read")
+
+SERIAL = register(
+    Benchmark(
+        name="micro.serial",
+        suite="jg2-section1",
+        description="object-graph serialization write/read throughput",
+        source=SOURCE,
+        params={"Reps": 8, "Nodes": 24, "Payload": 8},
+        paper_params={"Reps": 1000, "Nodes": 1000, "Payload": 64},
+        sections=SECTIONS,
+    )
+)

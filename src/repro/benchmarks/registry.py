@@ -1,0 +1,114 @@
+"""Benchmark registry.
+
+A :class:`Benchmark` is a Kernel-C# program plus its parameter set.  Sizes
+are injected by generating a ``Params`` class ahead of the kernel source, so
+one compiled image per (benchmark, size) exists — the paper's single-
+compiler rule then runs that image on every profile.
+
+Size scaling (DESIGN.md section 2): the paper's problem sizes target 2003
+hardware measured in wall seconds; ours target a simulated machine measured
+in cycles, so every benchmark declares paper sizes and scaled defaults, and
+the harness records the scale next to every result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    #: hierarchical id, e.g. "micro.arith" or "scimark.fft"
+    name: str
+    #: which paper suite it reproduces (table 1-4 row)
+    suite: str
+    description: str
+    #: Kernel-C# source; reads sizes from the generated Params class
+    source: str
+    #: default (scaled) parameters; ints/longs/doubles/bools by Python type
+    params: Dict[str, object] = field(default_factory=dict)
+    #: the paper's original sizes, for documentation output
+    paper_params: Dict[str, object] = field(default_factory=dict)
+    #: Bench section names the program must produce
+    sections: tuple = ()
+    #: optional callable(machine) -> None raising BenchmarkError on bad output
+    validate: Optional[Callable] = None
+    #: entry class name (default: class Main lives in)
+    entry_class: Optional[str] = None
+
+    def build_source(self, overrides: Optional[Dict[str, object]] = None) -> str:
+        values = dict(self.params)
+        if overrides:
+            unknown = set(overrides) - set(values)
+            if unknown:
+                raise BenchmarkError(f"{self.name}: unknown params {sorted(unknown)}")
+            values.update(overrides)
+        lines = ["class Params {"]
+        for key, value in values.items():
+            if isinstance(value, bool):
+                lines.append(f"    static bool {key} = {'true' if value else 'false'};")
+            elif isinstance(value, int):
+                if abs(value) > 2**31 - 1:
+                    lines.append(f"    static long {key} = {value}L;")
+                else:
+                    lines.append(f"    static int {key} = {value};")
+            elif isinstance(value, float):
+                lines.append(f"    static double {key} = {value!r};")
+            else:
+                raise BenchmarkError(f"{self.name}: bad param {key}={value!r}")
+        lines.append("}")
+        return "\n".join(lines) + "\n" + self.source
+
+
+_REGISTRY: Dict[str, Benchmark] = {}
+
+
+def register(benchmark: Benchmark) -> Benchmark:
+    if benchmark.name in _REGISTRY:
+        raise BenchmarkError(f"duplicate benchmark {benchmark.name}")
+    _REGISTRY[benchmark.name] = benchmark
+    return benchmark
+
+
+def get(name: str) -> Benchmark:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def all_benchmarks() -> List[Benchmark]:
+    _ensure_loaded()
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def by_suite(suite: str) -> List[Benchmark]:
+    _ensure_loaded()
+    return [b for b in all_benchmarks() if b.suite == suite]
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    """Import every benchmark module exactly once (they self-register)."""
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    from .micro import (  # noqa: F401
+        arith, assign, cast, create, exception, loop, math_bench, method, serial,
+    )
+    from .threads import barrier, forkjoin, lock_bench, sync, thread_bench  # noqa: F401
+    from .clispec import boxing, matrix  # noqa: F401
+    from .scimark import (  # noqa: F401
+        fft, lu, montecarlo, montecarlo_mt, sor, sor_mt, sparse,
+    )
+    from .grande import (  # noqa: F401
+        crypt, euler, fibonacci, hanoi, heapsort, moldyn, raytracer, search, sieve,
+    )

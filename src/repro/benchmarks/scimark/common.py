@@ -1,0 +1,118 @@
+"""Shared SciMark support code.
+
+``SCI_RANDOM_SOURCE`` is a line-for-line port of SciMark 2.0's
+``Random.java`` (the 17-lag Fibonacci generator) — per the paper's
+methodology, "support code such as timers and random number generators are
+kept identical between the C# and Java versions".
+:class:`PySciRandom` is the same generator in Python, used by the
+:mod:`repro.reference` oracles so kernel outputs can be compared digit for
+digit.
+
+``NextDoubleSync()`` is the synchronized variant the MonteCarlo kernel
+calls — the paper's section 5 notes the whole kernel "is mainly a test of
+the access to synchronized methods", and that the C baseline omits the
+locking entirely (our native profile's near-zero monitor cost reproduces
+that anomaly from the same IL).
+"""
+
+SCI_RANDOM_SOURCE = """
+class SciRandom {
+    int seed;
+    int[] m;
+    int i;
+    int j;
+    int m1;
+    int m2;
+    double dm1;
+
+    SciRandom(int s) {
+        m1 = (1 << 30) + ((1 << 30) - 1);
+        m2 = 1 << 16;
+        dm1 = 1.0 / (double)m1;
+        Initialize(s);
+    }
+
+    void Initialize(int s) {
+        seed = s;
+        m = new int[17];
+        int jseed = Math.Min(Math.Abs(s), m1);
+        if (jseed % 2 == 0) { jseed = jseed - 1; }
+        int k0 = 9069 % m2;
+        int k1 = 9069 / m2;
+        int j0 = jseed % m2;
+        int j1 = jseed / m2;
+        for (int iloop = 0; iloop < 17; iloop++) {
+            jseed = j0 * k0;
+            j1 = (jseed / m2 + j0 * k1 + j1 * k0) % (m2 / 2);
+            j0 = jseed % m2;
+            m[iloop] = j0 + m2 * j1;
+        }
+        i = 4;
+        j = 16;
+    }
+
+    double NextDouble() {
+        int k = m[i] - m[j];
+        if (k < 0) { k = k + m1; }
+        m[j] = k;
+        if (i == 0) { i = 16; } else { i = i - 1; }
+        if (j == 0) { j = 16; } else { j = j - 1; }
+        return dm1 * (double)k;
+    }
+
+    double NextDoubleSync() {
+        lock (this) {
+            return NextDouble();
+        }
+    }
+
+    void FillVector(double[] x) {
+        for (int k = 0; k < x.Length; k++) { x[k] = NextDouble(); }
+    }
+}
+"""
+
+
+class PySciRandom:
+    """The same generator in Python (for the reference oracles)."""
+
+    def __init__(self, seed: int) -> None:
+        self.m1 = (1 << 30) + ((1 << 30) - 1)
+        self.m2 = 1 << 16
+        self.dm1 = 1.0 / float(self.m1)
+        self.initialize(seed)
+
+    def initialize(self, seed: int) -> None:
+        self.seed = seed
+        m = [0] * 17
+        jseed = min(abs(seed), self.m1)
+        if jseed % 2 == 0:
+            jseed -= 1
+        k0 = 9069 % self.m2
+        k1 = 9069 // self.m2
+        j0 = jseed % self.m2
+        j1 = jseed // self.m2
+        for iloop in range(17):
+            jseed = j0 * k0
+            j1 = (jseed // self.m2 + j0 * k1 + j1 * k0) % (self.m2 // 2)
+            j0 = jseed % self.m2
+            m[iloop] = j0 + self.m2 * j1
+        self.m = m
+        self.i = 4
+        self.j = 16
+
+    def next_double(self) -> float:
+        k = self.m[self.i] - self.m[self.j]
+        if k < 0:
+            k += self.m1
+        self.m[self.j] = k
+        self.i = 16 if self.i == 0 else self.i - 1
+        self.j = 16 if self.j == 0 else self.j - 1
+        return self.dm1 * float(k)
+
+    def fill(self, n: int):
+        return [self.next_double() for _ in range(n)]
+
+
+#: the seed every SciMark kernel uses (SciMark 2.0's RANDOM_SEED is 101010)
+RANDOM_SEED = 101010

@@ -1,0 +1,154 @@
+"""SciMark FFT — Table 4: "one-dimensional forward transform of 4K complex
+numbers [...] exercises complex arithmetic, shuffling, non-constant memory
+references and trigonometric functions."
+
+Direct port of SciMark 2.0 FFT.java: interleaved complex array, bit-reversal
+then N log N butterflies; validation is SciMark's own fwd+inverse RMS test.
+MFlops use SciMark's formula (5N - 2) log2 N per transform.
+"""
+
+from ..registry import Benchmark, register
+from .common import RANDOM_SEED, SCI_RANDOM_SOURCE
+
+SOURCE = SCI_RANDOM_SOURCE + """
+class FFT {
+    static int Log2(int n) {
+        int log = 0;
+        int k = 1;
+        while (k < n) { k = k * 2; log = log + 1; }
+        return log;
+    }
+
+    static void Transform(double[] data) { TransformInternal(data, -1); }
+    static void Inverse(double[] data) {
+        TransformInternal(data, 1);
+        int nd = data.Length;
+        int n = nd / 2;
+        double norm = 1.0 / (double)n;
+        for (int i = 0; i < nd; i++) { data[i] = data[i] * norm; }
+    }
+
+    static void TransformInternal(double[] data, int direction) {
+        if (data.Length == 0) { return; }
+        int n = data.Length / 2;
+        if (n == 1) { return; }
+        int logn = Log2(n);
+        Bitreverse(data);
+
+        for (int bit = 0, dual = 1; bit < logn; bit++, dual = dual * 2) {
+            double w_real = 1.0;
+            double w_imag = 0.0;
+            double theta = 2.0 * direction * Math.PI / (2.0 * (double)dual);
+            double s = Math.Sin(theta);
+            double t = Math.Sin(theta / 2.0);
+            double s2 = 2.0 * t * t;
+
+            for (int b = 0; b < n; b = b + 2 * dual) {
+                int i = 2 * b;
+                int j = 2 * (b + dual);
+                double wd_real = data[j];
+                double wd_imag = data[j + 1];
+                data[j] = data[i] - wd_real;
+                data[j + 1] = data[i + 1] - wd_imag;
+                data[i] = data[i] + wd_real;
+                data[i + 1] = data[i + 1] + wd_imag;
+            }
+
+            for (int a = 1; a < dual; a++) {
+                double tmp_real = w_real - s * w_imag - s2 * w_real;
+                double tmp_imag = w_imag + s * w_real - s2 * w_imag;
+                w_real = tmp_real;
+                w_imag = tmp_imag;
+                for (int b = 0; b < n; b = b + 2 * dual) {
+                    int i = 2 * (b + a);
+                    int j = 2 * (b + a + dual);
+                    double z1_real = data[j];
+                    double z1_imag = data[j + 1];
+                    double wd_real = w_real * z1_real - w_imag * z1_imag;
+                    double wd_imag = w_real * z1_imag + w_imag * z1_real;
+                    data[j] = data[i] - wd_real;
+                    data[j + 1] = data[i + 1] - wd_imag;
+                    data[i] = data[i] + wd_real;
+                    data[i + 1] = data[i + 1] + wd_imag;
+                }
+            }
+        }
+    }
+
+    static void Bitreverse(double[] data) {
+        int n = data.Length / 2;
+        int nm1 = n - 1;
+        int i = 0;
+        int j = 0;
+        for (; i < nm1; i++) {
+            int ii = i << 1;
+            int jj = j << 1;
+            int k = n >> 1;
+            if (i < j) {
+                double tmp_real = data[ii];
+                double tmp_imag = data[ii + 1];
+                data[ii] = data[jj];
+                data[ii + 1] = data[jj + 1];
+                data[jj] = tmp_real;
+                data[jj + 1] = tmp_imag;
+            }
+            while (k <= j) {
+                j = j - k;
+                k = k >> 1;
+            }
+            j = j + k;
+        }
+    }
+
+    static double Test(double[] data) {
+        int nd = data.Length;
+        double[] copy = new double[nd];
+        for (int i = 0; i < nd; i++) { copy[i] = data[i]; }
+        Transform(data);
+        Inverse(data);
+        double diff = 0.0;
+        for (int i = 0; i < nd; i++) {
+            double d = data[i] - copy[i];
+            diff += d * d;
+        }
+        return Math.Sqrt(diff / (double)nd);
+    }
+
+    static void Main() {
+        int n = Params.N;
+        int reps = Params.Reps;
+        SciRandom rng = new SciRandom(Params.Seed);
+        double[] data = new double[2 * n];
+        rng.FillVector(data);
+
+        int logn = Log2(n);
+        long flopsPerRun = (long)((5.0 * (double)n - 2.0) * (double)logn) * 2L;
+
+        Bench.Start("SciMark:FFT");
+        for (int r = 0; r < reps; r++) {
+            Transform(data);
+            Inverse(data);
+        }
+        Bench.Stop("SciMark:FFT");
+        Bench.Flops("SciMark:FFT", flopsPerRun * (long)reps);
+
+        double rms = Test(data);
+        Bench.Result("SciMark:FFT", rms);
+        Bench.Result("SciMark:FFT", data[0]);
+        Bench.Result("SciMark:FFT", data[2 * n - 1]);
+        if (rms > 1.0e-10) { Bench.Fail("FFT fwd+inverse RMS too large"); }
+    }
+}
+"""
+
+FFT = register(
+    Benchmark(
+        name="scimark.fft",
+        suite="scimark",
+        description="1-D complex FFT (forward + inverse), SciMark 2.0 port",
+        source=SOURCE,
+        params={"N": 128, "Reps": 1, "Seed": RANDOM_SEED},
+        paper_params={"N": 1024, "Reps": "many (small model); 1048576 (large)", "Seed": RANDOM_SEED},
+        sections=("SciMark:FFT",),
+    )
+)

@@ -1,0 +1,105 @@
+"""SciMark LU — Table 4: "LU factorization of a dense NxN matrix using
+partial pivoting [...] the right-looking version of LU with rank-1
+updates."
+
+Port of SciMark 2.0 LU.java over a jagged matrix.  Flops = 2/3 N^3 per
+factorization.  Validation: the permuted product check happens against the
+Python reference oracle (same SciRandom stream builds the same matrix).
+"""
+
+from ..registry import Benchmark, register
+from .common import RANDOM_SEED, SCI_RANDOM_SOURCE
+
+SOURCE = SCI_RANDOM_SOURCE + """
+class LU {
+    static int Factor(double[][] a, int[] pivot) {
+        int n = a.Length;
+        int m = a[0].Length;
+        int minMN = Math.Min(m, n);
+
+        for (int j = 0; j < minMN; j++) {
+            int jp = j;
+            double t = Math.Abs(a[j][j]);
+            for (int i = j + 1; i < m; i++) {
+                double ab = Math.Abs(a[i][j]);
+                if (ab > t) { jp = i; t = ab; }
+            }
+            pivot[j] = jp;
+
+            if (a[jp][j] == 0.0) { return 1; }
+
+            if (jp != j) {
+                double[] tmp = a[j];
+                a[j] = a[jp];
+                a[jp] = tmp;
+            }
+
+            if (j < m - 1) {
+                double recp = 1.0 / a[j][j];
+                for (int k = j + 1; k < m; k++) { a[k][j] = a[k][j] * recp; }
+            }
+
+            if (j < minMN - 1) {
+                for (int ii = j + 1; ii < m; ii++) {
+                    double[] aii = a[ii];
+                    double[] aj = a[j];
+                    double aiij = aii[j];
+                    for (int jj = j + 1; jj < n; jj++) {
+                        aii[jj] = aii[jj] - aiij * aj[jj];
+                    }
+                }
+            }
+        }
+        return 0;
+    }
+
+    static void Main() {
+        int n = Params.N;
+        int reps = Params.Reps;
+        SciRandom rng = new SciRandom(Params.Seed);
+
+        double[][] a = new double[n][];
+        for (int i = 0; i < n; i++) {
+            a[i] = new double[n];
+            rng.FillVector(a[i]);
+        }
+        double[][] lu = new double[n][];
+        for (int i = 0; i < n; i++) { lu[i] = new double[n]; }
+        int[] pivot = new int[n];
+
+        long flops = (long)((2.0 * (double)n * (double)n * (double)n) / 3.0) * (long)reps;
+        int failed = 0;
+        Bench.Start("SciMark:LU");
+        for (int r = 0; r < reps; r++) {
+            for (int i = 0; i < n; i++) {
+                double[] src = a[i];
+                double[] dst = lu[i];
+                for (int j = 0; j < n; j++) { dst[j] = src[j]; }
+            }
+            failed += Factor(lu, pivot);
+        }
+        Bench.Stop("SciMark:LU");
+        Bench.Flops("SciMark:LU", flops);
+        if (failed != 0) { Bench.Fail("LU hit a zero pivot"); }
+
+        double checksum = 0.0;
+        for (int i = 0; i < n; i++) {
+            for (int j = 0; j < n; j++) { checksum += lu[i][j]; }
+            checksum += pivot[i];
+        }
+        Bench.Result("SciMark:LU", checksum);
+    }
+}
+"""
+
+LU = register(
+    Benchmark(
+        name="scimark.lu",
+        suite="scimark",
+        description="dense LU factorization with partial pivoting, SciMark 2.0 port",
+        source=SOURCE,
+        params={"N": 24, "Reps": 1, "Seed": RANDOM_SEED},
+        paper_params={"N": 100, "Reps": "timed; 1000 (large)", "Seed": RANDOM_SEED},
+        sections=("SciMark:LU",),
+    )
+)

@@ -1,0 +1,52 @@
+"""SciMark MonteCarlo — Table 4: "approximates the value of Pi by computing
+the integral of the quarter circle [...] exercises random-number
+generators, synchronized function calls, and function inlining."
+
+Uses the *synchronized* ``NextDoubleSync`` exactly like the Java original —
+the paper's section 5 points out the C baseline has no such locking, which
+is why its MonteCarlo column is anomalously fast; our native profile's
+near-free monitors reproduce that from identical IL.
+Flops = 4 * samples (SciMark's accounting).
+"""
+
+from ..registry import Benchmark, register
+from .common import RANDOM_SEED, SCI_RANDOM_SOURCE
+
+SOURCE = SCI_RANDOM_SOURCE + """
+class MonteCarlo {
+    static double Integrate(int numSamples, int seed) {
+        SciRandom rng = new SciRandom(seed);
+        int underCurve = 0;
+        for (int count = 0; count < numSamples; count++) {
+            double x = rng.NextDoubleSync();
+            double y = rng.NextDoubleSync();
+            if (x * x + y * y <= 1.0) { underCurve = underCurve + 1; }
+        }
+        return ((double)underCurve / (double)numSamples) * 4.0;
+    }
+
+    static void Main() {
+        int samples = Params.Samples;
+        long flops = (long)samples * 4L;
+
+        Bench.Start("SciMark:MonteCarlo");
+        double pi = Integrate(samples, Params.Seed);
+        Bench.Stop("SciMark:MonteCarlo");
+        Bench.Flops("SciMark:MonteCarlo", flops);
+        Bench.Result("SciMark:MonteCarlo", pi);
+        if (pi < 2.0 || pi > 4.0) { Bench.Fail("MonteCarlo pi out of range"); }
+    }
+}
+"""
+
+MONTECARLO = register(
+    Benchmark(
+        name="scimark.montecarlo",
+        suite="scimark",
+        description="Monte Carlo pi with synchronized RNG, SciMark 2.0 port",
+        source=SOURCE,
+        params={"Samples": 2000, "Seed": RANDOM_SEED},
+        paper_params={"Samples": "timed loop", "Seed": RANDOM_SEED},
+        sections=("SciMark:MonteCarlo",),
+    )
+)

@@ -1,0 +1,76 @@
+"""Parallel MonteCarlo — the paper's section 3.4 "parallel versions ...
+for shared memory" extension, applied to the kernel the paper singles out
+as "mainly a test of the access to synchronized methods".
+
+``Threads`` workers draw (x, y) pairs from ONE shared SciRandom whose draw
+is a synchronized critical section, so the kernel measures monitor
+contention scaling.  Each pair is drawn atomically inside the lock, which
+makes the total under-curve count independent of thread interleaving —
+results stay identical across runtime profiles (the harness invariant).
+"""
+
+from ..registry import Benchmark, register
+from .common import RANDOM_SEED, SCI_RANDOM_SOURCE
+
+SOURCE = SCI_RANDOM_SOURCE + """
+class McWorker {
+    SciRandom rng;
+    int samples;
+    int under;
+
+    virtual void Run() {
+        int hits = 0;
+        for (int count = 0; count < samples; count++) {
+            double x;
+            double y;
+            lock (rng) {
+                x = rng.NextDouble();
+                y = rng.NextDouble();
+            }
+            if (x * x + y * y <= 1.0) { hits = hits + 1; }
+        }
+        under = hits;
+    }
+}
+
+class MonteCarloMT {
+    static void Main() {
+        int threads = Params.Threads;
+        int samplesPerThread = Params.Samples / threads;
+        SciRandom shared = new SciRandom(Params.Seed);
+
+        McWorker[] ws = new McWorker[threads];
+        int[] tids = new int[threads];
+        for (int i = 0; i < threads; i++) {
+            ws[i] = new McWorker();
+            ws[i].rng = shared;
+            ws[i].samples = samplesPerThread;
+            tids[i] = Thread.Create(ws[i]);
+        }
+        long total = (long)samplesPerThread * (long)threads;
+        Bench.Start("SciMark:MonteCarloMT");
+        for (int i = 0; i < threads; i++) { Thread.Start(tids[i]); }
+        for (int i = 0; i < threads; i++) { Thread.Join(tids[i]); }
+        Bench.Stop("SciMark:MonteCarloMT");
+        Bench.Flops("SciMark:MonteCarloMT", total * 4L);
+
+        int under = 0;
+        for (int i = 0; i < threads; i++) { under = under + ws[i].under; }
+        double pi = ((double)under / (double)total) * 4.0;
+        Bench.Result("SciMark:MonteCarloMT", pi);
+        if (pi < 2.0 || pi > 4.0) { Bench.Fail("parallel MC pi out of range"); }
+    }
+}
+"""
+
+MONTECARLO_MT = register(
+    Benchmark(
+        name="scimark.montecarlo_mt",
+        suite="scimark-parallel",
+        description="shared-memory parallel Monte Carlo over one synchronized RNG",
+        source=SOURCE,
+        params={"Samples": 1600, "Threads": 4, "Seed": RANDOM_SEED},
+        paper_params={"Samples": "timed", "Threads": 2, "Seed": RANDOM_SEED},
+        sections=("SciMark:MonteCarloMT",),
+    )
+)

@@ -1,0 +1,70 @@
+"""SciMark SOR — Table 4: "Jacobi Successive Over-relaxation on a NxN grid
+[...] exercises typical access patterns in finite difference applications".
+
+Port of SciMark 2.0 SOR.java over a jagged grid (G[i][j]), omega = 1.25;
+flops = (N-1)(N-1) * iterations * 6.
+"""
+
+from ..registry import Benchmark, register
+from .common import RANDOM_SEED, SCI_RANDOM_SOURCE
+
+SOURCE = SCI_RANDOM_SOURCE + """
+class SOR {
+    static void Execute(double omega, double[][] g, int num_iterations) {
+        int m = g.Length;
+        int n = g[0].Length;
+        double omega_over_four = omega * 0.25;
+        double one_minus_omega = 1.0 - omega;
+        int mm1 = m - 1;
+        int nm1 = n - 1;
+        for (int p = 0; p < num_iterations; p++) {
+            for (int i = 1; i < mm1; i++) {
+                double[] gi = g[i];
+                double[] gim1 = g[i - 1];
+                double[] gip1 = g[i + 1];
+                for (int j = 1; j < nm1; j++) {
+                    gi[j] = omega_over_four
+                        * (gim1[j] + gip1[j] + gi[j - 1] + gi[j + 1])
+                        + one_minus_omega * gi[j];
+                }
+            }
+        }
+    }
+
+    static void Main() {
+        int n = Params.N;
+        int iters = Params.Iters;
+        SciRandom rng = new SciRandom(Params.Seed);
+        double[][] g = new double[n][];
+        for (int i = 0; i < n; i++) {
+            g[i] = new double[n];
+            for (int j = 0; j < n; j++) { g[i][j] = rng.NextDouble() * 1.0e-6; }
+        }
+
+        long flops = (long)(n - 1) * (long)(n - 1) * (long)iters * 6L;
+        Bench.Start("SciMark:SOR");
+        Execute(1.25, g, iters);
+        Bench.Stop("SciMark:SOR");
+        Bench.Flops("SciMark:SOR", flops);
+
+        double checksum = 0.0;
+        for (int i = 0; i < n; i++) {
+            for (int j = 0; j < n; j++) { checksum += g[i][j]; }
+        }
+        Bench.Result("SciMark:SOR", checksum);
+        if (checksum != checksum) { Bench.Fail("SOR produced NaN"); }
+    }
+}
+"""
+
+SOR = register(
+    Benchmark(
+        name="scimark.sor",
+        suite="scimark",
+        description="Jacobi successive over-relaxation, SciMark 2.0 port",
+        source=SOURCE,
+        params={"N": 24, "Iters": 4, "Seed": RANDOM_SEED},
+        paper_params={"N": 100, "Iters": "many (small); 1000 grid (large)", "Seed": RANDOM_SEED},
+        sections=("SciMark:SOR",),
+    )
+)

@@ -1,0 +1,118 @@
+"""Barrier — Table 2: "Two types of barriers have been implemented: the
+Simple Barrier uses a shared counter, while the Tournament Barrier uses a
+lock-free [...] tree algorithm" (multithreaded Java Grande 1.0 section 1).
+
+ops/sec = barrier crossings * threads / elapsed.
+"""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class SimpleBarrier {
+    int parties;
+    int count;
+    int generation;
+
+    SimpleBarrier(int n) { parties = n; }
+
+    void Pass() {
+        lock (this) {
+            int gen = generation;
+            count = count + 1;
+            if (count == parties) {
+                count = 0;
+                generation = generation + 1;
+                Monitor.PulseAll(this);
+            } else {
+                while (generation == gen) { Monitor.Wait(this); }
+            }
+        }
+    }
+}
+
+class TournamentBarrier {
+    // lock-free: each thread spins on a flag array written by its peers;
+    // rounds form a log2(n) tree
+    int parties;
+    int rounds;
+    int[] flags;   // flags[round * parties + id] = generation counter
+
+    TournamentBarrier(int n) {
+        parties = n;
+        rounds = 0;
+        int x = 1;
+        while (x < n) { x = x * 2; rounds = rounds + 1; }
+        flags = new int[(rounds + 1) * n];
+    }
+
+    void Pass(int id, int gen) {
+        int stride = 1;
+        for (int r = 0; r < rounds; r++) {
+            int partner = id ^ stride;
+            flags[r * parties + id] = gen;
+            if (partner < parties) {
+                while (flags[r * parties + partner] < gen) { Thread.Yield(); }
+            }
+            stride = stride * 2;
+        }
+    }
+}
+
+class BarrierWorker {
+    SimpleBarrier simple;
+    TournamentBarrier tournament;
+    int id;
+    int crossings;
+    bool useSimple;
+
+    virtual void Run() {
+        if (useSimple) {
+            for (int i = 0; i < crossings; i++) { simple.Pass(); }
+        } else {
+            for (int i = 1; i <= crossings; i++) { tournament.Pass(id, i); }
+        }
+    }
+}
+
+class BarrierBench {
+    static void RunOne(string section, bool useSimple, int threads, int crossings) {
+        SimpleBarrier sb = new SimpleBarrier(threads);
+        TournamentBarrier tb = new TournamentBarrier(threads);
+        BarrierWorker[] ws = new BarrierWorker[threads];
+        int[] tids = new int[threads];
+        for (int i = 0; i < threads; i++) {
+            ws[i] = new BarrierWorker();
+            ws[i].simple = sb;
+            ws[i].tournament = tb;
+            ws[i].id = i;
+            ws[i].crossings = crossings;
+            ws[i].useSimple = useSimple;
+            tids[i] = Thread.Create(ws[i]);
+        }
+        Bench.Start(section);
+        for (int i = 0; i < threads; i++) { Thread.Start(tids[i]); }
+        for (int i = 0; i < threads; i++) { Thread.Join(tids[i]); }
+        Bench.Stop(section);
+        Bench.Ops(section, (long)crossings * (long)threads);
+    }
+
+    static void Main() {
+        RunOne("Barrier:Simple", true, Params.Threads, Params.Crossings);
+        RunOne("Barrier:Tournament", false, Params.Threads, Params.Crossings);
+    }
+}
+"""
+
+SECTIONS = ("Barrier:Simple", "Barrier:Tournament")
+
+BARRIER = register(
+    Benchmark(
+        name="threads.barrier",
+        suite="jg1-mt-section1",
+        description="simple (monitor) vs tournament (lock-free) barrier",
+        source=SOURCE,
+        params={"Threads": 4, "Crossings": 20},
+        paper_params={"Threads": 2, "Crossings": 100_000},
+        sections=SECTIONS,
+    )
+)

@@ -1,0 +1,42 @@
+"""ForkJoin — Table 2: "measures the performance of creating and joining
+threads" (multithreaded Java Grande 1.0 section 1)."""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class NullWork {
+    virtual void Run() { }
+}
+class ForkJoinBench {
+    static void Main() {
+        int reps = Params.Reps;
+        int threads = Params.Threads;
+        int[] tids = new int[threads];
+        NullWork[] ws = new NullWork[threads];
+
+        Bench.Start("ForkJoin");
+        for (int r = 0; r < reps; r++) {
+            for (int i = 0; i < threads; i++) {
+                ws[i] = new NullWork();
+                tids[i] = Thread.Create(ws[i]);
+                Thread.Start(tids[i]);
+            }
+            for (int i = 0; i < threads; i++) { Thread.Join(tids[i]); }
+        }
+        Bench.Stop("ForkJoin");
+        Bench.Ops("ForkJoin", (long)reps * (long)threads);
+    }
+}
+"""
+
+FORKJOIN = register(
+    Benchmark(
+        name="threads.forkjoin",
+        suite="jg1-mt-section1",
+        description="thread create+start+join throughput",
+        source=SOURCE,
+        params={"Reps": 8, "Threads": 4},
+        paper_params={"Reps": 1000, "Threads": 8},
+        sections=("ForkJoin",),
+    )
+)

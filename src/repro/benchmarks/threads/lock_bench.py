@@ -1,0 +1,71 @@
+"""Lock — Table 3: "Tests the use of locking primitives under different
+contention scenarios" (CLI-specific micro suite).
+
+Uncontended enter/exit, reentrant (nested) acquisition, and 2-thread
+contended ping-pong.
+"""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class LockTarget { int hits; }
+
+class Contender {
+    LockTarget target;
+    int reps;
+    virtual void Run() {
+        for (int i = 0; i < reps; i++) {
+            lock (target) { target.hits = target.hits + 1; }
+            Thread.Yield();
+        }
+    }
+}
+
+class LockBench {
+    static void Main() {
+        int reps = Params.Reps;
+        LockTarget t = new LockTarget();
+
+        Bench.Start("Lock:Uncontended");
+        for (int i = 0; i < reps; i++) {
+            lock (t) { t.hits = t.hits + 1; }
+        }
+        Bench.Stop("Lock:Uncontended");
+        Bench.Ops("Lock:Uncontended", (long)reps);
+
+        Bench.Start("Lock:Reentrant");
+        for (int i = 0; i < reps; i++) {
+            lock (t) { lock (t) { lock (t) { t.hits = t.hits + 1; } } }
+        }
+        Bench.Stop("Lock:Reentrant");
+        Bench.Ops("Lock:Reentrant", (long)reps * 3L);
+
+        int contendedReps = Params.ContendedReps;
+        LockTarget shared = new LockTarget();
+        Contender a = new Contender(); a.target = shared; a.reps = contendedReps;
+        Contender b = new Contender(); b.target = shared; b.reps = contendedReps;
+        int ta = Thread.Create(a);
+        int tb = Thread.Create(b);
+        Bench.Start("Lock:Contended");
+        Thread.Start(ta);
+        Thread.Start(tb);
+        Thread.Join(ta);
+        Thread.Join(tb);
+        Bench.Stop("Lock:Contended");
+        Bench.Ops("Lock:Contended", (long)contendedReps * 2L);
+        if (shared.hits != contendedReps * 2) { Bench.Fail("Lock:Contended lost updates"); }
+    }
+}
+"""
+
+LOCK = register(
+    Benchmark(
+        name="threads.lock",
+        suite="cli-specific",
+        description="monitor cost: uncontended / reentrant / contended",
+        source=SOURCE,
+        params={"Reps": 400, "ContendedReps": 100},
+        paper_params={"Reps": 1_000_000, "ContendedReps": 100_000},
+        sections=("Lock:Uncontended", "Lock:Reentrant", "Lock:Contended"),
+    )
+)

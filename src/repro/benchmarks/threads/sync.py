@@ -1,0 +1,79 @@
+"""Synchronization — Table 2: "measures the performance of synchronized
+methods and synchronized blocks under contention" (mt JG 1.0 section 1).
+
+A synchronized *method* locks ``this`` for its whole body; a synchronized
+*block* locks only the update; both are contended by ``Threads`` workers.
+"""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class SyncCounter {
+    int value;
+
+    // C# has no 'synchronized' keyword: method-style locks the whole body
+    void AddMethod(int k) {
+        lock (this) {
+            int v = value;
+            v = v + k;
+            value = v;
+        }
+    }
+
+    void AddBlock(int k) {
+        int delta = k * 2 - k;   // unsynchronized preamble
+        lock (this) { value = value + delta; }
+    }
+}
+
+class SyncWorker {
+    SyncCounter target;
+    int reps;
+    bool methodStyle;
+
+    virtual void Run() {
+        if (methodStyle) {
+            for (int i = 0; i < reps; i++) { target.AddMethod(1); }
+        } else {
+            for (int i = 0; i < reps; i++) { target.AddBlock(1); }
+        }
+    }
+}
+
+class SyncBench {
+    static void RunOne(string section, bool methodStyle, int threads, int reps) {
+        SyncCounter counter = new SyncCounter();
+        int[] tids = new int[threads];
+        for (int i = 0; i < threads; i++) {
+            SyncWorker w = new SyncWorker();
+            w.target = counter;
+            w.reps = reps;
+            w.methodStyle = methodStyle;
+            tids[i] = Thread.Create(w);
+        }
+        Bench.Start(section);
+        for (int i = 0; i < threads; i++) { Thread.Start(tids[i]); }
+        for (int i = 0; i < threads; i++) { Thread.Join(tids[i]); }
+        Bench.Stop(section);
+        Bench.Ops(section, (long)threads * (long)reps);
+        if (counter.value != threads * reps) { Bench.Fail(section + " lost updates"); }
+    }
+
+    static void Main() {
+        RunOne("Sync:Method", true, Params.Threads, Params.Reps);
+        RunOne("Sync:Block", false, Params.Threads, Params.Reps);
+    }
+}
+"""
+
+SYNC = register(
+    Benchmark(
+        name="threads.sync",
+        suite="jg1-mt-section1",
+        description="synchronized method vs block under contention",
+        source=SOURCE,
+        params={"Threads": 4, "Reps": 60},
+        paper_params={"Threads": 4, "Reps": 100_000},
+        sections=("Sync:Method", "Sync:Block"),
+    )
+)

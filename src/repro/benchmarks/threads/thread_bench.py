@@ -1,0 +1,39 @@
+"""Thread — Table 3: "Measures the startup costs of using additional
+threads" (CLI-specific micro suite)."""
+
+from ..registry import Benchmark, register
+
+SOURCE = """
+class TinyWork {
+    int done;
+    virtual void Run() { done = 1; }
+}
+class ThreadBench {
+    static void Main() {
+        int reps = Params.Reps;
+
+        Bench.Start("Thread:StartJoin");
+        for (int i = 0; i < reps; i++) {
+            TinyWork w = new TinyWork();
+            int tid = Thread.Create(w);
+            Thread.Start(tid);
+            Thread.Join(tid);
+            if (w.done != 1) { Bench.Fail("thread did not run"); }
+        }
+        Bench.Stop("Thread:StartJoin");
+        Bench.Ops("Thread:StartJoin", (long)reps);
+    }
+}
+"""
+
+THREAD = register(
+    Benchmark(
+        name="threads.thread",
+        suite="cli-specific",
+        description="thread startup (create+start+join) cost",
+        source=SOURCE,
+        params={"Reps": 20},
+        paper_params={"Reps": 10_000},
+        sections=("Thread:StartJoin",),
+    )
+)

@@ -1,0 +1,336 @@
+"""Textual IL assembler — parses the disassembler's output format back into
+an executable :class:`~repro.cil.metadata.Assembly`.
+
+Together with :mod:`repro.cil.disassembler` this closes the loop on the
+self-describing-image design rule: ``assemble(disassemble(asm))`` is an
+equivalent assembly (verified by round-trip tests), and hand-written IL can
+be fed straight to the execution engines — handy for JIT pass tests that
+need instruction sequences csc-style codegen would never emit.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AssembleError
+from . import cts, opcodes as op
+from .instructions import CATCH, FINALLY, ExceptionRegion, FieldRef, Instruction, MethodRef
+from .metadata import Assembly, ClassDef, FieldDef, LocalVar, MethodDef
+
+def _split_commas(text: str) -> List[str]:
+    """Split on top-level commas (commas inside [..] belong to array ranks)."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [p for p in (piece.strip() for piece in parts) if p]
+
+
+_IL_LABEL = re.compile(r"^IL_([0-9a-fA-F]{4}):\s*(\S+)\s*(.*)$")
+_METHOD_SIG = re.compile(
+    r"^(?P<inst>instance\s+)?(?P<ret>\S+)\s+(?P<cls>[\w.$<>]+)::(?P<name>[\w.$<>]+)"
+    r"\((?P<params>.*)\)$"
+)
+
+
+def _parse_type(text: str):
+    text = text.strip()
+    rank_suffixes: List[int] = []
+    while text.endswith("]"):
+        open_idx = text.rindex("[")
+        inner = text[open_idx + 1 : -1]
+        if inner.strip(",") != "":
+            raise AssembleError(f"bad array suffix in type {text!r}")
+        rank_suffixes.append(inner.count(",") + 1)
+        text = text[:open_idx]
+    base = cts.BY_NAME.get(text)
+    if base is None:
+        base = cts.named(text)
+    for rank in reversed(rank_suffixes):
+        base = cts.array_of(base, rank)
+    return base
+
+
+def _parse_method_ref(text: str) -> MethodRef:
+    m = _METHOD_SIG.match(text.strip())
+    if m is None:
+        raise AssembleError(f"bad method signature {text!r}")
+    params_text = m.group("params").strip()
+    params: Tuple = ()
+    if params_text:
+        # parameter lists may carry names ("int32 x") or be bare types
+        types = []
+        for part in _split_commas(params_text):
+            tokens = part.split()
+            types.append(_parse_type(tokens[0]))
+        params = tuple(types)
+    return MethodRef(
+        class_name=m.group("cls"),
+        name=m.group("name"),
+        param_types=params,
+        return_type=_parse_type(m.group("ret")),
+        is_static=m.group("inst") is None,
+    )
+
+
+def _parse_field_ref(text: str, is_static: bool) -> FieldRef:
+    parts = text.strip().split(None, 1)
+    if len(parts) != 2 or "::" not in parts[1]:
+        raise AssembleError(f"bad field reference {text!r}")
+    ftype = _parse_type(parts[0])
+    cls, _, name = parts[1].partition("::")
+    return FieldRef(cls, name, ftype, is_static=is_static)
+
+
+def _parse_operand(info: op.OpInfo, text: str, opcode: int):
+    text = text.strip()
+    kind = info.operand
+    if kind == "none":
+        if text:
+            raise AssembleError(f"{info.mnemonic}: unexpected operand {text!r}")
+        return None
+    if not text:
+        raise AssembleError(f"{info.mnemonic}: missing operand")
+    if kind in ("i4", "i8"):
+        value = int(text, 0)
+        if kind == "i4" and value >= 2**31:
+            value -= 2**32
+        if kind == "i8" and value >= 2**63:
+            value -= 2**64
+        return value
+    if kind in ("r4", "r8"):
+        return float(text)
+    if kind == "str":
+        if not (text.startswith('"') and text.endswith('"')):
+            raise AssembleError(f"bad string literal {text!r}")
+        return text[1:-1].replace('\\"', '"')
+    if kind in ("local", "arg"):
+        return int(text)
+    if kind == "field":
+        return _parse_field_ref(text, is_static=opcode in (op.LDSFLD, op.STSFLD))
+    if kind == "method":
+        return _parse_method_ref(text)
+    if kind == "type":
+        return _parse_type(text)
+    if kind == "typerank":
+        t = _parse_type(text)
+        if not t.is_array:
+            raise AssembleError(f"{info.mnemonic}: expected array type, got {text!r}")
+        return (t.element, t.rank)
+    if kind == "target":
+        m = re.match(r"^IL_([0-9a-fA-F]{4})$", text)
+        if m is None:
+            raise AssembleError(f"bad branch target {text!r}")
+        return int(m.group(1), 16)
+    if kind == "switch":
+        inner = text.strip("()")
+        targets = []
+        for piece in inner.split(","):
+            piece = piece.strip()
+            m = re.match(r"^IL_([0-9a-fA-F]{4})$", piece)
+            if m is None:
+                raise AssembleError(f"bad switch target {piece!r}")
+            targets.append(int(m.group(1), 16))
+        return targets
+    raise AssembleError(f"unhandled operand kind {kind}")  # pragma: no cover
+
+
+class Assembler:
+    def __init__(self, source: str) -> None:
+        self.lines = [line.rstrip() for line in source.splitlines()]
+        self.pos = 0
+        self.assembly: Optional[Assembly] = None
+        self._entry: Optional[Tuple[str, str]] = None
+
+    def error(self, message: str) -> AssembleError:
+        return AssembleError(f"line {self.pos + 1}: {message}")
+
+    def _next_significant(self) -> Optional[str]:
+        while self.pos < len(self.lines):
+            line = self.lines[self.pos].strip()
+            if line and not line.startswith(";"):
+                return line
+            self.pos += 1
+        return None
+
+    def parse(self) -> Assembly:
+        line = self._next_significant()
+        if line is None or not line.startswith(".assembly"):
+            raise self.error("expected .assembly header")
+        self.assembly = Assembly(line.split(None, 1)[1].strip())
+        self.pos += 1
+        while True:
+            line = self._next_significant()
+            if line is None:
+                break
+            if line.startswith(".entrypoint"):
+                target = line.split(None, 1)[1].strip()
+                cls, _, name = target.partition("::")
+                self._entry = (cls, name)
+                self.pos += 1
+            elif line.startswith((".class", ".struct")):
+                self._parse_class(line)
+            else:
+                raise self.error(f"unexpected line {line!r}")
+        if self._entry is not None:
+            self.assembly.set_entry_point(*self._entry)
+        return self.assembly
+
+    def _parse_class(self, header: str) -> None:
+        is_struct = header.startswith(".struct")
+        rest = header.split(None, 1)[1]
+        base = None
+        if " extends " in rest:
+            name, base = (s.strip() for s in rest.split(" extends ", 1))
+        else:
+            name = rest.strip()
+        cls = ClassDef(name=name, base_name=base, is_value_type=is_struct)
+        self.assembly.add_class(cls)
+        self.pos += 1
+        if (self._next_significant() or "") != "{":
+            raise self.error("expected '{' after class header")
+        self.pos += 1
+        while True:
+            line = self._next_significant()
+            if line is None:
+                raise self.error("unterminated class body")
+            if line == "}":
+                self.pos += 1
+                return
+            if line.startswith(".field"):
+                self._parse_field(cls, line)
+            elif line.startswith(".method"):
+                self._parse_method(cls, line)
+            else:
+                raise self.error(f"unexpected class member {line!r}")
+
+    def _parse_field(self, cls: ClassDef, line: str) -> None:
+        rest = line[len(".field"):].strip()
+        is_static = rest.startswith(".static")
+        if is_static:
+            rest = rest[len(".static"):].strip()
+        parts = rest.split()
+        if len(parts) != 2:
+            raise self.error(f"bad field declaration {line!r}")
+        cls.add_field(FieldDef(parts[1], _parse_type(parts[0]), is_static))
+        self.pos += 1
+
+    def _parse_method(self, cls: ClassDef, header: str) -> None:
+        rest = header[len(".method"):].strip()
+        is_static = False
+        is_virtual = False
+        is_override = False
+        while True:
+            if rest.startswith("static "):
+                is_static = True
+                rest = rest[7:]
+            elif rest.startswith("virtual "):
+                is_virtual = True
+                rest = rest[8:]
+            elif rest.startswith("override "):
+                is_override = True
+                rest = rest[9:]
+            else:
+                break
+        sig = _parse_method_ref(("" if is_static else "instance ") + rest)
+        if sig.class_name != cls.name:
+            raise self.error(
+                f"method declared on {sig.class_name!r} inside class {cls.name!r}"
+            )
+        # recover declared parameter names ("int32 x, float64 y")
+        params_text = rest[rest.index("(") + 1 : rest.rindex(")")].strip()
+        param_names: List[str] = []
+        for i, part in enumerate(_split_commas(params_text)):
+            tokens = part.split()
+            param_names.append(tokens[1] if len(tokens) > 1 else f"a{i}")
+        method = MethodDef(
+            name=sig.name,
+            param_types=list(sig.param_types),
+            param_names=param_names,
+            return_type=sig.return_type,
+            is_static=is_static,
+            is_virtual=is_virtual,
+            is_override=is_override,
+            is_ctor=sig.name == ".ctor",
+        )
+        self.pos += 1
+        if (self._next_significant() or "") != "{":
+            raise self.error("expected '{' after method header")
+        self.pos += 1
+
+        body: List[Instruction] = []
+        regions: List[ExceptionRegion] = []
+        while True:
+            line = self._next_significant()
+            if line is None:
+                raise self.error("unterminated method body")
+            if line == "}":
+                self.pos += 1
+                break
+            if line.startswith(".maxstack"):
+                method.max_stack = int(line.split()[1])
+            elif line.startswith(".locals"):
+                inner = line[len(".locals"):].strip().strip("()")
+                for decl in _split_commas(inner):
+                    t, _, n = decl.partition(" ")
+                    method.locals.append(LocalVar(n.strip(), _parse_type(t)))
+            elif line.startswith(".try"):
+                regions.append(self._parse_region(line))
+            else:
+                m = _IL_LABEL.match(line)
+                if m is None:
+                    raise self.error(f"bad instruction line {line!r}")
+                index = int(m.group(1), 16)
+                if index != len(body):
+                    raise self.error(
+                        f"instruction offset IL_{index:04x} out of order "
+                        f"(expected IL_{len(body):04x})"
+                    )
+                mnemonic = m.group(2)
+                try:
+                    info = op.by_name(mnemonic)
+                except KeyError:
+                    raise self.error(f"unknown opcode {mnemonic!r}") from None
+                body.append(
+                    Instruction(info.code, _parse_operand(info, m.group(3), info.code))
+                )
+            self.pos += 1
+        method.body = body
+        method.regions = regions
+        cls.add_method(method)
+
+    _REGION = re.compile(
+        r"^\.try IL_([0-9a-fA-F]{4})\.\.IL_([0-9a-fA-F]{4}) (catch|finally)\s*(\S*)?"
+        r"\s*handler IL_([0-9a-fA-F]{4})\.\.IL_([0-9a-fA-F]{4})$"
+    )
+
+    def _parse_region(self, line: str) -> ExceptionRegion:
+        m = self._REGION.match(line.strip())
+        if m is None:
+            raise self.error(f"bad .try directive {line!r}")
+        kind = CATCH if m.group(3) == "catch" else FINALLY
+        return ExceptionRegion(
+            kind=kind,
+            try_start=int(m.group(1), 16),
+            try_end=int(m.group(2), 16),
+            handler_start=int(m.group(5), 16),
+            handler_end=int(m.group(6), 16),
+            catch_type=m.group(4) or None if kind == CATCH else None,
+        )
+
+
+def assemble(source: str) -> Assembly:
+    """Assemble textual IL (the disassembler's format) into an Assembly."""
+    return Assembler(source).parse()

@@ -1,0 +1,132 @@
+"""Instruction and operand reference objects.
+
+An :class:`Instruction` is a resolved (opcode, operand) pair; branch targets
+are integer instruction indices (the builder resolves labels).  Method and
+field operands are symbolic references resolved by the loader, mirroring
+metadata tokens in a real CIL image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from . import opcodes as op
+from .cts import CType
+
+
+@dataclass(frozen=True)
+class MethodRef:
+    """A symbolic reference to a method (a MemberRef token).
+
+    ``class_name`` of ``"System.Math"``/``"System.Console"`` etc. denote
+    intrinsic runtime classes handled by the VES directly.
+    """
+
+    class_name: str
+    name: str
+    param_types: Tuple[CType, ...]
+    return_type: CType
+    is_static: bool = True
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.class_name}::{self.name}"
+
+    def signature(self) -> str:
+        params = ", ".join(t.name for t in self.param_types)
+        prefix = "" if self.is_static else "instance "
+        return f"{prefix}{self.return_type.name} {self.full_name}({params})"
+
+    def __str__(self) -> str:
+        return self.signature()
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """A symbolic reference to a field."""
+
+    class_name: str
+    name: str
+    field_type: CType
+    is_static: bool = False
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.class_name}::{self.name}"
+
+    def __str__(self) -> str:
+        return f"{self.field_type.name} {self.full_name}"
+
+
+@dataclass
+class Instruction:
+    """One CIL instruction.
+
+    ``operand`` is ``None``, an int/float/str constant, a local/arg index,
+    a :class:`FieldRef`/:class:`MethodRef`, a :class:`~repro.cil.cts.CType`,
+    a ``(CType, rank)`` tuple, a branch-target index, or a list of targets
+    for ``switch``.
+    """
+
+    opcode: int
+    operand: object = None
+    #: source line from the front end, carried through for diagnostics
+    line: int = 0
+
+    @property
+    def mnemonic(self) -> str:
+        return op.mnemonic(self.opcode)
+
+    def __repr__(self) -> str:
+        if self.operand is None:
+            return self.mnemonic
+        return f"{self.mnemonic} {self.operand!r}"
+
+
+# Exception handler kinds
+CATCH = "catch"
+FINALLY = "finally"
+
+
+@dataclass
+class ExceptionRegion:
+    """A protected region and its handler (ECMA-335 II.25.4.6 subset).
+
+    All offsets are instruction indices; ``try_end``/``handler_end`` are
+    exclusive.  ``catch_type`` is the managed exception class name for
+    ``catch`` regions and ``None`` for ``finally``.
+    """
+
+    kind: str
+    try_start: int
+    try_end: int
+    handler_start: int
+    handler_end: int
+    catch_type: Optional[str] = None
+
+    def covers(self, index: int) -> bool:
+        return self.try_start <= index < self.try_end
+
+    def in_handler(self, index: int) -> bool:
+        return self.handler_start <= index < self.handler_end
+
+
+def successors(body: Sequence[Instruction], index: int) -> List[int]:
+    """Control-flow successors of instruction ``index`` within ``body``."""
+    instr = body[index]
+    code = instr.opcode
+    out: List[int] = []
+    if code in (op.BR, op.LEAVE):
+        out.append(instr.operand)
+    elif code in op.CONDITIONAL_BRANCHES:
+        out.append(instr.operand)
+        out.append(index + 1)
+    elif code == op.SWITCH:
+        out.extend(instr.operand)
+        out.append(index + 1)
+    elif code in (op.RET, op.THROW, op.RETHROW, op.ENDFINALLY):
+        pass
+    else:
+        out.append(index + 1)
+    return out

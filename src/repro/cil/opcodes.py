@@ -1,0 +1,169 @@
+"""CIL opcode definitions (ECMA-335 partition III subset).
+
+Opcodes are small integers for fast dispatch; ``OpInfo`` carries the static
+stack effect used by the verifier and max-stack computation.  A stack effect
+of ``None`` means the effect depends on the operand (calls, newobj, ...) and
+is computed by :mod:`repro.cil.verifier`.
+
+Deviations from ECMA-335, documented per DESIGN.md section 2:
+
+* ``ldelem``/``stelem`` take the element type as an operand rather than
+  having per-type encodings (matches the generic ``ldelem <token>`` form).
+* Multidimensional array access uses dedicated ``newarr_md``/``ldelem_md``/
+  ``stelem_md`` opcodes carrying ``(element_type, rank)`` instead of the
+  pseudo-method calls (``Get``/``Set``/``.ctor``) real CIL emits; the JIT
+  treats them exactly like the CLR treats those pseudo-methods.
+* ``struct_copy`` makes value-type copy semantics explicit (real CIL uses a
+  combination of ``ldobj``/``stobj``/``cpobj``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    code: int
+    mnemonic: str
+    #: number of values popped from the evaluation stack (None => dynamic)
+    pops: Optional[int]
+    #: number of values pushed (None => dynamic)
+    pushes: Optional[int]
+    #: operand kind: none|i4|i8|r4|r8|str|local|arg|field|method|type|target|
+    #: switch|typerank
+    operand: str
+
+
+_ops: Dict[int, OpInfo] = {}
+_by_name: Dict[str, OpInfo] = {}
+_next = [0]
+
+
+def _op(mnemonic: str, pops: Optional[int], pushes: Optional[int], operand: str = "none") -> int:
+    code = _next[0]
+    _next[0] += 1
+    info = OpInfo(code, mnemonic, pops, pushes, operand)
+    _ops[code] = info
+    _by_name[mnemonic] = info
+    return code
+
+
+# --- constants -----------------------------------------------------------
+NOP = _op("nop", 0, 0)
+LDC_I4 = _op("ldc.i4", 0, 1, "i4")
+LDC_I8 = _op("ldc.i8", 0, 1, "i8")
+LDC_R4 = _op("ldc.r4", 0, 1, "r4")
+LDC_R8 = _op("ldc.r8", 0, 1, "r8")
+LDSTR = _op("ldstr", 0, 1, "str")
+LDNULL = _op("ldnull", 0, 1)
+
+# --- locals / arguments --------------------------------------------------
+LDLOC = _op("ldloc", 0, 1, "local")
+STLOC = _op("stloc", 1, 0, "local")
+LDARG = _op("ldarg", 0, 1, "arg")
+STARG = _op("starg", 1, 0, "arg")
+
+# --- fields --------------------------------------------------------------
+LDFLD = _op("ldfld", 1, 1, "field")
+STFLD = _op("stfld", 2, 0, "field")
+LDSFLD = _op("ldsfld", 0, 1, "field")
+STSFLD = _op("stsfld", 1, 0, "field")
+
+# --- arrays --------------------------------------------------------------
+NEWARR = _op("newarr", 1, 1, "type")
+LDLEN = _op("ldlen", 1, 1)
+LDELEM = _op("ldelem", 2, 1, "type")
+STELEM = _op("stelem", 3, 0, "type")
+NEWARR_MD = _op("newarr.md", None, 1, "typerank")
+LDELEM_MD = _op("ldelem.md", None, 1, "typerank")
+STELEM_MD = _op("stelem.md", None, 0, "typerank")
+
+# --- arithmetic / logic --------------------------------------------------
+ADD = _op("add", 2, 1)
+SUB = _op("sub", 2, 1)
+MUL = _op("mul", 2, 1)
+DIV = _op("div", 2, 1)
+REM = _op("rem", 2, 1)
+NEG = _op("neg", 1, 1)
+AND = _op("and", 2, 1)
+OR = _op("or", 2, 1)
+XOR = _op("xor", 2, 1)
+NOT = _op("not", 1, 1)
+SHL = _op("shl", 2, 1)
+SHR = _op("shr", 2, 1)
+SHR_UN = _op("shr.un", 2, 1)
+
+# --- comparison ----------------------------------------------------------
+CEQ = _op("ceq", 2, 1)
+CGT = _op("cgt", 2, 1)
+CLT = _op("clt", 2, 1)
+
+# --- conversions ---------------------------------------------------------
+CONV_I1 = _op("conv.i1", 1, 1)
+CONV_U1 = _op("conv.u1", 1, 1)
+CONV_I2 = _op("conv.i2", 1, 1)
+CONV_U2 = _op("conv.u2", 1, 1)
+CONV_I4 = _op("conv.i4", 1, 1)
+CONV_I8 = _op("conv.i8", 1, 1)
+CONV_R4 = _op("conv.r4", 1, 1)
+CONV_R8 = _op("conv.r8", 1, 1)
+
+# --- control flow --------------------------------------------------------
+BR = _op("br", 0, 0, "target")
+BRTRUE = _op("brtrue", 1, 0, "target")
+BRFALSE = _op("brfalse", 1, 0, "target")
+BEQ = _op("beq", 2, 0, "target")
+BNE = _op("bne.un", 2, 0, "target")
+BGE = _op("bge", 2, 0, "target")
+BGT = _op("bgt", 2, 0, "target")
+BLE = _op("ble", 2, 0, "target")
+BLT = _op("blt", 2, 0, "target")
+SWITCH = _op("switch", 1, 0, "switch")
+RET = _op("ret", None, 0)
+
+# --- calls / objects -----------------------------------------------------
+CALL = _op("call", None, None, "method")
+CALLVIRT = _op("callvirt", None, None, "method")
+NEWOBJ = _op("newobj", None, 1, "method")
+BOX = _op("box", 1, 1, "type")
+UNBOX = _op("unbox", 1, 1, "type")
+CASTCLASS = _op("castclass", 1, 1, "type")
+ISINST = _op("isinst", 1, 1, "type")
+DUP = _op("dup", 1, 2)
+POP = _op("pop", 1, 0)
+STRUCT_COPY = _op("struct.copy", 1, 1, "type")
+
+# --- exceptions ----------------------------------------------------------
+THROW = _op("throw", 1, 0)
+RETHROW = _op("rethrow", 0, 0)
+LEAVE = _op("leave", 0, 0, "target")
+ENDFINALLY = _op("endfinally", 0, 0)
+
+
+def info(code: int) -> OpInfo:
+    """Look up :class:`OpInfo` by opcode number."""
+    return _ops[code]
+
+
+def by_name(mnemonic: str) -> OpInfo:
+    """Look up :class:`OpInfo` by mnemonic (used by the IL assembler)."""
+    return _by_name[mnemonic]
+
+
+def mnemonic(code: int) -> str:
+    return _ops[code].mnemonic
+
+
+#: total number of defined opcodes (JIT lowering tables are sized from this)
+COUNT = _next[0]
+
+#: opcodes that unconditionally transfer control (end a basic block)
+UNCONDITIONAL_FLOW = frozenset({BR, RET, THROW, RETHROW, LEAVE, ENDFINALLY, SWITCH})
+
+#: opcodes that conditionally branch
+CONDITIONAL_BRANCHES = frozenset({BRTRUE, BRFALSE, BEQ, BNE, BGE, BGT, BLE, BLT})
+
+#: all opcodes with a branch-target operand
+BRANCHES = frozenset({BR, LEAVE}) | CONDITIONAL_BRANCHES

@@ -1,0 +1,238 @@
+"""Static stack-kind simulation.
+
+Both execution engines need to know, for every arithmetic/comparison/
+conversion instruction, which numeric kind it operates on (``i4``, ``i8``,
+``r4``, ``r8``) — the interpreter to apply the right wrapping semantics, the
+JIT to tag MIR instructions with their cost class.  Verified CIL guarantees
+consistent kinds at merge points, so one linear dataflow pass suffices.
+
+Results are memoised on the method object (``method._stack_kinds``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from . import cts, opcodes as op
+from .cts import CType
+from .instructions import MethodRef
+from .metadata import MethodDef
+
+# stack kinds
+I4, I8, R4, R8, REF = "i4", "i8", "r4", "r8", "ref"
+
+_KIND_OF_TYPE = {
+    "int8": I4, "uint8": I4, "int16": I4, "uint16": I4, "char": I4,
+    "bool": I4, "int32": I4, "int64": I8, "float32": R4, "float64": R8,
+}
+
+
+def kind_of(t: CType) -> str:
+    return _KIND_OF_TYPE.get(t.name, REF)
+
+
+_CONV_RESULT = {
+    op.CONV_I1: I4, op.CONV_U1: I4, op.CONV_I2: I4, op.CONV_U2: I4,
+    op.CONV_I4: I4, op.CONV_I8: I8, op.CONV_R4: R4, op.CONV_R8: R8,
+}
+
+_BINARY = frozenset({op.ADD, op.SUB, op.MUL, op.DIV, op.REM, op.AND, op.OR, op.XOR})
+_COMPARE = frozenset({op.CEQ, op.CGT, op.CLT})
+_CMP_BRANCH = frozenset({op.BEQ, op.BNE, op.BGE, op.BGT, op.BLE, op.BLT})
+
+
+def annotate(method: MethodDef) -> Dict[int, str]:
+    """Return (and cache) index -> operand-kind for kind-sensitive opcodes.
+
+    For binary/compare ops the kind is the (common) operand kind; for
+    conversions it is the *source* kind; for ``neg``/``not``/``shl``/``shr``
+    the single operand's kind; for ``ldc``s the literal kind.
+    """
+    cached = getattr(method, "_stack_kinds", None)
+    if cached is not None:
+        return cached
+
+    body = method.body
+    kinds: Dict[int, str] = {}
+    arg_types: List[CType] = []
+    if not method.is_static:
+        arg_types.append(cts.named(method.declaring_class))
+    arg_types.extend(method.param_types)
+
+    states: Dict[int, Tuple[str, ...]] = {0: ()}
+    work: List[int] = [0]
+    for region in method.regions:
+        entry: Tuple[str, ...] = (REF,) if region.kind == "catch" else ()
+        if region.handler_start not in states:
+            states[region.handler_start] = entry
+            work.append(region.handler_start)
+
+    while work:
+        index = work.pop()
+        stack = list(states[index])
+        instr = body[index]
+        code = instr.opcode
+        nexts: List[int] = [index + 1]
+
+        if code == op.LDC_I4:
+            stack.append(I4)
+            kinds[index] = I4
+        elif code == op.LDC_I8:
+            stack.append(I8)
+            kinds[index] = I8
+        elif code == op.LDC_R4:
+            stack.append(R4)
+            kinds[index] = R4
+        elif code == op.LDC_R8:
+            stack.append(R8)
+            kinds[index] = R8
+        elif code in (op.LDSTR, op.LDNULL):
+            stack.append(REF)
+        elif code == op.LDLOC:
+            stack.append(kind_of(method.locals[instr.operand].var_type))
+        elif code == op.STLOC:
+            kinds[index] = kind_of(method.locals[instr.operand].var_type)
+            stack.pop()
+        elif code == op.LDARG:
+            stack.append(kind_of(arg_types[instr.operand]))
+        elif code == op.STARG:
+            kinds[index] = kind_of(arg_types[instr.operand])
+            stack.pop()
+        elif code == op.LDFLD:
+            stack.pop()
+            stack.append(kind_of(instr.operand.field_type))
+        elif code == op.STFLD:
+            kinds[index] = kind_of(instr.operand.field_type)
+            stack.pop(); stack.pop()
+        elif code == op.LDSFLD:
+            stack.append(kind_of(instr.operand.field_type))
+        elif code == op.STSFLD:
+            kinds[index] = kind_of(instr.operand.field_type)
+            stack.pop()
+        elif code == op.NEWARR:
+            stack.pop()
+            stack.append(REF)
+        elif code == op.LDLEN:
+            stack.pop()
+            stack.append(I4)
+        elif code == op.LDELEM:
+            stack.pop(); stack.pop()
+            stack.append(kind_of(instr.operand))
+            kinds[index] = kind_of(instr.operand)
+        elif code == op.STELEM:
+            kinds[index] = kind_of(instr.operand)
+            stack.pop(); stack.pop(); stack.pop()
+        elif code == op.NEWARR_MD:
+            _e, rank = instr.operand
+            del stack[len(stack) - rank:]
+            stack.append(REF)
+        elif code == op.LDELEM_MD:
+            elem, rank = instr.operand
+            del stack[len(stack) - rank - 1:]
+            stack.append(kind_of(elem))
+            kinds[index] = kind_of(elem)
+        elif code == op.STELEM_MD:
+            elem, rank = instr.operand
+            kinds[index] = kind_of(elem)
+            del stack[len(stack) - rank - 2:]
+        elif code in _BINARY:
+            b = stack.pop()
+            a = stack.pop()
+            k = a if a == b else (R8 if R8 in (a, b) else R4 if R4 in (a, b) else I8 if I8 in (a, b) else I4)
+            kinds[index] = k
+            stack.append(k)
+        elif code in (op.SHL, op.SHR, op.SHR_UN):
+            stack.pop()
+            a = stack.pop()
+            kinds[index] = a
+            stack.append(a)
+        elif code in (op.NEG, op.NOT):
+            a = stack.pop()
+            kinds[index] = a
+            stack.append(a)
+        elif code in _COMPARE:
+            b = stack.pop()
+            a = stack.pop()
+            kinds[index] = a if a == b else (R8 if R8 in (a, b) else a)
+            stack.append(I4)
+        elif code in _CONV_RESULT:
+            a = stack.pop()
+            kinds[index] = a  # source kind
+            stack.append(_CONV_RESULT[code])
+        elif code == op.BR:
+            nexts = [instr.operand]
+        elif code in (op.BRTRUE, op.BRFALSE):
+            kinds[index] = stack.pop()
+            nexts = [instr.operand, index + 1]
+        elif code in _CMP_BRANCH:
+            b = stack.pop()
+            a = stack.pop()
+            kinds[index] = a if a == b else (R8 if R8 in (a, b) else a)
+            nexts = [instr.operand, index + 1]
+        elif code == op.SWITCH:
+            stack.pop()
+            nexts = list(instr.operand) + [index + 1]
+        elif code == op.RET:
+            if method.return_type is not cts.VOID:
+                stack.pop()
+            nexts = []
+        elif code in (op.CALL, op.CALLVIRT):
+            ref: MethodRef = instr.operand
+            n = len(ref.param_types) + (0 if ref.is_static else 1)
+            if n:
+                del stack[len(stack) - n:]
+            if ref.return_type is not cts.VOID:
+                stack.append(kind_of(ref.return_type))
+        elif code == op.NEWOBJ:
+            ref = instr.operand
+            n = len(ref.param_types)
+            if n:
+                del stack[len(stack) - n:]
+            stack.append(REF)
+        elif code == op.BOX:
+            kinds[index] = kind_of(instr.operand)
+            stack.pop()
+            stack.append(REF)
+        elif code == op.UNBOX:
+            stack.pop()
+            stack.append(kind_of(instr.operand))
+            kinds[index] = kind_of(instr.operand)
+        elif code in (op.CASTCLASS, op.ISINST):
+            pass  # ref -> ref
+        elif code == op.DUP:
+            stack.append(stack[-1])
+        elif code == op.POP:
+            stack.pop()
+        elif code == op.STRUCT_COPY:
+            pass
+        elif code == op.THROW:
+            stack.pop()
+            nexts = []
+        elif code == op.RETHROW:
+            nexts = []
+        elif code == op.LEAVE:
+            stack = []
+            nexts = [instr.operand]
+        elif code == op.ENDFINALLY:
+            nexts = []
+        elif code == op.NOP:
+            pass
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"typesim: unhandled {instr.mnemonic}")
+
+        frozen = tuple(stack)
+        for t in nexts:
+            if t not in states:
+                states[t] = frozen
+                work.append(t)
+
+    method._stack_kinds = kinds
+    method._stack_shapes = states
+    return kinds
+
+
+def stack_shapes(method: MethodDef) -> Dict[int, Tuple[str, ...]]:
+    """index -> tuple of stack kinds on entry to that instruction (only for
+    reachable instructions).  Computed together with :func:`annotate`."""
+    annotate(method)
+    return method._stack_shapes

@@ -1,0 +1,84 @@
+"""Shared exception hierarchy for the HPC.NET reproduction.
+
+Every layer of the stack (front-end compiler, CIL verifier, loader, JIT,
+virtual execution system) raises a subclass of :class:`ReproError` so callers
+can catch the whole family or a specific stage's failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class CompileError(ReproError):
+    """A Kernel-C# source program failed to compile.
+
+    Carries the source location when available so harness output can point at
+    the offending benchmark line.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class LexError(CompileError):
+    """Tokenization failure."""
+
+
+class ParseError(CompileError):
+    """Syntactic failure."""
+
+
+class TypeCheckError(CompileError):
+    """Semantic/type failure."""
+
+
+class CilError(ReproError):
+    """Malformed CIL construction (builder misuse, bad operands)."""
+
+
+class VerifyError(CilError):
+    """The CIL verifier rejected a method body."""
+
+
+class AssembleError(CilError):
+    """The textual IL assembler rejected its input."""
+
+
+class LoadError(ReproError):
+    """Assembly loading/linking failure (missing class, bad override...)."""
+
+
+class JitError(ReproError):
+    """CIL -> MIR lowering or optimization failure."""
+
+
+class VMError(ReproError):
+    """Runtime failure inside the virtual execution system itself."""
+
+
+class ManagedException(VMError):
+    """A managed (guest) exception escaped to the host.
+
+    ``exc_object`` is the guest exception object; ``type_name`` its managed
+    class name; ``managed_message`` the guest message string, if any.
+    """
+
+    def __init__(self, type_name: str, managed_message: str = "", exc_object=None) -> None:
+        self.type_name = type_name
+        self.managed_message = managed_message
+        self.exc_object = exc_object
+        text = f"unhandled managed exception {type_name}"
+        if managed_message:
+            text += f": {managed_message}"
+        super().__init__(text)
+
+
+class BenchmarkError(ReproError):
+    """A benchmark program produced an invalid/unvalidated result."""

@@ -1,0 +1,7 @@
+"""``repro.harness`` — benchmark runner, reporting, and the per-graph
+experiment modules (Graphs 1-12, Tables 5-8)."""
+
+from .results import ExperimentCheck, ExperimentResult, ProfileRun, SectionResult
+from .runner import Runner
+
+__all__ = ["Runner", "ProfileRun", "SectionResult", "ExperimentResult", "ExperimentCheck"]

@@ -1,0 +1,80 @@
+"""Text rendering: tables and ASCII bar charts for the regenerated graphs.
+
+The paper's graphs are grouped bar charts (sections on the x-axis, one bar
+per VM); here each section becomes a block of horizontal bars, scaled to
+the largest value in the chart, with scientific-notation labels like the
+paper's axes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+BAR_WIDTH = 46
+
+
+def format_sci(value: float) -> str:
+    if value == 0:
+        return "0"
+    return f"{value:.2e}".replace("e+0", "e+").replace("e-0", "e-")
+
+
+def bar_chart(
+    series: Dict[str, Dict[str, float]],
+    unit: str = "ops/sec",
+    profile_order: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """``series[section][profile] = value`` -> grouped ASCII bars."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    peak = max(
+        (v for per_profile in series.values() for v in per_profile.values()),
+        default=1.0,
+    ) or 1.0
+    profiles = list(profile_order or sorted({p for s in series.values() for p in s}))
+    name_width = max((len(p) for p in profiles), default=8)
+    for section, per_profile in series.items():
+        lines.append("")
+        lines.append(f"{section}  [{unit}]")
+        for profile in profiles:
+            value = per_profile.get(profile)
+            if value is None:
+                continue
+            filled = int(round(BAR_WIDTH * value / peak))
+            bar = "#" * max(filled, 1 if value > 0 else 0)
+            lines.append(f"  {profile:<{name_width}} |{bar:<{BAR_WIDTH}}| {format_sci(value)}")
+    return "\n".join(lines)
+
+
+def table(
+    rows: Dict[str, Dict[str, float]],
+    columns: Optional[Sequence[str]] = None,
+    value_format: str = "{:.2f}",
+    row_header: str = "",
+) -> str:
+    """``rows[row][column] = value`` -> aligned text table."""
+    columns = list(columns or sorted({c for r in rows.values() for c in r}))
+    row_names = list(rows)
+    width0 = max([len(row_header)] + [len(r) for r in row_names]) + 2
+    widths = [max(len(c), 10) + 2 for c in columns]
+    out = [row_header.ljust(width0) + "".join(c.rjust(w) for c, w in zip(columns, widths))]
+    out.append("-" * (width0 + sum(widths)))
+    for r in row_names:
+        cells = []
+        for c, w in zip(columns, widths):
+            v = rows[r].get(c)
+            cells.append((value_format.format(v) if v is not None else "-").rjust(w))
+        out.append(r.ljust(width0) + "".join(cells))
+    return "\n".join(out)
+
+
+def to_csv(series: Dict[str, Dict[str, float]], profile_order: Optional[Sequence[str]] = None) -> str:
+    profiles = list(profile_order or sorted({p for s in series.values() for p in s}))
+    lines = ["section," + ",".join(profiles)]
+    for section, per_profile in series.items():
+        cells = [repr(per_profile.get(p, "")) for p in profiles]
+        lines.append(section + "," + ",".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""``hpcnet`` command-line interface.
+
+Subcommands::
+
+    hpcnet list                         # all benchmarks with suites + sizes
+    hpcnet profiles                     # the runtime profile table
+    hpcnet run micro.arith [options]    # one benchmark across profiles
+    hpcnet experiment graph09 [...]     # regenerate one paper graph/table
+    hpcnet experiments                  # regenerate everything (EXPERIMENTS.md body)
+    hpcnet disasm [--profile clr-1.1]   # Table 5-8 style code listings
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from ..benchmarks import all_benchmarks, get as get_benchmark
+from ..runtimes import ALL_PROFILES, BY_NAME, MICRO_PROFILES, get_profile
+from .charts import bar_chart, table, to_csv
+from .experiments import ALL_EXPERIMENTS
+from .runner import Runner
+
+
+def _parse_overrides(pairs: List[str]) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for pair in pairs:
+        key, _, raw = pair.partition("=")
+        if not _:
+            raise SystemExit(f"bad --param {pair!r}; expected Key=Value")
+        try:
+            out[key] = int(raw)
+        except ValueError:
+            try:
+                out[key] = float(raw)
+            except ValueError:
+                out[key] = raw
+    return out
+
+
+def cmd_list(_args) -> int:
+    print(f"{'benchmark':<22} {'suite':<18} sections  default sizes")
+    print("-" * 88)
+    for bench in all_benchmarks():
+        sizes = ", ".join(f"{k}={v}" for k, v in bench.params.items())
+        print(f"{bench.name:<22} {bench.suite:<18} {len(bench.sections):>8}  {sizes}")
+    return 0
+
+
+def cmd_profiles(_args) -> int:
+    print(f"{'profile':<14} {'vendor':<26} {'kind':<8} description")
+    print("-" * 92)
+    for profile in ALL_PROFILES:
+        print(f"{profile.name:<14} {profile.vendor:<26} {profile.kind:<8} {profile.description}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    profiles = (
+        [get_profile(name) for name in args.profiles]
+        if args.profiles
+        else MICRO_PROFILES
+    )
+    runner = Runner(profiles=profiles, clock_hz=args.clock)
+    overrides = _parse_overrides(args.param or [])
+    runs = runner.run(args.benchmark, overrides or None)
+    bench = get_benchmark(args.benchmark)
+    series = {
+        section: {name: run.section(section).ops_per_sec for name, run in runs.items()}
+        for section in bench.sections
+    }
+    unit = "ops/sec"
+    if all(runs[p].section(s).flops for p in runs for s in bench.sections):
+        series = {
+            section: {name: run.section(section).mflops for name, run in runs.items()}
+            for section in bench.sections
+        }
+        unit = "MFlops"
+    if args.csv:
+        print(to_csv(series, profile_order=[p.name for p in profiles]))
+    else:
+        print(bar_chart(series, unit=unit, profile_order=[p.name for p in profiles],
+                        title=f"{args.benchmark} ({bench.description})"))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    module = ALL_EXPERIMENTS.get(args.name)
+    if module is None:
+        known = ", ".join(sorted(ALL_EXPERIMENTS))
+        raise SystemExit(f"unknown experiment {args.name!r}; known: {known}")
+    result = module.run(scale=args.scale)
+    print(result.text)
+    return 0 if result.all_passed else 1
+
+
+def cmd_experiments(args) -> int:
+    status = 0
+    for name, module in ALL_EXPERIMENTS.items():
+        result = module.run(scale=args.scale)
+        print(result.text)
+        print()
+        if not result.all_passed:
+            status = 1
+    return status
+
+
+def cmd_disasm(args) -> int:
+    from .experiments import tables_jit
+
+    result = tables_jit.run()
+    print(result.text)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hpcnet",
+        description="HPC.NET reproduction harness (Vogels, SC'03)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks").set_defaults(func=cmd_list)
+    sub.add_parser("profiles", help="list runtime profiles").set_defaults(func=cmd_profiles)
+
+    p_run = sub.add_parser("run", help="run one benchmark across profiles")
+    p_run.add_argument("benchmark")
+    p_run.add_argument("--profiles", nargs="*", metavar="NAME",
+                       help=f"profiles ({', '.join(BY_NAME)})")
+    p_run.add_argument("--param", action="append", metavar="K=V")
+    p_run.add_argument("--clock", type=float, default=None, help="clock Hz override")
+    p_run.add_argument("--csv", action="store_true", help="emit CSV instead of bars")
+    p_run.set_defaults(func=cmd_run)
+
+    p_exp = sub.add_parser("experiment", help="regenerate one paper graph/table")
+    p_exp.add_argument("name", help=f"one of: {', '.join(ALL_EXPERIMENTS)}")
+    p_exp.add_argument("--scale", type=float, default=1.0)
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_all = sub.add_parser("experiments", help="regenerate every graph/table")
+    p_all.add_argument("--scale", type=float, default=1.0)
+    p_all.set_defaults(func=cmd_experiments)
+
+    p_dis = sub.add_parser("disasm", help="Tables 5-8 code listings")
+    p_dis.set_defaults(func=cmd_disasm)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

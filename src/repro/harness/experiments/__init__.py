@@ -1,0 +1,31 @@
+"""Experiment modules — one per paper graph/table.
+
+Each module exposes ``run(scale=1.0, profiles=None) -> ExperimentResult``:
+``scale`` multiplies repetition counts (tests use < 1.0 for speed, benches
+1.0), and every module evaluates the paper's qualitative expectations as
+:class:`~repro.harness.results.ExperimentCheck` records.
+"""
+
+from . import (
+    graph01_02_int_arith,
+    graph03_fp_arith,
+    graph04_loops,
+    graph05_exceptions,
+    graph06_08_math,
+    graph09_scimark,
+    graph10_11_kernels,
+    graph12_matrix,
+    tables_jit,
+)
+
+ALL_EXPERIMENTS = {
+    "graph01-02": graph01_02_int_arith,
+    "graph03": graph03_fp_arith,
+    "graph04": graph04_loops,
+    "graph05": graph05_exceptions,
+    "graph06-08": graph06_08_math,
+    "graph09": graph09_scimark,
+    "graph10-11": graph10_11_kernels,
+    "graph12": graph12_matrix,
+    "tables5-8": tables_jit,
+}

@@ -1,0 +1,63 @@
+"""Graph 3 — floating point arithmetic (float and double add/mul/div).
+
+The paper's Graph 3 shows the same JIT-quality ladder on FP code; double
+and float throughput are close on every VM (x87 computes in extended
+precision either way).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...runtimes import MICRO_PROFILES
+from ..charts import bar_chart
+from ..results import ExperimentCheck, ExperimentResult
+from ..runner import Runner
+from .graph01_02_int_arith import MICRO_CLOCK
+
+SECTIONS = (
+    "Arith:Add:Float", "Arith:Mul:Float", "Arith:Div:Float",
+    "Arith:Add:Double", "Arith:Mul:Double", "Arith:Div:Double",
+)
+
+
+def run(scale: float = 1.0, profiles=None, runner: Optional[Runner] = None) -> ExperimentResult:
+    runner = runner or Runner(profiles=profiles or MICRO_PROFILES, clock_hz=MICRO_CLOCK)
+    reps = max(200, int(6000 * scale))
+    runs = runner.run("micro.arith", {"Reps": reps})
+
+    result = ExperimentResult(
+        experiment="graph03",
+        title="Graph 3: Floating point arithmetic (ops/sec)",
+        unit="ops/sec",
+    )
+    for section in SECTIONS:
+        result.series[section] = {
+            name: r.section(section).ops_per_sec for name, r in runs.items()
+        }
+
+    v = lambda s, p: result.series[s][p]
+    result.checks.append(ExperimentCheck(
+        "commercial VMs (CLR, IBM) lead on double addition",
+        min(v("Arith:Add:Double", "clr-1.1"), v("Arith:Add:Double", "ibm-1.3.1"))
+        > max(v("Arith:Add:Double", "mono-0.23"), v("Arith:Add:Double", "sscli-1.0")),
+    ))
+    result.checks.append(ExperimentCheck(
+        "division much slower than addition everywhere (hardware bound)",
+        all(v(f"Arith:Div:{t}", p) < v(f"Arith:Add:{t}", p)
+            for t in ("Float", "Double") for p in result.series["Arith:Add:Float"]),
+    ))
+    result.checks.append(ExperimentCheck(
+        "SSCLI slowest on double math",
+        v("Arith:Add:Double", "sscli-1.0")
+        == min(result.series["Arith:Add:Double"].values()),
+    ))
+
+    order = [p.name for p in (profiles or MICRO_PROFILES)]
+    result.text = bar_chart(result.series, unit=result.unit, profile_order=order, title=result.title)
+    result.text += "\n\n" + "\n".join(c.render() for c in result.checks)
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().text)

@@ -1,0 +1,53 @@
+"""Graph 4 — loop overheads (For / ReverseFor / While).
+
+Paper section 5: "the loop overhead in CLR 1.1 is lower" than the JVM's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...runtimes import MICRO_PROFILES
+from ..charts import bar_chart
+from ..results import ExperimentCheck, ExperimentResult
+from ..runner import Runner
+from .graph01_02_int_arith import MICRO_CLOCK
+
+SECTIONS = ("Loop:For", "Loop:ReverseFor", "Loop:While")
+
+
+def run(scale: float = 1.0, profiles=None, runner: Optional[Runner] = None) -> ExperimentResult:
+    runner = runner or Runner(profiles=profiles or MICRO_PROFILES, clock_hz=MICRO_CLOCK)
+    reps = max(1000, int(30000 * scale))
+    runs = runner.run("micro.loop", {"Reps": reps})
+
+    result = ExperimentResult(
+        experiment="graph04",
+        title="Graph 4: Loop performance (iterations/sec)",
+        unit="iterations/sec",
+    )
+    for section in SECTIONS:
+        result.series[section] = {
+            name: r.section(section).ops_per_sec for name, r in runs.items()
+        }
+    v = lambda s, p: result.series[s][p]
+    result.checks.append(ExperimentCheck(
+        "CLR loop overhead lower than IBM JVM (paper sec. 5)",
+        all(v(s, "clr-1.1") > v(s, "ibm-1.3.1") for s in SECTIONS),
+        f"for: clr={v('Loop:For', 'clr-1.1'):.3e} ibm={v('Loop:For', 'ibm-1.3.1'):.3e}",
+    ))
+    result.checks.append(ExperimentCheck(
+        "loop styles within 2x of each other per VM (no pathological form)",
+        all(
+            max(result.series[s][p] for s in SECTIONS) <= 2 * min(result.series[s][p] for s in SECTIONS)
+            for p in result.series["Loop:For"]
+        ),
+    ))
+    order = [p.name for p in (profiles or MICRO_PROFILES)]
+    result.text = bar_chart(result.series, unit=result.unit, profile_order=order, title=result.title)
+    result.text += "\n\n" + "\n".join(c.render() for c in result.checks)
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().text)

@@ -1,0 +1,58 @@
+"""Graph 5 — exception handling (Throw / New / Method).
+
+Paper section 5: "exception-handling in all implementations of the CLI is
+significantly more costly than in the JVM."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...runtimes import MICRO_PROFILES
+from ..charts import bar_chart
+from ..results import ExperimentCheck, ExperimentResult
+from ..runner import Runner
+from .graph01_02_int_arith import MICRO_CLOCK
+
+SECTIONS = ("Exception:Throw", "Exception:New", "Exception:Method")
+
+
+def run(scale: float = 1.0, profiles=None, runner: Optional[Runner] = None) -> ExperimentResult:
+    runner = runner or Runner(profiles=profiles or MICRO_PROFILES, clock_hz=MICRO_CLOCK)
+    reps = max(50, int(300 * scale))
+    runs = runner.run("micro.exception", {"Reps": reps})
+
+    result = ExperimentResult(
+        experiment="graph05",
+        title="Graph 5: Exception handling (exceptions/sec)",
+        unit="exceptions/sec",
+    )
+    for section in SECTIONS:
+        result.series[section] = {
+            name: r.section(section).ops_per_sec for name, r in runs.items()
+        }
+    v = lambda s, p: result.series[s][p]
+    cli = ("clr-1.1", "mono-0.23", "sscli-1.0")
+    result.checks.append(ExperimentCheck(
+        "every CLI throws exceptions far slower than the JVM (>=4x)",
+        all(v("Exception:Throw", "ibm-1.3.1") > 4 * v("Exception:Throw", p) for p in cli),
+        f"ibm={v('Exception:Throw', 'ibm-1.3.1'):.3e} clr={v('Exception:Throw', 'clr-1.1'):.3e}",
+    ))
+    result.checks.append(ExperimentCheck(
+        "creating the exception object is much cheaper than throwing it",
+        all(v("Exception:New", p) > 5 * v("Exception:Throw", p)
+            for p in result.series["Exception:New"]),
+    ))
+    result.checks.append(ExperimentCheck(
+        "throwing down a call tree costs more than a local throw",
+        all(v("Exception:Method", p) < v("Exception:Throw", p)
+            for p in result.series["Exception:Method"]),
+    ))
+    order = [p.name for p in (profiles or MICRO_PROFILES)]
+    result.text = bar_chart(result.series, unit=result.unit, profile_order=order, title=result.title)
+    result.text += "\n\n" + "\n".join(c.render() for c in result.checks)
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().text)

@@ -1,0 +1,61 @@
+"""Graph 12 — matrix styles on the CLR 1.1: true multidimensional vs jagged
+arrays, value-type vs object-type elements.
+
+Paper section 5: "Copy assignments in true multidimensional matrices run at
+25 percent of the performance of jagged arrays"; the graph also shows
+value-type matrices ahead of object-type ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...runtimes import CLR11
+from ..charts import bar_chart
+from ..results import ExperimentCheck, ExperimentResult
+from ..runner import Runner
+from .graph01_02_int_arith import MICRO_CLOCK
+
+SECTIONS = ("Matrix:MultiDim", "Matrix:Jagged", "Matrix:ValueType", "Matrix:ObjectType")
+
+
+def run(scale: float = 1.0, profiles=None, runner: Optional[Runner] = None) -> ExperimentResult:
+    profiles = profiles or [CLR11]
+    runner = runner or Runner(profiles=profiles, clock_hz=MICRO_CLOCK)
+    reps = max(2, int(4 * scale))
+    runs = runner.run("clispec.matrix", {"Reps": reps})
+
+    result = ExperimentResult(
+        experiment="graph12",
+        title="Graph 12: Matrix copy performance on .NET CLR 1.1 (copies/sec)",
+        unit="copies/sec",
+    )
+    for section in SECTIONS:
+        result.series[section] = {
+            name: r.section(section).ops_per_sec for name, r in runs.items()
+        }
+    clr = "clr-1.1"
+    v = lambda s: result.series[s][clr]
+    ratio = v("Matrix:MultiDim") / v("Matrix:Jagged")
+    result.checks.append(ExperimentCheck(
+        "true multidimensional runs at roughly 25% of jagged (0.15-0.45)",
+        0.15 < ratio < 0.45,
+        f"multidim/jagged = {ratio:.2f}",
+    ))
+    result.checks.append(ExperimentCheck(
+        "value-type elements faster than object-type elements",
+        v("Matrix:ValueType") > v("Matrix:ObjectType"),
+        f"value={v('Matrix:ValueType'):.3e} object={v('Matrix:ObjectType'):.3e}",
+    ))
+    result.checks.append(ExperimentCheck(
+        "jagged arrays are the fastest matrix style",
+        v("Matrix:Jagged") == max(v(s) for s in SECTIONS),
+    ))
+    order = [p.name for p in profiles]
+    result.text = bar_chart(result.series, unit=result.unit, profile_order=order, title=result.title)
+    result.text += "\n\n" + "\n".join(c.render() for c in result.checks)
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().text)

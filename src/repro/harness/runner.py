@@ -1,0 +1,103 @@
+"""Benchmark runner: compile once, execute on every runtime profile.
+
+This is the paper's methodology made executable: "we use a single compiler
+[...] to generate the intermediate code, and this code is then executed on
+each of the different runtimes."  One :class:`~repro.cil.metadata.Assembly`
+is produced per (benchmark, parameter set); each profile gets a fresh
+loader (fresh statics) over that same image.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..benchmarks import get as get_benchmark
+from ..cil.metadata import Assembly
+from ..lang import compile_source
+from ..runtimes import MICRO_PROFILES, RuntimeProfile
+from ..vm.loader import LoadedAssembly
+from ..vm.machine import Machine
+from .results import ProfileRun, SectionResult
+
+
+class Runner:
+    def __init__(
+        self,
+        profiles: Optional[Iterable[RuntimeProfile]] = None,
+        clock_hz: Optional[float] = None,
+        quantum: int = 50_000,
+    ) -> None:
+        self.profiles: List[RuntimeProfile] = list(profiles or MICRO_PROFILES)
+        #: override the nominal clock (the paper uses 2.8 GHz for micro,
+        #: 2.2 GHz for the SciMark machine)
+        self.clock_hz = clock_hz
+        self.quantum = quantum
+        self._compiled: Dict[Tuple[str, Tuple[Tuple[str, object], ...]], Assembly] = {}
+
+    def compile_benchmark(
+        self, name: str, overrides: Optional[Dict[str, object]] = None
+    ) -> Assembly:
+        key = (name, tuple(sorted((overrides or {}).items())))
+        assembly = self._compiled.get(key)
+        if assembly is None:
+            bench = get_benchmark(name)
+            source = bench.build_source(overrides)
+            assembly = compile_source(source, assembly_name=name)
+            self._compiled[key] = assembly
+        return assembly
+
+    def run_on(
+        self,
+        name: str,
+        profile: RuntimeProfile,
+        overrides: Optional[Dict[str, object]] = None,
+    ) -> ProfileRun:
+        assembly = self.compile_benchmark(name, overrides)
+        machine = Machine(LoadedAssembly(assembly), profile, quantum=self.quantum)
+        machine.run()
+        machine.bench.require_valid()
+        clock = self.clock_hz or profile.clock_hz
+        run = ProfileRun(
+            benchmark=name,
+            profile=profile.name,
+            clock_hz=clock,
+            total_cycles=machine.cycles,
+            stdout=list(machine.stdout),
+            allocated_bytes=machine.allocated_bytes,
+            instructions=machine.instructions,
+        )
+        for section_name, section in machine.bench.sections.items():
+            run.sections[section_name] = SectionResult(
+                section=section_name,
+                cycles=section.total_cycles,
+                ops=section.ops,
+                flops=section.flops,
+                ops_per_sec=section.ops_per_sec(clock),
+                mflops=section.mflops(clock),
+                results=list(section.results),
+            )
+        return run
+
+    def run(
+        self, name: str, overrides: Optional[Dict[str, object]] = None
+    ) -> Dict[str, ProfileRun]:
+        """Run on every configured profile; results keyed by profile name.
+        Also asserts the paper's cross-runtime invariant: every profile's
+        recorded computation results are identical."""
+        out: Dict[str, ProfileRun] = {}
+        reference: Optional[ProfileRun] = None
+        for profile in self.profiles:
+            run = self.run_on(name, profile, overrides)
+            out[profile.name] = run
+            if reference is None:
+                reference = run
+            else:
+                for s, sec in run.sections.items():
+                    ref = reference.sections[s]
+                    if sec.results != ref.results:
+                        raise AssertionError(
+                            f"{name}:{s}: results differ between "
+                            f"{reference.profile} and {run.profile}: "
+                            f"{ref.results} vs {sec.results}"
+                        )
+        return out

@@ -1,0 +1,7 @@
+"""``repro.jit`` — CIL-to-MIR compilation with per-profile optimization."""
+
+from . import mir
+from .lowering import lower
+from .pipeline import JitCompiler
+
+__all__ = ["mir", "lower", "JitCompiler"]

@@ -1,0 +1,267 @@
+"""Pseudo-x86 rendering of JIT-compiled MIR — the Tables 6-8 reproduction.
+
+The paper's section 5 compares the x86 each VM's JIT emits for the integer
+division benchmark.  This emitter renders our per-profile MIR in the same
+dialect: enregistered vregs become machine registers, spilled vregs become
+``dword ptr [ebp-XXh]`` frame slots, constants fold to immediates where the
+profile's emitter does, integer division shows the real ``cdq``/``idiv``
+sequence — or SSCLI's emulated cdq ("makes a mess of it by emulating the
+cdq instruction with loads and shifts", Table 8).
+
+This is presentation only; execution uses the MIR directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from . import mir
+
+_REG_NAMES = ["esi", "edi", "ebx", "ecx", "eax", "edx", "r8d", "r9d", "r10d", "r11d"]
+
+
+class X86Renderer:
+    def __init__(self, fn: mir.MIRFunction, profile) -> None:
+        self.fn = fn
+        self.profile = profile
+        self._reg_of: Dict[int, str] = {}
+        self._slot_of: Dict[int, int] = {}
+        self._next_slot = 0x10
+        self._const_of: Dict[int, object] = {}
+        for i, ins in enumerate(fn.code):
+            if ins.op == mir.LDI and isinstance(ins.a, (int, float)):
+                # a vreg only ever defined by this constant renders as an
+                # immediate when the profile folds constants
+                if profile.jit.constant_folding and self._single_def(ins.dst, i):
+                    self._const_of[ins.dst] = ins.a
+
+    def _single_def(self, vreg: int, at: int) -> bool:
+        return sum(1 for k in self.fn.code if k.dst == vreg) == 1
+
+    # ----------------------------------------------------------- locations
+
+    def loc(self, vreg: object) -> str:
+        if not isinstance(vreg, int) or vreg < 0:
+            return "?"
+        if vreg in self._const_of:
+            return self.imm(self._const_of[vreg])
+        if vreg < len(self.fn.in_register) and self.fn.in_register[vreg]:
+            name = self._reg_of.get(vreg)
+            if name is None:
+                name = _REG_NAMES[len(self._reg_of) % len(_REG_NAMES)]
+                self._reg_of[vreg] = name
+            return name
+        slot = self._slot_of.get(vreg)
+        if slot is None:
+            slot = self._next_slot
+            self._slot_of[vreg] = slot
+            self._next_slot += 4
+        return f"dword ptr [ebp-{slot:x}h]"
+
+    @staticmethod
+    def imm(value: object) -> str:
+        if isinstance(value, float):
+            return repr(value)
+        if isinstance(value, int):
+            return f"0x{value & 0xFFFFFFFF:x}" if abs(value) > 255 else str(value)
+        if value is None:
+            return "0  ; null"
+        return repr(value)
+
+    def is_mem(self, operand: str) -> bool:
+        return operand.startswith("dword")
+
+    # ------------------------------------------------------------- rendering
+
+    def render(self) -> List[str]:
+        out: List[str] = []
+        labels = {ins.target for ins in self.fn.code if ins.target >= 0}
+        for i, ins in enumerate(self.fn.code):
+            if i in labels:
+                out.append(f"L{i:04x}:")
+            out.extend("        " + line for line in self._render_one(ins))
+        return out
+
+    def _mov(self, dst: str, src: str) -> List[str]:
+        if dst == src:
+            return []
+        if self.is_mem(dst) and self.is_mem(src):
+            # x86 has no mem-to-mem mov: stage through eax (the Table 7/8 shape)
+            return [f"mov     eax, {src}", f"mov     {dst}, eax"]
+        return [f"mov     {dst}, {src}"]
+
+    _ALU = {
+        mir.ADD: "add", mir.SUB: "sub", mir.AND: "and", mir.OR: "or",
+        mir.XOR: "xor", mir.SHL: "shl", mir.SHR: "sar", mir.SHRU: "shr",
+    }
+    _JCC = {
+        mir.JEQ: "je", mir.JNE: "jne", mir.JLT: "jl", mir.JLE: "jle",
+        mir.JGT: "jg", mir.JGE: "jge",
+    }
+    _SETCC = {
+        mir.CEQ: "sete", mir.CNE: "setne", mir.CLT: "setl", mir.CLE: "setle",
+        mir.CGT: "setg", mir.CGE: "setge",
+    }
+
+    def _render_one(self, ins: mir.MInstr) -> List[str]:
+        o = ins.op
+        if o == mir.NOP:
+            return ["nop"]
+        if o == mir.LDI:
+            if ins.dst in self._const_of:
+                return []  # folded into its uses
+            return [f"mov     {self.loc(ins.dst)}, {self.imm(ins.a)}"]
+        if o == mir.MOV:
+            return self._mov(self.loc(ins.dst), self.loc(ins.a))
+        if o == mir.DIV and ins.kind in ("i4", "i8"):
+            lines = [f"mov     eax, {self.loc(ins.a)}"]
+            if self.profile.jit.cdq_emulation:
+                # SSCLI: emulated cdq with loads and shifts (paper Table 8)
+                lines += [
+                    "mov     edx, eax",
+                    "sar     edx, 0x1f",
+                ]
+            else:
+                lines.append("cdq")
+            divisor = self.loc(ins.b)
+            if not self.is_mem(divisor) and divisor.startswith("0x") or divisor.isdigit():
+                # idiv cannot take an immediate: stage it (the CLR quirk
+                # stages through the frame, others use a scratch register)
+                if self.profile.jit.const_div_quirk:
+                    lines += [
+                        f"mov     dword ptr [esp+10h], {divisor}",
+                        "mov     ecx, dword ptr [esp+10h]",
+                    ]
+                else:
+                    lines.append(f"mov     ecx, {divisor}")
+                divisor = "ecx"
+            lines.append(f"idiv    eax, {divisor}")
+            lines += self._mov(self.loc(ins.dst), "eax")
+            return lines
+        if o == mir.DIV or o == mir.REM:
+            op_name = "fdiv" if ins.kind in ("r4", "r8") else "idiv"
+            return (
+                [f"mov     eax, {self.loc(ins.a)}"]
+                + ([] if ins.kind in ("r4", "r8") else ["cdq"])
+                + [f"{op_name:<7} eax, {self.loc(ins.b)}"]
+                + self._mov(self.loc(ins.dst), "eax" if op_name == "idiv" else "eax")
+            )
+        if o == mir.MUL:
+            dst = self.loc(ins.dst)
+            a, b = self.loc(ins.a), self.loc(ins.b)
+            if not self.is_mem(dst):
+                return self._mov(dst, a) + [f"imul    {dst}, {b}"]
+            return [f"mov     eax, {a}", f"imul    eax, {b}"] + self._mov(dst, "eax")
+        if o in self._ALU:
+            dst = self.loc(ins.dst)
+            a, b = self.loc(ins.a), self.loc(ins.b)
+            mnem = self._ALU[o]
+            if dst == a and not self.is_mem(dst):
+                return [f"{mnem:<7} {dst}, {b}"]
+            if not self.is_mem(dst):
+                return self._mov(dst, a) + [f"{mnem:<7} {dst}, {b}"]
+            return [f"mov     eax, {a}", f"{mnem:<7} eax, {b}"] + self._mov(dst, "eax")
+        if o == mir.NEG:
+            return self._mov(self.loc(ins.dst), self.loc(ins.a)) + [f"neg     {self.loc(ins.dst)}"]
+        if o == mir.NOT:
+            return self._mov(self.loc(ins.dst), self.loc(ins.a)) + [f"not     {self.loc(ins.dst)}"]
+        if o in self._SETCC:
+            return [
+                f"cmp     {self.loc(ins.a)}, {self.loc(ins.b)}",
+                f"{self._SETCC[o]:<7} al",
+                f"movzx   eax, al",
+            ] + self._mov(self.loc(ins.dst), "eax")
+        if o == mir.CONV:
+            spec = str(ins.extra)
+            if spec.startswith("r"):
+                return [f"cvtsi2sd {self.loc(ins.dst)}, {self.loc(ins.a)}"] if ins.kind.startswith("i") else self._mov(self.loc(ins.dst), self.loc(ins.a))
+            if ins.kind.startswith("r"):
+                return [f"cvttsd2si {self.loc(ins.dst)}, {self.loc(ins.a)}"]
+            return self._mov(self.loc(ins.dst), self.loc(ins.a))
+        if o == mir.JMP:
+            return [f"jmp     L{ins.target:04x}"]
+        if o in (mir.JTRUE, mir.JFALSE):
+            mnem = "jnz" if o == mir.JTRUE else "jz"
+            return [f"test    {self.loc(ins.a)}, {self.loc(ins.a)}", f"{mnem:<7} L{ins.target:04x}"]
+        if o in self._JCC:
+            return [
+                f"cmp     {self.loc(ins.a)}, {self.loc(ins.b)}",
+                f"{self._JCC[o]:<7} L{ins.target:04x}",
+            ]
+        if o == mir.SWITCH:
+            return [f"jmp     [jump_table + {self.loc(ins.a)}*4]"]
+        if o == mir.RET:
+            lines = []
+            if isinstance(ins.a, int) and ins.a >= 0:
+                lines += self._mov("eax", self.loc(ins.a))
+            return lines + ["ret"]
+        if o == mir.CALL:
+            target = ins.extra
+            if isinstance(target, tuple) and len(target) >= 2:
+                name = getattr(target[1], "full_name", None) or str(target[1])
+            else:
+                name = "?"
+            pushes = [f"push    {self.loc(v)}" for v in reversed(ins.args or [])]
+            lines = pushes + [f"call    {name}"]
+            if ins.dst >= 0:
+                lines += self._mov(self.loc(ins.dst), "eax")
+            return lines
+        if o == mir.NEWOBJ:
+            return [f"call    JIT_New ; {getattr(ins.extra, 'class_name', ins.extra)}"] + self._mov(self.loc(ins.dst), "eax")
+        if o in (mir.NEWARR, mir.NEWARR_MD):
+            return ["call    JIT_NewArr"] + self._mov(self.loc(ins.dst), "eax")
+        if o == mir.LDLEN:
+            return [f"mov     eax, dword ptr [{self.loc(ins.a)}+4] ; Length"] + self._mov(self.loc(ins.dst), "eax")
+        if o == mir.LDELEM:
+            lines = []
+            if ins.bounds_check and self.profile.jit.boundscheck:
+                lines += [
+                    f"cmp     {self.loc(ins.b)}, dword ptr [{self.loc(ins.a)}+4]",
+                    "jae     throw_range",
+                ]
+            lines += [f"mov     eax, [{self.loc(ins.a)}+{self.loc(ins.b)}*4+8]"]
+            return lines + self._mov(self.loc(ins.dst), "eax")
+        if o == mir.STELEM:
+            lines = []
+            if ins.bounds_check and self.profile.jit.boundscheck:
+                lines += [
+                    f"cmp     {self.loc(ins.b)}, dword ptr [{self.loc(ins.a)}+4]",
+                    "jae     throw_range",
+                ]
+            return lines + [f"mov     [{self.loc(ins.a)}+{self.loc(ins.b)}*4+8], {self.loc(ins.c)}"]
+        if o in (mir.LDELEM_MD, mir.STELEM_MD):
+            return ["call    JIT_MDArrayAccess"]
+        if o == mir.LDFLD:
+            return [f"mov     eax, dword ptr [{self.loc(ins.a)}+{(ins.b or 0) * 4 + 8:#x}]"] + self._mov(self.loc(ins.dst), "eax")
+        if o == mir.STFLD:
+            return [f"mov     dword ptr [{self.loc(ins.a)}+{(ins.b or 0) * 4 + 8:#x}], {self.loc(ins.c)}"]
+        if o in (mir.LDSFLD, mir.STSFLD):
+            return ["mov     eax, dword ptr [statics]"] if o == mir.LDSFLD else ["mov     dword ptr [statics], eax"]
+        if o == mir.BOX:
+            return ["call    JIT_Box"] + self._mov(self.loc(ins.dst), "eax")
+        if o == mir.UNBOX:
+            return ["call    JIT_Unbox"] + self._mov(self.loc(ins.dst), "eax")
+        if o in (mir.CASTCLASS, mir.ISINST):
+            return ["call    JIT_CastClass"]
+        if o == mir.STRUCT_COPY:
+            return ["rep movsd ; struct copy"]
+        if o == mir.THROW:
+            return [f"mov     ecx, {self.loc(ins.a)}", "call    JIT_Throw"]
+        if o == mir.RETHROW:
+            return ["call    JIT_Rethrow"]
+        if o == mir.LEAVE:
+            return [f"call    JIT_EndCatch", f"jmp     L{ins.target:04x}"]
+        if o == mir.ENDFINALLY:
+            return ["ret     ; endfinally"]
+        return [f"; {mir.name(o)}"]
+
+
+def render_x86(fn: mir.MIRFunction, profile) -> str:
+    """Render a compiled function as pseudo-x86 text."""
+    header = [
+        f"; {fn.full_name} as compiled by {profile.name} ({profile.description})",
+        f"; {len(fn.code)} MIR instructions, "
+        f"{fn.stats.get('enregistered', 0)} values enregistered, "
+        f"{fn.stats.get('immediates', 0)} immediates",
+    ]
+    return "\n".join(header + X86Renderer(fn, profile).render())

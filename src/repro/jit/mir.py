@@ -1,0 +1,181 @@
+"""MIR — the register-based machine intermediate representation.
+
+CIL is a stack machine; every JIT in the paper lowers it to register code of
+very different quality (paper section 5, Tables 6-8).  Our MIR models that
+stage: instructions operate on an unbounded virtual-register file, and the
+*enregistration* pass then decides which vregs live in (modelled) physical
+registers versus stack-frame slots.  Storage placement changes the cycle
+cost of every access — the executor itself always reads ``frame.R[vreg]``;
+performance differences are carried entirely by the deterministic cost
+annotations, never by host-Python speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# opcodes
+# ---------------------------------------------------------------------------
+
+_names: List[str] = []
+
+
+def _mop(name: str) -> int:
+    _names.append(name)
+    return len(_names) - 1
+
+
+MOV = _mop("mov")          # dst <- src vreg
+LDI = _mop("ldi")          # dst <- immediate (operand `a` is the constant)
+ADD = _mop("add")
+SUB = _mop("sub")
+MUL = _mop("mul")
+DIV = _mop("div")
+REM = _mop("rem")
+AND = _mop("and")
+OR = _mop("or")
+XOR = _mop("xor")
+SHL = _mop("shl")
+SHR = _mop("shr")
+SHRU = _mop("shru")
+NEG = _mop("neg")
+NOT = _mop("not")
+CEQ = _mop("ceq")
+CNE = _mop("cne")
+CLT = _mop("clt")
+CLE = _mop("cle")
+CGT = _mop("cgt")
+CGE = _mop("cge")
+CONV = _mop("conv")        # extra = target kind string
+JMP = _mop("jmp")          # target
+JTRUE = _mop("jtrue")      # a, target
+JFALSE = _mop("jfalse")    # a, target
+JEQ = _mop("jeq")          # a, b, target
+JNE = _mop("jne")
+JLT = _mop("jlt")
+JLE = _mop("jle")
+JGT = _mop("jgt")
+JGE = _mop("jge")
+SWITCH = _mop("switch")    # a; extra = list of targets
+CALL = _mop("call")        # dst (or -1), extra = CallInfo, args = list of vregs
+RET = _mop("ret")          # a = vreg or -1
+NEWOBJ = _mop("newobj")    # dst, extra = (class_name, ctor MethodRef|None), args
+NEWARR = _mop("newarr")    # dst, a = length vreg, extra = elem type
+NEWARR_MD = _mop("newarr.md")  # dst, args = dim vregs, extra = elem type
+LDLEN = _mop("ldlen")      # dst, a = array
+LDELEM = _mop("ldelem")    # dst, a = array, b = index; extra = elem kind
+STELEM = _mop("stelem")    # a = array, b = index, c = value
+LDELEM_MD = _mop("ldelem.md")  # dst, a = array, args = indices
+STELEM_MD = _mop("stelem.md")  # a = array, c = value, args = indices
+LDFLD = _mop("ldfld")      # dst, a = obj; extra = (class_name, field_name), b = slot (resolved)
+STFLD = _mop("stfld")      # a = obj, c = value; b = slot
+LDSFLD = _mop("ldsfld")    # dst; extra = (RuntimeClass, slot) resolved at link
+STSFLD = _mop("stsfld")    # c = value; extra = (RuntimeClass, slot)
+BOX = _mop("box")          # dst, a; extra = type name
+UNBOX = _mop("unbox")      # dst, a; extra = CType
+CASTCLASS = _mop("castclass")  # dst, a; extra = CType
+ISINST = _mop("isinst")
+STRUCT_COPY = _mop("struct.copy")  # dst, a
+THROW = _mop("throw")      # a
+RETHROW = _mop("rethrow")
+LEAVE = _mop("leave")      # target
+ENDFINALLY = _mop("endfinally")
+NOP = _mop("nop")
+
+COUNT = len(_names)
+
+
+def name(code: int) -> str:
+    return _names[code]
+
+
+#: comparison value-op -> branch-op fusion table (peephole)
+COMPARE_TO_JUMP = {CEQ: JEQ, CNE: JNE, CLT: JLT, CLE: JLE, CGT: JGT, CGE: JGE}
+JUMP_NEGATE = {JEQ: JNE, JNE: JEQ, JLT: JGE, JGE: JLT, JGT: JLE, JLE: JGT}
+
+ARITH = frozenset({ADD, SUB, MUL, DIV, REM, AND, OR, XOR, SHL, SHR, SHRU})
+COMPARES = frozenset({CEQ, CNE, CLT, CLE, CGT, CGE})
+COND_JUMPS = frozenset({JTRUE, JFALSE, JEQ, JNE, JLT, JLE, JGT, JGE})
+TERMINATORS = frozenset({JMP, RET, THROW, RETHROW, LEAVE, ENDFINALLY})
+
+
+@dataclass
+class MInstr:
+    """One MIR instruction.
+
+    Field use varies by opcode (see the opcode table above); ``args`` holds
+    variable-length vreg lists (call arguments, MD-array indices).  ``cost``
+    is the static cycle cost stamped by the cost-finalization pass;
+    ``bounds_check`` marks array accesses whose range check was *not*
+    eliminated.
+    """
+
+    op: int
+    dst: int = -1
+    a: object = None
+    b: object = None
+    c: object = None
+    extra: object = None
+    args: Optional[List[int]] = None
+    kind: str = "i4"
+    target: int = -1
+    cost: int = 1
+    bounds_check: bool = True
+    #: source IL index (for region mapping and diagnostics)
+    il_index: int = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [name(self.op)]
+        if self.dst >= 0:
+            parts.append(f"v{self.dst} <-")
+        for f in (self.a, self.b, self.c):
+            if f is not None:
+                parts.append(str(f))
+        if self.args:
+            parts.append(str(self.args))
+        if self.target >= 0:
+            parts.append(f"-> {self.target}")
+        return " ".join(parts)
+
+
+@dataclass
+class MIRRegion:
+    """Exception region with MIR-index boundaries."""
+
+    kind: str  # 'catch' | 'finally'
+    try_start: int
+    try_end: int
+    handler_start: int
+    handler_end: int
+    catch_type: Optional[str] = None
+    #: vreg receiving the exception object at catch entry
+    exc_vreg: int = -1
+
+    def covers(self, index: int) -> bool:
+        return self.try_start <= index < self.try_end
+
+
+@dataclass
+class MIRFunction:
+    """A JIT-compiled method body."""
+
+    full_name: str
+    n_args: int
+    code: List[MInstr] = field(default_factory=list)
+    regions: List[MIRRegion] = field(default_factory=list)
+    n_vregs: int = 0
+    #: vreg -> True if placed in a (modelled) machine register
+    in_register: List[bool] = field(default_factory=list)
+    #: non-None when the function returns a struct needing copy (unused today)
+    returns_void: bool = True
+    #: the MethodDef this was compiled from
+    method: object = None
+    #: number of enregistered / spilled vregs (for reporting)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def new_vreg(self) -> int:
+        v = self.n_vregs
+        self.n_vregs += 1
+        return v

@@ -1,0 +1,23 @@
+"""JIT optimization passes.
+
+Each pass is a function ``pass_(fn: MIRFunction, profile) -> None`` mutating
+the function in place.  The pipeline (:mod:`repro.jit.pipeline`) selects
+passes from the profile's :class:`~repro.runtimes.profile.JitConfig` — that
+selection IS the modelled difference between the paper's JIT engines.
+"""
+
+from .boundscheck import eliminate_bounds_checks
+from .enregister import enregister
+from .inline import inline_small_methods
+from .quirks import const_div_quirk
+from .simplify import constant_fold, copy_propagate, dead_code_eliminate
+
+__all__ = [
+    "constant_fold",
+    "copy_propagate",
+    "dead_code_eliminate",
+    "eliminate_bounds_checks",
+    "enregister",
+    "inline_small_methods",
+    "const_div_quirk",
+]

@@ -1,0 +1,145 @@
+"""Small-method inlining.
+
+Commercial JITs of the period inlined small non-virtual methods ("Many of
+the optimizations depend on how much knowledge the JIT engine has built-up
+about the state of the program", section 5); Mono 0.23 and SSCLI did not.
+The Method micro-benchmark and the SciMark MonteCarlo kernel (paper:
+"exercises ... function inlining") are sensitive to this.
+
+A callee qualifies when its (separately lowered, inline-disabled) MIR body
+is small, has no exception regions, and the call site is non-virtual.  The
+body is spliced in with vregs and branch targets rebased; ``ret`` becomes a
+move-plus-jump to the continuation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as _replace
+from typing import Callable, Dict, List, Optional, Set
+
+from .. import mir
+
+#: opcode fields holding vregs, by opcode (a/b/c hold non-vreg payloads for
+#: some ops, so a per-op map is required for remapping)
+_VREG_FIELDS: Dict[int, tuple] = {}
+
+
+def _vreg_fields(op_code: int) -> tuple:
+    cached = _VREG_FIELDS.get(op_code)
+    if cached is not None:
+        return cached
+    if op_code == mir.LDI:
+        fields = ()
+    elif op_code in (mir.LDSFLD, mir.SWITCH):
+        fields = ("a",) if op_code == mir.SWITCH else ()
+    elif op_code == mir.STSFLD:
+        fields = ("c",)
+    else:
+        fields = ("a", "b", "c")
+    _VREG_FIELDS[op_code] = fields
+    return fields
+
+
+def _qualifies(callee: mir.MIRFunction, budget: int) -> bool:
+    if callee.regions:
+        return False
+    if len(callee.code) > budget:
+        return False
+    for ins in callee.code:
+        if ins.op in (mir.LEAVE, mir.ENDFINALLY, mir.RETHROW):
+            return False
+    return True
+
+
+def inline_small_methods(
+    fn: mir.MIRFunction,
+    profile,
+    compile_callee: Callable[[object], Optional[mir.MIRFunction]],
+) -> None:
+    """``compile_callee(MethodRef) -> MIRFunction|None`` supplies inline
+    candidates (lowered with inlining disabled to bound recursion)."""
+    budget = profile.jit.inline_budget
+    sites: List[int] = []
+    for i, ins in enumerate(fn.code):
+        if ins.op != mir.CALL:
+            continue
+        ref, is_virtual = ins.extra
+        if is_virtual or not getattr(ref, "class_name", None):
+            continue
+        sites.append(i)
+    if not sites:
+        return
+
+    inlined = 0
+    # process from last site to first so earlier indices stay valid
+    for site in reversed(sites):
+        ins = fn.code[site]
+        ref, _virt = ins.extra
+        callee = compile_callee(ref)
+        if callee is None or not _qualifies(callee, budget):
+            continue
+        vreg_offset = fn.n_vregs
+        fn.n_vregs += callee.n_vregs
+
+        prologue: List[mir.MInstr] = []
+        for k, arg in enumerate(ins.args or []):
+            prologue.append(mir.MInstr(mir.MOV, dst=vreg_offset + k, a=arg))
+
+        # rebased body; RETs jump to the continuation (site position after
+        # splice), computed after we know body length
+        body: List[mir.MInstr] = []
+        positions: List[int] = []  # callee index -> body start offset
+        # first pass to learn per-instruction expansion sizes (ret -> 1-2)
+        code_offset = site + len(prologue)
+        offsets = []
+        acc = 0
+        for cins in callee.code:
+            offsets.append(acc)
+            if cins.op == mir.RET and ins.dst >= 0 and isinstance(cins.a, int) and cins.a >= 0:
+                acc += 2
+            else:
+                acc += 1
+        total_len = acc
+        ret_jump_to = code_offset + total_len
+
+        for idx, cins in enumerate(callee.code):
+            clone = _replace(cins)
+            if clone.args:
+                clone.args = [v + vreg_offset for v in clone.args]
+            for f in _vreg_fields(clone.op):
+                v = getattr(clone, f)
+                if isinstance(v, int) and v >= 0 and clone.op != mir.RET:
+                    setattr(clone, f, v + vreg_offset)
+            if clone.dst >= 0:
+                clone.dst += vreg_offset
+            if clone.target >= 0:
+                clone.target = code_offset + offsets[clone.target]
+            if clone.op == mir.SWITCH:
+                clone.extra = [code_offset + offsets[t] for t in clone.extra]
+            if clone.op == mir.RET:
+                if ins.dst >= 0 and isinstance(cins.a, int) and cins.a >= 0:
+                    body.append(mir.MInstr(mir.MOV, dst=ins.dst, a=cins.a + vreg_offset))
+                body.append(mir.MInstr(mir.JMP, target=ret_jump_to))
+            else:
+                body.append(clone)
+
+        splice = prologue + body
+        delta = len(splice) - 1  # replacing 1 CALL instruction
+
+        # shift all caller targets/regions beyond the site
+        for other in fn.code:
+            if other.target > site:
+                other.target += delta
+            if other.op == mir.SWITCH:
+                other.extra = [t + delta if t > site else t for t in other.extra]
+        for region in fn.regions:
+            for attr in ("try_start", "try_end", "handler_start", "handler_end"):
+                v = getattr(region, attr)
+                if v > site:
+                    setattr(region, attr, v + delta)
+        fn.code[site : site + 1] = splice
+        inlined += 1
+
+    if inlined:
+        fn.in_register = [False] * fn.n_vregs
+        fn.stats["inlined_calls"] = fn.stats.get("inlined_calls", 0) + inlined

@@ -1,0 +1,75 @@
+"""Emitter quirks reproduced from the paper's disassembly study.
+
+Table 6 (CLR 1.1, integer division): "It does something weird by
+temporarily storing the constant in a variable, which appears to be an
+unnecessary operation."  ``const_div_quirk`` re-creates that: when a
+division's divisor is a block-known constant, the constant is staged
+through a frame slot (an extra store + reload that the enregistration pass
+is forbidden from optimizing away).
+
+The SSCLI cdq-emulation quirk (Table 8) is purely a cost effect and lives
+in the cost model (higher ``div_i4``); it needs no structural pass.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .. import mir
+
+
+def _const_div_sites(fn: mir.MIRFunction) -> List[int]:
+    """DIV instructions whose divisor vreg has a single LDI definition
+    (recomputed here because earlier passes may have reindexed the code
+    since constant folding recorded its candidates)."""
+    defs = {}
+    for i, ins in enumerate(fn.code):
+        if ins.dst >= 0:
+            defs.setdefault(ins.dst, []).append(i)
+    sites = []
+    for i, ins in enumerate(fn.code):
+        if ins.op != mir.DIV or not isinstance(ins.b, int):
+            continue
+        d = defs.get(ins.b, [])
+        if len(d) == 1 and fn.code[d[0]].op == mir.LDI:
+            sites.append(i)
+    return sites
+
+
+def const_div_quirk(fn: mir.MIRFunction, profile=None) -> None:
+    sites: List[int] = _const_div_sites(fn)
+    if not sites:
+        return
+    force_spill = set(fn.stats.get("force_spill", ()))
+    new_code: List[mir.MInstr] = []
+    remap = {}
+    inserted = 0
+    site_set = set(sites)
+    for i, ins in enumerate(fn.code):
+        remap[i] = len(new_code)
+        if i in site_set and ins.op == mir.DIV:
+            staged = fn.new_vreg()
+            force_spill.add(staged)
+            new_code.append(
+                mir.MInstr(mir.MOV, dst=staged, a=ins.b, il_index=ins.il_index)
+            )
+            ins.b = staged
+            inserted += 1
+        new_code.append(ins)
+    remap[len(fn.code)] = len(new_code)
+    if not inserted:
+        return
+    for ins in new_code:
+        if ins.target >= 0:
+            ins.target = remap[ins.target]
+        if ins.op == mir.SWITCH:
+            ins.extra = [remap[t] for t in ins.extra]
+    for region in fn.regions:
+        region.try_start = remap[region.try_start]
+        region.try_end = remap.get(region.try_end, len(new_code))
+        region.handler_start = remap[region.handler_start]
+        region.handler_end = remap.get(region.handler_end, len(new_code))
+    fn.code = new_code
+    fn.in_register = [False] * fn.n_vregs
+    fn.stats["force_spill"] = force_spill
+    fn.stats["const_div_staged"] = inserted

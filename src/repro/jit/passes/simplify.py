@@ -1,0 +1,247 @@
+"""Scalar simplification passes: constant folding/propagation, copy
+propagation, dead-code elimination.
+
+All three are block-local (facts die at basic-block boundaries), matching
+what period JITs actually did under their compile-time budgets.  Profiles
+without these passes execute the raw stack-shuffle MIR — the paper's
+"very close to the actual CIL code" observation about Mono and Rotor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ...vm.values import i32, i64, r4 as round_r4
+from .. import mir
+
+
+def block_starts(fn: mir.MIRFunction) -> Set[int]:
+    """Indices that start a basic block (jump targets, handler entries,
+    instruction after a terminator/conditional)."""
+    starts: Set[int] = {0}
+    for i, ins in enumerate(fn.code):
+        if ins.target >= 0:
+            starts.add(ins.target)
+        if ins.op == mir.SWITCH:
+            starts.update(ins.extra)
+        if ins.op in mir.TERMINATORS or ins.op in mir.COND_JUMPS:
+            starts.add(i + 1)
+    for region in fn.regions:
+        starts.add(region.handler_start)
+        starts.add(region.try_start)
+    return starts
+
+
+_FOLDABLE = {
+    mir.ADD: lambda a, b: a + b,
+    mir.SUB: lambda a, b: a - b,
+    mir.MUL: lambda a, b: a * b,
+    mir.AND: lambda a, b: a & b,
+    mir.OR: lambda a, b: a | b,
+    mir.XOR: lambda a, b: a ^ b,
+}
+
+_WRAP = {"i4": i32, "i8": i64, "r4": round_r4, "r8": float, "ref": lambda v: v}
+
+
+def _global_constants(fn: mir.MIRFunction) -> Dict[int, object]:
+    """vreg -> constant for vregs that are provably constant everywhere:
+    a single definition by LDI (or a MOV chain from one), not skippable by a
+    forward branch, with every use after the definition in code order."""
+    code = fn.code
+    defs: Dict[int, List[int]] = {}
+    first_use: Dict[int, int] = {}
+    for i, ins in enumerate(code):
+        for v in _uses(ins):
+            if v not in first_use:
+                first_use[v] = i
+        if ins.dst >= 0:
+            defs.setdefault(ins.dst, []).append(i)
+    # positions spanned by a forward branch (conditionally skipped code)
+    spanned = [False] * len(code)
+    for j, ins in enumerate(code):
+        targets = []
+        if ins.target > j:
+            targets.append(ins.target)
+        if ins.op == mir.SWITCH:
+            targets.extend(t for t in ins.extra if t > j)
+        for t in targets:
+            for k in range(j + 1, min(t, len(code))):
+                spanned[k] = True
+    out: Dict[int, object] = {}
+    changed = True
+    while changed:
+        changed = False
+        for v, dl in defs.items():
+            if v in out or len(dl) != 1:
+                continue
+            k = dl[0]
+            if spanned[k]:
+                continue
+            if first_use.get(v, k + 1) <= k:
+                continue
+            ins = code[k]
+            if ins.op == mir.LDI and isinstance(ins.a, (int, float)) and ins.kind != "r4":
+                out[v] = ins.a
+                changed = True
+            elif ins.op == mir.MOV and isinstance(ins.a, int) and ins.a in out and ins.kind != "r4":
+                out[v] = out[ins.a]
+                changed = True
+    return out
+
+
+def constant_fold(fn: mir.MIRFunction, profile=None) -> None:
+    """Constant propagation + folding.
+
+    Block-local facts (LDI constants flowing through MOVs and simple ALU
+    ops) are seeded with *global* single-assignment constants, so a
+    loop-invariant ``int d = 3`` is visible inside the loop — which is how
+    the CLR 1.1 "realizes that a constant is used" in the paper's division
+    study (Table 6).  Constants seen at a DIV's divisor are recorded for
+    the quirk pass (``fn.stats['const_divisors']``).
+    """
+    starts = block_starts(fn)
+    global_consts = _global_constants(fn)
+    consts: Dict[int, object] = dict(global_consts)
+    const_divisors: List[int] = []
+    for i, ins in enumerate(fn.code):
+        if i in starts:
+            consts.clear()
+            consts.update(global_consts)
+        o = ins.op
+        if o == mir.LDI:
+            if ins.dst >= 0:
+                consts[ins.dst] = ins.a
+            continue
+        if o == mir.MOV:
+            src = ins.a
+            if src in consts and ins.kind != "r4":
+                ins.op = mir.LDI
+                ins.a = consts[src]
+                consts[ins.dst] = ins.a
+            else:
+                consts.pop(ins.dst, None)
+                if src in consts:
+                    consts[ins.dst] = consts[src]
+            continue
+        if o in _FOLDABLE and ins.a in consts and ins.b in consts:
+            va, vb = consts[ins.a], consts[ins.b]
+            if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+                try:
+                    value = _WRAP.get(ins.kind, lambda v: v)(_FOLDABLE[o](va, vb))
+                except TypeError:
+                    value = None
+                if value is not None:
+                    ins.op = mir.LDI
+                    ins.a = value
+                    ins.b = None
+                    consts[ins.dst] = value
+                    continue
+        if o == mir.DIV and ins.b in consts:
+            const_divisors.append(i)
+        # any write invalidates
+        if ins.dst >= 0:
+            consts.pop(ins.dst, None)
+    fn.stats["const_divisors"] = const_divisors
+
+
+def _uses(ins: mir.MInstr) -> List[int]:
+    """vregs read by an instruction."""
+    out: List[int] = []
+    o = ins.op
+    if o == mir.LDI:
+        pass
+    else:
+        for f in (ins.a, ins.b, ins.c):
+            if isinstance(f, int) and f >= 0 and o != mir.RET:
+                out.append(f)
+        if o == mir.RET and isinstance(ins.a, int) and ins.a >= 0:
+            out.append(ins.a)
+    if ins.args:
+        out.extend(ins.args)
+    return out
+
+
+def _replace_uses(ins: mir.MInstr, mapping: Dict[int, int]) -> None:
+    o = ins.op
+    if o != mir.LDI:
+        if isinstance(ins.a, int) and ins.a in mapping:
+            ins.a = mapping[ins.a]
+        if isinstance(ins.b, int) and ins.b in mapping:
+            ins.b = mapping[ins.b]
+        if isinstance(ins.c, int) and ins.c in mapping:
+            ins.c = mapping[ins.c]
+    if ins.args:
+        ins.args = [mapping.get(v, v) for v in ins.args]
+
+
+def copy_propagate(fn: mir.MIRFunction, profile=None) -> None:
+    """Block-local copy propagation: rewrite uses of ``dst`` after
+    ``mov dst <- src`` to use ``src`` while neither is redefined."""
+    starts = block_starts(fn)
+    copies: Dict[int, int] = {}
+    n_args = fn.n_args
+    for i, ins in enumerate(fn.code):
+        if i in starts:
+            copies.clear()
+        _replace_uses(ins, copies)
+        if ins.dst >= 0:
+            # a write kills copies involving dst (either side)
+            copies.pop(ins.dst, None)
+            for k in [k for k, v in copies.items() if v == ins.dst]:
+                copies.pop(k)
+            # r4 moves are value-changing (rounding); don't propagate through
+            if ins.op == mir.MOV and isinstance(ins.a, int) and ins.kind != "r4":
+                copies[ins.dst] = ins.a
+
+
+_PURE = frozenset(
+    {mir.MOV, mir.LDI}
+    | mir.ARITH
+    | mir.COMPARES
+    | {mir.NEG, mir.NOT, mir.CONV, mir.STRUCT_COPY, mir.LDLEN}
+)
+
+
+def dead_code_eliminate(fn: mir.MIRFunction, profile=None) -> None:
+    """Remove pure instructions whose destination is never read.
+
+    Division stays (it can raise); memory/array/field/call ops stay.
+    Iterates to a fixpoint since removing one instruction can kill another.
+    """
+    changed = True
+    while changed:
+        changed = False
+        live: Set[int] = set()
+        for ins in fn.code:
+            live.update(_uses(ins))
+        new_code: List[mir.MInstr] = []
+        # removal shifts indices: build an index remap
+        remap: Dict[int, int] = {}
+        removed_any = False
+        for i, ins in enumerate(fn.code):
+            remap[i] = len(new_code)
+            if (
+                ins.op in _PURE
+                and ins.dst >= 0
+                and ins.dst not in live
+                and ins.dst >= fn.n_args  # never drop writes to args/locals? temps only
+            ):
+                removed_any = True
+                changed = True
+                continue
+            new_code.append(ins)
+        if not removed_any:
+            break
+        remap[len(fn.code)] = len(new_code)
+        for ins in new_code:
+            if ins.target >= 0:
+                ins.target = remap[ins.target]
+            if ins.op == mir.SWITCH:
+                ins.extra = [remap[t] for t in ins.extra]
+        for region in fn.regions:
+            region.try_start = remap[region.try_start]
+            region.try_end = remap.get(region.try_end, len(new_code))
+            region.handler_start = remap[region.handler_start]
+            region.handler_end = remap.get(region.handler_end, len(new_code))
+        fn.code = new_code

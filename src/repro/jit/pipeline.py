@@ -1,0 +1,102 @@
+"""The per-profile JIT compiler: lowering + pass pipeline + cost stamping.
+
+One :class:`JitCompiler` per (profile, loaded assembly); compiled functions
+are cached per MethodDef, mirroring a real JIT's code cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..cil.metadata import MethodDef
+from ..cil.instructions import MethodRef
+from ..errors import JitError
+from . import mir
+from .costmodel import finalize_costs
+from .lowering import lower
+from .passes import (
+    const_div_quirk,
+    constant_fold,
+    copy_propagate,
+    dead_code_eliminate,
+    eliminate_bounds_checks,
+    enregister,
+    inline_small_methods,
+)
+from .passes.boundscheck import clear_all_bounds_checks
+
+
+class JitCompiler:
+    def __init__(self, loaded, profile) -> None:
+        self.loaded = loaded
+        self.profile = profile
+        self._cache: Dict[int, mir.MIRFunction] = {}
+        self._inline_cache: Dict[int, Optional[mir.MIRFunction]] = {}
+        self._compiling: set = set()
+
+    # ------------------------------------------------------------------ api
+
+    def compile(self, method: MethodDef) -> mir.MIRFunction:
+        key = id(method)
+        fn = self._cache.get(key)
+        if fn is None:
+            fn = self._compile(method, allow_inline=True)
+            self._cache[key] = fn
+        return fn
+
+    # ------------------------------------------------------------- internals
+
+    def _compile(self, method: MethodDef, allow_inline: bool) -> mir.MIRFunction:
+        if not method.body:
+            raise JitError(f"cannot JIT bodyless method {method.full_name}")
+        config = self.profile.jit
+        fn = lower(method)
+        if config.constant_folding:
+            constant_fold(fn, self.profile)
+        if allow_inline and config.inline_small_methods:
+            inline_small_methods(fn, self.profile, self._inline_candidate)
+            if config.constant_folding:
+                constant_fold(fn, self.profile)
+        if config.copy_propagation:
+            copy_propagate(fn, self.profile)
+            dead_code_eliminate(fn, self.profile)
+        if config.const_div_quirk:
+            const_div_quirk(fn, self.profile)
+        if not config.boundscheck:
+            clear_all_bounds_checks(fn, self.profile)
+        elif config.boundscheck_elim == "length-pattern":
+            eliminate_bounds_checks(fn, self.profile)
+        enregister(fn, self.profile)
+        finalize_costs(fn, self.profile)
+        return fn
+
+    def _inline_candidate(self, ref: MethodRef) -> Optional[mir.MIRFunction]:
+        """Lowered, inline-disabled copy of a callee, or None when the ref
+        is intrinsic/virtual/unresolvable/recursive."""
+        # imported here to avoid a package-level cycle (vm.machine imports
+        # the pipeline; the intrinsics module itself has no jit dependency)
+        from ..vm.intrinsics import INTRINSIC_CLASSES
+
+        if ref.class_name in INTRINSIC_CLASSES:
+            return None
+        key = (ref.class_name, ref.name, tuple(t.name for t in ref.param_types))
+        cached = self._inline_cache.get(key)
+        if cached is not None or key in self._inline_cache:
+            return cached
+        if key in self._compiling:
+            return None
+        try:
+            method = self.loaded.resolve_method(ref)
+        except Exception:
+            self._inline_cache[key] = None
+            return None
+        if method.is_virtual or method.is_override or not method.body:
+            self._inline_cache[key] = None
+            return None
+        self._compiling.add(key)
+        try:
+            fn = self._compile(method, allow_inline=False)
+        finally:
+            self._compiling.discard(key)
+        self._inline_cache[key] = fn
+        return fn

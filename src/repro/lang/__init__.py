@@ -1,0 +1,12 @@
+"""``repro.lang`` — the Kernel-C# front end (lexer/parser/checker/codegen).
+
+The single public entry points are :func:`compile_source` and
+:func:`compile_file`; everything else is exposed for tests and tooling.
+"""
+
+from .compiler import compile_file, compile_source
+from .lexer import tokenize
+from .parser import parse
+from .typecheck import check_program
+
+__all__ = ["compile_source", "compile_file", "tokenize", "parse", "check_program"]

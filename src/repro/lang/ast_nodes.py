@@ -1,0 +1,335 @@
+"""AST node definitions for Kernel-C#.
+
+Nodes are plain dataclasses.  Type-checking annotates expression nodes in
+place: ``node.ctype`` (the expression's CTS type) plus resolution fields the
+code generator consumes (``node.symbol``, ``node.method``...).  That keeps
+the pipeline single-pass-per-stage without a parallel typed tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..cil.cts import CType
+
+
+class Node:
+    line: int = 0
+
+
+# --------------------------------------------------------------------------
+# expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    line: int = 0
+
+    def __post_init__(self) -> None:
+        #: CTS type stamped by the type checker
+        self.ctype: Optional[CType] = None
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+    is_long: bool = False
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+    is_single: bool = False
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class StringLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class CharLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class NullLit(Expr):
+    pass
+
+
+@dataclass
+class Name(Expr):
+    """A bare identifier; the type checker resolves it to a local, parameter,
+    field (implicit this / own statics), or a type name (left of a static
+    member access)."""
+
+    ident: str = ""
+
+
+@dataclass
+class ThisExpr(Expr):
+    pass
+
+
+@dataclass
+class Member(Expr):
+    """``target.name`` — field access, static member, array ``Length``."""
+
+    target: Optional[Expr] = None
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """``target[i]`` or ``target[i, j]``."""
+
+    target: Optional[Expr] = None
+    indices: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Call(Expr):
+    """Any invocation: ``F(x)``, ``obj.F(x)``, ``Class.F(x)``, ``base.F(x)``."""
+
+    callee: Optional[Expr] = None  # Name or Member
+    args: List[Expr] = field(default_factory=list)
+    is_base_call: bool = False
+
+
+@dataclass
+class NewObject(Expr):
+    type_name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class NewArray(Expr):
+    """``new T[e]``, ``new T[e1, e2]`` or jagged ``new T[e][]...``."""
+
+    element: object = None  # type expression, resolved by checker
+    dims: List[Expr] = field(default_factory=list)
+    #: extra empty bracket groups for jagged allocations: new int[n][] -> 1
+    extra_ranks: List[int] = field(default_factory=list)
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Logical(Expr):
+    """Short-circuit ``&&`` / ``||``."""
+
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Optional[Expr] = None
+    then: Optional[Expr] = None
+    other: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    """``target op= value`` where op is '' for plain assignment."""
+
+    target: Optional[Expr] = None
+    op: str = ""
+    value: Optional[Expr] = None
+
+
+@dataclass
+class IncDec(Expr):
+    target: Optional[Expr] = None
+    op: str = "++"
+    prefix: bool = False
+
+
+@dataclass
+class Cast(Expr):
+    type_expr: object = None
+    operand: Optional[Expr] = None
+
+
+# --------------------------------------------------------------------------
+# type expressions (syntactic; resolved to CTS types by the checker)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class TypeExpr(Node):
+    """``name`` plus array rank suffixes, e.g. double[,][] -> ranks [2, 1]."""
+
+    name: str = ""
+    ranks: List[int] = field(default_factory=list)
+    line: int = 0
+
+    def __str__(self) -> str:
+        return self.name + "".join("[" + "," * (r - 1) + "]" for r in self.ranks)
+
+
+# --------------------------------------------------------------------------
+# statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    type_expr: Optional[TypeExpr] = None
+    names: List[str] = field(default_factory=list)
+    inits: List[Optional[Expr]] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None  # VarDecl or ExprStmt
+    cond: Optional[Expr] = None
+    update: List[Expr] = field(default_factory=list)
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Throw(Stmt):
+    value: Optional[Expr] = None  # None => rethrow
+
+
+@dataclass
+class CatchClause(Node):
+    type_name: str = ""
+    var_name: Optional[str] = None
+    body: Optional[Block] = None
+    line: int = 0
+
+
+@dataclass
+class Try(Stmt):
+    body: Optional[Block] = None
+    catches: List[CatchClause] = field(default_factory=list)
+    finally_body: Optional[Block] = None
+
+
+@dataclass
+class Lock(Stmt):
+    """``lock (expr) body`` — sugar for Monitor.Enter/try-finally-Exit."""
+
+    target: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+# --------------------------------------------------------------------------
+# declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    type_expr: Optional[TypeExpr] = None
+    name: str = ""
+    line: int = 0
+
+
+@dataclass
+class FieldDecl(Node):
+    type_expr: Optional[TypeExpr] = None
+    name: str = ""
+    init: Optional[Expr] = None
+    is_static: bool = False
+    line: int = 0
+
+
+@dataclass
+class MethodDecl(Node):
+    name: str = ""
+    return_type: Optional[TypeExpr] = None  # None => constructor
+    params: List[Param] = field(default_factory=list)
+    body: Optional[Block] = None
+    is_static: bool = False
+    is_virtual: bool = False
+    is_override: bool = False
+    is_ctor: bool = False
+    #: ``: base(args)`` initializer on a constructor, if present
+    base_args: Optional[List[Expr]] = None
+    line: int = 0
+
+
+@dataclass
+class ClassDecl(Node):
+    name: str = ""
+    base_name: Optional[str] = None
+    is_struct: bool = False
+    fields: List[FieldDecl] = field(default_factory=list)
+    methods: List[MethodDecl] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Program(Node):
+    classes: List[ClassDecl] = field(default_factory=list)

@@ -1,0 +1,234 @@
+"""Built-in (intrinsic) runtime surface shared by the front end and the VES.
+
+Mirrors the slice of the Base Class Library the benchmarks use:
+
+* ``Math`` — the full Graph 6-8 routine set.
+* ``Console`` — output.
+* ``Bench`` — the JGF-style instrumentation API (named timed sections,
+  operation/flop counts, validation results); timings come from the VES
+  cycle counter, never wall clock.
+* ``Threading``: ``Thread`` / ``Monitor`` — the multithreaded micro suite.
+* ``Serializer`` — the Serial micro-benchmark's object stream.
+* ``GC`` / ``Env`` — heap control and the guest-visible cycle clock.
+* ``Str`` concatenation support behind the ``+`` operator on strings.
+
+Each intrinsic is identified by a :class:`~repro.cil.instructions.MethodRef`
+with one of these class names; the JIT assigns a per-runtime-profile cycle
+cost and the VES implements the semantics in
+:mod:`repro.vm.intrinsics`.
+
+The managed exception hierarchy is *not* intrinsic: it is ordinary
+Kernel-C# source (:data:`CORELIB_SOURCE`) compiled into every assembly,
+exactly like a BCL reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cil import cts
+from ..cil.cts import CType
+from ..cil.instructions import MethodRef
+
+I4, I8, R4, R8 = cts.INT32, cts.INT64, cts.FLOAT32, cts.FLOAT64
+B, S, O, V = cts.BOOL, cts.STRING, cts.OBJECT, cts.VOID
+
+#: class name -> method name -> list of (param_types, return_type)
+INTRINSIC_METHODS: Dict[str, Dict[str, List[Tuple[Tuple[CType, ...], CType]]]] = {
+    "System.Math": {
+        "Abs": [((I4,), I4), ((I8,), I8), ((R4,), R4), ((R8,), R8)],
+        "Max": [((I4, I4), I4), ((I8, I8), I8), ((R4, R4), R4), ((R8, R8), R8)],
+        "Min": [((I4, I4), I4), ((I8, I8), I8), ((R4, R4), R4), ((R8, R8), R8)],
+        "Sin": [((R8,), R8)],
+        "Cos": [((R8,), R8)],
+        "Tan": [((R8,), R8)],
+        "Asin": [((R8,), R8)],
+        "Acos": [((R8,), R8)],
+        "Atan": [((R8,), R8)],
+        "Atan2": [((R8, R8), R8)],
+        "Floor": [((R8,), R8)],
+        "Ceiling": [((R8,), R8)],
+        "Sqrt": [((R8,), R8)],
+        "Exp": [((R8,), R8)],
+        "Log": [((R8,), R8)],
+        "Pow": [((R8, R8), R8)],
+        "Rint": [((R8,), R8)],
+        "Round": [((R4,), R4), ((R8,), R8)],
+        "Random": [((), R8)],
+    },
+    "System.Console": {
+        "WriteLine": [((S,), V), ((I4,), V), ((I8,), V), ((R8,), V), ((B,), V), ((), V)],
+        "Write": [((S,), V), ((I4,), V), ((I8,), V), ((R8,), V)],
+    },
+    "Bench": {
+        "Start": [((S,), V)],
+        "Stop": [((S,), V)],
+        "Ops": [((S, I8), V)],
+        "Flops": [((S, I8), V)],
+        "Result": [((S, R8), V)],
+        "Fail": [((S,), V)],
+    },
+    "System.Threading.Thread": {
+        # Create(runnable) -> thread id; the runnable's virtual Run() is the body
+        "Create": [((O,), I4)],
+        "Start": [((I4,), V)],
+        "Join": [((I4,), V)],
+        "Yield": [((), V)],
+        "CurrentId": [((), I4)],
+    },
+    "System.Threading.Monitor": {
+        "Enter": [((O,), V)],
+        "Exit": [((O,), V)],
+        "Wait": [((O,), V)],
+        "Pulse": [((O,), V)],
+        "PulseAll": [((O,), V)],
+    },
+    "Serializer": {
+        "Reset": [((), V)],
+        "WriteObject": [((O,), I4)],
+        "ReadObject": [((), O)],
+        "Size": [((), I4)],
+    },
+    "System.GC": {
+        "Collect": [((), V)],
+        "TotalAllocated": [((), I8)],
+    },
+    "Env": {
+        "Clock": [((), I8)],
+        "ThreadCount": [((), I4)],
+    },
+    "System.String": {
+        "Concat": [
+            ((S, S), S), ((S, I4), S), ((S, I8), S), ((S, R4), S), ((S, R8), S),
+            ((S, B), S), ((I4, S), S), ((I8, S), S), ((R4, S), S), ((R8, S), S),
+            ((B, S), S), ((S, O), S),
+        ],
+        "Equals": [((S, S), B)],
+        "Length": [((S,), I4)],
+    },
+    "System.Array": {
+        # instance-style helpers the checker lowers member access to
+        "GetLength": [((O, I4), I4)],
+    },
+}
+
+#: short alias -> intrinsic class name, as the front end sees them
+INTRINSIC_ALIASES: Dict[str, str] = {
+    "Math": "System.Math",
+    "Console": "System.Console",
+    "Bench": "Bench",
+    "Thread": "System.Threading.Thread",
+    "Monitor": "System.Threading.Monitor",
+    "Serializer": "Serializer",
+    "GC": "System.GC",
+    "Env": "Env",
+}
+
+#: constants reachable as ``Alias.Name``
+INTRINSIC_CONSTANTS: Dict[Tuple[str, str], Tuple[CType, object]] = {
+    ("System.Math", "PI"): (R8, 3.141592653589793),
+    ("System.Math", "E"): (R8, 2.718281828459045),
+    ("int", "MaxValue"): (I4, 2147483647),
+    ("int", "MinValue"): (I4, -2147483648),
+    ("long", "MaxValue"): (I8, 9223372036854775807),
+    ("long", "MinValue"): (I8, -9223372036854775808),
+    ("short", "MaxValue"): (I4, 32767),
+    ("short", "MinValue"): (I4, -32768),
+    ("byte", "MaxValue"): (I4, 255),
+    ("double", "MaxValue"): (R8, 1.7976931348623157e308),
+    ("double", "MinValue"): (R8, -1.7976931348623157e308),
+    ("double", "Epsilon"): (R8, 5e-324),
+    ("float", "MaxValue"): (R4, 3.4028235e38),
+}
+
+
+def find_intrinsic(
+    class_name: str, method: str, arg_types: Sequence[CType]
+) -> Optional[MethodRef]:
+    """Resolve an intrinsic overload accepting ``arg_types`` (with implicit
+    numeric widening), or ``None``."""
+    table = INTRINSIC_METHODS.get(class_name)
+    if table is None:
+        return None
+    overloads = table.get(method)
+    if not overloads:
+        return None
+    from .typecheck import implicit_convertible  # local import to avoid cycle
+
+    best: Optional[Tuple[int, Tuple[Tuple[CType, ...], CType]]] = None
+    for params, ret in overloads:
+        if len(params) != len(arg_types):
+            continue
+        score = 0
+        ok = True
+        for got, want in zip(arg_types, params):
+            got_s = cts.stack_type(got)
+            if got_s is want:
+                continue
+            if implicit_convertible(got, want):
+                score += 1
+            else:
+                ok = False
+                break
+        if ok and (best is None or score < best[0]):
+            best = (score, (params, ret))
+    if best is None:
+        return None
+    params, ret = best[1]
+    return MethodRef(class_name, method, params, ret, is_static=True)
+
+
+#: the managed core library, compiled into every assembly
+CORELIB_SOURCE = """
+class Exception {
+    string Message;
+    Exception() { this.Message = ""; }
+    Exception(string m) { this.Message = m; }
+    virtual string GetMessage() { return this.Message; }
+}
+class ArithmeticException : Exception {
+    ArithmeticException() { this.Message = "arithmetic error"; }
+    ArithmeticException(string m) { this.Message = m; }
+}
+class DivideByZeroException : ArithmeticException {
+    DivideByZeroException() { this.Message = "division by zero"; }
+    DivideByZeroException(string m) { this.Message = m; }
+}
+class NullReferenceException : Exception {
+    NullReferenceException() { this.Message = "null reference"; }
+    NullReferenceException(string m) { this.Message = m; }
+}
+class IndexOutOfRangeException : Exception {
+    IndexOutOfRangeException() { this.Message = "index out of range"; }
+    IndexOutOfRangeException(string m) { this.Message = m; }
+}
+class InvalidCastException : Exception {
+    InvalidCastException() { this.Message = "invalid cast"; }
+    InvalidCastException(string m) { this.Message = m; }
+}
+class ArgumentException : Exception {
+    ArgumentException() { this.Message = "bad argument"; }
+    ArgumentException(string m) { this.Message = m; }
+}
+class OutOfMemoryException : Exception {
+    OutOfMemoryException() { this.Message = "out of memory"; }
+    OutOfMemoryException(string m) { this.Message = m; }
+}
+class SynchronizationException : Exception {
+    SynchronizationException() { this.Message = "synchronization error"; }
+    SynchronizationException(string m) { this.Message = m; }
+}
+"""
+
+#: classes defined by CORELIB_SOURCE (kept in sync by a unit test)
+CORELIB_CLASSES = (
+    "Exception",
+    "ArithmeticException",
+    "DivideByZeroException",
+    "NullReferenceException",
+    "IndexOutOfRangeException",
+    "InvalidCastException",
+    "ArgumentException",
+    "OutOfMemoryException",
+    "SynchronizationException",
+)

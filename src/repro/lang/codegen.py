@@ -1,0 +1,1005 @@
+"""CIL code generation from the checked Kernel-C# AST.
+
+Follows the shapes csc 7.10 (the CLR 1.1 C# compiler the paper used) emits:
+
+* comparisons in conditions become conditional branches (``blt``/``bge``...),
+  while comparisons used as values become ``ceq``/``cgt``/``clt`` chains;
+* ``&&``/``||`` short-circuit with branches;
+* try/catch/finally lowers to nested exception regions where the ``finally``
+  wraps the try+catches, and control leaves protected regions only via
+  ``leave`` (returns inside ``try`` route through a ``$retval`` local);
+* compound assignment and post-increment on fields/elements stage operands
+  through compiler temporaries (``$tmp`` locals), exactly the temp-heavy
+  pattern period compilers produced — which is precisely what gives the
+  enregistration quality of each JIT its leverage (paper section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cil import cts, opcodes as op
+from ..cil.builder import Label, MethodBuilder
+from ..cil.cts import CType
+from ..cil.instructions import CATCH, FINALLY, FieldRef, MethodRef
+from ..cil.metadata import Assembly, ClassDef, FieldDef, MethodDef
+from ..errors import CompileError
+from . import ast_nodes as ast
+from .symbols import ClassInfo, FieldInfo, MethodInfo, VarSymbol
+from .typecheck import Checker
+
+_MONITOR = "System.Threading.Monitor"
+
+
+def _conv_opcode(t: CType) -> int:
+    return {
+        "int8": op.CONV_I1,
+        "uint8": op.CONV_U1,
+        "int16": op.CONV_I2,
+        "uint16": op.CONV_U2,
+        "char": op.CONV_U2,
+        "int32": op.CONV_I4,
+        "int64": op.CONV_I8,
+        "float32": op.CONV_R4,
+        "float64": op.CONV_R8,
+    }[t.name]
+
+
+def _is_struct_type(t: CType) -> bool:
+    return isinstance(t, cts.NamedType) and t.is_value_type
+
+
+class _LoopContext:
+    __slots__ = ("break_label", "continue_label", "protect_depth")
+
+    def __init__(self, break_label: Label, continue_label: Label, protect_depth: int):
+        self.break_label = break_label
+        self.continue_label = continue_label
+        self.protect_depth = protect_depth
+
+
+class MethodGen:
+    """Generates the body of one method."""
+
+    def __init__(self, gen: "CodeGen", info: ClassInfo, mi: MethodInfo, mdef: MethodDef):
+        self.gen = gen
+        self.info = info
+        self.mi = mi
+        self.b = MethodBuilder(mdef)
+        self._sym_slots: Dict[int, int] = {}
+        self._tmp_pool: Dict[str, List[int]] = {}
+        self._tmp_counter = 0
+        self._loops: List[_LoopContext] = []
+        self._protect_depth = 0
+        self._ret_label: Optional[Label] = None
+        self._ret_local: Optional[int] = None
+
+    # ---------------------------------------------------------------- plumbing
+
+    def slot(self, sym: VarSymbol) -> int:
+        s = self._sym_slots.get(sym.uid)
+        if s is None:
+            s = self.b.declare_local(sym.slot_name, sym.ctype)
+            self._sym_slots[sym.uid] = s
+        return s
+
+    def temp(self, ctype: CType) -> int:
+        pool = self._tmp_pool.setdefault(ctype.name, [])
+        if pool:
+            return pool.pop()
+        self._tmp_counter += 1
+        return self.b.declare_local(f"$tmp{self._tmp_counter}.{ctype.name}", ctype)
+
+    def release(self, ctype: CType, slot: int) -> None:
+        self._tmp_pool.setdefault(ctype.name, []).append(slot)
+
+    def error(self, message: str, node: ast.Node) -> CompileError:
+        return CompileError(message, getattr(node, "line", 0) or 0)
+
+    # ------------------------------------------------------------------- entry
+
+    def generate(self) -> MethodDef:
+        decl: ast.MethodDecl = self.mi.decl
+        self.b.current_line = decl.line
+        if self.mi.is_ctor and getattr(decl, "base_ctor", None) is not None:
+            base_ctor: MethodInfo = decl.base_ctor
+            self.b.emit(op.LDARG, 0)
+            for a in decl.base_args:
+                self.emit_expr(a)
+            self.b.emit(op.CALL, self.gen.method_ref(base_ctor))
+        # returns inside protected regions route through a local
+        if self.mi.return_type is not cts.VOID and _has_try(decl.body):
+            self._ret_label = self.b.new_label("$ret")
+            self._ret_local = self.b.declare_local("$retval", self.mi.return_type)
+        self.emit_block(decl.body)
+        if self.mi.return_type is cts.VOID:
+            self.b.emit(op.RET)
+        else:
+            # checker guarantees all paths return; a trailing unreachable
+            # guard keeps the verifier's fall-off check satisfied for loops
+            # it cannot prove terminate
+            pass
+        if self._ret_label is not None:
+            self.b.mark_label(self._ret_label)
+            if self._ret_local is not None:
+                self.b.emit(op.LDLOC, self._ret_local)
+            self.b.emit(op.RET)
+        return self.b.build()
+
+    # -------------------------------------------------------------- statements
+
+    def emit_block(self, block: ast.Block) -> None:
+        for stmt in block.statements:
+            self.emit_stmt(stmt)
+
+    def emit_stmt(self, stmt: ast.Stmt) -> None:
+        self.b.current_line = stmt.line or self.b.current_line
+        if isinstance(stmt, ast.Block):
+            self.emit_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            for sym, init in zip(stmt.symbols, stmt.inits):
+                slot = self.slot(sym)
+                if init is not None:
+                    self.emit_expr(init)
+                    if _is_struct_type(sym.ctype):
+                        self.b.emit(op.STRUCT_COPY, sym.ctype)
+                    self.b.emit(op.STLOC, slot)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.emit_expr_stmt(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self.emit_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self.emit_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self.emit_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self.emit_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self.emit_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            ctx = self._loops[-1]
+            opcode = op.LEAVE if self._protect_depth > ctx.protect_depth else op.BR
+            self.b.emit_branch(opcode, ctx.break_label)
+        elif isinstance(stmt, ast.Continue):
+            ctx = self._loops[-1]
+            opcode = op.LEAVE if self._protect_depth > ctx.protect_depth else op.BR
+            self.b.emit_branch(opcode, ctx.continue_label)
+        elif isinstance(stmt, ast.Throw):
+            if stmt.value is None:
+                self.b.emit(op.RETHROW)
+            else:
+                self.emit_expr(stmt.value)
+                self.b.emit(op.THROW)
+        elif isinstance(stmt, ast.Try):
+            self.emit_try(stmt)
+        elif isinstance(stmt, ast.Lock):
+            self.emit_lock(stmt)
+        else:  # pragma: no cover - defensive
+            raise self.error(f"cannot emit {type(stmt).__name__}", stmt)
+
+    def emit_expr_stmt(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Assign):
+            self.emit_assign(expr, need_value=False)
+        elif isinstance(expr, ast.IncDec):
+            self.emit_incdec(expr, need_value=False)
+        elif isinstance(expr, ast.Call):
+            self.emit_call(expr)
+            if expr.ctype is not cts.VOID:
+                self.b.emit(op.POP)
+        else:
+            # evaluate for effect; discard value (e.g. `new Foo();`)
+            self.emit_expr(expr)
+            if expr.ctype is not cts.VOID:
+                self.b.emit(op.POP)
+
+    def emit_return(self, stmt: ast.Return) -> None:
+        if stmt.value is not None:
+            self.emit_expr(stmt.value)
+            if _is_struct_type(self.mi.return_type):
+                self.b.emit(op.STRUCT_COPY, self.mi.return_type)
+        if self._protect_depth > 0:
+            if stmt.value is not None:
+                self.b.emit(op.STLOC, self._ret_local)
+                self.b.emit_branch(op.LEAVE, self._ret_label)
+            else:
+                # void return out of a protected region
+                if self._ret_label is None:
+                    self._ret_label = self.b.new_label("$ret")
+                self.b.emit_branch(op.LEAVE, self._ret_label)
+        else:
+            if stmt.value is not None and self._ret_label is not None:
+                # keep a single ret site when a $retval local exists
+                self.b.emit(op.STLOC, self._ret_local)
+                self.b.emit_branch(op.BR, self._ret_label)
+            else:
+                self.b.emit(op.RET)
+
+    def emit_if(self, stmt: ast.If) -> None:
+        else_label = self.b.new_label("else")
+        self.emit_branch_unless(stmt.cond, else_label)
+        self.emit_stmt(stmt.then)
+        if stmt.other is not None:
+            end_label = self.b.new_label("endif")
+            if not _ends_dead(self.b):
+                self.b.emit_branch(op.BR, end_label)
+            self.b.mark_label(else_label)
+            self.emit_stmt(stmt.other)
+            self.b.mark_label(end_label)
+        else:
+            self.b.mark_label(else_label)
+
+    def emit_while(self, stmt: ast.While) -> None:
+        # csc shape: jump to the test at the bottom, body first
+        test = self.b.new_label("while.test")
+        body = self.b.new_label("while.body")
+        end = self.b.new_label("while.end")
+        self.b.emit_branch(op.BR, test)
+        self.b.mark_label(body)
+        self._loops.append(_LoopContext(end, test, self._protect_depth))
+        self.emit_stmt(stmt.body)
+        self._loops.pop()
+        self.b.mark_label(test)
+        self.emit_branch_if(stmt.cond, body)
+        self.b.mark_label(end)
+
+    def emit_do_while(self, stmt: ast.DoWhile) -> None:
+        body = self.b.new_label("do.body")
+        test = self.b.new_label("do.test")
+        end = self.b.new_label("do.end")
+        self.b.mark_label(body)
+        self._loops.append(_LoopContext(end, test, self._protect_depth))
+        self.emit_stmt(stmt.body)
+        self._loops.pop()
+        self.b.mark_label(test)
+        self.emit_branch_if(stmt.cond, body)
+        self.b.mark_label(end)
+
+    def emit_for(self, stmt: ast.For) -> None:
+        if stmt.init is not None:
+            self.emit_stmt(stmt.init)
+        test = self.b.new_label("for.test")
+        body = self.b.new_label("for.body")
+        cont = self.b.new_label("for.continue")
+        end = self.b.new_label("for.end")
+        self.b.emit_branch(op.BR, test)
+        self.b.mark_label(body)
+        self._loops.append(_LoopContext(end, cont, self._protect_depth))
+        self.emit_stmt(stmt.body)
+        self._loops.pop()
+        self.b.mark_label(cont)
+        for u in stmt.update:
+            self.emit_expr_stmt(u)
+        self.b.mark_label(test)
+        if stmt.cond is not None:
+            self.emit_branch_if(stmt.cond, body)
+        else:
+            self.b.emit_branch(op.BR, body)
+        self.b.mark_label(end)
+
+    def emit_try(self, stmt: ast.Try) -> None:
+        has_finally = stmt.finally_body is not None
+        outer_start = self.b.position
+        end = self.b.new_label("try.end")
+
+        self._protect_depth += 1
+        try_start = self.b.position
+        self.emit_block(stmt.body)
+        if not _ends_dead(self.b):
+            self.b.emit_branch(op.LEAVE, end)
+        try_end = self.b.position
+
+        catch_regions: List[Tuple[int, int, ast.CatchClause]] = []
+        for clause in stmt.catches:
+            h_start = self.b.position
+            if clause.var_symbol is not None:
+                self.b.emit(op.STLOC, self.slot(clause.var_symbol))
+            else:
+                self.b.emit(op.POP)
+            self.emit_block(clause.body)
+            if not _ends_dead(self.b):
+                self.b.emit_branch(op.LEAVE, end)
+            catch_regions.append((h_start, self.b.position, clause))
+        self._protect_depth -= 1
+
+        for h_start, h_end, clause in catch_regions:
+            self.b.add_region(
+                CATCH, try_start, try_end, h_start, h_end,
+                catch_type=clause.class_info.name,
+            )
+
+        if has_finally:
+            inner_end = self.b.position
+            f_start = self.b.position
+            self.emit_block(stmt.finally_body)
+            self.b.emit(op.ENDFINALLY)
+            f_end = self.b.position
+            self.b.add_region(FINALLY, outer_start, inner_end, f_start, f_end)
+        self.b.mark_label(end)
+
+    def emit_lock(self, stmt: ast.Lock) -> None:
+        """``lock (x) body`` => t = x; Monitor.Enter(t); try body finally Exit(t)."""
+        ttype = stmt.target.ctype
+        tmp = self.temp(cts.OBJECT)
+        self.emit_expr(stmt.target)
+        self.b.emit(op.STLOC, tmp)
+        self.b.emit(op.LDLOC, tmp)
+        self.b.emit(op.CALL, MethodRef(_MONITOR, "Enter", (cts.OBJECT,), cts.VOID))
+        end = self.b.new_label("lock.end")
+        outer_start = self.b.position
+        self._protect_depth += 1
+        self.emit_stmt(stmt.body)
+        if not _ends_dead(self.b):
+            self.b.emit_branch(op.LEAVE, end)
+        self._protect_depth -= 1
+        inner_end = self.b.position
+        f_start = self.b.position
+        self.b.emit(op.LDLOC, tmp)
+        self.b.emit(op.CALL, MethodRef(_MONITOR, "Exit", (cts.OBJECT,), cts.VOID))
+        self.b.emit(op.ENDFINALLY)
+        f_end = self.b.position
+        self.b.add_region(FINALLY, outer_start, inner_end, f_start, f_end)
+        self.b.mark_label(end)
+        self.release(cts.OBJECT, tmp)
+
+    # ----------------------------------------------------------- branch helpers
+
+    _CMP_BRANCH = {
+        "==": op.BEQ, "!=": op.BNE, "<": op.BLT, ">": op.BGT,
+        "<=": op.BLE, ">=": op.BGE,
+    }
+    _CMP_BRANCH_NEG = {
+        "==": op.BNE, "!=": op.BEQ, "<": op.BGE, ">": op.BLE,
+        "<=": op.BGT, ">=": op.BLT,
+    }
+
+    def emit_branch_if(self, cond: ast.Expr, target: Label) -> None:
+        """Branch to ``target`` when cond is true."""
+        self._emit_cond_branch(cond, target, True)
+
+    def emit_branch_unless(self, cond: ast.Expr, target: Label) -> None:
+        self._emit_cond_branch(cond, target, False)
+
+    def _emit_cond_branch(self, cond: ast.Expr, target: Label, when: bool) -> None:
+        if isinstance(cond, ast.BoolLit):
+            if cond.value == when:
+                self.b.emit_branch(op.BR, target)
+            return
+        if isinstance(cond, ast.Unary) and cond.op == "!":
+            self._emit_cond_branch(cond.operand, target, not when)
+            return
+        if (
+            isinstance(cond, ast.Binary)
+            and cond.op in self._CMP_BRANCH
+            and getattr(cond, "prom", None) is not None
+            and not getattr(cond, "string_equality", False)
+        ):
+            self.emit_expr(cond.left)
+            self.emit_expr(cond.right)
+            table = self._CMP_BRANCH if when else self._CMP_BRANCH_NEG
+            self.b.emit_branch(table[cond.op], target)
+            return
+        if isinstance(cond, ast.Binary) and cond.op in ("==", "!=") and not getattr(cond, "string_equality", False) and (cond.left.ctype.is_reference or cond.right.ctype.is_reference):
+            self.emit_expr(cond.left)
+            self.emit_expr(cond.right)
+            table = self._CMP_BRANCH if when else self._CMP_BRANCH_NEG
+            self.b.emit_branch(table[cond.op], target)
+            return
+        if isinstance(cond, ast.Logical):
+            if cond.op == "&&":
+                if when:
+                    skip = self.b.new_label("and.skip")
+                    self._emit_cond_branch(cond.left, skip, False)
+                    self._emit_cond_branch(cond.right, target, True)
+                    self.b.mark_label(skip)
+                else:
+                    self._emit_cond_branch(cond.left, target, False)
+                    self._emit_cond_branch(cond.right, target, False)
+            else:  # ||
+                if when:
+                    self._emit_cond_branch(cond.left, target, True)
+                    self._emit_cond_branch(cond.right, target, True)
+                else:
+                    skip = self.b.new_label("or.skip")
+                    self._emit_cond_branch(cond.left, skip, True)
+                    self._emit_cond_branch(cond.right, target, False)
+                    self.b.mark_label(skip)
+            return
+        # general: evaluate to a bool value, branch on it
+        self.emit_expr(cond)
+        self.b.emit_branch(op.BRTRUE if when else op.BRFALSE, target)
+
+    # ------------------------------------------------------------- expressions
+
+    def emit_expr(self, expr: ast.Expr) -> None:
+        """Emit ``expr``, leaving its value on the evaluation stack, then any
+        recorded implicit conversion."""
+        method = getattr(self, f"_emit_{type(expr).__name__}")
+        method(expr)
+        self.apply_coercion(expr)
+
+    def apply_coercion(self, expr: ast.Expr) -> None:
+        co = getattr(expr, "coerce_to", None)
+        if co is None:
+            return
+        kind, t = co
+        if kind == "conv":
+            self.b.emit(_conv_opcode(t))
+        elif kind == "box":
+            if _is_struct_type(t):
+                self.b.emit(op.STRUCT_COPY, t)
+            self.b.emit(op.BOX, t)
+        else:  # pragma: no cover - defensive
+            raise self.error(f"unknown coercion {kind}", expr)
+
+    def _emit_IntLit(self, e: ast.IntLit) -> None:
+        self.b.emit(op.LDC_I8 if e.ctype is cts.INT64 else op.LDC_I4, e.value)
+
+    def _emit_FloatLit(self, e: ast.FloatLit) -> None:
+        self.b.emit(op.LDC_R4 if e.is_single else op.LDC_R8, e.value)
+
+    def _emit_BoolLit(self, e: ast.BoolLit) -> None:
+        self.b.emit(op.LDC_I4, 1 if e.value else 0)
+
+    def _emit_StringLit(self, e: ast.StringLit) -> None:
+        self.b.emit(op.LDSTR, e.value)
+
+    def _emit_CharLit(self, e: ast.CharLit) -> None:
+        self.b.emit(op.LDC_I4, e.value)
+
+    def _emit_NullLit(self, e: ast.NullLit) -> None:
+        self.b.emit(op.LDNULL)
+
+    def _emit_ThisExpr(self, e: ast.ThisExpr) -> None:
+        self.b.emit(op.LDARG, 0)
+
+    def _emit_Name(self, e: ast.Name) -> None:
+        kind, payload = e.res
+        if kind == "local":
+            self.b.emit(op.LDLOC, self.slot(payload))
+        elif kind == "arg":
+            self.b.emit(op.LDARG, payload.arg_index)
+        elif kind == "field":
+            self.b.emit(op.LDARG, 0)
+            self.b.emit(op.LDFLD, payload.as_ref())
+        elif kind == "sfield":
+            self.b.emit(op.LDSFLD, payload.as_ref())
+        else:
+            raise self.error(f"name {e.ident!r} is not a value", e)
+
+    def _emit_Member(self, e: ast.Member) -> None:
+        res = e.res
+        if res[0] == "sfield":
+            self.b.emit(op.LDSFLD, res[1].as_ref())
+        elif res[0] == "field":
+            self.emit_expr(e.target)
+            self.b.emit(op.LDFLD, res[1].as_ref())
+        elif res[0] == "arraylen":
+            self.emit_expr(e.target)
+            self.b.emit(op.LDLEN)
+        elif res[0] == "strlen":
+            self.emit_expr(e.target)
+            self.b.emit(
+                op.CALL,
+                MethodRef("System.String", "Length", (cts.STRING,), cts.INT32),
+            )
+        elif res[0] == "const":
+            ctype, value = res[1]
+            if ctype is cts.INT32:
+                self.b.emit(op.LDC_I4, value)
+            elif ctype is cts.INT64:
+                self.b.emit(op.LDC_I8, value)
+            elif ctype is cts.FLOAT32:
+                self.b.emit(op.LDC_R4, value)
+            else:
+                self.b.emit(op.LDC_R8, value)
+        else:  # pragma: no cover - defensive
+            raise self.error(f"cannot load member {e.name!r}", e)
+
+    def _emit_Index(self, e: ast.Index) -> None:
+        self.emit_expr(e.target)
+        for idx in e.indices:
+            self.emit_expr(idx)
+        if e.rank == 1:
+            self.b.emit(op.LDELEM, e.elem_ctype)
+        else:
+            self.b.emit(op.LDELEM_MD, (e.elem_ctype, e.rank))
+
+    def _emit_NewObject(self, e: ast.NewObject) -> None:
+        for a in e.args:
+            self.emit_expr(a)
+            if _is_struct_type(a.ctype) and not getattr(a, "coerce_to", None):
+                self.b.emit(op.STRUCT_COPY, a.ctype)
+        if e.ctor is not None:
+            ref = self.gen.method_ref(e.ctor)
+        else:
+            ref = MethodRef(e.class_info.name, ".ctor", (), cts.VOID, is_static=False)
+        self.b.emit(op.NEWOBJ, ref)
+
+    def _emit_NewArray(self, e: ast.NewArray) -> None:
+        for d in e.dims:
+            self.emit_expr(d)
+        if e.rank == 1:
+            self.b.emit(op.NEWARR, e.elem_ctype)
+        else:
+            self.b.emit(op.NEWARR_MD, (e.elem_ctype, e.rank))
+
+    def _emit_Unary(self, e: ast.Unary) -> None:
+        self.emit_expr(e.operand)
+        if e.op == "-":
+            self.b.emit(op.NEG)
+        elif e.op == "~":
+            self.b.emit(op.NOT)
+        elif e.op == "!":
+            self.b.emit(op.LDC_I4, 0)
+            self.b.emit(op.CEQ)
+
+    _BINOP = {"+": op.ADD, "-": op.SUB, "*": op.MUL, "/": op.DIV, "%": op.REM,
+              "&": op.AND, "|": op.OR, "^": op.XOR, "<<": op.SHL, ">>": op.SHR}
+
+    def _emit_Binary(self, e: ast.Binary) -> None:
+        concat = getattr(e, "concat_ref", None)
+        if concat is not None:
+            self.emit_expr(e.left)
+            self.emit_expr(e.right)
+            self.b.emit(op.CALL, concat)
+            return
+        if getattr(e, "string_equality", False):
+            self.emit_expr(e.left)
+            self.emit_expr(e.right)
+            self.b.emit(
+                op.CALL,
+                MethodRef("System.String", "Equals", (cts.STRING, cts.STRING), cts.BOOL),
+            )
+            if e.op == "!=":
+                self.b.emit(op.LDC_I4, 0)
+                self.b.emit(op.CEQ)
+            return
+        self.emit_expr(e.left)
+        self.emit_expr(e.right)
+        opcode = self._BINOP.get(e.op)
+        if opcode is not None:
+            self.b.emit(opcode)
+            return
+        # comparison as a value
+        if e.op == "==":
+            self.b.emit(op.CEQ)
+        elif e.op == "!=":
+            self.b.emit(op.CEQ)
+            self.b.emit(op.LDC_I4, 0)
+            self.b.emit(op.CEQ)
+        elif e.op == "<":
+            self.b.emit(op.CLT)
+        elif e.op == ">":
+            self.b.emit(op.CGT)
+        elif e.op == "<=":
+            self.b.emit(op.CGT)
+            self.b.emit(op.LDC_I4, 0)
+            self.b.emit(op.CEQ)
+        elif e.op == ">=":
+            self.b.emit(op.CLT)
+            self.b.emit(op.LDC_I4, 0)
+            self.b.emit(op.CEQ)
+        else:  # pragma: no cover - defensive
+            raise self.error(f"cannot emit operator {e.op}", e)
+
+    def _emit_Logical(self, e: ast.Logical) -> None:
+        out = self.b.new_label("bool.out")
+        shortcut = self.b.new_label("bool.short")
+        if e.op == "&&":
+            self._emit_cond_branch(e.left, shortcut, False)
+            self.emit_expr(e.right)
+            self.b.emit_branch(op.BR, out)
+            self.b.mark_label(shortcut)
+            self.b.emit(op.LDC_I4, 0)
+        else:
+            self._emit_cond_branch(e.left, shortcut, True)
+            self.emit_expr(e.right)
+            self.b.emit_branch(op.BR, out)
+            self.b.mark_label(shortcut)
+            self.b.emit(op.LDC_I4, 1)
+        self.b.mark_label(out)
+
+    def _emit_Conditional(self, e: ast.Conditional) -> None:
+        other = self.b.new_label("cond.else")
+        out = self.b.new_label("cond.out")
+        self.emit_branch_unless(e.cond, other)
+        self.emit_expr(e.then)
+        self.b.emit_branch(op.BR, out)
+        self.b.mark_label(other)
+        self.emit_expr(e.other)
+        self.b.mark_label(out)
+
+    def _emit_Assign(self, e: ast.Assign) -> None:
+        self.emit_assign(e, need_value=True)
+
+    def _emit_IncDec(self, e: ast.IncDec) -> None:
+        self.emit_incdec(e, need_value=True)
+
+    def _emit_Cast(self, e: ast.Cast) -> None:
+        self.emit_expr(e.operand)
+        kind = e.kind
+        if kind == "numeric":
+            self.b.emit(_conv_opcode(e.target_ctype))
+        elif kind == "identity":
+            pass
+        elif kind == "box":
+            src = e.operand.ctype
+            if _is_struct_type(src):
+                self.b.emit(op.STRUCT_COPY, src)
+            self.b.emit(op.BOX, src)
+        elif kind in ("unbox", "unbox_struct"):
+            self.b.emit(op.UNBOX, e.target_ctype)
+        elif kind == "downcast":
+            self.b.emit(op.CASTCLASS, e.target_ctype)
+        else:  # pragma: no cover - defensive
+            raise self.error(f"unknown cast kind {kind}", e)
+
+    def _emit_Call(self, e: ast.Call) -> None:
+        self.emit_call(e)
+
+    def emit_call(self, e: ast.Call) -> None:
+        kind = e.call_kind
+        if kind == "intrinsic":
+            for a in e.args:
+                self.emit_expr(a)
+            self.b.emit(op.CALL, e.method_ref)
+            return
+        if kind == "arraygetlength":
+            self.emit_expr(e.callee.target)
+            self.emit_expr(e.args[0])
+            self.b.emit(op.CALL, e.method_ref)
+            return
+        mi: MethodInfo = e.method
+        # receiver
+        if not mi.is_static:
+            if kind == "base" or getattr(e, "implicit_this", False):
+                self.b.emit(op.LDARG, 0)
+            else:
+                assert isinstance(e.callee, ast.Member)
+                self.emit_expr(e.callee.target)
+        for a in e.args:
+            self.emit_expr(a)
+            if _is_struct_type(a.ctype) and not getattr(a, "coerce_to", None):
+                self.b.emit(op.STRUCT_COPY, a.ctype)
+        ref = self.gen.method_ref(mi)
+        if kind == "virtual":
+            self.b.emit(op.CALLVIRT, ref)
+        else:
+            self.b.emit(op.CALL, ref)
+
+    # ------------------------------------------------------------- assignment
+
+    def _maybe_struct_copy(self, value: ast.Expr, target_type: CType) -> None:
+        if _is_struct_type(target_type) and not getattr(value, "coerce_to", None):
+            self.b.emit(op.STRUCT_COPY, target_type)
+
+    def emit_assign(self, e: ast.Assign, need_value: bool) -> None:
+        target = e.target
+        if e.op:
+            self.emit_compound_assign(e, need_value)
+            return
+        ttype = e.ctype
+        if isinstance(target, ast.Name) and target.res[0] in ("local", "arg"):
+            self.emit_expr(e.value)
+            self._maybe_struct_copy(e.value, ttype)
+            if need_value:
+                self.b.emit(op.DUP)
+            if target.res[0] == "local":
+                self.b.emit(op.STLOC, self.slot(target.res[1]))
+            else:
+                self.b.emit(op.STARG, target.res[1].arg_index)
+            return
+        if (isinstance(target, ast.Name) and target.res[0] == "sfield") or (
+            isinstance(target, ast.Member) and target.res[0] == "sfield"
+        ):
+            fi: FieldInfo = target.res[1]
+            self.emit_expr(e.value)
+            self._maybe_struct_copy(e.value, ttype)
+            if need_value:
+                self.b.emit(op.DUP)
+            self.b.emit(op.STSFLD, fi.as_ref())
+            return
+        if isinstance(target, ast.Name) and target.res[0] == "field":
+            fi = target.res[1]
+            self.b.emit(op.LDARG, 0)
+            self.emit_expr(e.value)
+            self._maybe_struct_copy(e.value, ttype)
+            if need_value:
+                tmp = self.temp(ttype)
+                self.b.emit(op.DUP)
+                self.b.emit(op.STLOC, tmp)
+                self.b.emit(op.STFLD, fi.as_ref())
+                self.b.emit(op.LDLOC, tmp)
+                self.release(ttype, tmp)
+            else:
+                self.b.emit(op.STFLD, fi.as_ref())
+            return
+        if isinstance(target, ast.Member) and target.res[0] == "field":
+            fi = target.res[1]
+            self.emit_expr(target.target)
+            self.emit_expr(e.value)
+            self._maybe_struct_copy(e.value, ttype)
+            if need_value:
+                tmp = self.temp(ttype)
+                self.b.emit(op.DUP)
+                self.b.emit(op.STLOC, tmp)
+                self.b.emit(op.STFLD, fi.as_ref())
+                self.b.emit(op.LDLOC, tmp)
+                self.release(ttype, tmp)
+            else:
+                self.b.emit(op.STFLD, fi.as_ref())
+            return
+        if isinstance(target, ast.Index):
+            self.emit_expr(target.target)
+            for idx in target.indices:
+                self.emit_expr(idx)
+            self.emit_expr(e.value)
+            self._maybe_struct_copy(e.value, ttype)
+            if need_value:
+                tmp = self.temp(ttype)
+                self.b.emit(op.DUP)
+                self.b.emit(op.STLOC, tmp)
+                self._emit_stelem(target)
+                self.b.emit(op.LDLOC, tmp)
+                self.release(ttype, tmp)
+            else:
+                self._emit_stelem(target)
+            return
+        raise self.error("invalid assignment target", e)
+
+    def _emit_stelem(self, target: ast.Index) -> None:
+        if target.rank == 1:
+            self.b.emit(op.STELEM, target.elem_ctype)
+        else:
+            self.b.emit(op.STELEM_MD, (target.elem_ctype, target.rank))
+
+    def _emit_storage_conv(self, from_type: CType, to_type: CType) -> None:
+        """Convert the compound-assignment result back to the target's
+        storage type when it was promoted (C# 14.14.2)."""
+        if cts.stack_type(from_type) is not cts.stack_type(to_type) or to_type in (
+            cts.INT8, cts.UINT8, cts.INT16, cts.UINT16, cts.CHAR,
+        ):
+            if to_type is not cts.BOOL:
+                self.b.emit(_conv_opcode(to_type))
+
+    def emit_compound_assign(self, e: ast.Assign, need_value: bool) -> None:
+        target = e.target
+        ttype = e.ctype
+        prom = getattr(e, "prom", None) or cts.stack_type(ttype)
+        concat = getattr(e, "concat_ref", None)
+
+        def emit_operation() -> None:
+            # current value is on the stack; promote, apply op with value
+            if concat is None and prom is not None and cts.stack_type(ttype) is not prom:
+                self.b.emit(_conv_opcode(prom))
+            self.emit_expr(e.value)
+            if concat is not None:
+                self.b.emit(op.CALL, concat)
+            else:
+                self.b.emit(self._BINOP[e.op])
+                self._emit_storage_conv(prom, ttype)
+
+        if isinstance(target, ast.Name) and target.res[0] in ("local", "arg"):
+            if target.res[0] == "local":
+                slot = self.slot(target.res[1])
+                self.b.emit(op.LDLOC, slot)
+                emit_operation()
+                if need_value:
+                    self.b.emit(op.DUP)
+                self.b.emit(op.STLOC, slot)
+            else:
+                index = target.res[1].arg_index
+                self.b.emit(op.LDARG, index)
+                emit_operation()
+                if need_value:
+                    self.b.emit(op.DUP)
+                self.b.emit(op.STARG, index)
+            return
+        if (isinstance(target, (ast.Name, ast.Member))) and target.res[0] == "sfield":
+            fi: FieldInfo = target.res[1]
+            self.b.emit(op.LDSFLD, fi.as_ref())
+            emit_operation()
+            if need_value:
+                self.b.emit(op.DUP)
+            self.b.emit(op.STSFLD, fi.as_ref())
+            return
+        if isinstance(target, ast.Name) and target.res[0] == "field":
+            fi = target.res[1]
+            self.b.emit(op.LDARG, 0)
+            self.b.emit(op.DUP)
+            self.b.emit(op.LDFLD, fi.as_ref())
+            emit_operation()
+            if need_value:
+                tmp = self.temp(ttype)
+                self.b.emit(op.DUP)
+                self.b.emit(op.STLOC, tmp)
+                self.b.emit(op.STFLD, fi.as_ref())
+                self.b.emit(op.LDLOC, tmp)
+                self.release(ttype, tmp)
+            else:
+                self.b.emit(op.STFLD, fi.as_ref())
+            return
+        if isinstance(target, ast.Member) and target.res[0] == "field":
+            fi = target.res[1]
+            self.emit_expr(target.target)
+            self.b.emit(op.DUP)
+            self.b.emit(op.LDFLD, fi.as_ref())
+            emit_operation()
+            if need_value:
+                tmp = self.temp(ttype)
+                self.b.emit(op.DUP)
+                self.b.emit(op.STLOC, tmp)
+                self.b.emit(op.STFLD, fi.as_ref())
+                self.b.emit(op.LDLOC, tmp)
+                self.release(ttype, tmp)
+            else:
+                self.b.emit(op.STFLD, fi.as_ref())
+            return
+        if isinstance(target, ast.Index):
+            # stage array + indices in temps (the csc pattern without ldelema)
+            arr_t = target.target.ctype
+            arr_tmp = self.temp(arr_t)
+            self.emit_expr(target.target)
+            self.b.emit(op.STLOC, arr_tmp)
+            idx_tmps: List[int] = []
+            for idx in target.indices:
+                t = self.temp(cts.INT32)
+                self.emit_expr(idx)
+                self.b.emit(op.STLOC, t)
+                idx_tmps.append(t)
+
+            def load_element_path() -> None:
+                self.b.emit(op.LDLOC, arr_tmp)
+                for t in idx_tmps:
+                    self.b.emit(op.LDLOC, t)
+
+            load_element_path()
+            if target.rank == 1:
+                self.b.emit(op.LDELEM, target.elem_ctype)
+            else:
+                self.b.emit(op.LDELEM_MD, (target.elem_ctype, target.rank))
+            emit_operation()
+            res_tmp = self.temp(ttype)
+            self.b.emit(op.STLOC, res_tmp)
+            load_element_path()
+            self.b.emit(op.LDLOC, res_tmp)
+            self._emit_stelem(target)
+            if need_value:
+                self.b.emit(op.LDLOC, res_tmp)
+            self.release(ttype, res_tmp)
+            self.release(arr_t, arr_tmp)
+            for t in idx_tmps:
+                self.release(cts.INT32, t)
+            return
+        raise self.error("invalid compound assignment target", e)
+
+    def emit_incdec(self, e: ast.IncDec, need_value: bool) -> None:
+        """++/-- lowered to load/add-1/store, with the value-positioning
+        dance for postfix when the result is consumed."""
+        ttype = e.ctype
+        st = cts.stack_type(ttype)
+        one_opcode, one = {
+            cts.INT32: (op.LDC_I4, 1),
+            cts.INT64: (op.LDC_I8, 1),
+            cts.FLOAT32: (op.LDC_R4, 1.0),
+            cts.FLOAT64: (op.LDC_R8, 1.0),
+        }[st]
+        add_or_sub = op.ADD if e.op == "++" else op.SUB
+        target = e.target
+
+        def emit_delta_small_conv() -> None:
+            if ttype in (cts.INT8, cts.UINT8, cts.INT16, cts.UINT16, cts.CHAR):
+                self.b.emit(_conv_opcode(ttype))
+
+        if isinstance(target, ast.Name) and target.res[0] in ("local", "arg"):
+            is_local = target.res[0] == "local"
+            slot = self.slot(target.res[1]) if is_local else target.res[1].arg_index
+            load = (op.LDLOC, slot) if is_local else (op.LDARG, slot)
+            store = (op.STLOC, slot) if is_local else (op.STARG, slot)
+            self.b.emit(*load)
+            if need_value and not e.prefix:
+                self.b.emit(op.DUP)
+            self.b.emit(one_opcode, one)
+            self.b.emit(add_or_sub)
+            emit_delta_small_conv()
+            if need_value and e.prefix:
+                self.b.emit(op.DUP)
+            self.b.emit(*store)
+            return
+        # fields/elements: reuse the compound-assignment machinery
+        synthetic = ast.Assign(line=e.line, target=target, op="+" if e.op == "++" else "-",
+                               value=ast.IntLit(line=e.line, value=1))
+        synthetic.value.ctype = cts.INT32
+        synthetic.value.coerce_to = (
+            None if st is cts.INT32 else ("conv", st)
+        )
+        synthetic.ctype = ttype
+        synthetic.prom = st
+        if need_value and not e.prefix:
+            # postfix value semantics on a field/element target: evaluate the
+            # old value into a temp first via a plain load, then increment
+            old_tmp = self.temp(ttype)
+            self.emit_expr(target)
+            self.b.emit(op.STLOC, old_tmp)
+            self.emit_compound_assign(synthetic, need_value=False)
+            self.b.emit(op.LDLOC, old_tmp)
+            self.release(ttype, old_tmp)
+        else:
+            self.emit_compound_assign(synthetic, need_value=need_value)
+
+
+def _has_try(stmt: ast.Stmt) -> bool:
+    if isinstance(stmt, (ast.Try, ast.Lock)):
+        return True
+    if isinstance(stmt, ast.Block):
+        return any(_has_try(s) for s in stmt.statements)
+    if isinstance(stmt, ast.If):
+        return _has_try(stmt.then) or (stmt.other is not None and _has_try(stmt.other))
+    if isinstance(stmt, (ast.While, ast.DoWhile)):
+        return _has_try(stmt.body)
+    if isinstance(stmt, ast.For):
+        return _has_try(stmt.body)
+    return False
+
+
+def _ends_dead(b: MethodBuilder) -> bool:
+    """True when the current position is unreachable: the last emitted
+    instruction unconditionally transfers control AND no label has been
+    marked here (a marked label means a branch will land at this spot)."""
+    instrs = b._instructions
+    if not instrs:
+        return False
+    if len(instrs) in b._marked_positions:
+        return False
+    return instrs[-1].opcode in (op.RET, op.THROW, op.RETHROW, op.BR, op.LEAVE, op.ENDFINALLY)
+
+
+class CodeGen:
+    """Generates a full :class:`~repro.cil.metadata.Assembly` from a checked
+    program."""
+
+    def __init__(self, checker: Checker, assembly_name: str) -> None:
+        self.checker = checker
+        self.assembly = Assembly(assembly_name)
+        self._method_defs: Dict[Tuple[str, str, Tuple[str, ...]], MethodDef] = {}
+
+    def method_ref(self, mi: MethodInfo) -> MethodRef:
+        return MethodRef(
+            class_name=mi.owner.name,
+            name=mi.name,
+            param_types=tuple(mi.param_types),
+            return_type=mi.return_type,
+            is_static=mi.is_static,
+        )
+
+    def generate(self) -> Assembly:
+        # declare all classes/members first so refs resolve
+        for decl in self.checker.program.classes:
+            info = self.checker.classes[decl.name]
+            cdef = ClassDef(
+                name=decl.name,
+                base_name=decl.base_name,
+                is_value_type=decl.is_struct,
+            )
+            for fname, fi in info.fields.items():
+                cdef.add_field(FieldDef(fname, fi.ctype, fi.is_static))
+            self.assembly.add_class(cdef)
+        for decl in self.checker.program.classes:
+            info = self.checker.classes[decl.name]
+            cdef = self.assembly.get_class(decl.name)
+            for mdecl in decl.methods:
+                bucket = info.methods.get(mdecl.name, [])
+                mi = next(m for m in bucket if m.decl is mdecl)
+                mdef = MethodDef(
+                    name=mi.name,
+                    param_types=list(mi.param_types),
+                    param_names=list(mi.param_names),
+                    return_type=mi.return_type,
+                    is_static=mi.is_static,
+                    is_virtual=mi.is_virtual,
+                    is_override=mi.is_override,
+                    is_ctor=mi.is_ctor,
+                )
+                cdef.add_method(mdef)
+                MethodGen(self, info, mi, mdef).generate()
+        return self.assembly

@@ -1,0 +1,214 @@
+"""Hand-written lexer for Kernel-C#.
+
+Supports: ``//`` and ``/* */`` comments, decimal and ``0x`` integer literals
+with optional ``L`` suffix, floating literals with optional exponent and
+``f``/``d`` suffixes, string and char literals with the common escapes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import LexError
+from .tokens import (
+    CHAR_LIT,
+    DOUBLE_LIT,
+    EOF,
+    FLOAT_LIT,
+    IDENT,
+    INT_LIT,
+    KEYWORD,
+    KEYWORDS,
+    LONG_LIT,
+    PUNCT,
+    PUNCTUATION,
+    STRING_LIT,
+    Token,
+)
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    '"': '"',
+    "'": "'",
+}
+
+
+class Lexer:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def error(self, message: str) -> LexError:
+        return LexError(message, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.source[i] if i < len(self.source) else ""
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        while True:
+            c = self._peek()
+            if not c:
+                return
+            if c in " \t\r\n":
+                self._advance()
+            elif c == "/" and self._peek(1) == "/":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            elif c == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._peek() and not (self._peek() == "*" and self._peek(1) == "/"):
+                    self._advance()
+                if not self._peek():
+                    raise self.error("unterminated block comment")
+                self._advance(2)
+            else:
+                return
+
+    def _number(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        src = self.source
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            digits_start = self.pos
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            if self.pos == digits_start:
+                raise self.error("malformed hex literal")
+            value = int(src[digits_start : self.pos], 16)
+            if self._peek() in "lL":
+                self._advance()
+                return Token(LONG_LIT, value, line, column)
+            return Token(INT_LIT, value, line, column)
+
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = src[start : self.pos]
+        suffix = self._peek()
+        if suffix and suffix in "fF":
+            self._advance()
+            return Token(FLOAT_LIT, float(text), line, column)
+        if suffix and suffix in "dD":
+            self._advance()
+            return Token(DOUBLE_LIT, float(text), line, column)
+        if suffix and suffix in "lL":
+            if is_float:
+                raise self.error("L suffix on floating literal")
+            self._advance()
+            return Token(LONG_LIT, int(text), line, column)
+        if is_float:
+            return Token(DOUBLE_LIT, float(text), line, column)
+        return Token(INT_LIT, int(text), line, column)
+
+    def _string(self) -> Token:
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        out: List[str] = []
+        while True:
+            c = self._peek()
+            if not c or c == "\n":
+                raise self.error("unterminated string literal")
+            if c == '"':
+                self._advance()
+                return Token(STRING_LIT, "".join(out), line, column)
+            if c == "\\":
+                self._advance()
+                esc = self._peek()
+                if esc not in _ESCAPES:
+                    raise self.error(f"unknown escape \\{esc}")
+                out.append(_ESCAPES[esc])
+                self._advance()
+            else:
+                out.append(c)
+                self._advance()
+
+    def _char(self) -> Token:
+        line, column = self.line, self.column
+        self._advance()
+        c = self._peek()
+        if c == "\\":
+            self._advance()
+            esc = self._peek()
+            if esc not in _ESCAPES:
+                raise self.error(f"unknown escape \\{esc}")
+            value = _ESCAPES[esc]
+            self._advance()
+        elif c and c != "'":
+            value = c
+            self._advance()
+        else:
+            raise self.error("empty char literal")
+        if self._peek() != "'":
+            raise self.error("unterminated char literal")
+        self._advance()
+        return Token(CHAR_LIT, ord(value), line, column)
+
+    def tokens(self) -> List[Token]:
+        out: List[Token] = []
+        while True:
+            self._skip_trivia()
+            c = self._peek()
+            if not c:
+                out.append(Token(EOF, None, self.line, self.column))
+                return out
+            if c.isdigit() or (c == "." and self._peek(1).isdigit()):
+                out.append(self._number())
+            elif c == '"':
+                out.append(self._string())
+            elif c == "'":
+                out.append(self._char())
+            elif c.isalpha() or c == "_":
+                line, column = self.line, self.column
+                start = self.pos
+                while self._peek().isalnum() or self._peek() == "_":
+                    self._advance()
+                word = self.source[start : self.pos]
+                kind = KEYWORD if word in KEYWORDS else IDENT
+                out.append(Token(kind, word, line, column))
+            else:
+                for p in PUNCTUATION:
+                    if self.source.startswith(p, self.pos):
+                        line, column = self.line, self.column
+                        self._advance(len(p))
+                        out.append(Token(PUNCT, p, line, column))
+                        break
+                else:
+                    raise self.error(f"unexpected character {c!r}")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize Kernel-C# ``source``, raising :class:`LexError` on failure."""
+    return Lexer(source).tokens()

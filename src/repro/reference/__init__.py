@@ -1,0 +1,27 @@
+"""``repro.reference`` — pure-Python oracles validating the benchmark
+kernels (paper section 3.4's computation validation)."""
+
+from .grande_ref import (
+    crypt_reference,
+    fibonacci_reference,
+    hanoi_reference,
+    heapsort_reference,
+    moldyn_reference,
+    raytracer_reference,
+    sieve_reference,
+)
+from .scimark_ref import (
+    fft_reference,
+    lu_reference,
+    montecarlo_reference,
+    sor_reference,
+    sparse_reference,
+)
+
+__all__ = [
+    "fft_reference", "sor_reference", "montecarlo_reference",
+    "sparse_reference", "lu_reference",
+    "fibonacci_reference", "sieve_reference", "hanoi_reference",
+    "heapsort_reference", "crypt_reference", "moldyn_reference",
+    "raytracer_reference",
+]

@@ -1,0 +1,420 @@
+"""Pure-Python reference implementations of the Grande/DHPC kernels.
+
+As with :mod:`repro.reference.scimark_ref`, each mirrors its Kernel-C#
+counterpart operation for operation so results compare exactly (doubles)
+or bit-exactly (integers).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+
+# ------------------------------------------------------------- fibonacci
+
+def fibonacci_reference(n: int) -> int:
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+# ------------------------------------------------------------------ sieve
+
+def sieve_reference(limit: int) -> int:
+    composite = [False] * (limit + 1)
+    count = 0
+    for p in range(2, limit + 1):
+        if not composite[p]:
+            count += 1
+            for k in range(p + p, limit + 1, p):
+                composite[k] = True
+    return count
+
+
+# ------------------------------------------------------------------ hanoi
+
+def hanoi_reference(disks: int) -> int:
+    return (1 << disks) - 1
+
+
+# --------------------------------------------------------------- heapsort
+
+def heapsort_input(n: int) -> List[int]:
+    """The benchmark's LCG input sequence."""
+    seed = 1729
+    out = []
+    for _ in range(n):
+        seed = (seed * 1309 + 13849) & 65535
+        out.append(seed)
+    return out
+
+
+def heapsort_reference(n: int) -> Tuple[int, int]:
+    data = sorted(heapsort_input(n))
+    return data[0], data[-1]
+
+
+# ------------------------------------------------------------------ crypt
+
+def _idea_mul(a: int, b: int) -> int:
+    if a == 0:
+        return (65537 - b) & 65535
+    if b == 0:
+        return (65537 - a) & 65535
+    p = a * b
+    lo = p & 65535
+    hi = (p >> 16) & 65535
+    r = lo - hi
+    if lo < hi:
+        r += 1
+    return r & 65535
+
+
+def _idea_inv(x: int) -> int:
+    if x <= 1:
+        return x
+    a, b = 65537, x
+    u0, u1 = 0, 1
+    while b != 0:
+        q = a // b
+        a, b = b, a - q * b
+        u0, u1 = u1, u0 - q * u1
+    if u0 < 0:
+        u0 += 65537
+    return u0 & 65535
+
+
+def idea_encryption_key(user_key: List[int]) -> List[int]:
+    z = [0] * 52
+    z[:8] = user_key
+    for i in range(8, 52):
+        imod = i & 7
+        if imod == 6:
+            z[i] = ((z[i - 7] << 9) | (z[i - 14] >> 7)) & 65535
+        elif imod == 7:
+            z[i] = ((z[i - 15] << 9) | (z[i - 14] >> 7)) & 65535
+        else:
+            z[i] = ((z[i - 7] << 9) | (z[i - 6] >> 7)) & 65535
+    return z
+
+
+def idea_decryption_key(z: List[int]) -> List[int]:
+    dk = [0] * 52
+    dk[48] = _idea_inv(z[0])
+    dk[49] = (65536 - z[1]) & 65535
+    dk[50] = (65536 - z[2]) & 65535
+    dk[51] = _idea_inv(z[3])
+    for r in range(8):
+        zi = 4 + r * 6
+        di = 42 - r * 6
+        dk[di + 4] = z[zi]
+        dk[di + 5] = z[zi + 1]
+        dk[di] = _idea_inv(z[zi + 2])
+        if r == 7:
+            dk[di + 1] = (65536 - z[zi + 3]) & 65535
+            dk[di + 2] = (65536 - z[zi + 4]) & 65535
+        else:
+            dk[di + 1] = (65536 - z[zi + 4]) & 65535
+            dk[di + 2] = (65536 - z[zi + 3]) & 65535
+        dk[di + 3] = _idea_inv(z[zi + 5])
+    return dk
+
+
+def idea_cipher(text: List[int], key: List[int]) -> List[int]:
+    result = [0] * len(text)
+    for b in range(len(text) // 4):
+        p = b * 4
+        x1, x2, x3, x4 = text[p : p + 4]
+        k = 0
+        for _ in range(8):
+            x1 = _idea_mul(x1, key[k])
+            x2 = (x2 + key[k + 1]) & 65535
+            x3 = (x3 + key[k + 2]) & 65535
+            x4 = _idea_mul(x4, key[k + 3])
+            t1 = x1 ^ x3
+            t2 = x2 ^ x4
+            t1 = _idea_mul(t1, key[k + 4])
+            t2 = (t1 + t2) & 65535
+            t2 = _idea_mul(t2, key[k + 5])
+            t1 = (t1 + t2) & 65535
+            x1 ^= t2
+            x4 ^= t1
+            tmp = x2 ^ t1
+            x2 = x3 ^ t2
+            x3 = tmp
+            k += 6
+        result[p] = _idea_mul(x1, key[48])
+        result[p + 1] = (x3 + key[49]) & 65535
+        result[p + 2] = (x2 + key[50]) & 65535
+        result[p + 3] = _idea_mul(x4, key[51])
+    return result
+
+
+def _i32(v: int) -> int:
+    v &= 0xFFFFFFFF
+    return v - 0x100000000 if v >= 0x80000000 else v
+
+
+def _c_rem(a: int, b: int) -> int:
+    """C-style remainder (sign of the dividend), as int32 CIL rem gives."""
+    q = abs(a) // abs(b)
+    if (a >= 0) != (b >= 0):
+        q = -q
+    return a - q * b
+
+
+def crypt_reference(words: int) -> float:
+    """The benchmark's ciphertext checksum after verifying the round trip.
+    The key-stream LCG wraps at 32 bits exactly like the guest's int."""
+    user_key = []
+    seed = 12345
+    for _ in range(8):
+        seed = _c_rem(_i32(seed * 4096 + 150889), 714025)
+        user_key.append(seed & 65535)
+    z = idea_encryption_key(user_key)
+    dk = idea_decryption_key(z)
+    plain = [(_i32(i * 40503) + 17) & 65535 for i in range(words)]
+    crypt1 = idea_cipher(plain, z)
+    plain2 = idea_cipher(crypt1, dk)
+    assert plain == plain2, "reference IDEA round trip failed"
+    return float(sum(crypt1))
+
+
+# ----------------------------------------------------------------- moldyn
+
+def moldyn_reference(mm: int, steps: int) -> Tuple[float, float]:
+    """Returns (initial energy, final energy) matching the benchmark."""
+    n = 4 * mm * mm * mm
+    density = 0.83134
+    side = (n / density) ** (1.0 / 3.0)
+    x = [0.0] * n; y = [0.0] * n; z = [0.0] * n
+    ij = 0
+    a = side / mm
+    for i in range(mm):
+        for j in range(mm):
+            for k in range(mm):
+                x[ij] = i * a;          y[ij] = j * a;          z[ij] = k * a;          ij += 1
+                x[ij] = i * a + a * 0.5; y[ij] = j * a + a * 0.5; z[ij] = k * a;          ij += 1
+                x[ij] = i * a + a * 0.5; y[ij] = j * a;          z[ij] = k * a + a * 0.5; ij += 1
+                x[ij] = i * a;          y[ij] = j * a + a * 0.5; z[ij] = k * a + a * 0.5; ij += 1
+    seed = 6751
+
+    def next_rand():
+        nonlocal seed
+        seed = (seed * 1309 + 13849) & 65535
+        return seed / 65536.0 - 0.5
+
+    vx = [0.0] * n; vy = [0.0] * n; vz = [0.0] * n
+    sumx = sumy = sumz = 0.0
+    for i in range(n):
+        vx[i] = next_rand(); vy[i] = next_rand(); vz[i] = next_rand()
+        sumx += vx[i]; sumy += vy[i]; sumz += vz[i]
+    for i in range(n):
+        vx[i] -= sumx / n
+        vy[i] -= sumy / n
+        vz[i] -= sumz / n
+
+    fx = [0.0] * n; fy = [0.0] * n; fz = [0.0] * n
+    state = {"epot": 0.0, "vir": 0.0}
+
+    def forces():
+        state["epot"] = 0.0
+        state["vir"] = 0.0
+        sideh = side * 0.5
+        for i in range(n):
+            fx[i] = fy[i] = fz[i] = 0.0
+        epot = 0.0
+        vir = 0.0
+        for i in range(n - 1):
+            xi = x[i]; yi = y[i]; zi = z[i]
+            fxi = fyi = fzi = 0.0
+            for j in range(i + 1, n):
+                dx = xi - x[j]; dy = yi - y[j]; dz = zi - z[j]
+                if dx > sideh:
+                    dx -= side
+                elif dx < -sideh:
+                    dx += side
+                if dy > sideh:
+                    dy -= side
+                elif dy < -sideh:
+                    dy += side
+                if dz > sideh:
+                    dz -= side
+                elif dz < -sideh:
+                    dz += side
+                r2 = dx * dx + dy * dy + dz * dz
+                if r2 < 0.25:
+                    r2 = 0.25
+                r2i = 1.0 / r2
+                r6i = r2i * r2i * r2i
+                lj = 48.0 * r6i * (r6i - 0.5) * r2i
+                epot += 4.0 * r6i * (r6i - 1.0)
+                vir += lj * r2
+                fxc = lj * dx; fyc = lj * dy; fzc = lj * dz
+                fxi += fxc; fyi += fyc; fzi += fzc
+                fx[j] -= fxc; fy[j] -= fyc; fz[j] -= fzc
+            fx[i] += fxi; fy[i] += fyi; fz[i] += fzi
+        state["epot"] = epot
+        state["vir"] = vir
+
+    def kinetic():
+        return sum(0.5 * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]) for i in range(n))
+
+    forces()
+    e0 = kinetic() + state["epot"]
+    dt = 0.0005
+    for _ in range(steps):
+        for i in range(n):
+            vx[i] += 0.5 * dt * fx[i]
+            vy[i] += 0.5 * dt * fy[i]
+            vz[i] += 0.5 * dt * fz[i]
+            x[i] += dt * vx[i]
+            y[i] += dt * vy[i]
+            z[i] += dt * vz[i]
+            if x[i] < 0.0:
+                x[i] += side
+            elif x[i] >= side:
+                x[i] -= side
+            if y[i] < 0.0:
+                y[i] += side
+            elif y[i] >= side:
+                y[i] -= side
+            if z[i] < 0.0:
+                z[i] += side
+            elif z[i] >= side:
+                z[i] -= side
+        forces()
+        for i in range(n):
+            vx[i] += 0.5 * dt * fx[i]
+            vy[i] += 0.5 * dt * fy[i]
+            vz[i] += 0.5 * dt * fz[i]
+    e1 = kinetic() + state["epot"]
+    return e0, e1
+
+
+# --------------------------------------------------------------- raytracer
+
+class _Vec:
+    __slots__ = ("x", "y", "z")
+
+    def __init__(self, x, y, z):
+        self.x = x
+        self.y = y
+        self.z = z
+
+
+def _add(a, b):
+    return _Vec(a.x + b.x, a.y + b.y, a.z + b.z)
+
+
+def _sub(a, b):
+    return _Vec(a.x - b.x, a.y - b.y, a.z - b.z)
+
+
+def _scale(a, s):
+    return _Vec(a.x * s, a.y * s, a.z * s)
+
+
+def _dot(a, b):
+    return a.x * b.x + a.y * b.y + a.z * b.z
+
+
+def _norm(a):
+    length = math.sqrt(_dot(a, a))
+    if length == 0.0:
+        return _Vec(0.0, 0.0, 0.0)
+    return _scale(a, 1.0 / length)
+
+
+class _Sphere:
+    __slots__ = ("center", "radius", "diffuse", "specular", "reflect", "shade")
+
+
+def raytracer_reference(size: int, grid: int) -> Tuple[float, int]:
+    count = grid * grid
+    scene = []
+    for i in range(grid):
+        for j in range(grid):
+            s = _Sphere()
+            s.center = _Vec(
+                -3.0 + i * 6.0 / (grid - 1 + 1),
+                -3.0 + j * 6.0 / (grid - 1 + 1),
+                6.0 + ((i + j) % 3) * 1.5,
+            )
+            s.radius = 0.8
+            s.diffuse = 0.7
+            s.specular = 0.3
+            s.reflect = 0.3 if (i + j) % 2 == 0 else 0.0
+            s.shade = 0.3 + 0.7 * ((i * grid + j) / float(count))
+            scene.append(s)
+    light = _Vec(-5.0, 6.0, -2.0)
+    rays = [0]
+
+    def intersect(s, origin, direction):
+        oc = _sub(s.center, origin)
+        b = _dot(oc, direction)
+        det = b * b - _dot(oc, oc) + s.radius * s.radius
+        if det < 0.0:
+            return -1.0
+        root = math.sqrt(det)
+        t = b - root
+        if t > 1.0e-6:
+            return t
+        t = b + root
+        if t > 1.0e-6:
+            return t
+        return -1.0
+
+    def find_hit(origin, direction):
+        hit = -1
+        t_best = 1.0e30
+        for k, s in enumerate(scene):
+            t = intersect(s, origin, direction)
+            if 0.0 < t < t_best:
+                t_best = t
+                hit = k
+        return hit, t_best
+
+    def trace(origin, direction, depth):
+        rays[0] += 1
+        hit, t = find_hit(origin, direction)
+        if hit < 0:
+            return 0.05
+        s = scene[hit]
+        p = _add(origin, _scale(direction, t))
+        normal = _norm(_sub(p, s.center))
+        to_light = _norm(_sub(light, p))
+        brightness = 0.1 * s.shade
+        shadow_origin = _add(p, _scale(normal, 1.0e-4))
+        blocker, st = find_hit(shadow_origin, to_light)
+        rays[0] += 1
+        lit = True
+        if blocker >= 0:
+            to_light_full = _sub(light, p)
+            light_dist = math.sqrt(_dot(to_light_full, to_light_full))
+            if st < light_dist:
+                lit = False
+        if lit:
+            diff = _dot(normal, to_light)
+            if diff > 0.0:
+                brightness += s.diffuse * diff * s.shade
+            refl = _sub(_scale(normal, 2.0 * _dot(normal, to_light)), to_light)
+            spec = _dot(refl, _scale(direction, -1.0))
+            if spec > 0.0:
+                brightness += s.specular * spec * spec * spec * spec
+        if depth > 0 and s.reflect > 0.0:
+            rdir = _sub(direction, _scale(normal, 2.0 * _dot(normal, direction)))
+            brightness += s.reflect * trace(shadow_origin, _norm(rdir), depth - 1)
+        return min(brightness, 1.0)
+
+    eye = _Vec(0.0, 0.0, -4.0)
+    checksum = 0.0
+    for py in range(size):
+        for px in range(size):
+            sx = -1.0 + 2.0 * px / float(size)
+            sy = -1.0 + 2.0 * py / float(size)
+            direction = _norm(_Vec(sx, sy, 2.0))
+            checksum += trace(eye, direction, 2)
+    return checksum, rays[0]

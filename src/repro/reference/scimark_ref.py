@@ -1,0 +1,231 @@
+"""Pure-Python reference implementations of the SciMark kernels.
+
+Each mirrors the Kernel-C# port operation-for-operation (same SciRandom
+stream, same loop order, same floating-point association), so VM outputs
+must match digit for digit — the paper section 3.4's "validation of the
+results of the computations by the different kernels".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..benchmarks.scimark.common import PySciRandom, RANDOM_SEED
+
+
+# ------------------------------------------------------------------- FFT
+
+def _log2(n: int) -> int:
+    log = 0
+    k = 1
+    while k < n:
+        k *= 2
+        log += 1
+    return log
+
+
+def _bitreverse(data: List[float]) -> None:
+    n = len(data) // 2
+    nm1 = n - 1
+    j = 0
+    for i in range(nm1):
+        ii = i << 1
+        jj = j << 1
+        k = n >> 1
+        if i < j:
+            data[ii], data[jj] = data[jj], data[ii]
+            data[ii + 1], data[jj + 1] = data[jj + 1], data[ii + 1]
+        while k <= j:
+            j -= k
+            k >>= 1
+        j += k
+
+
+def _transform_internal(data: List[float], direction: int) -> None:
+    if not data:
+        return
+    n = len(data) // 2
+    if n == 1:
+        return
+    logn = _log2(n)
+    _bitreverse(data)
+    bit = 0
+    dual = 1
+    while bit < logn:
+        w_real = 1.0
+        w_imag = 0.0
+        theta = 2.0 * direction * math.pi / (2.0 * float(dual))
+        s = math.sin(theta)
+        t = math.sin(theta / 2.0)
+        s2 = 2.0 * t * t
+        for b in range(0, n, 2 * dual):
+            i = 2 * b
+            j = 2 * (b + dual)
+            wd_real = data[j]
+            wd_imag = data[j + 1]
+            data[j] = data[i] - wd_real
+            data[j + 1] = data[i + 1] - wd_imag
+            data[i] += wd_real
+            data[i + 1] += wd_imag
+        for a in range(1, dual):
+            tmp_real = w_real - s * w_imag - s2 * w_real
+            tmp_imag = w_imag + s * w_real - s2 * w_imag
+            w_real = tmp_real
+            w_imag = tmp_imag
+            for b in range(0, n, 2 * dual):
+                i = 2 * (b + a)
+                j = 2 * (b + a + dual)
+                z1_real = data[j]
+                z1_imag = data[j + 1]
+                wd_real = w_real * z1_real - w_imag * z1_imag
+                wd_imag = w_real * z1_imag + w_imag * z1_real
+                data[j] = data[i] - wd_real
+                data[j + 1] = data[i + 1] - wd_imag
+                data[i] += wd_real
+                data[i + 1] += wd_imag
+        bit += 1
+        dual *= 2
+
+
+def fft_transform(data: List[float]) -> None:
+    _transform_internal(data, -1)
+
+
+def fft_inverse(data: List[float]) -> None:
+    _transform_internal(data, 1)
+    n = len(data) // 2
+    norm = 1.0 / float(n)
+    for i in range(len(data)):
+        data[i] *= norm
+
+
+def fft_reference(n: int, reps: int = 1, seed: int = RANDOM_SEED) -> Tuple[float, float, float]:
+    """Returns (rms, data[0], data[-1]) matching the benchmark's results."""
+    rng = PySciRandom(seed)
+    data = rng.fill(2 * n)
+    for _ in range(reps):
+        fft_transform(data)
+        fft_inverse(data)
+    copy = list(data)
+    fft_transform(data)
+    fft_inverse(data)
+    diff = 0.0
+    for a, b in zip(data, copy):
+        d = a - b
+        diff += d * d
+    rms = math.sqrt(diff / len(data))
+    return rms, data[0], data[-1]
+
+
+# ------------------------------------------------------------------- SOR
+
+def sor_reference(n: int, iters: int, seed: int = RANDOM_SEED) -> float:
+    rng = PySciRandom(seed)
+    g = [[rng.next_double() * 1.0e-6 for _ in range(n)] for _ in range(n)]
+    omega = 1.25
+    omega_over_four = omega * 0.25
+    one_minus_omega = 1.0 - omega
+    for _ in range(iters):
+        for i in range(1, n - 1):
+            gi = g[i]
+            gim1 = g[i - 1]
+            gip1 = g[i + 1]
+            for j in range(1, n - 1):
+                gi[j] = omega_over_four * (gim1[j] + gip1[j] + gi[j - 1] + gi[j + 1]) \
+                    + one_minus_omega * gi[j]
+    # element-order accumulation to match the benchmark's float association
+    checksum = 0.0
+    for i in range(n):
+        for j in range(n):
+            checksum += g[i][j]
+    return checksum
+
+
+# ------------------------------------------------------------ Monte Carlo
+
+def montecarlo_reference(samples: int, seed: int = RANDOM_SEED) -> float:
+    rng = PySciRandom(seed)
+    under = 0
+    for _ in range(samples):
+        x = rng.next_double()
+        y = rng.next_double()
+        if x * x + y * y <= 1.0:
+            under += 1
+    return (under / float(samples)) * 4.0
+
+
+# ------------------------------------------------------------------ Sparse
+
+def sparse_reference(n: int, nz: int, reps: int, seed: int = RANDOM_SEED) -> float:
+    rng = PySciRandom(seed)
+    x = rng.fill(n)
+    y = [0.0] * n
+    nr = nz // n
+    anz = nr * n
+    val = rng.fill(anz)
+    col = [0] * anz
+    row = [0] * (n + 1)
+    for r in range(n):
+        rowr = row[r]
+        row[r + 1] = rowr + nr
+        step = max(1, r // nr)
+        for i in range(nr):
+            col[rowr + i] = i * step
+    for _ in range(reps):
+        for r in range(n):
+            total = 0.0
+            for i in range(row[r], row[r + 1]):
+                total += x[col[i]] * val[i]
+            y[r] = total
+    return sum(y)
+
+
+# --------------------------------------------------------------------- LU
+
+def lu_reference(n: int, reps: int = 1, seed: int = RANDOM_SEED) -> float:
+    rng = PySciRandom(seed)
+    a = [rng.fill(n) for _ in range(n)]
+    lu = [[0.0] * n for _ in range(n)]
+    pivot = [0] * n
+    for _ in range(reps):
+        for i in range(n):
+            lu[i][:] = a[i]
+        _lu_factor(lu, pivot)
+    checksum = 0.0
+    for i in range(n):
+        for j in range(n):
+            checksum += lu[i][j]
+        checksum += pivot[i]
+    return checksum
+
+
+def _lu_factor(a: List[List[float]], pivot: List[int]) -> int:
+    n = len(a)
+    m = len(a[0])
+    min_mn = min(m, n)
+    for j in range(min_mn):
+        jp = j
+        t = abs(a[j][j])
+        for i in range(j + 1, m):
+            ab = abs(a[i][j])
+            if ab > t:
+                jp = i
+                t = ab
+        pivot[j] = jp
+        if a[jp][j] == 0.0:
+            return 1
+        if jp != j:
+            a[j], a[jp] = a[jp], a[j]
+        if j < m - 1:
+            recp = 1.0 / a[j][j]
+            for k in range(j + 1, m):
+                a[k][j] *= recp
+        if j < min_mn - 1:
+            for ii in range(j + 1, m):
+                aii = a[ii]
+                aj = a[j]
+                aiij = aii[j]
+                for jj in range(j + 1, n):
+                    aii[jj] -= aiij * aj[jj]
+    return 0

@@ -1,0 +1,19 @@
+"""``repro.runtimes`` — the eight runtime profiles of the paper's evaluation."""
+
+from .clr11 import CLR11
+from .ibm131 import IBM131
+from .jrockit81 import JROCKIT81
+from .jsharp11 import JSHARP11
+from .mono023 import MONO023
+from .native_c import NATIVE_C
+from .profile import CostTable, JitConfig, RuntimeProfile
+from .registry import ALL_PROFILES, BY_NAME, CLI_PROFILES, MICRO_PROFILES, get_profile
+from .sscli10 import SSCLI10
+from .sun14 import SUN14
+
+__all__ = [
+    "RuntimeProfile", "JitConfig", "CostTable",
+    "CLR11", "IBM131", "MONO023", "SSCLI10", "SUN14", "JROCKIT81",
+    "JSHARP11", "NATIVE_C",
+    "ALL_PROFILES", "MICRO_PROFILES", "CLI_PROFILES", "BY_NAME", "get_profile",
+]

@@ -1,0 +1,80 @@
+"""Microsoft .NET CLR 1.1 — the commercial CLI implementation.
+
+Paper evidence encoded here (section 5, Tables 5-6, Graphs 1-12):
+
+* good enregistration, but only the first 64 locals are tracked;
+* stages constant divisors through a temporary slot ("does something weird
+  by temporarily storing the constant in a variable");
+* eliminates in-loop range checks when the bound is ``array.Length``;
+* fast multiplication, slightly slower integer add/div than the IBM JVM;
+* the best Math library of the field (Graphs 6-8);
+* low loop overhead (Graph 4); very costly exception dispatch (Graph 5,
+  Windows SEH two-pass);
+* true multidimensional arrays ~4x slower than jagged (Graph 12);
+* better large-working-set array management than the JVMs (Graph 9/11).
+"""
+
+from .profile import CostTable, JitConfig, RuntimeProfile
+
+_MATH = {
+    "Abs": 8, "Max": 8, "Min": 8,
+    "Sin": 52, "Cos": 52, "Tan": 70, "Asin": 85, "Acos": 85,
+    "Atan": 60, "Atan2": 75,
+    "Floor": 18, "Ceiling": 18, "Sqrt": 30, "Exp": 70, "Log": 62,
+    "Pow": 95, "Rint": 20, "Round": 22, "Random": 40,
+}
+
+CLR11 = RuntimeProfile(
+    name="clr-1.1",
+    vendor="Microsoft",
+    kind="cli",
+    description=".NET Framework CLR 1.1 (csc + mscorjit)",
+    jit=JitConfig(
+        enreg_mode="full",
+        reg_budget=6,
+        max_tracked_locals=64,
+        copy_propagation=True,
+        constant_folding=True,
+        inline_small_methods=True,
+        inline_budget=24,
+        boundscheck_elim="length-pattern",
+        boundscheck=True,
+        fuse_compare_branch=True,
+        const_div_quirk=True,
+    ),
+    costs=CostTable(
+        reg_op=1,
+        mem_operand=2,
+        mul_i4=3,
+        mul_i8=6,
+        div_i4=26,
+        div_i8=38,
+        div_r=18,
+        branch=2,
+        call=12,
+        virtual_call_extra=4,
+        intrinsic_call=5,
+        bounds_check=5,
+        array_access=2,
+        md_array_extra=11,
+        large_array_extra=0.3,
+        field_access=2,
+        static_access=3,
+        alloc_base=34,
+        alloc_per_word=2,
+        gc_per_kbyte=20,
+        box=26,
+        unbox=7,
+        exception_throw=21000,
+        exception_frame=320,
+        exception_new=130,
+        monitor_enter=75,
+        monitor_exit=55,
+        monitor_contended=2400,
+        thread_start=55000,
+        thread_switch=1100,
+        serialize_byte=12,
+        math=_MATH,
+        math_default=60,
+    ),
+)

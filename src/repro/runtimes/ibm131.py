@@ -1,0 +1,74 @@
+"""IBM JVM 1.3.1 — "the top-of-the-line Java Virtual Machine" (paper 6).
+
+Encoded evidence: register-and-constant integer code as good as or better
+than CLR 1.1 (Table 6: "uses registers and constants throughout the loop"),
+faster integer add/div but slower multiply than the CLR, cheap exceptions,
+a strict (fdlibm-style) math library that is much slower than the CLR's,
+higher loop overhead, thin-lock monitors, and array management that falls
+behind the CLR on the large memory model.
+"""
+
+from .profile import CostTable, JitConfig, RuntimeProfile
+
+_MATH = {
+    "Abs": 10, "Max": 10, "Min": 10,
+    "Sin": 125, "Cos": 125, "Tan": 155, "Asin": 165, "Acos": 165,
+    "Atan": 130, "Atan2": 160,
+    "Floor": 35, "Ceiling": 35, "Sqrt": 38, "Exp": 135, "Log": 125,
+    "Pow": 190, "Rint": 40, "Round": 42, "Random": 55,
+}
+
+IBM131 = RuntimeProfile(
+    name="ibm-1.3.1",
+    vendor="IBM",
+    kind="jvm",
+    description="IBM JDK 1.3.1 server JIT",
+    jit=JitConfig(
+        enreg_mode="full",
+        reg_budget=7,
+        max_tracked_locals=10_000,
+        copy_propagation=True,
+        constant_folding=True,
+        inline_small_methods=True,
+        inline_budget=28,
+        boundscheck_elim="length-pattern",
+        boundscheck=True,
+        fuse_compare_branch=True,
+    ),
+    costs=CostTable(
+        reg_op=1,
+        mem_operand=2,
+        mul_i4=6,
+        mul_i8=9,
+        div_i4=18,
+        div_i8=30,
+        div_r=18,
+        branch=3,
+        branch_not_fused_extra=2,
+        call=13,
+        virtual_call_extra=3,
+        intrinsic_call=7,
+        bounds_check=3,
+        array_access=2,
+        md_array_extra=9,
+        large_array_extra=1.1,
+        field_access=2,
+        static_access=3,
+        alloc_base=30,
+        alloc_per_word=2,
+        gc_per_kbyte=16,
+        box=24,
+        unbox=7,
+        exception_throw=2300,
+        exception_frame=160,
+        exception_new=100,
+        monitor_enter=48,
+        monitor_exit=40,
+        monitor_contended=2100,
+        thread_start=50000,
+        thread_switch=1000,
+        serialize_byte=13,
+        math=_MATH,
+        math_default=120,
+    ),
+)

@@ -1,0 +1,72 @@
+"""BEA JRockit 8.1 server JVM.
+
+Grouped with Sun by the paper ("significantly better than the BEA and Sun
+implementations" — speaking of CLR/IBM).  A server-class JIT: good integer
+code and aggressive inlining, but no bounds-check elimination on these
+patterns, a strict math library, and heavier call sites.
+"""
+
+from .profile import CostTable, JitConfig, RuntimeProfile
+
+_MATH = {
+    "Abs": 11, "Max": 11, "Min": 11,
+    "Sin": 130, "Cos": 130, "Tan": 160, "Asin": 170, "Acos": 170,
+    "Atan": 135, "Atan2": 165,
+    "Floor": 36, "Ceiling": 36, "Sqrt": 40, "Exp": 140, "Log": 130,
+    "Pow": 195, "Rint": 42, "Round": 44, "Random": 58,
+}
+
+JROCKIT81 = RuntimeProfile(
+    name="jrockit-8.1",
+    vendor="BEA",
+    kind="jvm",
+    description="BEA JRockit 8.1 server JVM",
+    jit=JitConfig(
+        enreg_mode="full",
+        reg_budget=6,
+        max_tracked_locals=10_000,
+        copy_propagation=True,
+        constant_folding=True,
+        inline_small_methods=True,
+        inline_budget=30,
+        boundscheck_elim="none",
+        boundscheck=True,
+        fuse_compare_branch=True,
+    ),
+    costs=CostTable(
+        reg_op=1,
+        mem_operand=2,
+        mul_i4=5,
+        mul_i8=9,
+        mul_r=4,
+        div_i4=22,
+        div_i8=34,
+        div_r=23,
+        branch=3,
+        call=14,
+        virtual_call_extra=3,
+        intrinsic_call=8,
+        bounds_check=4,
+        array_access=3,
+        md_array_extra=10,
+        large_array_extra=1.0,
+        field_access=2,
+        static_access=3,
+        alloc_base=30,
+        alloc_per_word=2,
+        gc_per_kbyte=17,
+        box=25,
+        unbox=8,
+        exception_throw=2500,
+        exception_frame=170,
+        exception_new=105,
+        monitor_enter=55,
+        monitor_exit=45,
+        monitor_contended=2200,
+        thread_start=48000,
+        thread_switch=1000,
+        serialize_byte=14,
+        math=_MATH,
+        math_default=130,
+    ),
+)

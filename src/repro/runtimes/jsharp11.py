@@ -1,0 +1,30 @@
+"""J# on .NET 1.1 — Java source compiled by vjc, executed by the CLR.
+
+Same execution engine as CLR 1.1 (same JIT config), but Java library calls
+route through the J# compatibility layer (vjslib): math and support calls
+carry shim overhead, which is why J# trails C# on the same VM in Graphs
+9-11.
+"""
+
+from .clr11 import CLR11
+
+_MATH = {
+    "Abs": 16, "Max": 16, "Min": 16,
+    "Sin": 95, "Cos": 95, "Tan": 120, "Asin": 140, "Acos": 140,
+    "Atan": 105, "Atan2": 130,
+    "Floor": 34, "Ceiling": 34, "Sqrt": 48, "Exp": 120, "Log": 110,
+    "Pow": 165, "Rint": 38, "Round": 40, "Random": 70,
+}
+
+JSHARP11 = CLR11.with_(
+    name="jsharp-1.1",
+    vendor="Microsoft",
+    description="J# compiler targeting .NET 1.1 (vjslib shims)",
+).with_costs(
+    intrinsic_call=11,
+    call=14,
+    math=_MATH,
+    math_default=100,
+    serialize_byte=16,
+    alloc_base=40,
+)

@@ -1,0 +1,73 @@
+"""Native C/C++ baseline (MSVC) — the "MS - C" column of Graph 9.
+
+Statically compiled: no range checks, no GC tax, direct math calls, and —
+critically for the Monte Carlo caveat in section 5 — *no locking
+primitives*: "The C++ version of the benchmarks does not have any of these
+locking primitives and as such the comparison does not yield a valid
+result."  Monitor costs here are near-zero so the same IL reproduces that
+anomalously fast Monte Carlo column.
+"""
+
+from .profile import CostTable, JitConfig, RuntimeProfile
+
+_MATH = {
+    "Abs": 4, "Max": 4, "Min": 4,
+    "Sin": 48, "Cos": 48, "Tan": 65, "Asin": 80, "Acos": 80,
+    "Atan": 55, "Atan2": 70,
+    "Floor": 14, "Ceiling": 14, "Sqrt": 28, "Exp": 65, "Log": 58,
+    "Pow": 90, "Rint": 16, "Round": 18, "Random": 32,
+}
+
+NATIVE_C = RuntimeProfile(
+    name="native-c",
+    vendor="Microsoft VC++",
+    kind="native",
+    description="statically compiled C/C++ baseline",
+    jit=JitConfig(
+        enreg_mode="full",
+        reg_budget=8,
+        max_tracked_locals=10_000,
+        copy_propagation=True,
+        constant_folding=True,
+        inline_small_methods=True,
+        inline_budget=48,
+        boundscheck_elim="length-pattern",
+        boundscheck=False,
+        fuse_compare_branch=True,
+    ),
+    costs=CostTable(
+        reg_op=1,
+        mem_operand=2,
+        mul_i4=3,
+        mul_i8=6,
+        div_i4=16,
+        div_i8=26,
+        div_r=14,
+        branch=2,
+        call=6,
+        virtual_call_extra=2,
+        intrinsic_call=2,
+        bounds_check=0,
+        array_access=2,
+        md_array_extra=2,
+        large_array_extra=0.2,
+        field_access=2,
+        static_access=2,
+        alloc_base=22,
+        alloc_per_word=1,
+        gc_per_kbyte=3,
+        box=20,
+        unbox=4,
+        exception_throw=8000,
+        exception_frame=120,
+        exception_new=60,
+        monitor_enter=3,
+        monitor_exit=2,
+        monitor_contended=100,
+        thread_start=40000,
+        thread_switch=900,
+        serialize_byte=8,
+        math=_MATH,
+        math_default=50,
+    ),
+)

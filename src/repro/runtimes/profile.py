@@ -1,0 +1,136 @@
+"""Runtime profile: everything that distinguishes one VM from another.
+
+A profile bundles (a) the JIT pipeline configuration — which optimizations
+the runtime's code emitter performs, the paper's section-5 root cause for
+nearly every performance difference — and (b) the runtime-service cost
+table (exception dispatch, allocation/GC, monitors, math library, thread
+start).
+
+Calibration rules (DESIGN.md section 6): parameters are set once, per
+profile, from the paper's qualitative descriptions; individual benchmark
+numbers are *outputs*.  Benchmarks and the executor never branch on a
+profile's name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class JitConfig:
+    """Code-quality knobs of the runtime's JIT emitter."""
+
+    #: 'full' — locals + temps enregistered by usage frequency (CLR, IBM);
+    #: 'partial' — a few hot values in registers, rest in the frame (Mono);
+    #: 'none' — everything through memory (SSCLI's portable JIT)
+    enreg_mode: str = "full"
+    #: modelled allocatable machine registers
+    reg_budget: int = 6
+    #: CLR 1.0/1.1 only tracked the first 64 locals for enregistration
+    max_tracked_locals: int = 10_000
+    #: collapse stack-shuffle moves (Mono/SSCLI keep them: "very close to
+    #: the actual CIL code")
+    copy_propagation: bool = True
+    constant_folding: bool = True
+    #: inline small non-virtual methods
+    inline_small_methods: bool = True
+    inline_budget: int = 24
+    #: 'none' | 'length-pattern' (hoist the range check when the loop bound
+    #: is the array's own Length)
+    boundscheck_elim: str = "none"
+    #: native code performs no range checks at all
+    boundscheck: bool = True
+    #: emit compare+branch as one fused jump
+    fuse_compare_branch: bool = True
+    #: CLR 1.1 quirk: stages a constant divisor through a stack slot
+    const_div_quirk: bool = False
+    #: SSCLI quirk: emulates cdq with explicit loads and shifts before idiv
+    cdq_emulation: bool = False
+
+
+@dataclass(frozen=True)
+class CostTable:
+    """Cycle costs.  ``reg_op`` is the baseline ALU cost; each operand that
+    lives in the stack frame instead of a register adds ``mem_operand``."""
+
+    reg_op: int = 1
+    mem_operand: int = 2
+    mov: int = 1
+    mul_i4: int = 3
+    mul_i8: int = 5
+    mul_r: int = 3
+    div_i4: int = 22
+    div_i8: int = 30
+    div_r: int = 18
+    rem_extra: int = 4
+    conv: int = 2
+    conv_r_i: int = 8
+    branch: int = 2
+    branch_not_fused_extra: int = 2
+    #: static/instance calls: frame setup + return
+    call: int = 12
+    virtual_call_extra: int = 4
+    intrinsic_call: int = 6
+    #: range check cost when not eliminated
+    bounds_check: int = 2
+    array_access: int = 2
+    #: extra per md-array access (index arithmetic / helper call)
+    md_array_extra: int = 8
+    #: extra per element access on arrays larger than the cache-resident
+    #: threshold (the "large memory model" effect; paper section 5)
+    large_array_extra: float = 0.0
+    field_access: int = 2
+    static_access: int = 3
+    #: object allocation: header + zeroing per 8 bytes
+    alloc_base: int = 40
+    alloc_per_word: int = 2
+    #: GC charged per byte allocated, amortized
+    gc_per_kbyte: int = 24
+    box: int = 30
+    unbox: int = 8
+    cast_check: int = 6
+    struct_copy_per_field: int = 2
+    #: two-pass exception dispatch: per throw + per frame searched
+    exception_throw: int = 20000
+    exception_frame: int = 300
+    exception_new: int = 120
+    monitor_enter: int = 80
+    monitor_exit: int = 60
+    monitor_contended: int = 2500
+    thread_start: int = 60000
+    thread_switch: int = 1200
+    serialize_byte: int = 14
+    string_char: int = 2
+    #: per-call costs of the math library, by routine name; missing names
+    #: fall back to ``math_default``
+    math: Dict[str, int] = field(default_factory=dict)
+    math_default: int = 40
+
+
+@dataclass(frozen=True)
+class RuntimeProfile:
+    """One virtual machine (or the native baseline)."""
+
+    name: str
+    vendor: str
+    kind: str  # 'cli' | 'jvm' | 'native'
+    jit: JitConfig = field(default_factory=JitConfig)
+    costs: CostTable = field(default_factory=CostTable)
+    #: nominal clock of the paper's test machine
+    clock_hz: float = 2.8e9
+    description: str = ""
+
+    def math_cost(self, routine: str) -> int:
+        return self.costs.math.get(routine, self.costs.math_default)
+
+    def with_(self, **kwargs) -> "RuntimeProfile":
+        """Derived profile with replaced fields (used by ablation benches)."""
+        return replace(self, **kwargs)
+
+    def with_jit(self, **kwargs) -> "RuntimeProfile":
+        return replace(self, jit=replace(self.jit, **kwargs))
+
+    def with_costs(self, **kwargs) -> "RuntimeProfile":
+        return replace(self, costs=replace(self.costs, **kwargs))

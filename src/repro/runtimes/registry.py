@@ -1,0 +1,43 @@
+"""Registry of all runtime profiles, ordered as in the paper's graphs."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .clr11 import CLR11
+from .ibm131 import IBM131
+from .jrockit81 import JROCKIT81
+from .jsharp11 import JSHARP11
+from .mono023 import MONO023
+from .native_c import NATIVE_C
+from .profile import RuntimeProfile
+from .sscli10 import SSCLI10
+from .sun14 import SUN14
+
+#: Graph 9 column order: MS-C++, Java IBM, C# .NET 1.1, Java BEA, J#, Java Sun, Mono, Rotor
+ALL_PROFILES: List[RuntimeProfile] = [
+    NATIVE_C,
+    IBM131,
+    CLR11,
+    JROCKIT81,
+    JSHARP11,
+    SUN14,
+    MONO023,
+    SSCLI10,
+]
+
+#: the four VMs of the micro-benchmark section (Graphs 1-8)
+MICRO_PROFILES: List[RuntimeProfile] = [IBM131, CLR11, MONO023, SSCLI10]
+
+#: the three CLI implementations
+CLI_PROFILES: List[RuntimeProfile] = [CLR11, MONO023, SSCLI10]
+
+BY_NAME: Dict[str, RuntimeProfile] = {p.name: p for p in ALL_PROFILES}
+
+
+def get_profile(name: str) -> RuntimeProfile:
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(BY_NAME))
+        raise KeyError(f"unknown runtime profile {name!r}; known: {known}") from None

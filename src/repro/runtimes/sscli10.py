@@ -1,0 +1,75 @@
+"""SSCLI 1.0 ("Rotor") — Microsoft's shared-source CLI, portability-first.
+
+Paper: "5 to 10 times as slow" as CLR 1.1; Table 8 shows everything staged
+through the stack frame and cdq emulated "with loads and shifts"; section 6:
+"it needs a new JIT if it wants to play a role in any environment that
+takes performance seriously."  Modelled as a non-optimizing JIT: no
+enregistration, no copy propagation, no constant folding, no inlining, no
+fused compare-and-branch, the cdq-emulation division quirk, and slow
+runtime services throughout.
+"""
+
+from .profile import CostTable, JitConfig, RuntimeProfile
+
+_MATH = {
+    "Abs": 18, "Max": 18, "Min": 18,
+    "Sin": 95, "Cos": 95, "Tan": 120, "Asin": 135, "Acos": 135,
+    "Atan": 105, "Atan2": 130,
+    "Floor": 40, "Ceiling": 40, "Sqrt": 55, "Exp": 120, "Log": 105,
+    "Pow": 160, "Rint": 45, "Round": 48, "Random": 75,
+}
+
+SSCLI10 = RuntimeProfile(
+    name="sscli-1.0",
+    vendor="Microsoft (shared source)",
+    kind="cli",
+    description="SSCLI 1.0 'Rotor' portable JIT (fjit)",
+    jit=JitConfig(
+        enreg_mode="none",
+        reg_budget=0,
+        max_tracked_locals=0,
+        copy_propagation=False,
+        constant_folding=False,
+        inline_small_methods=False,
+        boundscheck_elim="none",
+        boundscheck=True,
+        fuse_compare_branch=False,
+        cdq_emulation=True,
+    ),
+    costs=CostTable(
+        reg_op=1,
+        mem_operand=2,
+        mul_i4=5,
+        mul_i8=9,
+        div_i4=34,   # idiv plus the emulated-cdq load/shift sequence
+        div_i8=50,
+        div_r=24,
+        branch=3,
+        branch_not_fused_extra=3,
+        call=26,
+        virtual_call_extra=8,
+        intrinsic_call=12,
+        bounds_check=4,
+        array_access=3,
+        md_array_extra=18,
+        large_array_extra=0.6,
+        field_access=4,
+        static_access=5,
+        alloc_base=70,
+        alloc_per_word=4,
+        gc_per_kbyte=36,
+        box=50,
+        unbox=14,
+        exception_throw=42000,
+        exception_frame=600,
+        exception_new=220,
+        monitor_enter=240,
+        monitor_exit=190,
+        monitor_contended=4200,
+        thread_start=90000,
+        thread_switch=2000,
+        serialize_byte=24,
+        math=_MATH,
+        math_default=110,
+    ),
+)

@@ -1,0 +1,72 @@
+"""Sun HotSpot 1.4 client JVM.
+
+Paper section 6: the CLR 1.1 performs "significantly better than the BEA
+and Sun implementations" on these kernels.  Modelled as a competent but
+conservative JIT: full enregistration with a smaller budget, no bounds-check
+elimination, a strict (slow) math library, and cheap JVM-style exceptions.
+"""
+
+from .profile import CostTable, JitConfig, RuntimeProfile
+
+_MATH = {
+    "Abs": 11, "Max": 11, "Min": 11,
+    "Sin": 140, "Cos": 140, "Tan": 170, "Asin": 180, "Acos": 180,
+    "Atan": 145, "Atan2": 175,
+    "Floor": 38, "Ceiling": 38, "Sqrt": 44, "Exp": 150, "Log": 140,
+    "Pow": 210, "Rint": 44, "Round": 46, "Random": 60,
+}
+
+SUN14 = RuntimeProfile(
+    name="sun-1.4",
+    vendor="Sun Microsystems",
+    kind="jvm",
+    description="Sun HotSpot 1.4",
+    jit=JitConfig(
+        enreg_mode="full",
+        reg_budget=5,
+        max_tracked_locals=10_000,
+        copy_propagation=True,
+        constant_folding=True,
+        inline_small_methods=True,
+        inline_budget=20,
+        boundscheck_elim="none",
+        boundscheck=True,
+        fuse_compare_branch=True,
+    ),
+    costs=CostTable(
+        reg_op=1,
+        mem_operand=2,
+        mul_i4=6,
+        mul_i8=10,
+        mul_r=5,
+        div_i4=24,
+        div_i8=36,
+        div_r=26,
+        branch=3,
+        call=15,
+        virtual_call_extra=4,
+        intrinsic_call=8,
+        bounds_check=4,
+        array_access=3,
+        md_array_extra=10,
+        large_array_extra=1.2,
+        field_access=2,
+        static_access=3,
+        alloc_base=32,
+        alloc_per_word=2,
+        gc_per_kbyte=18,
+        box=26,
+        unbox=8,
+        exception_throw=2600,
+        exception_frame=180,
+        exception_new=110,
+        monitor_enter=60,
+        monitor_exit=48,
+        monitor_contended=2300,
+        thread_start=52000,
+        thread_switch=1050,
+        serialize_byte=14,
+        math=_MATH,
+        math_default=140,
+    ),
+)

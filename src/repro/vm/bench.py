@@ -1,0 +1,86 @@
+"""Guest-visible benchmark instrumentation (the JGF instrumentor analogue).
+
+Benchmarks call ``Bench.Start/Stop/Ops/Flops/Result`` from managed code; the
+recorder keys everything by section name and reads time from the machine's
+*simulated cycle counter*, so results are deterministic and wall-clock-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import BenchmarkError
+
+
+@dataclass
+class Section:
+    name: str
+    total_cycles: int = 0
+    started_at: Optional[int] = None
+    ops: int = 0
+    flops: int = 0
+    #: named validation values recorded by the benchmark
+    results: List[float] = field(default_factory=list)
+
+    def ops_per_sec(self, clock_hz: float) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.ops / (self.total_cycles / clock_hz)
+
+    def mflops(self, clock_hz: float) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.flops / (self.total_cycles / clock_hz) / 1e6
+
+    @property
+    def seconds_at(self) -> Callable[[float], float]:
+        return lambda clock_hz: self.total_cycles / clock_hz
+
+
+class BenchRecorder:
+    """Collects named sections; one per benchmark kernel/variant."""
+
+    def __init__(self, now: Callable[[], int]) -> None:
+        self._now = now
+        self.sections: Dict[str, Section] = {}
+        self.failures: List[str] = []
+
+    def section(self, name: str) -> Section:
+        s = self.sections.get(name)
+        if s is None:
+            s = Section(name)
+            self.sections[name] = s
+        return s
+
+    def start(self, name: str) -> None:
+        s = self.section(name)
+        if s.started_at is not None:
+            raise BenchmarkError(f"section {name!r} started twice")
+        s.started_at = self._now()
+
+    def stop(self, name: str) -> None:
+        s = self.section(name)
+        if s.started_at is None:
+            raise BenchmarkError(f"section {name!r} stopped while not running")
+        s.total_cycles += self._now() - s.started_at
+        s.started_at = None
+
+    def add_ops(self, name: str, n: int) -> None:
+        self.section(name).ops += n
+
+    def add_flops(self, name: str, n: int) -> None:
+        self.section(name).flops += n
+
+    def add_result(self, name: str, value: float) -> None:
+        self.section(name).results.append(value)
+
+    def fail(self, message: str) -> None:
+        self.failures.append(message)
+
+    def require_valid(self) -> None:
+        if self.failures:
+            raise BenchmarkError("; ".join(self.failures))
+        for s in self.sections.values():
+            if s.started_at is not None:
+                raise BenchmarkError(f"section {s.name!r} never stopped")

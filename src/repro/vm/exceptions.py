@@ -1,0 +1,49 @@
+"""Managed exception plumbing shared by both execution engines."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import VMError
+from .loader import LoadedAssembly, RuntimeClass
+from .objects import ObjectInstance
+
+
+class GuestException(Exception):
+    """Host-side carrier for an in-flight managed exception."""
+
+    __slots__ = ("obj",)
+
+    def __init__(self, obj: ObjectInstance) -> None:
+        self.obj = obj
+        super().__init__(obj.rtclass.name)
+
+    @property
+    def type_name(self) -> str:
+        return self.obj.rtclass.name
+
+    def message(self) -> str:
+        slot = self.obj.rtclass.field_slots.get("Message")
+        if slot is None:
+            return ""
+        value = self.obj.fields[slot]
+        return value if isinstance(value, str) else ""
+
+
+def make_exception(
+    loaded: LoadedAssembly, class_name: str, message: str = ""
+) -> GuestException:
+    """Create a managed exception instance without running its constructor
+    (runtime-raised exceptions set ``Message`` directly, like the CLR's
+    fast paths for ``NullReferenceException`` etc.)."""
+    rc = loaded.get_class(class_name)
+    obj = loaded.new_instance(rc)
+    slot = rc.field_slots.get("Message")
+    if slot is not None:
+        obj.fields[slot] = message
+    return GuestException(obj)
+
+
+def matches(exc_class: RuntimeClass, catch_class: RuntimeClass) -> bool:
+    """Catch-clause type test: runtime class IS-A catch type."""
+    return exc_class.is_subclass_of(catch_class)

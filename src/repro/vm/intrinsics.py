@@ -1,0 +1,380 @@
+"""Intrinsic (BCL) method semantics shared by both execution engines.
+
+Each intrinsic is ``fn(host, args) -> value``.  ``host`` is the executing
+engine and provides at least:
+
+* ``now() -> int`` — the simulated cycle counter (0 in the plain interpreter)
+* ``bench`` — a :class:`~repro.vm.bench.BenchRecorder`
+* ``stdout`` — list of emitted output lines
+* ``rng`` — the deterministic ``Math.Random`` generator
+* ``serializer`` — a :class:`Serializer`
+* ``charge_units(kind, n)`` — data-dependent cost hook (no-op when the
+  engine does not do cycle accounting)
+* ``gc_collect()`` / ``total_allocated()`` — heap hooks
+
+Thread and Monitor intrinsics are *not* in this table: they interact with
+the scheduler, so the threaded engine intercepts them; the single-threaded
+interpreter provides degenerate semantics separately.
+
+``Math.Random`` uses java.util.Random's LCG so the "support code kept
+identical" rule from the paper holds across every runtime profile *and*
+the Python reference implementations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import VMError
+from .objects import BoxedValue, MDArray, ObjectInstance, SZArray, StructValue
+from .values import i32, i64, r4
+
+
+class JavaRandom:
+    """java.util.Random's 48-bit LCG (nextDouble), fixed seed by default."""
+
+    MULT = 0x5DEECE66D
+    ADD = 0xB
+    MASK = (1 << 48) - 1
+
+    def __init__(self, seed: int = 12345) -> None:
+        self.seed = (seed ^ self.MULT) & self.MASK
+
+    def _next(self, bits: int) -> int:
+        self.seed = (self.seed * self.MULT + self.ADD) & self.MASK
+        return self.seed >> (48 - bits)
+
+    def next_double(self) -> float:
+        return ((self._next(26) << 27) + self._next(27)) / float(1 << 53)
+
+    def next_int(self) -> int:
+        return i32(self._next(32))
+
+
+class Serializer:
+    """The Serial micro-benchmark's object stream.
+
+    ``write`` walks the object graph, charging per node/field, and appends a
+    structural snapshot; ``read`` pops snapshots FIFO and rebuilds fresh
+    objects — semantically a round-trip through a binary formatter.
+    """
+
+    def __init__(self) -> None:
+        self.stream: List = []
+        self.bytes_written = 0
+
+    def reset(self) -> None:
+        self.stream.clear()
+        self.bytes_written = 0
+
+    def write(self, obj, host) -> int:
+        size, snapshot = self._snapshot(obj, {}, host)
+        self.stream.append(snapshot)
+        self.bytes_written += size
+        host.charge_units("serialize_byte", size)
+        return size
+
+    def read(self, host):
+        if not self.stream:
+            raise VMError("Serializer.ReadObject on empty stream")
+        snapshot = self.stream.pop(0)
+        size, value = self._rebuild(snapshot, {}, host)
+        host.charge_units("serialize_byte", size)
+        return value
+
+    # snapshots are (kind, payload) trees; shared nodes via id-map
+    def _snapshot(self, obj, seen: Dict[int, int], host) -> Tuple[int, object]:
+        if obj is None:
+            return 1, ("null",)
+        if isinstance(obj, (int, float)):
+            return 8, ("prim", obj)
+        if isinstance(obj, str):
+            return 4 + 2 * len(obj), ("str", obj)
+        oid = id(obj)
+        if oid in seen:
+            return 4, ("ref", seen[oid])
+        index = len(seen)
+        seen[oid] = index
+        if isinstance(obj, BoxedValue):
+            return 12, ("box", obj.type_name, obj.value)
+        if isinstance(obj, SZArray):
+            total = 8
+            items = []
+            for v in obj.data:
+                s, snap = self._snapshot(v, seen, host)
+                total += s
+                items.append(snap)
+            return total, ("szarray", obj.elem, items)
+        if isinstance(obj, MDArray):
+            total = 8 + 4 * len(obj.dims)
+            items = []
+            for v in obj.data:
+                s, snap = self._snapshot(v, seen, host)
+                total += s
+                items.append(snap)
+            return total, ("mdarray", obj.elem, obj.dims, items)
+        if isinstance(obj, (ObjectInstance, StructValue)):
+            total = 16 + 2 * len(obj.rtclass.name)
+            items = []
+            for v in obj.fields:
+                s, snap = self._snapshot(v, seen, host)
+                total += s
+                items.append(snap)
+            return total, ("object", obj.rtclass, items)
+        raise VMError(f"cannot serialize {type(obj).__name__}")
+
+    def _rebuild(self, snap, memo: Dict[int, object], host) -> Tuple[int, object]:
+        kind = snap[0]
+        if kind == "null":
+            return 1, None
+        if kind == "prim":
+            return 8, snap[1]
+        if kind == "str":
+            return 4 + 2 * len(snap[1]), snap[1]
+        if kind == "ref":
+            return 4, memo[snap[1]]
+        index = len(memo)
+        if kind == "box":
+            value = BoxedValue(snap[1], snap[2])
+            memo[index] = value
+            return 12, value
+        if kind == "szarray":
+            arr = SZArray(snap[1], len(snap[2]))
+            memo[index] = arr
+            total = 8
+            for i, item in enumerate(snap[2]):
+                s, v = self._rebuild(item, memo, host)
+                arr.data[i] = v
+                total += s
+            return total, arr
+        if kind == "mdarray":
+            arr = MDArray(snap[1], snap[2])
+            memo[index] = arr
+            total = 8 + 4 * len(snap[2])
+            for i, item in enumerate(snap[3]):
+                s, v = self._rebuild(item, memo, host)
+                arr.data[i] = v
+                total += s
+            return total, arr
+        if kind == "object":
+            rtclass = snap[1]
+            cls = ObjectInstance if not rtclass.is_value_type else StructValue
+            obj = cls(rtclass, [None] * len(snap[2]))
+            memo[index] = obj
+            total = 16 + 2 * len(rtclass.name)
+            for i, item in enumerate(snap[2]):
+                s, v = self._rebuild(item, memo, host)
+                obj.fields[i] = v
+                total += s
+            return total, obj
+        raise VMError(f"bad snapshot kind {kind}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# math helpers with C#/Java edge-case semantics (NaN instead of exceptions)
+# ---------------------------------------------------------------------------
+
+_NAN = float("nan")
+
+
+def _safe(fn: Callable[..., float]) -> Callable[..., float]:
+    def wrapped(*args: float) -> float:
+        try:
+            return fn(*args)
+        except (ValueError, OverflowError):
+            return _NAN
+
+    return wrapped
+
+
+def _log(x: float) -> float:
+    if x == 0.0:
+        return float("-inf")
+    if x < 0.0 or x != x:
+        return _NAN
+    return math.log(x)
+
+
+def _pow(x: float, y: float) -> float:
+    try:
+        r = math.pow(x, y)
+        return r
+    except OverflowError:
+        return float("inf")
+    except ValueError:
+        return _NAN
+
+
+def _rint(x: float) -> float:
+    """Round half to even, result as float (Java Math.rint / C# Math.Round)."""
+    if x != x or math.isinf(x):
+        return x
+    floor = math.floor(x)
+    diff = x - floor
+    if diff < 0.5:
+        return floor
+    if diff > 0.5:
+        return floor + 1.0
+    return floor if math.fmod(floor, 2.0) == 0.0 else floor + 1.0
+
+
+def _exp(x: float) -> float:
+    try:
+        return math.exp(x)
+    except OverflowError:
+        return float("inf")
+
+
+# ---------------------------------------------------------------------------
+# the dispatch table
+# ---------------------------------------------------------------------------
+
+
+def _writeline(host, args):
+    text = _to_text(args[0]) if args else ""
+    host.stdout.append(text)
+    return None
+
+
+def _write(host, args):
+    text = _to_text(args[0])
+    if host.stdout and not host.stdout[-1].endswith("\n") and host.stdout[-1] != "":
+        host.stdout[-1] += text
+    else:
+        host.stdout.append(text)
+    return None
+
+
+def _to_text(v) -> str:
+    if v is None:
+        return ""
+    if isinstance(v, bool):  # pragma: no cover - bools arrive as ints
+        return "True" if v else "False"
+    if isinstance(v, float):
+        return repr(v)
+    return str(v)
+
+
+def build_table() -> Dict[Tuple[str, str, int], Callable]:
+    t: Dict[Tuple[str, str, int], Callable] = {}
+
+    def reg(cls: str, name: str, nargs: int, fn: Callable) -> None:
+        t[(cls, name, nargs)] = fn
+
+    # --- Math ---------------------------------------------------------------
+    m = "System.Math"
+    reg(m, "Abs", 1, lambda h, a: abs(a[0]))
+    reg(m, "Max", 2, lambda h, a: a[0] if a[0] >= a[1] else a[1])
+    reg(m, "Min", 2, lambda h, a: a[0] if a[0] <= a[1] else a[1])
+    reg(m, "Sin", 1, lambda h, a: math.sin(a[0]) if a[0] == a[0] and not math.isinf(a[0]) else _NAN)
+    reg(m, "Cos", 1, lambda h, a: math.cos(a[0]) if a[0] == a[0] and not math.isinf(a[0]) else _NAN)
+    reg(m, "Tan", 1, lambda h, a: math.tan(a[0]) if a[0] == a[0] and not math.isinf(a[0]) else _NAN)
+    reg(m, "Asin", 1, lambda h, a: _safe(math.asin)(a[0]))
+    reg(m, "Acos", 1, lambda h, a: _safe(math.acos)(a[0]))
+    reg(m, "Atan", 1, lambda h, a: math.atan(a[0]))
+    reg(m, "Atan2", 2, lambda h, a: math.atan2(a[0], a[1]))
+    reg(m, "Floor", 1, lambda h, a: float(math.floor(a[0])) if a[0] == a[0] and not math.isinf(a[0]) else a[0])
+    reg(m, "Ceiling", 1, lambda h, a: float(math.ceil(a[0])) if a[0] == a[0] and not math.isinf(a[0]) else a[0])
+    reg(m, "Sqrt", 1, lambda h, a: math.sqrt(a[0]) if a[0] >= 0.0 else _NAN)
+    reg(m, "Exp", 1, lambda h, a: _exp(a[0]))
+    reg(m, "Log", 1, lambda h, a: _log(a[0]))
+    reg(m, "Pow", 2, lambda h, a: _pow(a[0], a[1]))
+    reg(m, "Rint", 1, lambda h, a: _rint(a[0]))
+    reg(m, "Round", 1, lambda h, a: _rint(a[0]))
+    reg(m, "Random", 0, lambda h, a: h.rng.next_double())
+
+    # --- Console -------------------------------------------------------------
+    c = "System.Console"
+    reg(c, "WriteLine", 1, _writeline)
+    reg(c, "WriteLine", 0, _writeline)
+    reg(c, "Write", 1, _write)
+
+    # --- Bench ----------------------------------------------------------------
+    b = "Bench"
+    reg(b, "Start", 1, lambda h, a: h.bench.start(a[0]))
+    reg(b, "Stop", 1, lambda h, a: h.bench.stop(a[0]))
+    reg(b, "Ops", 2, lambda h, a: h.bench.add_ops(a[0], a[1]))
+    reg(b, "Flops", 2, lambda h, a: h.bench.add_flops(a[0], a[1]))
+    reg(b, "Result", 2, lambda h, a: h.bench.add_result(a[0], a[1]))
+    reg(b, "Fail", 1, lambda h, a: h.bench.fail(a[0]))
+
+    # --- String ---------------------------------------------------------------
+    s = "System.String"
+
+    def concat(h, a):
+        left, right = a
+        text = _concat_text(left) + _concat_text(right)
+        h.charge_units("string_char", len(text))
+        return text
+
+    reg(s, "Concat", 2, concat)
+    reg(s, "Equals", 2, lambda h, a: 1 if a[0] == a[1] else 0)
+    reg(s, "Length", 1, lambda h, a: len(a[0]))
+
+    # --- Array ------------------------------------------------------------------
+
+    def get_length(h, a):
+        arr, dim = a
+        if isinstance(arr, MDArray):
+            if dim < 0 or dim >= len(arr.dims):
+                raise VMError("GetLength dimension out of range")
+            return arr.dims[dim]
+        if isinstance(arr, SZArray):
+            if dim != 0:
+                raise VMError("GetLength dimension out of range")
+            return arr.length
+        raise VMError("GetLength on non-array")
+
+    reg("System.Array", "GetLength", 2, get_length)
+
+    # --- Serializer ----------------------------------------------------------------
+    z = "Serializer"
+    reg(z, "Reset", 0, lambda h, a: h.serializer.reset())
+    reg(z, "WriteObject", 1, lambda h, a: h.serializer.write(a[0], h))
+    reg(z, "ReadObject", 0, lambda h, a: h.serializer.read(h))
+    reg(z, "Size", 0, lambda h, a: i32(h.serializer.bytes_written))
+
+    # --- GC / Env ---------------------------------------------------------------
+    reg("System.GC", "Collect", 0, lambda h, a: h.gc_collect())
+    reg("System.GC", "TotalAllocated", 0, lambda h, a: i64(h.total_allocated()))
+    reg("Env", "Clock", 0, lambda h, a: i64(h.now()))
+    reg("Env", "ThreadCount", 0, lambda h, a: h.thread_count())
+
+    return t
+
+
+def _concat_text(v) -> str:
+    if isinstance(v, str):
+        return v
+    if v is None:
+        return ""
+    if isinstance(v, float):
+        return repr(v)
+    if isinstance(v, BoxedValue):
+        return _concat_text(v.value)
+    return str(v)
+
+
+INTRINSICS = build_table()
+
+#: intrinsic class names whose calls the engines route here
+INTRINSIC_CLASSES = frozenset(
+    {
+        "System.Math",
+        "System.Console",
+        "Bench",
+        "System.String",
+        "System.Array",
+        "Serializer",
+        "System.GC",
+        "Env",
+        "System.Threading.Thread",
+        "System.Threading.Monitor",
+    }
+)
+
+#: the thread/monitor subset needing scheduler interception
+THREADING_CLASSES = frozenset(
+    {"System.Threading.Thread", "System.Threading.Monitor"}
+)

@@ -1,0 +1,186 @@
+"""Assembly loading and linking.
+
+Turns :class:`~repro.cil.metadata.Assembly` metadata into runtime structures:
+field slot layouts (base-class fields first, like the CLR's layout engine),
+virtual-method tables, static storage, and resolved method lookup — the
+"load types in a way that they can be isolated yet share resources" design
+rule from the paper's section 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cil import cts
+from ..cil.cts import CType
+from ..cil.instructions import FieldRef, MethodRef
+from ..cil.metadata import Assembly, ClassDef, FieldDef, MethodDef
+from ..errors import LoadError
+from .objects import ObjectInstance, StructValue, zero_value
+
+_SigKey = Tuple[str, Tuple[str, ...]]
+
+
+def _sig_key(name: str, param_types) -> _SigKey:
+    return (name, tuple(t.name for t in param_types))
+
+
+class RuntimeClass:
+    """Loaded form of a :class:`~repro.cil.metadata.ClassDef`."""
+
+    def __init__(self, classdef: ClassDef) -> None:
+        self.classdef = classdef
+        self.name = classdef.name
+        self.is_value_type = classdef.is_value_type
+        self.base: Optional[RuntimeClass] = None
+        #: instance field name -> slot index (includes inherited)
+        self.field_slots: Dict[str, int] = {}
+        #: slot index -> declared type (for zero-init)
+        self.field_types: List[CType] = []
+        #: static field name -> index into ``statics``
+        self.static_slots: Dict[str, int] = {}
+        self.statics: List = []
+        self.static_types: List[CType] = []
+        #: signature -> resolved MethodDef, following the virtual chain
+        self.vtable: Dict[_SigKey, MethodDef] = {}
+        #: all methods declared directly on this class
+        self.methods: Dict[_SigKey, MethodDef] = {}
+
+    def is_subclass_of(self, other: "RuntimeClass") -> bool:
+        cls: Optional[RuntimeClass] = self
+        while cls is not None:
+            if cls is other:
+                return True
+            cls = cls.base
+        return False
+
+    def resolve_virtual(self, name: str, param_types) -> MethodDef:
+        key = _sig_key(name, param_types)
+        m = self.vtable.get(key)
+        if m is None:
+            raise LoadError(f"{self.name} has no virtual method {name}")
+        return m
+
+    def find_method(self, name: str, param_types) -> Optional[MethodDef]:
+        key = _sig_key(name, param_types)
+        cls: Optional[RuntimeClass] = self
+        while cls is not None:
+            m = cls.methods.get(key)
+            if m is not None:
+                return m
+            cls = cls.base
+        return None
+
+    @property
+    def instance_size(self) -> int:
+        """Approximate object size in bytes for allocation accounting."""
+        return 16 + 8 * len(self.field_types)
+
+
+class LoadedAssembly:
+    """A linked assembly ready for execution."""
+
+    def __init__(self, assembly: Assembly) -> None:
+        self.assembly = assembly
+        self.classes: Dict[str, RuntimeClass] = {}
+        self._link()
+
+    # ------------------------------------------------------------------ link
+
+    def _link(self) -> None:
+        for name, classdef in self.assembly.classes.items():
+            self.classes[name] = RuntimeClass(classdef)
+        for rc in self.classes.values():
+            base_name = rc.classdef.base_name
+            if base_name is not None:
+                base = self.classes.get(base_name)
+                if base is None:
+                    raise LoadError(f"{rc.name}: unknown base class {base_name}")
+                rc.base = base
+        # layout in base-first order (topological over the hierarchy)
+        done: Dict[str, bool] = {}
+
+        def layout(rc: RuntimeClass) -> None:
+            if done.get(rc.name):
+                return
+            if rc.base is not None:
+                layout(rc.base)
+                rc.field_slots.update(rc.base.field_slots)
+                rc.field_types.extend(rc.base.field_types)
+                rc.vtable.update(rc.base.vtable)
+            for f in rc.classdef.instance_fields():
+                if f.name in rc.field_slots:
+                    raise LoadError(f"{rc.name}: field {f.name} shadows base field")
+                f.slot = len(rc.field_types)
+                rc.field_slots[f.name] = f.slot
+                rc.field_types.append(f.field_type)
+            for f in rc.classdef.static_fields():
+                index = len(rc.statics)
+                rc.static_slots[f.name] = index
+                rc.statics.append(zero_value(f.field_type))
+                rc.static_types.append(f.field_type)
+            for m in rc.classdef.methods:
+                key = _sig_key(m.name, m.param_types)
+                rc.methods[key] = m
+                if m.is_virtual or m.is_override:
+                    if m.is_override and key not in rc.vtable:
+                        raise LoadError(f"{m.full_name}: override without base virtual")
+                    rc.vtable[key] = m
+            done[rc.name] = True
+
+        for rc in self.classes.values():
+            layout(rc)
+
+    # --------------------------------------------------------------- resolve
+
+    def get_class(self, name: str) -> RuntimeClass:
+        rc = self.classes.get(name)
+        if rc is None:
+            raise LoadError(f"unknown class {name!r}")
+        return rc
+
+    def resolve_method(self, ref: MethodRef) -> MethodDef:
+        rc = self.get_class(ref.class_name)
+        m = rc.find_method(ref.name, ref.param_types)
+        if m is None:
+            raise LoadError(f"unresolved method {ref.signature()}")
+        return m
+
+    def resolve_field(self, ref: FieldRef) -> Tuple[RuntimeClass, int]:
+        """Resolve to (declaring runtime class, slot index)."""
+        rc = self.get_class(ref.class_name)
+        if ref.is_static:
+            cls: Optional[RuntimeClass] = rc
+            while cls is not None:
+                if ref.name in cls.static_slots:
+                    return cls, cls.static_slots[ref.name]
+                cls = cls.base
+            raise LoadError(f"unresolved static field {ref.full_name}")
+        slot = rc.field_slots.get(ref.name)
+        if slot is None:
+            raise LoadError(f"unresolved field {ref.full_name}")
+        return rc, slot
+
+    # ------------------------------------------------------------ allocation
+
+    def new_instance(self, rc: RuntimeClass):
+        fields = [self._field_default(t) for t in rc.field_types]
+        if rc.is_value_type:
+            return StructValue(rc, fields)
+        return ObjectInstance(rc, fields)
+
+    def _field_default(self, t: CType):
+        return zero_value(t)
+
+    def static_constructors(self) -> List[MethodDef]:
+        """All ``.cctor`` methods in class-declaration order."""
+        out: List[MethodDef] = []
+        for name, classdef in self.assembly.classes.items():
+            m = classdef.find_method(".cctor")
+            if m is not None:
+                out.append(m)
+        return out
+
+    @property
+    def entry_point(self) -> Optional[MethodDef]:
+        return self.assembly.entry_point

@@ -1,0 +1,1061 @@
+"""The measured execution engine: MIR executor + runtime profile.
+
+A :class:`Machine` binds a loaded assembly to one runtime profile, JIT-
+compiles methods on demand through that profile's pass pipeline, and
+executes the resulting MIR while accumulating *simulated cycles* — the only
+clock in the system.  Host wall time never enters any result.
+
+Cost accounting:
+
+* every MIR instruction adds its statically stamped ``cost``;
+* calls add the profile's call/virtual/intrinsic overhead at dispatch;
+* allocation adds ``alloc_base + alloc_per_word*words`` plus an amortized
+  GC share (``gc_per_kbyte``);
+* array reads/writes on arrays beyond the cache-resident threshold add the
+  profile's ``large_array_extra`` (the paper's "large memory model" axis);
+* exception dispatch adds ``exception_throw + exception_frame``/frame;
+* monitors, thread starts and context switches add their table costs.
+
+Scheduling is cooperative round-robin with a fixed cycle quantum, so
+multithreaded benchmarks are deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from ..cil import cts
+from ..cil.instructions import MethodRef
+from ..cil.metadata import MethodDef
+from ..errors import ManagedException, VMError
+from ..jit import mir
+from ..jit.pipeline import JitCompiler
+from .bench import BenchRecorder
+from .exceptions import GuestException, make_exception, matches
+from .intrinsics import INTRINSICS, JavaRandom, Serializer, THREADING_CLASSES
+from .loader import LoadedAssembly, RuntimeClass
+from .objects import (
+    BoxedValue,
+    MDArray,
+    ObjectInstance,
+    SZArray,
+    StructValue,
+    get_monitor,
+)
+from .threads import BLOCKED, FINISHED, NEW, RUNNABLE, Frame, GuestThread
+from .values import (
+    float_to_i32,
+    float_to_i64,
+    i8 as wrap_i8,
+    i16 as wrap_i16,
+    i32,
+    i64,
+    r4,
+    u8 as wrap_u8,
+    u16 as wrap_u16,
+)
+
+#: once a machine's total allocation exceeds this, array accesses pay the
+#: profile's large_array_extra ("large memory model": the working set has
+#: left the cache).  48 KiB matches the scaled-down problem sizes the same
+#: way the paper's large sizes exceeded 2003 L2 caches (DESIGN.md sec. 2).
+LARGE_WS_BYTES = 49152
+
+_CONV_FNS = {
+    "i1": lambda v: wrap_i8(float_to_i32(v) if isinstance(v, float) else v),
+    "u1": lambda v: wrap_u8(float_to_i32(v) if isinstance(v, float) else v),
+    "i2": lambda v: wrap_i16(float_to_i32(v) if isinstance(v, float) else v),
+    "u2": lambda v: wrap_u16(float_to_i32(v) if isinstance(v, float) else v),
+    "i4": lambda v: float_to_i32(v) if isinstance(v, float) else i32(v),
+    "i8": lambda v: float_to_i64(v) if isinstance(v, float) else i64(v),
+    "r4": lambda v: r4(float(v)),
+    "r8": float,
+}
+
+
+def _int_div(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+class Machine:
+    """One virtual machine instance (assembly x profile)."""
+
+    def __init__(
+        self,
+        loaded: LoadedAssembly,
+        profile,
+        quantum: int = 50_000,
+        max_cycles: int = 200_000_000_000,
+    ) -> None:
+        self.loaded = loaded
+        self.profile = profile
+        self.costs = profile.costs
+        self.jit = JitCompiler(loaded, profile)
+        self.quantum = quantum
+        self.max_cycles = max_cycles
+
+        self.cycles = 0
+        self.instructions = 0
+        self.stdout: List[str] = []
+        self.rng = JavaRandom()
+        self.serializer = Serializer()
+        self.bench = BenchRecorder(self.now)
+        self.allocated_bytes = 0
+        self.gc_collections = 0
+        self.gc_live_objects = 0
+        #: set once the working set exceeds LARGE_WS_BYTES
+        self.large_working_set = False
+
+        self.threads: List[GuestThread] = []
+        self._next_tid = 1
+        self.current: Optional[GuestThread] = None
+        self._linked: set = set()
+
+    # ----------------------------------------------------------- host hooks
+
+    def now(self) -> int:
+        return self.cycles
+
+    def charge(self, n: int) -> None:
+        self.cycles += n
+
+    def charge_units(self, kind: str, n: int) -> None:
+        if kind == "serialize_byte":
+            self.cycles += self.costs.serialize_byte * n
+        elif kind == "string_char":
+            self.cycles += self.costs.string_char * n
+        else:
+            self.cycles += n
+
+    def gc_collect(self) -> None:
+        """Explicit collection: a real mark phase over the roots (thread
+        frames + statics), costed per object visited.  The steady-state GC
+        tax is otherwise amortized into allocation (``gc_per_kbyte``)."""
+        self.gc_collections += 1
+        live = self._mark_live()
+        self.gc_live_objects = live
+        self.cycles += 2000 + 12 * live
+
+    def _mark_live(self) -> int:
+        """Count heap objects reachable from thread frames and statics."""
+        from .objects import BoxedValue, MDArray, ObjectInstance, SZArray, StructValue
+
+        seen = set()
+        stack = []
+
+        def push(v):
+            if isinstance(v, (ObjectInstance, StructValue, BoxedValue, SZArray, MDArray)):
+                if id(v) not in seen:
+                    seen.add(id(v))
+                    stack.append(v)
+
+        for thread in self.threads:
+            for frame in thread.frames:
+                for v in frame.R:
+                    push(v)
+        for rc in self.loaded.classes.values():
+            for v in rc.statics:
+                push(v)
+        while stack:
+            obj = stack.pop()
+            if isinstance(obj, (ObjectInstance, StructValue)):
+                for v in obj.fields:
+                    push(v)
+            elif isinstance(obj, BoxedValue):
+                push(obj.value)
+            elif isinstance(obj, (SZArray, MDArray)):
+                # primitive arrays hold no references; skip their elements
+                if obj.elem.is_reference or not obj.elem.is_primitive:
+                    for v in obj.data:
+                        push(v)
+        return len(seen)
+
+    def total_allocated(self) -> int:
+        return self.allocated_bytes
+
+    def thread_count(self) -> int:
+        return sum(1 for t in self.threads if t.alive)
+
+    # --------------------------------------------------------------- public
+
+    def run(self, entry: Optional[MethodDef] = None, args: Optional[List] = None):
+        """Run static constructors then the entry point on the main thread;
+        returns the entry's return value."""
+        entry = entry or self.loaded.entry_point
+        if entry is None:
+            raise VMError("assembly has no entry point")
+        main = GuestThread(0, "main")
+        self.threads = [main]
+        self._next_tid = 1
+        for cctor in self.loaded.static_constructors():
+            main.frames.append(Frame(self._function(cctor), []))
+            main.state = RUNNABLE
+            self._scheduler_loop()
+            if main.unhandled is not None:
+                raise ManagedException(
+                    main.unhandled.rtclass.name,
+                    self._exc_message(main.unhandled),
+                    main.unhandled,
+                )
+        main.frames.append(Frame(self._function(entry), list(args or [])))
+        main.state = RUNNABLE
+        self._scheduler_loop()
+        if main.unhandled is not None:
+            raise ManagedException(
+                main.unhandled.rtclass.name,
+                self._exc_message(main.unhandled),
+                main.unhandled,
+            )
+        zombies = [t for t in self.threads if t.alive]
+        if zombies:
+            raise VMError(
+                f"main exited with live threads: {[t.name for t in zombies]}"
+            )
+        return main.result
+
+    def run_named(self, class_name: str, method_name: str, args: Optional[List] = None):
+        m = self.loaded.assembly.find_method(class_name, method_name)
+        return self.run(entry=m, args=args)
+
+    # ------------------------------------------------------------ jit/link
+
+    def _function(self, method: MethodDef):
+        fn = self.jit.compile(method)
+        if id(fn) not in self._linked:
+            self._link(fn)
+            self._linked.add(id(fn))
+        return fn
+
+    def _link(self, fn) -> None:
+        """Resolve symbolic refs to runtime structures in place."""
+        loaded = self.loaded
+        for ins in fn.code:
+            o = ins.op
+            if o in (mir.LDFLD, mir.STFLD):
+                if not isinstance(ins.b, int) or ins.b is None or ins.b < 0:
+                    _rc, slot = loaded.resolve_field(ins.extra)
+                    ins.b = slot
+            elif o in (mir.LDSFLD, mir.STSFLD):
+                if not isinstance(ins.extra, tuple):
+                    rc, slot = loaded.resolve_field(ins.extra)
+                    ins.extra = (rc, slot)
+            elif o == mir.CALL:
+                if isinstance(ins.extra, tuple) and len(ins.extra) == 2 and isinstance(ins.extra[0], MethodRef):
+                    ref, is_virtual = ins.extra
+                    ins.extra = self._resolve_call(ref, is_virtual)
+            elif o == mir.NEWOBJ:
+                if isinstance(ins.extra, MethodRef):
+                    ref = ins.extra
+                    rc = loaded.get_class(ref.class_name)
+                    ctor = rc.find_method(".ctor", ref.param_types)
+                    if ctor is None and ref.param_types:
+                        raise VMError(f"no constructor {ref.signature()}")
+                    ins.extra = (rc, ctor)
+            elif o in (mir.CASTCLASS, mir.ISINST, mir.UNBOX):
+                if not isinstance(ins.extra, tuple):
+                    t = ins.extra
+                    rc = None
+                    if isinstance(t, cts.NamedType):
+                        rc = loaded.classes.get(t.name)
+                    ins.extra = (t, rc)
+
+    def _resolve_call(self, ref: MethodRef, is_virtual: bool):
+        """Pre-resolve a call site into a dispatch record."""
+        if ref.class_name in THREADING_CLASSES:
+            return ("thread", ref.name, ref.class_name.endswith("Monitor"))
+        key = (ref.class_name, ref.name, len(ref.param_types))
+        intrinsic = INTRINSICS.get(key)
+        if intrinsic is not None:
+            cost = self.costs.intrinsic_call
+            if ref.class_name == "System.Math":
+                cost = self.profile.math_cost(ref.name)
+            return ("intrinsic", intrinsic, cost, ref)
+        method = self.loaded.resolve_method(ref)
+        if is_virtual and (method.is_virtual or method.is_override):
+            return ("virtual", ref)
+        return ("static", method)
+
+    # -------------------------------------------------------------- threads
+
+    def _spawn_thread(self, runnable_obj) -> int:
+        if runnable_obj is None:
+            raise make_exception(self.loaded, "NullReferenceException")
+        if not isinstance(runnable_obj, ObjectInstance):
+            raise make_exception(self.loaded, "ArgumentException", "not runnable")
+        run_m = runnable_obj.rtclass.find_method("Run", ())
+        if run_m is None:
+            raise make_exception(
+                self.loaded, "ArgumentException", "object has no Run() method"
+            )
+        t = GuestThread(self._next_tid)
+        self._next_tid += 1
+        t.entry_obj = runnable_obj
+        self.threads.append(t)
+        return t.tid
+
+    def _thread_by_id(self, tid: int) -> GuestThread:
+        for t in self.threads:
+            if t.tid == tid:
+                return t
+        raise make_exception(self.loaded, "ArgumentException", f"no thread {tid}")
+
+    def _start_thread(self, tid: int) -> None:
+        t = self._thread_by_id(tid)
+        if t.state is not NEW:
+            raise make_exception(self.loaded, "ArgumentException", "thread already started")
+        obj = t.entry_obj
+        run_m = obj.rtclass.resolve_virtual("Run", ())
+        t.frames.append(Frame(self._function(run_m), [obj]))
+        t.state = RUNNABLE
+        self.cycles += self.costs.thread_start
+
+    def _finish_thread(self, t: GuestThread, result) -> None:
+        t.state = FINISHED
+        t.result = result
+        for waiter in t.join_waiters:
+            waiter.state = RUNNABLE
+            waiter.waiting_on = None
+        t.join_waiters.clear()
+
+    # ------------------------------------------------------------ scheduler
+
+    def _scheduler_loop(self) -> None:
+        threads = self.threads
+        switch_cost = self.costs.thread_switch
+        while True:
+            ran = False
+            blocked = 0
+            for t in list(threads):
+                if t.state is RUNNABLE:
+                    self.current = t
+                    before = self.cycles
+                    self._step_thread(t, self.quantum)
+                    t.cycles += self.cycles - before
+                    ran = True
+                    if sum(1 for x in threads if x.alive) > 1:
+                        self.cycles += switch_cost
+                elif t.state is BLOCKED:
+                    blocked += 1
+            if self.cycles > self.max_cycles:
+                raise VMError("cycle budget exceeded (runaway benchmark?)")
+            if not ran:
+                if blocked:
+                    names = [
+                        f"{t.name} on {t.waiting_on}" for t in threads if t.state is BLOCKED
+                    ]
+                    raise VMError(f"deadlock: all threads blocked: {names}")
+                return
+
+    # ----------------------------------------------------------- exceptions
+
+    def _exc_message(self, obj: ObjectInstance) -> str:
+        slot = obj.rtclass.field_slots.get("Message")
+        v = obj.fields[slot] if slot is not None else ""
+        return v if isinstance(v, str) else ""
+
+    def _throw(self, thread: GuestThread, exc_obj: ObjectInstance) -> None:
+        """Begin dispatch of a managed exception on ``thread``.
+
+        Sets up finally continuations / catch entry; when nothing handles
+        it, the thread dies with ``unhandled`` set.
+        """
+        self.cycles += self.costs.exception_throw
+        frames = thread.frames
+        while frames:
+            frame = frames[-1]
+            self.cycles += self.costs.exception_frame
+            fn = frame.fn
+            pc = frame.pc
+            candidates = [reg for reg in fn.regions if reg.covers(pc)]
+            candidates.sort(key=lambda reg: (reg.try_end - reg.try_start, reg.try_start))
+            catch = None
+            for reg in candidates:
+                if reg.kind == "catch":
+                    catch_rc = self.loaded.get_class(reg.catch_type)
+                    if matches(exc_obj.rtclass, catch_rc):
+                        catch = reg
+                        break
+            if catch is not None:
+                finallies = [
+                    reg for reg in candidates
+                    if reg.kind == "finally"
+                    and (reg.try_end - reg.try_start) < (catch.try_end - catch.try_start)
+                ]
+                action = ("catch", catch)
+            else:
+                finallies = [reg for reg in candidates if reg.kind == "finally"]
+                action = ("unwind",)
+            if finallies:
+                frame.finally_stack.append(("throw", finallies[1:], action, exc_obj))
+                frame.pc = finallies[0].handler_start
+                return
+            if catch is not None:
+                self._enter_catch(frame, catch, exc_obj)
+                return
+            frames.pop()
+        # escaped the thread
+        self._finish_thread(thread, None)
+        thread.unhandled = exc_obj
+
+    def _enter_catch(self, frame: Frame, region, exc_obj) -> None:
+        if region.exc_vreg >= 0:
+            frame.R[region.exc_vreg] = exc_obj
+        frame.exc = exc_obj
+        frame.pc = region.handler_start
+
+    def _end_finally(self, thread: GuestThread, frame: Frame) -> None:
+        if not frame.finally_stack:
+            raise VMError(f"endfinally with no continuation in {frame.fn.full_name}")
+        entry = frame.finally_stack.pop()
+        if entry[0] == "leave":
+            _kind, queue, target = entry
+            if queue:
+                frame.finally_stack.append(("leave", queue[1:], target))
+                frame.pc = queue[0].handler_start
+            else:
+                frame.pc = target
+            return
+        _kind, queue, action, exc_obj = entry
+        if queue:
+            frame.finally_stack.append(("throw", queue[1:], action, exc_obj))
+            frame.pc = queue[0].handler_start
+            return
+        if action[0] == "catch":
+            self._enter_catch(frame, action[1], exc_obj)
+            return
+        # unwind: pop this frame, continue dispatch in the caller
+        thread.frames.pop()
+        if thread.frames:
+            self._throw_continue(thread, exc_obj)
+        else:
+            self._finish_thread(thread, None)
+            thread.unhandled = exc_obj
+
+    def _throw_continue(self, thread: GuestThread, exc_obj) -> None:
+        """Continue exception dispatch after unwinding one frame (no fresh
+        throw cost; per-frame cost applied inside _throw)."""
+        saved = self.costs.exception_throw
+        # _throw charges the throw cost; compensate so unwinding only pays
+        # the per-frame share
+        self.cycles -= saved
+        self._throw(thread, exc_obj)
+
+    def _leave(self, thread: GuestThread, frame: Frame, target: int) -> None:
+        pc = frame.pc
+        pending = [
+            reg
+            for reg in frame.fn.regions
+            if reg.kind == "finally" and reg.covers(pc) and not reg.covers(target)
+        ]
+        pending.sort(key=lambda reg: reg.try_start, reverse=True)
+        if pending:
+            frame.finally_stack.append(("leave", pending[1:], target))
+            frame.pc = pending[0].handler_start
+        else:
+            frame.pc = target
+
+    # ------------------------------------------------------------ allocation
+
+    def _alloc_charge(self, byte_size: int) -> None:
+        self.allocated_bytes += byte_size
+        if self.allocated_bytes > LARGE_WS_BYTES:
+            self.large_working_set = True
+        t = self.costs
+        self.cycles += t.alloc_base + t.alloc_per_word * (byte_size // 8)
+        # amortized GC share
+        self.cycles += (t.gc_per_kbyte * byte_size) // 1024
+
+    def _new_szarray(self, elem, length: int) -> SZArray:
+        if length < 0:
+            raise make_exception(self.loaded, "ArgumentException", "negative length")
+        arr = SZArray(elem, length)
+        if isinstance(elem, cts.NamedType) and elem.is_value_type:
+            rc = self.loaded.get_class(elem.name)
+            arr.data = [self.loaded.new_instance(rc) for _ in range(length)]
+            self._alloc_charge(16 + (8 * len(rc.field_types) + 8) * length)
+        else:
+            self._alloc_charge(16 + 8 * length)
+        return arr
+
+    # ----------------------------------------------------------- monitors
+
+    def _monitor_op(self, thread: GuestThread, name: str, args: List) -> None:
+        if not args or args[0] is None:
+            raise make_exception(self.loaded, "NullReferenceException")
+        obj = args[0]
+        mon = get_monitor(obj)
+        t = self.costs
+        if name == "Enter":
+            if mon.owner is None or mon.owner is thread:
+                mon.owner = thread
+                mon.count += 1
+                self.cycles += t.monitor_enter
+            else:
+                self.cycles += t.monitor_contended
+                mon.entry_queue.append(thread)
+                thread.state = BLOCKED
+                thread.waiting_on = ("monitor", id(obj))
+            return
+        if name == "Exit":
+            if mon.owner is not thread:
+                raise make_exception(
+                    self.loaded, "SynchronizationException", "Exit by non-owner"
+                )
+            self.cycles += t.monitor_exit
+            mon.count -= 1
+            if mon.count == 0:
+                self._release_monitor(mon)
+            return
+        if name == "Wait":
+            if mon.owner is not thread:
+                raise make_exception(
+                    self.loaded, "SynchronizationException", "Wait by non-owner"
+                )
+            thread.saved_monitor_count = mon.count
+            mon.count = 0
+            self._release_monitor(mon)
+            mon.wait_queue.append(thread)
+            thread.state = BLOCKED
+            thread.waiting_on = ("wait", id(obj))
+            self.cycles += t.monitor_enter
+            return
+        if name in ("Pulse", "PulseAll"):
+            if mon.owner is not thread:
+                raise make_exception(
+                    self.loaded, "SynchronizationException", "Pulse by non-owner"
+                )
+            self.cycles += t.monitor_exit
+            movers = mon.wait_queue[: (1 if name == "Pulse" else len(mon.wait_queue))]
+            del mon.wait_queue[: len(movers)]
+            mon.entry_queue.extend(movers)
+            return
+        raise VMError(f"unknown monitor op {name}")
+
+    def _release_monitor(self, mon) -> None:
+        mon.owner = None
+        if mon.entry_queue:
+            t = mon.entry_queue.pop(0)
+            mon.owner = t
+            mon.count = t.saved_monitor_count or 1
+            t.saved_monitor_count = 0
+            t.state = RUNNABLE
+            t.waiting_on = None
+
+    def _thread_op(self, thread: GuestThread, name: str, args: List):
+        if name == "Create":
+            return self._spawn_thread(args[0])
+        if name == "Start":
+            self._start_thread(args[0])
+            return None
+        if name == "Join":
+            target = self._thread_by_id(args[0])
+            if target.alive:
+                target.join_waiters.append(thread)
+                thread.state = BLOCKED
+                thread.waiting_on = ("join", target.tid)
+            return None
+        if name == "Yield":
+            thread.state = RUNNABLE  # quantum ends via executor break
+            return "yield"
+        if name == "CurrentId":
+            return thread.tid
+        raise VMError(f"unknown thread op {name}")
+
+    # ------------------------------------------------------------- executor
+
+    def _step_thread(self, thread: GuestThread, budget: int) -> None:
+        """Run ``thread`` for up to ``budget`` cycles (approximately)."""
+        loaded = self.loaded
+        costs = self.costs
+        spent = 0
+        total_spent = 0
+        # instruction burst bound: coarse for big quanta (cheap), fine for
+        # small quanta (lets tests schedule at fine grain)
+        burst = budget >> 1
+        if burst > 4096:
+            burst = 4096
+        elif burst < 8:
+            burst = 8
+        while thread.frames and total_spent < budget and thread.state is RUNNABLE:
+            frame = thread.frames[-1]
+            fn = frame.fn
+            code = fn.code
+            R = frame.R
+            pc = frame.pc
+            icount = 0
+            rebind = False
+            try:
+                while True:
+                    ins = code[pc]
+                    o = ins.op
+                    spent += ins.cost
+                    icount += 1
+
+                    if o == 0:  # MOV
+                        v = R[ins.a]
+                        if ins.kind == "r4" and type(v) is float:
+                            v = r4(v)
+                        R[ins.dst] = v
+                        pc += 1
+                    elif o == 1:  # LDI
+                        R[ins.dst] = ins.a
+                        pc += 1
+                    elif o == mir.ADD:
+                        a = R[ins.a]; b = R[ins.b]
+                        k = ins.kind
+                        if k == "i4":
+                            R[ins.dst] = i32(a + b)
+                        elif k == "r8":
+                            R[ins.dst] = a + b
+                        elif k == "i8":
+                            R[ins.dst] = i64(a + b)
+                        else:
+                            R[ins.dst] = r4(a + b)
+                        pc += 1
+                    elif o == mir.SUB:
+                        a = R[ins.a]; b = R[ins.b]
+                        k = ins.kind
+                        if k == "i4":
+                            R[ins.dst] = i32(a - b)
+                        elif k == "r8":
+                            R[ins.dst] = a - b
+                        elif k == "i8":
+                            R[ins.dst] = i64(a - b)
+                        else:
+                            R[ins.dst] = r4(a - b)
+                        pc += 1
+                    elif o == mir.MUL:
+                        a = R[ins.a]; b = R[ins.b]
+                        k = ins.kind
+                        if k == "i4":
+                            R[ins.dst] = i32(a * b)
+                        elif k == "r8":
+                            R[ins.dst] = a * b
+                        elif k == "i8":
+                            R[ins.dst] = i64(a * b)
+                        else:
+                            R[ins.dst] = r4(a * b)
+                        pc += 1
+                    elif o == mir.DIV:
+                        a = R[ins.a]; b = R[ins.b]
+                        k = ins.kind
+                        if k in ("i4", "i8"):
+                            if b == 0:
+                                raise make_exception(loaded, "DivideByZeroException")
+                            q = _int_div(a, b)
+                            R[ins.dst] = i32(q) if k == "i4" else i64(q)
+                        else:
+                            if b == 0.0:
+                                if a == 0.0 or a != a:
+                                    q = float("nan")
+                                else:
+                                    pos = (a > 0) == (math.copysign(1.0, b) > 0)
+                                    q = float("inf") if pos else float("-inf")
+                            else:
+                                q = a / b
+                            R[ins.dst] = r4(q) if k == "r4" else q
+                        pc += 1
+                    elif o == mir.REM:
+                        a = R[ins.a]; b = R[ins.b]
+                        k = ins.kind
+                        if k in ("i4", "i8"):
+                            if b == 0:
+                                raise make_exception(loaded, "DivideByZeroException")
+                            R[ins.dst] = a - _int_div(a, b) * b
+                        else:
+                            R[ins.dst] = math.fmod(a, b) if b != 0.0 else float("nan")
+                        pc += 1
+                    elif o in (mir.AND, mir.OR, mir.XOR):
+                        a = R[ins.a]; b = R[ins.b]
+                        R[ins.dst] = (a & b) if o == mir.AND else (a | b) if o == mir.OR else (a ^ b)
+                        pc += 1
+                    elif o == mir.SHL:
+                        a = R[ins.a]; b = R[ins.b]
+                        if ins.kind == "i4":
+                            R[ins.dst] = i32(a << (b & 31))
+                        else:
+                            R[ins.dst] = i64(a << (b & 63))
+                        pc += 1
+                    elif o == mir.SHR:
+                        a = R[ins.a]; b = R[ins.b]
+                        R[ins.dst] = a >> (b & (31 if ins.kind == "i4" else 63))
+                        pc += 1
+                    elif o == mir.SHRU:
+                        a = R[ins.a]; b = R[ins.b]
+                        if ins.kind == "i4":
+                            R[ins.dst] = i32((a & 0xFFFFFFFF) >> (b & 31))
+                        else:
+                            R[ins.dst] = i64((a & 0xFFFFFFFFFFFFFFFF) >> (b & 63))
+                        pc += 1
+                    elif o == mir.NEG:
+                        a = R[ins.a]
+                        k = ins.kind
+                        R[ins.dst] = i32(-a) if k == "i4" else i64(-a) if k == "i8" else -a
+                        pc += 1
+                    elif o == mir.NOT:
+                        a = R[ins.a]
+                        R[ins.dst] = i32(~a) if ins.kind == "i4" else i64(~a)
+                        pc += 1
+                    elif o in (mir.CEQ, mir.CNE, mir.CLT, mir.CLE, mir.CGT, mir.CGE):
+                        a = R[ins.a]; b = R[ins.b]
+                        nan = (type(a) is float and a != a) or (type(b) is float and b != b)
+                        if o == mir.CEQ:
+                            res = 0 if nan else (1 if (a is b or a == b) else 0)
+                        elif o == mir.CNE:
+                            res = 1 if nan else (0 if (a is b or a == b) else 1)
+                        elif nan:
+                            res = 0
+                        elif o == mir.CLT:
+                            res = 1 if a < b else 0
+                        elif o == mir.CLE:
+                            res = 1 if a <= b else 0
+                        elif o == mir.CGT:
+                            res = 1 if a > b else 0
+                        else:
+                            res = 1 if a >= b else 0
+                        R[ins.dst] = res
+                        pc += 1
+                    elif o == mir.CONV:
+                        R[ins.dst] = _CONV_FNS[ins.extra](R[ins.a])
+                        pc += 1
+                    elif o == mir.JMP:
+                        pc = ins.target
+                    elif o == mir.JTRUE:
+                        v = R[ins.a]
+                        pc = ins.target if (v is not None and v != 0) else pc + 1
+                    elif o == mir.JFALSE:
+                        v = R[ins.a]
+                        pc = ins.target if (v is None or v == 0) else pc + 1
+                    elif o in (mir.JEQ, mir.JNE, mir.JLT, mir.JLE, mir.JGT, mir.JGE):
+                        a = R[ins.a]; b = R[ins.b]
+                        nan = (type(a) is float and a != a) or (type(b) is float and b != b)
+                        if o == mir.JEQ:
+                            taken = (not nan) and (a is b or a == b)
+                        elif o == mir.JNE:
+                            taken = nan or not (a is b or a == b)
+                        elif nan:
+                            taken = False
+                        elif o == mir.JLT:
+                            taken = a < b
+                        elif o == mir.JLE:
+                            taken = a <= b
+                        elif o == mir.JGT:
+                            taken = a > b
+                        else:
+                            taken = a >= b
+                        pc = ins.target if taken else pc + 1
+                    elif o == mir.SWITCH:
+                        v = R[ins.a]
+                        targets = ins.extra
+                        pc = targets[v] if 0 <= v < len(targets) else pc + 1
+                    elif o == mir.LDELEM:
+                        arr = R[ins.a]
+                        if arr is None:
+                            raise make_exception(loaded, "NullReferenceException")
+                        idx = R[ins.b]
+                        data = arr.data
+                        if idx < 0 or idx >= len(data):
+                            raise make_exception(loaded, "IndexOutOfRangeException")
+                        if self.large_working_set:
+                            spent += costs.large_array_extra
+                        R[ins.dst] = data[idx]
+                        pc += 1
+                    elif o == mir.STELEM:
+                        arr = R[ins.a]
+                        if arr is None:
+                            raise make_exception(loaded, "NullReferenceException")
+                        idx = R[ins.b]
+                        data = arr.data
+                        if idx < 0 or idx >= len(data):
+                            raise make_exception(loaded, "IndexOutOfRangeException")
+                        if self.large_working_set:
+                            spent += costs.large_array_extra
+                        v = R[ins.c]
+                        if ins.kind == "r4" and type(v) is float:
+                            v = r4(v)
+                        data[idx] = v
+                        pc += 1
+                    elif o == mir.LDFLD:
+                        obj = R[ins.a]
+                        if obj is None:
+                            raise make_exception(loaded, "NullReferenceException")
+                        R[ins.dst] = obj.fields[ins.b]
+                        pc += 1
+                    elif o == mir.STFLD:
+                        obj = R[ins.a]
+                        if obj is None:
+                            raise make_exception(loaded, "NullReferenceException")
+                        v = R[ins.c]
+                        if ins.kind == "r4" and type(v) is float:
+                            v = r4(v)
+                        obj.fields[ins.b] = v
+                        pc += 1
+                    elif o == mir.LDSFLD:
+                        rc, slot = ins.extra
+                        R[ins.dst] = rc.statics[slot]
+                        pc += 1
+                    elif o == mir.STSFLD:
+                        rc, slot = ins.extra
+                        v = R[ins.c]
+                        if ins.kind == "r4" and type(v) is float:
+                            v = r4(v)
+                        rc.statics[slot] = v
+                        pc += 1
+                    elif o == mir.CALL:
+                        frame.pc = pc + 1
+                        kind = ins.extra[0]
+                        if kind == "intrinsic":
+                            _k, fn_i, cost_i, ref = ins.extra
+                            spent += cost_i
+                            self.cycles += spent
+                            total_spent += spent
+                            spent = 0
+                            argv = [R[v] for v in ins.args] if ins.args else []
+                            result = fn_i(self, argv)
+                            if ins.dst >= 0:
+                                R[ins.dst] = result
+                            pc += 1
+                        elif kind == "static":
+                            method = ins.extra[1]
+                            spent += costs.call
+                            if not method.is_static and ins.args and R[ins.args[0]] is None:
+                                raise make_exception(loaded, "NullReferenceException")
+                            callee = self._function(method)
+                            argv = [R[v] for v in ins.args] if ins.args else []
+                            thread.frames.append(Frame(callee, argv, ret_dst=ins.dst))
+                            rebind = True
+                            break
+                        elif kind == "virtual":
+                            ref = ins.extra[1]
+                            spent += costs.call + costs.virtual_call_extra
+                            receiver = R[ins.args[0]]
+                            if receiver is None:
+                                raise make_exception(loaded, "NullReferenceException")
+                            method = receiver.rtclass.resolve_virtual(
+                                ref.name, ref.param_types
+                            )
+                            callee = self._function(method)
+                            argv = [R[v] for v in ins.args]
+                            thread.frames.append(Frame(callee, argv, ret_dst=ins.dst))
+                            rebind = True
+                            break
+                        else:  # thread / monitor ops
+                            _k, name, is_monitor = ins.extra
+                            self.cycles += spent
+                            total_spent += spent
+                            spent = 0
+                            argv = [R[v] for v in ins.args] if ins.args else []
+                            if is_monitor:
+                                self._monitor_op(thread, name, argv)
+                                pc += 1
+                                if thread.state is not RUNNABLE:
+                                    frame.pc = pc
+                                    return
+                            else:
+                                result = self._thread_op(thread, name, argv)
+                                pc += 1
+                                if result == "yield":
+                                    frame.pc = pc
+                                    return
+                                if ins.dst >= 0:
+                                    R[ins.dst] = result
+                                if thread.state is not RUNNABLE:
+                                    frame.pc = pc
+                                    return
+                    elif o == mir.RET:
+                        value = R[ins.a] if isinstance(ins.a, int) and ins.a >= 0 else None
+                        thread.frames.pop()
+                        if thread.frames:
+                            caller = thread.frames[-1]
+                            if frame.ret_dst >= 0:
+                                caller.R[frame.ret_dst] = value
+                        else:
+                            self._finish_thread(thread, value)
+                        rebind = True
+                        break
+                    elif o == mir.NEWOBJ:
+                        rc, ctor = ins.extra
+                        obj = loaded.new_instance(rc)
+                        self.cycles += spent
+                        total_spent += spent
+                        spent = 0
+                        self._alloc_charge(rc.instance_size)
+                        R[ins.dst] = obj
+                        if ctor is not None:
+                            frame.pc = pc + 1
+                            spent += costs.call
+                            callee = self._function(ctor)
+                            argv = [obj] + ([R[v] for v in ins.args] if ins.args else [])
+                            thread.frames.append(Frame(callee, argv, ret_dst=-1))
+                            rebind = True
+                            break
+                        pc += 1
+                    elif o == mir.NEWARR:
+                        length = R[ins.a]
+                        self.cycles += spent
+                        total_spent += spent
+                        spent = 0
+                        R[ins.dst] = self._new_szarray(ins.extra, length)
+                        pc += 1
+                    elif o == mir.NEWARR_MD:
+                        dims = [R[v] for v in ins.args]
+                        if any(d < 0 for d in dims):
+                            raise make_exception(loaded, "ArgumentException", "negative length")
+                        arr = MDArray(ins.extra, dims)
+                        self.cycles += spent
+                        total_spent += spent
+                        spent = 0
+                        self._alloc_charge(16 + 8 * len(arr.data))
+                        R[ins.dst] = arr
+                        pc += 1
+                    elif o == mir.LDLEN:
+                        arr = R[ins.a]
+                        if arr is None:
+                            raise make_exception(loaded, "NullReferenceException")
+                        R[ins.dst] = arr.length
+                        pc += 1
+                    elif o == mir.LDELEM_MD:
+                        arr = R[ins.a]
+                        if arr is None:
+                            raise make_exception(loaded, "NullReferenceException")
+                        flat = arr.flat_index([R[v] for v in ins.args])
+                        if flat < 0:
+                            raise make_exception(loaded, "IndexOutOfRangeException")
+                        if self.large_working_set:
+                            spent += costs.large_array_extra
+                        R[ins.dst] = arr.data[flat]
+                        pc += 1
+                    elif o == mir.STELEM_MD:
+                        arr = R[ins.a]
+                        if arr is None:
+                            raise make_exception(loaded, "NullReferenceException")
+                        flat = arr.flat_index([R[v] for v in ins.args])
+                        if flat < 0:
+                            raise make_exception(loaded, "IndexOutOfRangeException")
+                        if self.large_working_set:
+                            spent += costs.large_array_extra
+                        v = R[ins.c]
+                        if ins.kind == "r4" and type(v) is float:
+                            v = r4(v)
+                        arr.data[flat] = v
+                        pc += 1
+                    elif o == mir.BOX:
+                        self._alloc_charge(16)
+                        R[ins.dst] = BoxedValue(ins.extra.name, R[ins.a])
+                        pc += 1
+                    elif o == mir.UNBOX:
+                        v = R[ins.a]
+                        if v is None:
+                            raise make_exception(loaded, "NullReferenceException")
+                        if not isinstance(v, BoxedValue):
+                            raise make_exception(loaded, "InvalidCastException")
+                        t, _rc = ins.extra
+                        if isinstance(t, cts.NamedType):
+                            if (
+                                not isinstance(v.value, StructValue)
+                                or v.value.rtclass.name != t.name
+                            ):
+                                raise make_exception(loaded, "InvalidCastException")
+                            R[ins.dst] = v.value.copy()
+                        else:
+                            if not _box_matches(v.type_name, t.name):
+                                raise make_exception(loaded, "InvalidCastException")
+                            R[ins.dst] = v.value
+                        pc += 1
+                    elif o in (mir.CASTCLASS, mir.ISINST):
+                        v = R[ins.a]
+                        t, rc = ins.extra
+                        good = v is not None and self._isinst(v, t, rc)
+                        if o == mir.CASTCLASS:
+                            if v is not None and not good:
+                                raise make_exception(loaded, "InvalidCastException")
+                            R[ins.dst] = v
+                        else:
+                            R[ins.dst] = v if good else None
+                        pc += 1
+                    elif o == mir.STRUCT_COPY:
+                        v = R[ins.a]
+                        if isinstance(v, StructValue):
+                            spent += costs.struct_copy_per_field * len(v.fields)
+                            R[ins.dst] = v.copy()
+                        else:
+                            R[ins.dst] = v
+                        pc += 1
+                    elif o == mir.THROW:
+                        v = R[ins.a]
+                        if v is None:
+                            raise make_exception(loaded, "NullReferenceException")
+                        raise GuestException(v)
+                    elif o == mir.RETHROW:
+                        if frame.exc is None:
+                            raise VMError("rethrow with no active exception")
+                        raise GuestException(frame.exc)
+                    elif o == mir.LEAVE:
+                        frame.pc = pc
+                        self._leave(thread, frame, ins.target)
+                        pc = frame.pc
+                    elif o == mir.ENDFINALLY:
+                        frame.pc = pc
+                        self.cycles += spent
+                        total_spent += spent
+                        spent = 0
+                        self._end_finally(thread, frame)
+                        rebind = True
+                        break
+                    elif o == mir.NOP:
+                        pc += 1
+                    else:  # pragma: no cover - defensive
+                        raise VMError(f"unhandled MIR op {mir.name(o)}")
+
+                    if total_spent + spent >= budget or icount >= burst:
+                        frame.pc = pc
+                        rebind = True
+                        break
+            except GuestException as guest:
+                frame.pc = pc
+                self.cycles += spent
+                total_spent += spent
+                spent = 0
+                self.instructions += icount
+                self._throw(thread, guest.obj)
+                continue
+            if not rebind:
+                frame.pc = pc
+            self.cycles += spent
+            total_spent += spent
+            self.instructions += icount
+            spent = 0
+
+    def _isinst(self, v, t, rc: Optional[RuntimeClass]) -> bool:
+        if isinstance(t, cts.ObjectType):
+            return True
+        if isinstance(v, str):
+            return isinstance(t, cts.StringType)
+        if isinstance(v, (SZArray, MDArray)):
+            return t.is_array
+        if isinstance(v, BoxedValue):
+            return isinstance(t, cts.NamedType) and v.type_name == t.name
+        if isinstance(v, ObjectInstance):
+            return rc is not None and v.rtclass.is_subclass_of(rc)
+        return False
+
+
+def _box_matches(box_type: str, target_name: str) -> bool:
+    if box_type == target_name:
+        return True
+    group_int = {"int32", "int16", "int8", "uint8", "uint16", "char", "bool"}
+    return box_type in group_int and target_name in group_int
+
+
+def run_source_on(source: str, profile, entry_class: Optional[str] = None,
+                  quantum: int = 50_000):
+    """Convenience: compile once, run on one profile; returns (result, machine)."""
+    from ..lang import compile_source
+
+    assembly = compile_source(source, entry_class=entry_class)
+    loaded = LoadedAssembly(assembly)
+    machine = Machine(loaded, profile, quantum=quantum)
+    result = machine.run()
+    return result, machine

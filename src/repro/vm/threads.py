@@ -1,0 +1,81 @@
+"""Guest threads and activation frames for the measured (MIR) engine.
+
+Threading is cooperative and deterministic: the scheduler runs one guest
+thread for a fixed cycle quantum, then rotates.  Determinism is a design
+requirement (DESIGN.md section 6) — every run of a multithreaded benchmark
+interleaves identically, so results are reproducible and assertable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+# thread states
+NEW = "new"
+RUNNABLE = "runnable"
+BLOCKED = "blocked"
+FINISHED = "finished"
+
+
+class Frame:
+    """One activation of a JIT-compiled function."""
+
+    __slots__ = ("fn", "R", "pc", "finally_stack", "exc", "ret_dst")
+
+    def __init__(self, fn, args: List, ret_dst: int = -1) -> None:
+        self.fn = fn
+        R = [None] * fn.n_vregs
+        R[: len(args)] = args
+        self.R = R
+        self.pc = 0
+        #: continuations for leave/exception unwinding through finallies:
+        #: tuples ('leave', queue, target) | ('throw', queue, action, exc)
+        self.finally_stack: List[Tuple] = []
+        #: exception being handled (for rethrow)
+        self.exc = None
+        #: caller vreg receiving the return value
+        self.ret_dst = ret_dst
+
+
+class GuestThread:
+    """A managed thread."""
+
+    __slots__ = (
+        "tid",
+        "name",
+        "frames",
+        "state",
+        "entry_obj",
+        "waiting_on",
+        "join_waiters",
+        "saved_monitor_count",
+        "result",
+        "cycles",
+        "unhandled",
+    )
+
+    def __init__(self, tid: int, name: str = "") -> None:
+        self.tid = tid
+        self.name = name or f"thread-{tid}"
+        self.frames: List[Frame] = []
+        self.state = NEW
+        #: the Runnable-style object whose virtual Run() is the entry
+        self.entry_obj = None
+        #: what the thread is blocked on (for diagnostics/deadlock reports)
+        self.waiting_on: Optional[Tuple[str, object]] = None
+        #: threads blocked in Join on this thread
+        self.join_waiters: List["GuestThread"] = []
+        #: monitor recursion count saved across Monitor.Wait
+        self.saved_monitor_count = 0
+        self.result = None
+        #: cycles attributed to this thread
+        self.cycles = 0
+        #: managed exception object that escaped the thread, if any
+        self.unhandled = None
+
+    @property
+    def alive(self) -> bool:
+        return self.state in (RUNNABLE, BLOCKED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<GuestThread {self.name} {self.state}>"

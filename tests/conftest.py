@@ -1,0 +1,23 @@
+"""Shared test helpers."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.vm.interpreter import Interpreter
+from repro.vm.loader import LoadedAssembly
+
+
+def interpret(source: str, entry_class=None):
+    """Compile + interpret; returns (result, interpreter)."""
+    assembly = compile_source(source, entry_class=entry_class)
+    loaded = LoadedAssembly(assembly)
+    interp = Interpreter(loaded)
+    return interp.run(), interp
+
+
+@pytest.fixture
+def run_main():
+    def _run(source, entry_class=None):
+        return interpret(source, entry_class)[0]
+
+    return _run

@@ -1,0 +1,216 @@
+"""Validate every benchmark kernel's computation against the Python
+reference oracles (paper section 3.4) and check interpreter/machine
+agreement on the recorded results."""
+
+import math
+
+import pytest
+
+from repro.benchmarks import all_benchmarks, get
+from repro.lang import compile_source
+from repro.reference import (
+    crypt_reference,
+    fft_reference,
+    fibonacci_reference,
+    hanoi_reference,
+    heapsort_reference,
+    lu_reference,
+    moldyn_reference,
+    montecarlo_reference,
+    raytracer_reference,
+    sieve_reference,
+    sor_reference,
+    sparse_reference,
+)
+from repro.runtimes import CLR11, SSCLI10
+from repro.vm.loader import LoadedAssembly
+from repro.vm.machine import Machine
+
+
+def run_bench(name, overrides=None, profile=CLR11):
+    bench = get(name)
+    source = bench.build_source(overrides)
+    machine = Machine(LoadedAssembly(compile_source(source)), profile)
+    machine.run()
+    machine.bench.require_valid()
+    return machine
+
+
+def results(machine, section):
+    return machine.bench.sections[section].results
+
+
+class TestSciMarkOracles:
+    def test_fft_matches_reference(self):
+        m = run_bench("scimark.fft", {"N": 64})
+        rms, d0, dlast = fft_reference(64, reps=1)
+        got = results(m, "SciMark:FFT")
+        assert got[0] == rms
+        assert got[1] == d0
+        assert got[2] == dlast
+
+    def test_sor_matches_reference(self):
+        m = run_bench("scimark.sor", {"N": 16, "Iters": 3})
+        assert results(m, "SciMark:SOR")[0] == sor_reference(16, 3)
+
+    def test_montecarlo_matches_reference(self):
+        m = run_bench("scimark.montecarlo", {"Samples": 500})
+        assert results(m, "SciMark:MonteCarlo")[0] == montecarlo_reference(500)
+
+    def test_sparse_matches_reference(self):
+        m = run_bench("scimark.sparse", {"N": 50, "NZ": 250, "Reps": 2})
+        assert results(m, "SciMark:Sparse")[0] == sparse_reference(50, 250, 2)
+
+    def test_lu_matches_reference(self):
+        m = run_bench("scimark.lu", {"N": 12})
+        assert results(m, "SciMark:LU")[0] == lu_reference(12)
+
+    def test_scimark_identical_across_runtimes(self):
+        a = run_bench("scimark.lu", {"N": 10}, profile=CLR11)
+        b = run_bench("scimark.lu", {"N": 10}, profile=SSCLI10)
+        assert results(a, "SciMark:LU") == results(b, "SciMark:LU")
+
+
+class TestGrandeOracles:
+    def test_fibonacci(self):
+        m = run_bench("grande.fibonacci", {"N": 15})
+        assert results(m, "Grande:Fibonacci")[0] == float(fibonacci_reference(15))
+
+    def test_sieve(self):
+        m = run_bench("grande.sieve", {"Limit": 1000})
+        assert results(m, "Grande:Sieve")[0] == float(sieve_reference(1000))
+
+    def test_hanoi(self):
+        m = run_bench("grande.hanoi", {"Disks": 10})
+        assert results(m, "Grande:Hanoi")[0] == float(hanoi_reference(10))
+
+    def test_heapsort(self):
+        m = run_bench("grande.heapsort", {"N": 500})
+        lo, hi = heapsort_reference(500)
+        assert results(m, "Grande:HeapSort") == [float(lo), float(hi)]
+
+    def test_crypt(self):
+        m = run_bench("grande.crypt", {"Words": 128})
+        assert results(m, "Grande:Crypt")[0] == crypt_reference(128)
+
+    def test_moldyn(self):
+        m = run_bench("grande.moldyn", {"MM": 2, "Steps": 2})
+        e0, e1 = moldyn_reference(2, 2)
+        got = results(m, "Grande:MolDyn")
+        assert got[0] == e0
+        assert got[1] == e1
+
+    def test_raytracer(self):
+        m = run_bench("grande.raytracer", {"Size": 8, "Grid": 2})
+        checksum, rays = raytracer_reference(8, 2)
+        got = results(m, "Grande:RayTracer")
+        assert got[0] == checksum
+        assert got[1] == float(rays)
+
+    def test_euler_conserves_and_is_finite(self):
+        m = run_bench("grande.euler", {"N": 6, "Steps": 2})
+        got = results(m, "Grande:Euler")
+        mass0, mass1, rho_mid = got
+        assert math.isfinite(mass1)
+        assert abs(mass1 - mass0) / mass0 < 0.05
+        assert 0.1 < rho_mid < 10.0
+
+    def test_search_deterministic(self):
+        a = results(run_bench("grande.search", {"Depth": 3}), "Grande:Search")
+        b = results(run_bench("grande.search", {"Depth": 3}, profile=SSCLI10), "Grande:Search")
+        assert a == b
+        assert a[1] > 50  # explored a real tree
+
+
+class TestBenchmarkHygiene:
+    def test_registry_complete(self):
+        names = {b.name for b in all_benchmarks()}
+        # one per Table 1-4 row (plus scimark splits and the section-3.4
+        # planned parallel versions)
+        assert len(names) == 32
+
+    @pytest.mark.parametrize("name", [b.name for b in all_benchmarks()])
+    def test_every_benchmark_declares_sections_and_sizes(self, name):
+        bench = get(name)
+        assert bench.sections, name
+        assert bench.params, name
+        assert bench.description
+
+    def test_unknown_param_override_rejected(self):
+        from repro.errors import BenchmarkError
+        with pytest.raises(BenchmarkError, match="unknown params"):
+            get("scimark.fft").build_source({"Bogus": 1})
+
+    @pytest.mark.parametrize(
+        "name",
+        [b.name for b in all_benchmarks() if b.name not in ("grande.search",)],
+    )
+    def test_all_benchmarks_run_and_validate_on_clr(self, name):
+        bench = get(name)
+        machine = run_bench(name)
+        for section in bench.sections:
+            assert section in machine.bench.sections, f"missing {section}"
+            sec = machine.bench.sections[section]
+            assert sec.total_cycles > 0, f"{section} has no timing"
+            assert sec.ops > 0 or sec.flops > 0, f"{section} has no work counter"
+
+
+class TestParallelKernels:
+    """The paper section 3.4's planned shared-memory parallel versions."""
+
+    def test_parallel_sor_matches_serial_jacobi_reference(self):
+        from repro.benchmarks.scimark.common import PySciRandom, RANDOM_SEED
+
+        n, iters = 16, 4
+        m = run_bench("scimark.sor_mt", {"N": n, "Iters": iters, "Threads": 4})
+        got = results(m, "SciMark:SORMT")[0]
+
+        rng = PySciRandom(RANDOM_SEED)
+        g = [[rng.next_double() * 1.0e-6 for _ in range(n)] for _ in range(n)]
+        h = [row[:] for row in g]
+        omega = 1.25
+        oof, omo = omega * 0.25, 1.0 - omega
+        a, b = g, h
+        for _ in range(iters):
+            for i in range(1, n - 1):
+                for j in range(1, n - 1):
+                    b[i][j] = oof * (a[i - 1][j] + a[i + 1][j] + a[i][j - 1] + a[i][j + 1]) + omo * a[i][j]
+            a, b = b, a
+        result = g if iters % 2 == 0 else h
+        expected = 0.0
+        for i in range(n):
+            for j in range(n):
+                expected += result[i][j]
+        assert got == expected
+
+    def test_parallel_sor_schedule_independent(self):
+        # different quantum -> different interleaving -> same checksum
+        from repro.benchmarks import get
+        from repro.lang import compile_source
+        from repro.vm.loader import LoadedAssembly
+        from repro.vm.machine import Machine
+
+        bench = get("scimark.sor_mt")
+        source = bench.build_source({"N": 14, "Iters": 3, "Threads": 3})
+        outs = set()
+        for quantum in (900, 5000, 50_000):
+            machine = Machine(LoadedAssembly(compile_source(source)), CLR11,
+                              quantum=quantum)
+            machine.run()
+            machine.bench.require_valid()
+            outs.add(tuple(machine.bench.sections["SciMark:SORMT"].results))
+        assert len(outs) == 1
+
+    def test_parallel_mc_pi_matches_sample_count_invariant(self):
+        m = run_bench("scimark.montecarlo_mt", {"Samples": 800, "Threads": 4})
+        (pi,) = results(m, "SciMark:MonteCarloMT")
+        assert 2.8 < pi < 3.5
+
+    def test_parallel_mc_slower_than_serial_per_sample_on_clr(self):
+        # the shared synchronized RNG makes the parallel version pay
+        # contention: cycles/sample must exceed the serial kernel's
+        serial = run_bench("scimark.montecarlo", {"Samples": 800})
+        parallel = run_bench("scimark.montecarlo_mt", {"Samples": 800, "Threads": 4})
+        s = serial.bench.sections["SciMark:MonteCarlo"].total_cycles / 800
+        p = parallel.bench.sections["SciMark:MonteCarloMT"].total_cycles / 800
+        assert p > s

@@ -1,0 +1,145 @@
+"""Round-trip tests: disassemble -> assemble -> disassemble must be a fixed
+point, and assembled images must execute identically."""
+
+import pytest
+
+from repro.benchmarks import get
+from repro.cil.assembler import assemble
+from repro.cil.disassembler import disassemble_assembly, disassemble_method
+from repro.cil.verifier import verify_assembly
+from repro.errors import AssembleError
+from repro.lang import compile_source
+from repro.runtimes import CLR11
+from repro.vm.interpreter import Interpreter
+from repro.vm.loader import LoadedAssembly
+from repro.vm.machine import Machine
+
+PROGRAMS = {
+    "arith": """
+        class P { static int Main() {
+            int total = 0;
+            for (int i = 0; i < 50; i++) { total += i * 3 - i / 2; }
+            return total;
+        } }""",
+    "objects": """
+        class Animal { virtual int Legs() { return 0; } }
+        class Dog : Animal { override int Legs() { return 4; } }
+        class P { static int Main() {
+            Animal a = new Dog();
+            return a.Legs();
+        } }""",
+    "exceptions": """
+        class P { static int Main() {
+            int x = 0;
+            try {
+                try { throw new ArithmeticException("inner"); }
+                finally { x += 1; }
+            } catch (Exception e) { x += 10; }
+            return x;
+        } }""",
+    "arrays": """
+        class P { static double Main() {
+            double[,] m = new double[3, 3];
+            double[][] j = new double[3][];
+            for (int i = 0; i < 3; i++) { j[i] = new double[3]; }
+            for (int i = 0; i < 3; i++)
+                for (int k = 0; k < 3; k++) { m[i, k] = i + k; j[i][k] = i * k; }
+            double s = 0.0;
+            for (int i = 0; i < 3; i++)
+                for (int k = 0; k < 3; k++) { s += m[i, k] + j[i][k]; }
+            return s;
+        } }""",
+    "strings_and_box": """
+        class P { static int Main() {
+            object o = 41;
+            string s = "x" + 1;
+            return (int)o + s.Length;
+        } }""",
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_round_trip_fixed_point(name):
+    original = compile_source(PROGRAMS[name], assembly_name=name)
+    text1 = disassemble_assembly(original)
+    rebuilt = assemble(text1)
+    text2 = disassemble_assembly(rebuilt)
+    assert text1 == text2
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_round_trip_verifies_and_executes(name):
+    original = compile_source(PROGRAMS[name], assembly_name=name)
+    expected = Interpreter(LoadedAssembly(original)).run()
+    rebuilt = assemble(disassemble_assembly(original))
+    verify_assembly(rebuilt)
+    assert Interpreter(LoadedAssembly(rebuilt)).run() == expected
+    assert Machine(LoadedAssembly(rebuilt), CLR11).run() == expected
+
+
+def test_round_trip_on_a_real_benchmark():
+    bench = get("scimark.lu")
+    original = compile_source(bench.build_source({"N": 8}), assembly_name="lu")
+    text = disassemble_assembly(original)
+    rebuilt = assemble(text)
+    m1 = Interpreter(LoadedAssembly(original))
+    m1.run()
+    m2 = Interpreter(LoadedAssembly(rebuilt))
+    m2.run()
+    assert (
+        m1.bench.sections["SciMark:LU"].results
+        == m2.bench.sections["SciMark:LU"].results
+    )
+
+
+HAND_WRITTEN = """
+.assembly hand
+.entrypoint Prog::Main
+
+.class Prog
+{
+  .method static int32 Prog::Main()
+  {
+    .maxstack 2
+    .locals (int32 x)
+    IL_0000: ldc.i4       5
+    IL_0001: stloc        0
+    IL_0002: ldloc        0
+    IL_0003: ldc.i4       37
+    IL_0004: add
+    IL_0005: ret
+  }
+}
+"""
+
+
+class TestHandWrittenIL:
+    def test_assemble_and_run(self):
+        assembly = assemble(HAND_WRITTEN)
+        verify_assembly(assembly)
+        assert Interpreter(LoadedAssembly(assembly)).run() == 42
+
+    def test_unknown_opcode_rejected(self):
+        bad = HAND_WRITTEN.replace("add", "frobnicate")
+        with pytest.raises(AssembleError, match="unknown opcode"):
+            assemble(bad)
+
+    def test_out_of_order_offsets_rejected(self):
+        bad = HAND_WRITTEN.replace("IL_0003: ldc.i4       37", "IL_0007: ldc.i4       37")
+        with pytest.raises(AssembleError, match="out of order"):
+            assemble(bad)
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(AssembleError, match="expected .assembly"):
+            assemble(".class Foo\n{\n}")
+
+    def test_bad_field_rejected(self):
+        bad = ".assembly a\n.class C\n{\n  .field int32\n}\n"
+        with pytest.raises(AssembleError, match="bad field"):
+            assemble(bad)
+
+    def test_disassembler_renders_hand_il(self):
+        assembly = assemble(HAND_WRITTEN)
+        method = assembly.find_method("Prog", "Main")
+        text = disassemble_method(method)
+        assert "ldc.i4" in text and ".maxstack" in text

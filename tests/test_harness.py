@@ -1,0 +1,153 @@
+"""Tests for the harness layer: runner, charts, experiment plumbing, CLI."""
+
+import pytest
+
+from repro.harness.charts import bar_chart, format_sci, table, to_csv
+from repro.harness.cli import main as cli_main
+from repro.harness.results import ExperimentCheck, ExperimentResult
+from repro.harness.runner import Runner
+from repro.runtimes import CLR11, IBM131, SSCLI10
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(profiles=[CLR11, SSCLI10], clock_hz=2.8e9)
+
+
+class TestRunner:
+    def test_compile_is_cached(self, runner):
+        a = runner.compile_benchmark("micro.loop", {"Reps": 100})
+        b = runner.compile_benchmark("micro.loop", {"Reps": 100})
+        assert a is b
+        c = runner.compile_benchmark("micro.loop", {"Reps": 200})
+        assert c is not a
+
+    def test_run_produces_all_sections(self, runner):
+        runs = runner.run("micro.loop", {"Reps": 500})
+        assert set(runs) == {"clr-1.1", "sscli-1.0"}
+        for run in runs.values():
+            assert {"Loop:For", "Loop:ReverseFor", "Loop:While"} <= set(run.sections)
+            for section in run.sections.values():
+                assert section.cycles > 0
+                assert section.ops_per_sec > 0
+
+    def test_cross_runtime_result_mismatch_detected(self, runner):
+        # same benchmark: results agree, so no error
+        runner.run("scimark.montecarlo", {"Samples": 300})
+
+    def test_clock_override_scales_rates(self):
+        fast = Runner(profiles=[CLR11], clock_hz=2.8e9)
+        slow = Runner(profiles=[CLR11], clock_hz=1.4e9)
+        a = fast.run("micro.loop", {"Reps": 500})["clr-1.1"].section("Loop:For")
+        b = slow.run("micro.loop", {"Reps": 500})["clr-1.1"].section("Loop:For")
+        assert a.ops_per_sec == pytest.approx(2 * b.ops_per_sec)
+
+    def test_missing_section_raises_keyerror(self, runner):
+        run = runner.run_on("micro.loop", CLR11, {"Reps": 100})
+        with pytest.raises(KeyError, match="no section"):
+            run.section("Nope")
+
+    def test_deterministic_cycles(self):
+        r1 = Runner(profiles=[IBM131]).run_on("micro.cast", IBM131, {"Reps": 300})
+        r2 = Runner(profiles=[IBM131]).run_on("micro.cast", IBM131, {"Reps": 300})
+        assert r1.total_cycles == r2.total_cycles
+        for s in r1.sections:
+            assert r1.sections[s].cycles == r2.sections[s].cycles
+
+
+class TestCharts:
+    SERIES = {
+        "SectionA": {"vm1": 100.0, "vm2": 50.0},
+        "SectionB": {"vm1": 10.0, "vm2": 80.0},
+    }
+
+    def test_bar_chart_contains_all(self):
+        text = bar_chart(self.SERIES, unit="widgets/sec", title="Demo")
+        assert "Demo" in text
+        assert "SectionA" in text and "SectionB" in text
+        assert "vm1" in text and "vm2" in text
+        assert "widgets/sec" in text
+
+    def test_bar_chart_scales_to_peak(self):
+        text = bar_chart(self.SERIES)
+        lines = [l for l in text.splitlines() if "vm1" in l and "#" in l]
+        peak_bar = max(l.count("#") for l in lines)
+        assert peak_bar >= 40  # peak value fills most of the bar width
+
+    def test_table_alignment_and_missing_cells(self):
+        rows = {"r1": {"c1": 1.5}, "r2": {"c1": 2.0, "c2": 3.0}}
+        text = table(rows, columns=["c1", "c2"])
+        assert "1.50" in text and "3.00" in text
+        assert "-" in text  # missing r1/c2
+
+    def test_to_csv(self):
+        csv = to_csv(self.SERIES, profile_order=["vm1", "vm2"])
+        lines = csv.splitlines()
+        assert lines[0] == "section,vm1,vm2"
+        assert lines[1].startswith("SectionA,")
+
+    def test_format_sci(self):
+        assert format_sci(0) == "0"
+        assert format_sci(123456789.0) == "1.23e+8"
+
+
+class TestExperimentResult:
+    def test_all_passed(self):
+        r = ExperimentResult(experiment="x", title="t")
+        r.checks.append(ExperimentCheck("ok", True))
+        assert r.all_passed
+        r.checks.append(ExperimentCheck("bad", False, "why"))
+        assert not r.all_passed
+        rendered = r.checks[1].render()
+        assert "FAIL" in rendered and "why" in rendered
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "scimark.fft" in out and "micro.arith" in out
+
+    def test_profiles(self, capsys):
+        assert cli_main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "clr-1.1" in out and "sscli-1.0" in out
+
+    def test_run_with_params(self, capsys):
+        code = cli_main([
+            "run", "micro.loop", "--profiles", "clr-1.1", "--param", "Reps=300",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Loop:For" in out
+
+    def test_experiment_tables(self, capsys):
+        assert cli_main(["experiment", "tables5-8"]) == 0
+        out = capsys.readouterr().out
+        assert "idiv" in out and "ldc.i4" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            cli_main(["experiment", "graph99"])
+
+    def test_bad_param_format(self):
+        with pytest.raises(SystemExit, match="bad --param"):
+            cli_main(["run", "micro.loop", "--param", "Oops"])
+
+    def test_disasm(self, capsys):
+        assert cli_main(["disasm"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 8" in out
+
+
+class TestCliCsv:
+    def test_run_csv_output(self, capsys):
+        code = cli_main([
+            "run", "micro.loop", "--profiles", "clr-1.1", "ibm-1.3.1",
+            "--param", "Reps=300", "--csv",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert lines[0] == "section,clr-1.1,ibm-1.3.1"
+        assert any(l.startswith("Loop:For,") for l in lines)

@@ -1,0 +1,679 @@
+"""Behavioural tests of the full compile+interpret pipeline.
+
+Each test is a small guest program whose return value encodes the expected
+semantics; this doubles as the language conformance suite.
+"""
+
+import pytest
+
+from repro.errors import ManagedException, TypeCheckError, VMError
+from repro.errors import CompileError
+from tests.conftest import interpret
+
+
+def run(src, entry_class=None):
+    return interpret(src, entry_class)[0]
+
+
+class TestArithmetic:
+    def test_int_wrapping(self):
+        assert run("""
+            class P { static int Main() {
+                int x = int.MaxValue;
+                x = x + 1;
+                return x == int.MinValue ? 1 : 0;
+            } }""") == 1
+
+    def test_long_arithmetic(self):
+        assert run("""
+            class P { static long Main() {
+                long a = 4000000000L;
+                return a * 2L;
+            } }""") == 8000000000
+
+    def test_int_division_truncates_toward_zero(self):
+        assert run("""
+            class P { static int Main() { return (-7) / 2; } }""") == -3
+
+    def test_int_remainder_sign(self):
+        assert run("""
+            class P { static int Main() { return (-7) % 2; } }""") == -1
+
+    def test_divide_by_zero_throws(self):
+        assert run("""
+            class P { static int Main() {
+                int z = 0;
+                try { int q = 5 / z; return q; }
+                catch (DivideByZeroException e) { return 42; }
+            } }""") == 42
+
+    def test_float_divide_by_zero_is_infinity(self):
+        assert run("""
+            class P { static int Main() {
+                double z = 0.0;
+                double q = 1.0 / z;
+                return q > 1e308 ? 1 : 0;
+            } }""") == 1
+
+    def test_shift_masks_count(self):
+        assert run("""
+            class P { static int Main() { int one = 1; return one << 33; } }""") == 2
+
+    def test_unsigned_shift_right_not_available_but_shr_sign_extends(self):
+        assert run("""
+            class P { static int Main() { int x = -8; return x >> 1; } }""") == -4
+
+    def test_float32_rounding(self):
+        # 0.1f is not exactly 0.1
+        assert run("""
+            class P { static int Main() {
+                float f = 0.1f;
+                double d = f;
+                return d == 0.1 ? 0 : 1;
+            } }""") == 1
+
+    def test_mixed_promotion(self):
+        assert run("""
+            class P { static double Main() {
+                int i = 3; double d = 0.5;
+                return i * d;
+            } }""") == 1.5
+
+    def test_bitwise_ops(self):
+        assert run("""
+            class P { static int Main() {
+                int a = 12; int b = 10;
+                return (a & b) + (a | b) + (a ^ b) + (~a);
+            } }""") == (12 & 10) + (12 | 10) + (12 ^ 10) + (~12)
+
+    def test_conversions_narrowing(self):
+        assert run("""
+            class P { static int Main() {
+                double d = 258.9;
+                byte b = (byte)d;
+                short s = (short)65538;
+                return b * 1000 + s;
+            } }""") == 2 * 1000 + 2
+
+    def test_float_to_int_truncation(self):
+        assert run("""
+            class P { static int Main() { double d = -2.9; return (int)d; } }""") == -2
+
+
+class TestControlFlow:
+    def test_nested_loops_with_break_continue(self):
+        assert run("""
+            class P { static int Main() {
+                int total = 0;
+                for (int i = 0; i < 10; i++) {
+                    if (i == 7) break;
+                    for (int j = 0; j < 10; j++) {
+                        if (j % 2 == 0) continue;
+                        total += 1;
+                    }
+                }
+                return total;
+            } }""") == 7 * 5
+
+    def test_do_while_runs_once(self):
+        assert run("""
+            class P { static int Main() {
+                int n = 0;
+                do { n++; } while (false);
+                return n;
+            } }""") == 1
+
+    def test_ternary_and_logical_short_circuit(self):
+        assert run("""
+            class P {
+                static int calls;
+                static bool Touch() { calls++; return true; }
+                static int Main() {
+                    bool b = false && Touch();
+                    bool c = true || Touch();
+                    return calls + (b ? 10 : 0) + (c ? 1 : 0);
+                }
+            }""") == 1
+
+    def test_while_condition_bool_required(self):
+        with pytest.raises(TypeCheckError, match="condition must be bool"):
+            run("class P { static int Main() { while (1) { } return 0; } }")
+
+
+class TestObjects:
+    def test_fields_and_methods(self):
+        assert run("""
+            class Counter {
+                int n;
+                void Add(int k) { n += k; }
+                int Get() { return n; }
+            }
+            class P { static int Main() {
+                Counter c = new Counter();
+                c.Add(3); c.Add(4);
+                return c.Get();
+            } }""") == 7
+
+    def test_constructor_and_field_initializers(self):
+        assert run("""
+            class Box {
+                int x = 10;
+                static int counter = 100;
+                Box(int y) { x += y; }
+            }
+            class P { static int Main() {
+                Box b = new Box(5);
+                return b.x + Box.counter;
+            } }""") == 115
+
+    def test_virtual_dispatch(self):
+        assert run("""
+            class Animal { virtual int Legs() { return 0; } }
+            class Dog : Animal { override int Legs() { return 4; } }
+            class Bird : Animal { override int Legs() { return 2; } }
+            class P { static int Main() {
+                Animal a = new Dog();
+                Animal b = new Bird();
+                return a.Legs() * 10 + b.Legs();
+            } }""") == 42
+
+    def test_base_call(self):
+        assert run("""
+            class A { virtual int F() { return 1; } }
+            class B : A {
+                override int F() { return base.F() + 10; }
+            }
+            class P { static int Main() { return new B().F(); } }""") == 11
+
+    def test_base_ctor_chaining(self):
+        assert run("""
+            class A { int x; A(int v) { x = v; } }
+            class B : A { B() : base(7) { } }
+            class P { static int Main() { return new B().x; } }""") == 7
+
+    def test_inherited_fields(self):
+        assert run("""
+            class A { int x; }
+            class B : A { int y; }
+            class P { static int Main() {
+                B b = new B();
+                b.x = 3; b.y = 4;
+                return b.x + b.y;
+            } }""") == 7
+
+    def test_static_methods_and_fields(self):
+        assert run("""
+            class M {
+                static int total;
+                static void Bump() { total += 2; }
+            }
+            class P { static int Main() {
+                M.Bump(); M.Bump();
+                return M.total;
+            } }""") == 4
+
+    def test_overload_resolution(self):
+        assert run("""
+            class O {
+                static int F(int x) { return 1; }
+                static int F(double x) { return 2; }
+                static int F(int x, int y) { return 3; }
+            }
+            class P { static int Main() {
+                return O.F(1) * 100 + O.F(1.5) * 10 + O.F(1, 2);
+            } }""") == 123
+
+    def test_null_reference_throws(self):
+        assert run("""
+            class A { int x; }
+            class P { static int Main() {
+                A a = null;
+                try { return a.x; }
+                catch (NullReferenceException e) { return 5; }
+            } }""") == 5
+
+    def test_downcast_and_invalid_cast(self):
+        assert run("""
+            class A { }
+            class B : A { int v = 9; }
+            class P { static int Main() {
+                A a = new B();
+                B b = (B)a;
+                object o = new A();
+                try { B bad = (B)o; return 0; }
+                catch (InvalidCastException e) { return b.v; }
+            } }""") == 9
+
+
+class TestStructs:
+    def test_value_semantics_copy_on_assign(self):
+        assert run("""
+            struct Point { double x; double y; }
+            class P { static int Main() {
+                Point a = new Point();
+                a.x = 1.0;
+                Point b = a;
+                b.x = 2.0;
+                return a.x == 1.0 && b.x == 2.0 ? 1 : 0;
+            } }""") == 1
+
+    def test_struct_array_elements_are_distinct(self):
+        assert run("""
+            struct Cell { int v; }
+            class P { static int Main() {
+                Cell[] cells = new Cell[3];
+                cells[0].v = 5;
+                return cells[0].v * 10 + cells[1].v;
+            } }""") == 50
+
+    def test_struct_passed_by_value(self):
+        assert run("""
+            struct S { int v; }
+            class P {
+                static void Mutate(S s) { s.v = 99; }
+                static int Main() {
+                    S s = new S();
+                    s.v = 1;
+                    Mutate(s);
+                    return s.v;
+                }
+            }""") == 1
+
+    def test_struct_reference_field_rejected(self):
+        with pytest.raises(TypeCheckError, match="must be primitive"):
+            run("struct S { object o; } class P { static int Main() { return 0; } }")
+
+
+class TestArrays:
+    def test_jagged_arrays(self):
+        assert run("""
+            class P { static int Main() {
+                int[][] j = new int[3][];
+                for (int i = 0; i < 3; i++) { j[i] = new int[4]; }
+                j[1][2] = 7;
+                return j[1][2] + j[0].Length;
+            } }""") == 11
+
+    def test_md_array_round_trip(self):
+        assert run("""
+            class P { static double Main() {
+                double[,] m = new double[3, 4];
+                double total = 0.0;
+                for (int i = 0; i < 3; i++)
+                    for (int k = 0; k < 4; k++)
+                        m[i, k] = i * 10 + k;
+                for (int i = 0; i < 3; i++)
+                    for (int k = 0; k < 4; k++)
+                        total += m[i, k];
+                return total;
+            } }""") == sum(i * 10 + k for i in range(3) for k in range(4))
+
+    def test_md_array_length_and_getlength(self):
+        assert run("""
+            class P { static int Main() {
+                double[,] m = new double[3, 4];
+                return m.Length * 100 + m.GetLength(0) * 10 + m.GetLength(1);
+            } }""") == 1234
+
+    def test_index_out_of_range(self):
+        assert run("""
+            class P { static int Main() {
+                int[] a = new int[2];
+                try { return a[5]; }
+                catch (IndexOutOfRangeException e) { return 3; }
+            } }""") == 3
+
+    def test_md_bounds_checked_per_dimension(self):
+        # index inside the flat data but outside dim bounds must throw
+        assert run("""
+            class P { static int Main() {
+                int[,] m = new int[2, 3];
+                try { return m[0, 5]; }
+                catch (IndexOutOfRangeException e) { return 1; }
+            } }""") == 1
+
+    def test_array_of_objects(self):
+        assert run("""
+            class Node { int v; }
+            class P { static int Main() {
+                Node[] nodes = new Node[2];
+                nodes[0] = new Node();
+                nodes[0].v = 6;
+                return nodes[0].v + (nodes[1] == null ? 1 : 0);
+            } }""") == 7
+
+
+class TestExceptions:
+    def test_finally_runs_on_normal_path(self):
+        assert run("""
+            class P { static int Main() {
+                int x = 0;
+                try { x = 1; } finally { x += 10; }
+                return x;
+            } }""") == 11
+
+    def test_finally_runs_on_exception_path(self):
+        assert run("""
+            class P {
+                static int trace;
+                static void Boom() {
+                    try { throw new Exception("x"); }
+                    finally { trace += 1; }
+                }
+                static int Main() {
+                    try { Boom(); } catch (Exception e) { trace += 10; }
+                    return trace;
+                }
+            }""") == 11
+
+    def test_catch_selects_most_derived_handler_order(self):
+        assert run("""
+            class P { static int Main() {
+                try { throw new DivideByZeroException("d"); }
+                catch (DivideByZeroException e) { return 1; }
+                catch (ArithmeticException e) { return 2; }
+                catch (Exception e) { return 3; }
+            } }""") == 1
+
+    def test_base_class_catches_derived(self):
+        assert run("""
+            class P { static int Main() {
+                try { throw new DivideByZeroException("d"); }
+                catch (ArithmeticException e) { return 7; }
+            } }""") == 7
+
+    def test_rethrow_propagates(self):
+        assert run("""
+            class P { static int Main() {
+                int path = 0;
+                try {
+                    try { throw new Exception("a"); }
+                    catch (Exception e) { path += 1; throw; }
+                }
+                catch (Exception e) { path += 10; }
+                return path;
+            } }""") == 11
+
+    def test_user_exception_class(self):
+        assert run("""
+            class AppError : Exception {
+                int code;
+                AppError(int c) { code = c; }
+            }
+            class P { static int Main() {
+                try { throw new AppError(55); }
+                catch (AppError e) { return e.code; }
+            } }""") == 55
+
+    def test_unhandled_exception_escapes(self):
+        from repro.vm.exceptions import GuestException
+        with pytest.raises(GuestException):
+            run("""
+                class P { static int Main() { throw new Exception("boom"); } }""")
+
+    def test_exception_message_roundtrip(self):
+        assert run("""
+            class P { static int Main() {
+                try { throw new Exception("hello"); }
+                catch (Exception e) { return e.GetMessage().Length; }
+            } }""") == 5
+
+    def test_return_inside_try_runs_finally(self):
+        assert run("""
+            class P {
+                static int effects;
+                static int F() {
+                    try { return 5; }
+                    finally { effects = 7; }
+                }
+                static int Main() { return F() + effects; }
+            }""") == 12
+
+
+class TestBoxing:
+    def test_implicit_box_and_unbox(self):
+        assert run("""
+            class P { static int Main() {
+                object o = 42;
+                int v = (int)o;
+                return v;
+            } }""") == 42
+
+    def test_box_double(self):
+        assert run("""
+            class P { static int Main() {
+                object o = 1.5;
+                double d = (double)o;
+                return d == 1.5 ? 1 : 0;
+            } }""") == 1
+
+    def test_unbox_wrong_type_throws(self):
+        assert run("""
+            class P { static int Main() {
+                object o = 42;
+                try { double d = (double)o; return 0; }
+                catch (InvalidCastException e) { return 9; }
+            } }""") == 9
+
+    def test_box_struct(self):
+        assert run("""
+            struct S { int v; }
+            class P { static int Main() {
+                S s = new S();
+                s.v = 5;
+                object o = s;
+                s.v = 6;
+                S back = (S)o;
+                return back.v;
+            } }""") == 5
+
+
+class TestIntrinsics:
+    def test_math_functions(self):
+        result, interp = interpret("""
+            class P { static int Main() {
+                double a = Math.Sqrt(16.0);
+                double b = Math.Pow(2.0, 10.0);
+                double c = Math.Abs(-3.5);
+                int d = Math.Max(3, 9);
+                long e = Math.Min(5L, 2L);
+                return (int)a + (int)b + (int)c + d + (int)e;
+            } }""")
+        assert result == 4 + 1024 + 3 + 9 + 2
+
+    def test_math_domain_edges(self):
+        assert run("""
+            class P { static int Main() {
+                double nan = Math.Sqrt(-1.0);
+                double ninf = Math.Log(0.0);
+                int flags = 0;
+                if (nan != nan) flags += 1;
+                if (ninf < -1e308) flags += 2;
+                return flags;
+            } }""") == 3
+
+    def test_math_random_deterministic(self):
+        r1, _ = interpret("""
+            class P { static double Main() { return Math.Random() + Math.Random(); } }""")
+        r2, _ = interpret("""
+            class P { static double Main() { return Math.Random() + Math.Random(); } }""")
+        assert r1 == r2
+        assert 0.0 < r1 < 2.0
+
+    def test_console_output(self):
+        _, interp = interpret("""
+            class P { static void Main() {
+                Console.WriteLine("x=" + 3);
+                Console.WriteLine(2.5);
+            } }""")
+        assert interp.stdout == ["x=3", "2.5"]
+
+    def test_string_equality_and_length(self):
+        assert run("""
+            class P { static int Main() {
+                string a = "he" + "llo";
+                int n = 0;
+                if (a == "hello") n += 1;
+                if (a != "world") n += 2;
+                n += a.Length;
+                return n;
+            } }""") == 8
+
+    def test_bench_sections(self):
+        _, interp = interpret("""
+            class P { static void Main() {
+                Bench.Start("loop");
+                int x = 0;
+                for (int i = 0; i < 100; i++) x += i;
+                Bench.Stop("loop");
+                Bench.Ops("loop", 100L);
+                Bench.Result("loop", x);
+            } }""")
+        section = interp.bench.sections["loop"]
+        assert section.ops == 100
+        assert section.total_cycles > 0
+        assert section.results == [4950.0]
+
+    def test_serializer_round_trip(self):
+        assert run("""
+            class Node { int v; Node next; }
+            class P { static int Main() {
+                Node a = new Node(); a.v = 1;
+                Node b = new Node(); b.v = 2;
+                a.next = b;
+                int size = Serializer.WriteObject(a);
+                Node copy = (Node)Serializer.ReadObject();
+                copy.v = 99;
+                return a.v * 100 + copy.next.v * 10 + (size > 0 ? 1 : 0);
+            } }""") == 121
+
+    def test_gc_total_allocated_grows(self):
+        assert run("""
+            class Blob { long a; long b; }
+            class P { static int Main() {
+                long before = GC.TotalAllocated();
+                for (int i = 0; i < 10; i++) { Blob blob = new Blob(); blob.a = i; }
+                long after = GC.TotalAllocated();
+                return after > before ? 1 : 0;
+            } }""") == 1
+
+
+class TestTypeErrors:
+    def err(self, src, match):
+        with pytest.raises(CompileError, match=match):
+            run(src)
+
+    def test_unknown_name(self):
+        self.err("class P { static int Main() { return nope; } }", "unknown name")
+
+    def test_assign_incompatible(self):
+        self.err(
+            "class P { static int Main() { int x = 1.5; return x; } }",
+            "cannot implicitly convert",
+        )
+
+    def test_missing_return(self):
+        self.err(
+            "class P { static int Main() { int x = 1; } }",
+            "not all code paths return",
+        )
+
+    def test_call_wrong_arity(self):
+        self.err(
+            "class P { static int F(int a) { return a; } static int Main() { return F(); } }",
+            "matches",
+        )
+
+    def test_break_outside_loop(self):
+        self.err("class P { static void Main() { break; } }", "break outside loop")
+
+    def test_throw_non_exception(self):
+        self.err(
+            "class A { } class P { static void Main() { throw new A(); } }",
+            "must derive from Exception",
+        )
+
+    def test_duplicate_local(self):
+        self.err(
+            "class P { static void Main() { int x = 1; int x = 2; } }",
+            "duplicate variable",
+        )
+
+    def test_override_without_virtual(self):
+        self.err(
+            "class A { int F() { return 1; } } class B : A { override int F() { return 2; } }"
+            " class P { static void Main() { } }",
+            "no virtual base method",
+        )
+
+    def test_instance_field_from_static(self):
+        self.err(
+            "class P { int x; static int Main() { return x; } }",
+            "instance field",
+        )
+
+    def test_bool_int_cast_rejected(self):
+        self.err(
+            "class P { static int Main() { bool b = true; return (int)b; } }",
+            "cannot cast",
+        )
+
+
+class TestFinallyGenerality:
+    """The finally handler runs through the full dispatch loop: array ops,
+    calls, arithmetic, even nested try/finally inside handlers."""
+
+    def test_array_ops_in_finally(self):
+        assert run("""
+            class P { static int Main() {
+                int[] a = new int[3];
+                try { a[0] = 1; }
+                finally { a[1] = 7; a[2] = a[0] * 2 - 1; }
+                return a[0] + a[1] * 10 + a[2] * 100;
+            } }""") == 171
+
+    def test_calls_and_allocation_in_finally(self):
+        assert run("""
+            class Box { int v; }
+            class P {
+                static Box made;
+                static int Bump(int x) { return x + 1; }
+                static int Main() {
+                    int r = 0;
+                    try { r = 1; }
+                    finally {
+                        made = new Box();
+                        made.v = Bump(r);
+                    }
+                    return made.v;
+                }
+            }""") == 2
+
+    def test_nested_try_inside_finally(self):
+        assert run("""
+            class P { static int Main() {
+                int trace = 0;
+                try { trace += 1; }
+                finally {
+                    try { throw new Exception("inner"); }
+                    catch (Exception e) { trace += 10; }
+                    finally { trace += 100; }
+                }
+                return trace;
+            } }""") == 111
+
+    def test_finally_on_exception_path_with_loops(self):
+        assert run("""
+            class P {
+                static int total;
+                static void Boom() {
+                    try { throw new ArithmeticException("x"); }
+                    finally {
+                        for (int i = 0; i < 5; i++) { total += i; }
+                    }
+                }
+                static int Main() {
+                    try { Boom(); } catch (Exception e) { total += 100; }
+                    return total;
+                }
+            }""") == 110

@@ -1,0 +1,169 @@
+"""Unit tests for the intrinsic library semantics and the Bench recorder."""
+
+import math
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.vm.bench import BenchRecorder
+from repro.vm.intrinsics import INTRINSICS, JavaRandom
+
+
+class _Host:
+    """Minimal intrinsic host for direct table calls."""
+
+    def __init__(self):
+        self.stdout = []
+        self.rng = JavaRandom()
+        self.charges = []
+
+    def charge_units(self, kind, n):
+        self.charges.append((kind, n))
+
+
+def call(cls, name, *args, host=None):
+    fn = INTRINSICS[(cls, name, len(args))]
+    return fn(host or _Host(), list(args))
+
+
+class TestMathIntrinsics:
+    def test_sqrt_negative_is_nan(self):
+        assert math.isnan(call("System.Math", "Sqrt", -1.0))
+
+    def test_log_edges(self):
+        assert call("System.Math", "Log", 0.0) == -math.inf
+        assert math.isnan(call("System.Math", "Log", -3.0))
+        assert call("System.Math", "Log", math.e) == pytest.approx(1.0)
+
+    def test_pow_overflow_is_inf(self):
+        assert call("System.Math", "Pow", 10.0, 400.0) == math.inf
+
+    def test_asin_domain(self):
+        assert math.isnan(call("System.Math", "Asin", 2.0))
+        assert call("System.Math", "Asin", 1.0) == pytest.approx(math.pi / 2)
+
+    def test_rint_rounds_half_to_even(self):
+        assert call("System.Math", "Rint", 2.5) == 2.0
+        assert call("System.Math", "Rint", 3.5) == 4.0
+        assert call("System.Math", "Rint", -0.5) == -0.0
+
+    def test_floor_ceiling_infinities_pass_through(self):
+        assert call("System.Math", "Floor", math.inf) == math.inf
+        assert call("System.Math", "Ceiling", -math.inf) == -math.inf
+
+    def test_trig_of_infinity_is_nan(self):
+        assert math.isnan(call("System.Math", "Sin", math.inf))
+        assert math.isnan(call("System.Math", "Cos", -math.inf))
+
+    def test_min_max_ints(self):
+        assert call("System.Math", "Max", 3, 9) == 9
+        assert call("System.Math", "Min", -3, 2) == -3
+
+
+class TestJavaRandom:
+    def test_matches_java_util_random_reference(self):
+        # java.util.Random(12345).nextDouble() well-known first values
+        rng = JavaRandom(12345)
+        first = rng.next_double()
+        assert first == pytest.approx(0.3618031071604718, rel=0, abs=1e-15)
+
+    def test_next_int_signed_range(self):
+        rng = JavaRandom(1)
+        for _ in range(20):
+            v = rng.next_int()
+            assert -(2**31) <= v < 2**31
+
+
+class TestBenchRecorder:
+    def _recorder(self):
+        clock = {"t": 0}
+        rec = BenchRecorder(lambda: clock["t"])
+        return rec, clock
+
+    def test_start_stop_accumulates(self):
+        rec, clock = self._recorder()
+        rec.start("s")
+        clock["t"] = 100
+        rec.stop("s")
+        rec.start("s")
+        clock["t"] = 150
+        rec.stop("s")
+        assert rec.sections["s"].total_cycles == 150
+
+    def test_double_start_rejected(self):
+        rec, _ = self._recorder()
+        rec.start("s")
+        with pytest.raises(BenchmarkError, match="started twice"):
+            rec.start("s")
+
+    def test_stop_without_start_rejected(self):
+        rec, _ = self._recorder()
+        with pytest.raises(BenchmarkError, match="not running"):
+            rec.stop("s")
+
+    def test_unclosed_section_fails_validation(self):
+        rec, _ = self._recorder()
+        rec.start("open")
+        with pytest.raises(BenchmarkError, match="never stopped"):
+            rec.require_valid()
+
+    def test_failures_propagate(self):
+        rec, _ = self._recorder()
+        rec.fail("computation wrong")
+        with pytest.raises(BenchmarkError, match="computation wrong"):
+            rec.require_valid()
+
+    def test_rates(self):
+        rec, clock = self._recorder()
+        rec.start("s")
+        clock["t"] = 1000
+        rec.stop("s")
+        rec.add_ops("s", 500)
+        rec.add_flops("s", 2_000_000)
+        s = rec.sections["s"]
+        assert s.ops_per_sec(1000.0) == 500.0          # 1000 cycles @ 1 kHz = 1 s
+        assert s.mflops(1000.0) == pytest.approx(2.0)
+
+    def test_zero_cycles_rates_are_zero(self):
+        rec, _ = self._recorder()
+        rec.add_ops("s", 10)
+        assert rec.sections["s"].ops_per_sec(1e9) == 0.0
+
+
+class TestInterpreterLimits:
+    def test_instruction_budget_guards_infinite_loops(self):
+        from repro.errors import VMError
+        from repro.lang import compile_source
+        from repro.vm.interpreter import Interpreter
+        from repro.vm.loader import LoadedAssembly
+
+        src = "class P { static void Main() { while (true) { } } }"
+        interp = Interpreter(LoadedAssembly(compile_source(src)), max_instructions=10_000)
+        with pytest.raises(VMError, match="budget exceeded"):
+            interp.run()
+
+    def test_threads_unsupported_in_interpreter(self):
+        from repro.errors import VMError
+        from repro.lang import compile_source
+        from repro.vm.interpreter import Interpreter
+        from repro.vm.loader import LoadedAssembly
+
+        src = """
+        class W { virtual void Run() { } }
+        class P { static void Main() {
+            int tid = Thread.Create(new W());
+        } }"""
+        with pytest.raises(VMError, match="threaded engine"):
+            Interpreter(LoadedAssembly(compile_source(src))).run()
+
+    def test_machine_cycle_guard(self):
+        from repro.errors import VMError
+        from repro.lang import compile_source
+        from repro.runtimes import CLR11
+        from repro.vm.loader import LoadedAssembly
+        from repro.vm.machine import Machine
+
+        src = "class P { static void Main() { while (true) { } } }"
+        machine = Machine(LoadedAssembly(compile_source(src)), CLR11, max_cycles=100_000)
+        with pytest.raises(VMError, match="cycle budget"):
+            machine.run()

@@ -1,0 +1,319 @@
+"""Unit tests for the JIT pass pipeline on hand-built and compiled MIR."""
+
+import pytest
+
+from repro.cil import assemble
+from repro.jit import mir
+from repro.jit.lowering import lower
+from repro.jit.passes import (
+    const_div_quirk,
+    constant_fold,
+    copy_propagate,
+    dead_code_eliminate,
+    eliminate_bounds_checks,
+    enregister,
+)
+from repro.jit.pipeline import JitCompiler
+from repro.lang import compile_source
+from repro.runtimes import CLR11, MONO023, NATIVE_C, SSCLI10
+from repro.vm.interpreter import Interpreter
+from repro.vm.loader import LoadedAssembly
+from repro.vm.machine import Machine
+
+
+def compile_main(source, profile=CLR11):
+    assembly = compile_source(source)
+    jit = JitCompiler(LoadedAssembly(assembly), profile)
+    return jit.compile(assembly.entry_point), assembly
+
+
+def mir_ops(fn):
+    return [ins.op for ins in fn.code]
+
+
+class TestLowering:
+    def test_straightline(self):
+        fn, _ = compile_main("class P { static int Main() { return 1 + 2; } }",
+                             profile=SSCLI10)  # no folding: see raw lowering
+        ops = mir_ops(fn)
+        assert mir.ADD in ops and mir.RET in ops
+
+    def test_branch_targets_resolved(self):
+        fn, _ = compile_main("""
+            class P { static int Main() {
+                int s = 0;
+                for (int i = 0; i < 5; i++) { s += i; }
+                return s;
+            } }""", profile=SSCLI10)
+        for ins in fn.code:
+            if ins.target >= 0:
+                assert 0 <= ins.target <= len(fn.code)
+
+    def test_regions_mapped_to_mir(self):
+        fn, _ = compile_main("""
+            class P { static int Main() {
+                try { throw new Exception("x"); }
+                catch (Exception e) { return 1; }
+            } }""", profile=SSCLI10)
+        assert fn.regions
+        region = fn.regions[0]
+        assert region.kind == "catch"
+        assert region.exc_vreg >= 0
+        assert 0 <= region.try_start < region.try_end <= len(fn.code)
+
+    def test_method_ends_with_terminator(self):
+        fn, _ = compile_main("class P { static void Main() { } }")
+        assert fn.code[-1].op in mir.TERMINATORS
+
+
+class TestSimplifyPasses:
+    def _lowered(self, source):
+        assembly = compile_source(source)
+        return lower(assembly.entry_point), assembly
+
+    def test_copyprop_removes_stack_shuffle(self):
+        src = """
+        class P { static int Main() {
+            int a = 1; int b = 2;
+            int c = a + b;
+            return c;
+        } }"""
+        fn, _ = self._lowered(src)
+        raw_movs = sum(1 for i in fn.code if i.op == mir.MOV)
+        copy_propagate(fn, CLR11)
+        dead_code_eliminate(fn, CLR11)
+        opt_movs = sum(1 for i in fn.code if i.op == mir.MOV)
+        assert opt_movs < raw_movs
+
+    def test_constant_fold_chains(self):
+        fn, _ = self._lowered("class P { static int Main() { return 2 + 3 * 4; } }")
+        constant_fold(fn, CLR11)
+        copy_propagate(fn, CLR11)
+        dead_code_eliminate(fn, CLR11)
+        # the arithmetic should be folded away entirely
+        assert not any(i.op in (mir.ADD, mir.MUL) for i in fn.code)
+
+    def test_global_constant_visible_inside_loop(self):
+        src = """
+        class P { static int Main() {
+            int d = 3;
+            int x = 1000;
+            for (int i = 0; i < 4; i++) { x = x / d; }
+            return x;
+        } }"""
+        fn, _ = self._lowered(src)
+        constant_fold(fn, CLR11)
+        assert fn.stats.get("const_divisors"), "loop-invariant divisor not found"
+
+    def test_dce_keeps_side_effects(self):
+        src = """
+        class P {
+            static int calls;
+            static int F() { calls++; return 1; }
+            static void Main() { F(); }
+        }"""
+        assembly = compile_source(src)
+        fn = lower(assembly.entry_point)
+        before_calls = sum(1 for i in fn.code if i.op == mir.CALL)
+        copy_propagate(fn, MONO023)
+        dead_code_eliminate(fn, MONO023)
+        assert sum(1 for i in fn.code if i.op == mir.CALL) == before_calls
+
+    def test_passes_preserve_semantics(self):
+        src = """
+        class P { static long Main() {
+            long acc = 7;
+            int d = 3;
+            for (int i = 1; i < 50; i++) {
+                acc = acc * 31 + i;
+                acc = acc / d;
+                acc ^= i;
+            }
+            return acc;
+        } }"""
+        assembly = compile_source(src)
+        expected = Interpreter(LoadedAssembly(assembly)).run()
+        for profile in (CLR11, MONO023, SSCLI10, NATIVE_C):
+            assert Machine(LoadedAssembly(assembly), profile).run() == expected
+
+
+class TestBoundsCheckPass:
+    def _compiled(self, source, profile):
+        assembly = compile_source(source)
+        return JitCompiler(LoadedAssembly(assembly), profile).compile(assembly.entry_point)
+
+    LENGTH_LOOP = """
+    class P { static int Main() {
+        int[] a = new int[64];
+        int s = 0;
+        for (int i = 0; i < a.Length; i++) { s += a[i]; }
+        return s;
+    } }"""
+
+    def test_eliminates_on_length_pattern(self):
+        fn = self._compiled(self.LENGTH_LOOP, CLR11)
+        assert fn.stats.get("bce_eliminated", 0) >= 1
+
+    def test_not_on_local_bound(self):
+        src = self.LENGTH_LOOP.replace("i < a.Length", "i < 64")
+        fn = self._compiled(src, CLR11)
+        assert fn.stats.get("bce_eliminated", 0) == 0
+
+    def test_not_when_counter_mutated_oddly(self):
+        src = """
+        class P { static int Main() {
+            int[] a = new int[64];
+            int s = 0;
+            for (int i = 0; i < a.Length; i++) {
+                s += a[i];
+                if (s > 100000) { i = i * 2; }
+            }
+            return s;
+        } }"""
+        fn = self._compiled(src, CLR11)
+        assert fn.stats.get("bce_eliminated", 0) == 0
+
+    def test_not_when_array_reassigned_in_loop(self):
+        src = """
+        class P { static int Main() {
+            int[] a = new int[64];
+            int s = 0;
+            for (int i = 0; i < a.Length; i++) {
+                s += a[i];
+                a = new int[64];
+            }
+            return s;
+        } }"""
+        fn = self._compiled(src, CLR11)
+        assert fn.stats.get("bce_eliminated", 0) == 0
+
+    def test_native_clears_all_checks(self):
+        fn = self._compiled(self.LENGTH_LOOP, NATIVE_C)
+        for ins in fn.code:
+            if ins.op in (mir.LDELEM, mir.STELEM):
+                assert not ins.bounds_check
+
+    def test_semantics_preserved_with_bce(self):
+        # out-of-range access must still throw even when checks are "free"
+        src = """
+        class P { static int Main() {
+            int[] a = new int[4];
+            try { return a[9]; }
+            catch (IndexOutOfRangeException e) { return -1; }
+        } }"""
+        for profile in (CLR11, NATIVE_C):
+            assembly = compile_source(src)
+            assert Machine(LoadedAssembly(assembly), profile).run() == -1
+
+
+class TestEnregisterPass:
+    def test_immediates_do_not_consume_budget(self):
+        src = """
+        class P { static int Main() {
+            int s = 0;
+            for (int i = 0; i < 100; i++) { s += 12345; }
+            return s;
+        } }"""
+        assembly = compile_source(src)
+        fn = JitCompiler(LoadedAssembly(assembly), CLR11).compile(assembly.entry_point)
+        assert fn.stats.get("immediates", 0) >= 1
+
+    def test_rotor_keeps_constants_in_memory(self):
+        src = "class P { static int Main() { return 1 + 2; } }"
+        assembly = compile_source(src)
+        fn = JitCompiler(LoadedAssembly(assembly), SSCLI10).compile(assembly.entry_point)
+        assert fn.stats.get("immediates", 0) == 0
+        assert not any(fn.in_register)
+
+    def test_64_local_tracking_limit(self):
+        # 70 padding locals seeded from a non-constant so they survive
+        # constant propagation; the hot accumulator lands at local slot 70
+        decls = "\n".join(f"int v{i} = seed + {i};" for i in range(70))
+        use = " + ".join(f"v{i}" for i in range(70))
+        src = f"""
+        class P {{ static int Main() {{
+            int seed = Env.ThreadCount();
+            {decls}
+            int hot = 0;
+            for (int i = 0; i < 100; i++) {{ hot += v69; }}
+            return hot + {use};
+        }} }}"""
+        assembly = compile_source(src)
+        fn_limited = JitCompiler(LoadedAssembly(assembly), CLR11).compile(assembly.entry_point)
+        hot_slot = next(
+            i for i, lv in enumerate(assembly.entry_point.locals)
+            if lv.name.startswith("hot")
+        )
+        assert hot_slot >= 64
+        # beyond the 64-local tracking window: stays in the frame on CLR 1.1
+        assert not fn_limited.in_register[fn_limited.n_args + hot_slot]
+        unlimited = CLR11.with_jit(max_tracked_locals=10_000)
+        assembly2 = compile_source(src)
+        fn_free = JitCompiler(LoadedAssembly(assembly2), unlimited).compile(assembly2.entry_point)
+        assert fn_free.in_register[fn_free.n_args + hot_slot]
+
+
+class TestInlinePass:
+    SRC = """
+    class P {
+        static int Add(int a, int b) { return a + b; }
+        static int Main() {
+            int s = 0;
+            for (int i = 0; i < 20; i++) { s = Add(s, i); }
+            return s;
+        }
+    }"""
+
+    def test_clr_inlines_and_preserves_result(self):
+        assembly = compile_source(self.SRC)
+        fn = JitCompiler(LoadedAssembly(assembly), CLR11).compile(assembly.entry_point)
+        assert fn.stats.get("inlined_calls", 0) >= 1
+        assert not any(ins.op == mir.CALL for ins in fn.code)
+        assert Machine(LoadedAssembly(compile_source(self.SRC)), CLR11).run() == sum(range(20))
+
+    def test_virtual_calls_not_inlined(self):
+        src = """
+        class A { virtual int F() { return 1; } }
+        class P { static int Main() {
+            A a = new A();
+            return a.F();
+        } }"""
+        assembly = compile_source(src)
+        fn = JitCompiler(LoadedAssembly(assembly), CLR11).compile(assembly.entry_point)
+        assert any(ins.op == mir.CALL for ins in fn.code)
+
+    def test_recursive_methods_not_inlined_into_themselves(self):
+        src = """
+        class P {
+            static int Fib(int n) { return n < 2 ? n : Fib(n - 1) + Fib(n - 2); }
+            static int Main() { return Fib(10); }
+        }"""
+        assert Machine(LoadedAssembly(compile_source(src)), CLR11).run() == 55
+
+
+class TestQuirkPass:
+    def test_staged_divisor_never_enregistered(self):
+        src = """
+        class P { static int Main() {
+            int d = 7;
+            int x = 1000000;
+            for (int i = 0; i < 5; i++) { x = x / d; }
+            return x;
+        } }"""
+        assembly = compile_source(src)
+        fn = JitCompiler(LoadedAssembly(assembly), CLR11).compile(assembly.entry_point)
+        staged = fn.stats.get("force_spill", set())
+        assert staged
+        for v in staged:
+            assert not fn.in_register[v]
+
+    def test_quirk_preserves_value(self):
+        src = """
+        class P { static int Main() {
+            int d = 7;
+            int x = 1000000;
+            for (int i = 0; i < 5; i++) { x = x / d; }
+            return x;
+        } }"""
+        expected = Interpreter(LoadedAssembly(compile_source(src))).run()
+        assert Machine(LoadedAssembly(compile_source(src)), CLR11).run() == expected

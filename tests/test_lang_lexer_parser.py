@@ -1,0 +1,220 @@
+"""Unit tests for the Kernel-C# lexer and parser."""
+
+import pytest
+
+from repro.errors import LexError, ParseError
+from repro.lang import parse, tokenize
+from repro.lang import ast_nodes as ast
+from repro.lang.tokens import (
+    DOUBLE_LIT,
+    EOF,
+    FLOAT_LIT,
+    IDENT,
+    INT_LIT,
+    KEYWORD,
+    LONG_LIT,
+    PUNCT,
+    STRING_LIT,
+)
+
+
+class TestLexer:
+    def kinds(self, src):
+        return [t.kind for t in tokenize(src)]
+
+    def test_empty(self):
+        assert self.kinds("") == [EOF]
+
+    def test_ints_and_suffixes(self):
+        toks = tokenize("42 0x1F 7L 0xFFL")
+        assert [(t.kind, t.value) for t in toks[:-1]] == [
+            (INT_LIT, 42),
+            (INT_LIT, 31),
+            (LONG_LIT, 7),
+            (LONG_LIT, 255),
+        ]
+
+    def test_floats(self):
+        toks = tokenize("1.5 2.0e3 3f 4.5F 1e-6 7d")
+        assert [(t.kind, t.value) for t in toks[:-1]] == [
+            (DOUBLE_LIT, 1.5),
+            (DOUBLE_LIT, 2000.0),
+            (FLOAT_LIT, 3.0),
+            (FLOAT_LIT, 4.5),
+            (DOUBLE_LIT, 1e-6),
+            (DOUBLE_LIT, 7.0),
+        ]
+
+    def test_string_escapes(self):
+        toks = tokenize(r'"a\n\t\"b"')
+        assert toks[0].kind == STRING_LIT
+        assert toks[0].value == 'a\n\t"b'
+
+    def test_char_literal(self):
+        toks = tokenize("'A' '\\n'")
+        assert toks[0].value == 65
+        assert toks[1].value == 10
+
+    def test_comments_skipped(self):
+        toks = tokenize("a // line\n /* block\nmore */ b")
+        assert [t.value for t in toks[:-1]] == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError, match="unterminated block comment"):
+            tokenize("/* never ends")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated string"):
+            tokenize('"abc')
+
+    def test_maximal_munch_operators(self):
+        toks = tokenize("a<<=b >>= == != <= >= && || ++ --")
+        values = [t.value for t in toks if t.kind == PUNCT]
+        assert values == ["<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "++", "--"]
+
+    def test_keywords_vs_idents(self):
+        toks = tokenize("class classy for fortune")
+        assert [t.kind for t in toks[:-1]] == [KEYWORD, IDENT, KEYWORD, IDENT]
+
+    def test_line_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_hex_without_digits(self):
+        with pytest.raises(LexError, match="malformed hex"):
+            tokenize("0x")
+
+
+class TestParser:
+    def first_class(self, src):
+        return parse(src).classes[0]
+
+    def test_class_with_base(self):
+        cls = self.first_class("class A : B { }")
+        assert cls.name == "A" and cls.base_name == "B"
+
+    def test_struct(self):
+        cls = self.first_class("struct P { double x; double y; }")
+        assert cls.is_struct and len(cls.fields) == 2
+
+    def test_struct_with_base_rejected(self):
+        with pytest.raises(ParseError, match="structs cannot have a base"):
+            parse("struct P : Q { }")
+
+    def test_method_modifiers(self):
+        cls = self.first_class(
+            "class A { static int F() { return 1; } virtual void G() { } }"
+        )
+        assert cls.methods[0].is_static
+        assert cls.methods[1].is_virtual
+
+    def test_constructor_with_base_args(self):
+        cls = self.first_class("class A : B { A(int x) : base(x) { } }")
+        ctor = cls.methods[0]
+        assert ctor.is_ctor and len(ctor.base_args) == 1
+
+    def test_field_multi_declarators(self):
+        cls = self.first_class("class A { int x, y = 3; }")
+        assert [f.name for f in cls.fields] == ["x", "y"]
+        assert cls.fields[1].init is not None
+
+    def test_array_type_ranks(self):
+        cls = self.first_class("class A { double[,] m; int[][] j; }")
+        assert cls.fields[0].type_expr.ranks == [2]
+        assert cls.fields[1].type_expr.ranks == [1, 1]
+
+    def test_for_statement(self):
+        cls = self.first_class(
+            "class A { void F() { for (int i = 0; i < 10; i++) { } } }"
+        )
+        body = cls.methods[0].body.statements[0]
+        assert isinstance(body, ast.For)
+        assert isinstance(body.init, ast.VarDecl)
+        assert len(body.update) == 1
+
+    def test_do_while(self):
+        cls = self.first_class("class A { void F() { do { } while (true); } }")
+        assert isinstance(cls.methods[0].body.statements[0], ast.DoWhile)
+
+    def test_try_catch_finally(self):
+        cls = self.first_class(
+            "class A { void F() { try { } catch (Exception e) { } finally { } } }"
+        )
+        stmt = cls.methods[0].body.statements[0]
+        assert isinstance(stmt, ast.Try)
+        assert stmt.catches[0].type_name == "Exception"
+        assert stmt.catches[0].var_name == "e"
+        assert stmt.finally_body is not None
+
+    def test_try_requires_handler(self):
+        with pytest.raises(ParseError, match="try requires"):
+            parse("class A { void F() { try { } } }")
+
+    def test_lock_statement(self):
+        cls = self.first_class("class A { void F(object o) { lock (o) { } } }")
+        assert isinstance(cls.methods[0].body.statements[0], ast.Lock)
+
+    def test_new_object_and_arrays(self):
+        cls = self.first_class(
+            "class A { void F() { object o = new A(); int[] a = new int[5]; "
+            "double[,] m = new double[2, 3]; int[][] j = new int[4][]; } }"
+        )
+        stmts = cls.methods[0].body.statements
+        assert isinstance(stmts[0].inits[0], ast.NewObject)
+        assert isinstance(stmts[1].inits[0], ast.NewArray)
+        assert len(stmts[2].inits[0].dims) == 2
+        assert stmts[3].inits[0].extra_ranks == [1]
+
+    def test_cast_vs_parenthesized(self):
+        cls = self.first_class(
+            "class A { int F(double d, int x) { int a = (int)d; int b = (x) + 1; return a + b; } }"
+        )
+        stmts = cls.methods[0].body.statements
+        assert isinstance(stmts[0].inits[0], ast.Cast)
+        assert isinstance(stmts[1].inits[0], ast.Binary)
+
+    def test_class_type_cast(self):
+        cls = self.first_class("class A { object F(object o) { return (A)o; } }")
+        ret = cls.methods[0].body.statements[0]
+        assert isinstance(ret.value, ast.Cast)
+
+    def test_precedence(self):
+        cls = self.first_class("class A { int F() { return 1 + 2 * 3; } }")
+        value = cls.methods[0].body.statements[0].value
+        assert value.op == "+"
+        assert value.right.op == "*"
+
+    def test_ternary(self):
+        cls = self.first_class("class A { int F(bool b) { return b ? 1 : 2; } }")
+        assert isinstance(cls.methods[0].body.statements[0].value, ast.Conditional)
+
+    def test_compound_assign(self):
+        cls = self.first_class("class A { void F() { int x = 0; x += 2; x <<= 1; } }")
+        stmts = cls.methods[0].body.statements
+        assert stmts[1].expr.op == "+"
+        assert stmts[2].expr.op == "<<"
+
+    def test_md_index(self):
+        cls = self.first_class("class A { double F(double[,] m) { return m[1, 2]; } }")
+        idx = cls.methods[0].body.statements[0].value
+        assert isinstance(idx, ast.Index) and len(idx.indices) == 2
+
+    def test_member_chain(self):
+        cls = self.first_class("class A { int F(int[] a) { return a.Length; } }")
+        assert isinstance(cls.methods[0].body.statements[0].value, ast.Member)
+
+    def test_namespace_and_using_tolerated(self):
+        program = parse(
+            "using System; namespace Foo { class A { } class B { } } class C { }"
+        )
+        assert [c.name for c in program.classes] == ["A", "B", "C"]
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError) as err:
+            parse("class A { void F() { int 5; } }")
+        assert "expected identifier" in str(err.value)

@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+* primitive value semantics (wrapping, float32 rounding) behave like
+  two's-complement / IEEE-754 hardware;
+* the guest RNGs match their reference implementations on any seed;
+* IDEA en/decryption round-trips for arbitrary keys and plaintexts;
+* randomly generated arithmetic expressions evaluate identically in the
+  reference interpreter and the measured engine on every profile tier —
+  the compile-once/run-everywhere invariant, fuzzed.
+"""
+
+import math
+import struct
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.benchmarks.scimark.common import PySciRandom
+from repro.reference.grande_ref import (
+    _idea_inv,
+    _idea_mul,
+    idea_cipher,
+    idea_decryption_key,
+    idea_encryption_key,
+)
+from repro.vm import values
+from repro.vm.intrinsics import JavaRandom
+
+ints = st.integers(min_value=-(2**70), max_value=2**70)
+
+
+class TestValueSemantics:
+    @given(ints)
+    def test_i32_range_and_idempotence(self, v):
+        w = values.i32(v)
+        assert -(2**31) <= w < 2**31
+        assert values.i32(w) == w
+        assert (w - v) % (2**32) == 0
+
+    @given(ints)
+    def test_i64_range_and_idempotence(self, v):
+        w = values.i64(v)
+        assert -(2**63) <= w < 2**63
+        assert values.i64(w) == w
+        assert (w - v) % (2**64) == 0
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_i32_identity_in_range(self, v):
+        assert values.i32(v) == v
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_r4_fixed_point_on_float32(self, v):
+        # values already representable in float32 are unchanged
+        assert values.r4(v) == v
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_r4_matches_struct_round_trip(self, v):
+        try:
+            expected = struct.unpack("f", struct.pack("f", v))[0]
+        except OverflowError:
+            expected = math.inf if v > 0 else -math.inf
+        assert values.r4(v) == expected or (
+            math.isnan(values.r4(v)) and math.isnan(expected)
+        )
+
+    @given(st.floats())
+    def test_float_to_i32_always_in_range(self, v):
+        w = values.float_to_i32(v)
+        assert -(2**31) <= w < 2**31
+
+    @given(st.floats(min_value=-(2.0**31) + 1, max_value=2.0**31 - 1,
+                     allow_nan=False))
+    def test_float_to_i32_truncates_toward_zero(self, v):
+        assert values.float_to_i32(v) == int(v)
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_small_int_wraps_compose(self, v):
+        assert values.i8(values.i8(v)) == values.i8(v)
+        assert 0 <= values.u8(v) < 256
+        assert 0 <= values.u16(v) < 65536
+
+
+class TestGuestRandoms:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_java_random_deterministic_per_seed(self, seed):
+        a = JavaRandom(seed)
+        b = JavaRandom(seed)
+        for _ in range(5):
+            assert a.next_double() == b.next_double()
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_java_random_in_unit_interval(self, seed):
+        rng = JavaRandom(seed)
+        for _ in range(10):
+            assert 0.0 <= rng.next_double() < 1.0
+
+    @given(st.integers(min_value=1, max_value=2**31 - 1))
+    def test_sci_random_in_unit_interval(self, seed):
+        rng = PySciRandom(seed)
+        for _ in range(20):
+            x = rng.next_double()
+            assert 0.0 <= x < 1.0
+
+    @given(st.integers(min_value=1, max_value=2**31 - 1))
+    def test_sci_random_state_table_bounds(self, seed):
+        rng = PySciRandom(seed)
+        assert len(rng.m) == 17
+        for _ in range(40):
+            rng.next_double()
+        assert all(0 <= v <= rng.m1 for v in rng.m)
+
+
+class TestIdeaCipher:
+    @given(st.integers(min_value=0, max_value=65536))
+    def test_mul_inverse_property(self, x):
+        x &= 65535
+        inv = _idea_inv(x)
+        if x != 0:
+            assert _idea_mul(x, inv) == 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=65535), min_size=8, max_size=8))
+    def test_round_trip_any_key(self, user_key):
+        z = idea_encryption_key(user_key)
+        dk = idea_decryption_key(z)
+        plain = [(i * 997 + 3) & 65535 for i in range(16)]
+        assert idea_cipher(idea_cipher(plain, z), dk) == plain
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=65535), min_size=4, max_size=32),
+    )
+    def test_round_trip_any_plaintext(self, words):
+        words = words[: len(words) - len(words) % 4]
+        if not words:
+            words = [1, 2, 3, 4]
+        key = [7, 11, 13, 17, 19, 23, 29, 31]
+        z = idea_encryption_key(key)
+        dk = idea_decryption_key(z)
+        assert idea_cipher(idea_cipher(words, z), dk) == words
+
+
+# --------------------------------------------------------------------------
+# fuzzing the full pipeline: random expressions, every profile tier
+# --------------------------------------------------------------------------
+
+_int_atoms = st.sampled_from(["3", "7", "11", "x", "y", "100", "-5"])
+
+
+@st.composite
+def int_expressions(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return draw(_int_atoms)
+    op = draw(st.sampled_from(["+", "-", "*", "/", "%", "&", "|", "^"]))
+    left = draw(int_expressions(depth=depth + 1))
+    right = draw(int_expressions(depth=depth + 1))
+    if op in ("/", "%"):
+        right = f"(({right}) | 1)"  # keep divisors nonzero
+    return f"(({left}) {op} ({right}))"
+
+
+def _py_eval_c_semantics(expr, x, y):
+    """Evaluate the expression with C#-int32 semantics (wrap, truncating
+    division) by walking Python's ast over the same source text."""
+    import ast
+
+    from repro.vm.values import i32
+
+    def cdiv(a, b):
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+
+    def walk(node):
+        if isinstance(node, ast.Expression):
+            return walk(node.body)
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            return i32(-walk(node.operand))
+        if isinstance(node, ast.BinOp):
+            a = walk(node.left)
+            b = walk(node.right)
+            if isinstance(node.op, ast.Add):
+                return i32(a + b)
+            if isinstance(node.op, ast.Sub):
+                return i32(a - b)
+            if isinstance(node.op, ast.Mult):
+                return i32(a * b)
+            if isinstance(node.op, ast.Div):
+                return i32(cdiv(a, b))
+            if isinstance(node.op, ast.Mod):
+                return i32(a - cdiv(a, b) * b)
+            if isinstance(node.op, ast.BitAnd):
+                return i32(a & b)
+            if isinstance(node.op, ast.BitOr):
+                return i32(a | b)
+            if isinstance(node.op, ast.BitXor):
+                return i32(a ^ b)
+        raise AssertionError(f"unexpected node {ast.dump(node)}")
+
+    tree = ast.parse(expr.replace("x", str(x)).replace("y", str(y)), mode="eval")
+    return walk(tree)
+
+
+class TestExpressionFuzz:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        int_expressions(),
+        st.integers(min_value=-1000, max_value=1000),
+        st.integers(min_value=-1000, max_value=1000),
+    )
+    def test_random_int_expression_all_engines_agree(self, expr, x, y):
+        from repro.lang import compile_source
+        from repro.runtimes import CLR11, NATIVE_C, SSCLI10
+        from repro.vm.interpreter import Interpreter
+        from repro.vm.loader import LoadedAssembly
+        from repro.vm.machine import Machine
+
+        source = f"""
+        class P {{ static int Main() {{
+            int x = {x}; int y = {y};
+            return {expr};
+        }} }}"""
+        assembly = compile_source(source)
+        expected = _py_eval_c_semantics(expr, x, y)
+        got_interp = Interpreter(LoadedAssembly(assembly)).run()
+        assert got_interp == expected, f"interpreter: {expr=}"
+        for profile in (NATIVE_C, CLR11, SSCLI10):
+            got = Machine(LoadedAssembly(assembly), profile).run()
+            assert got == expected, f"{profile.name}: {expr=}"

@@ -1,0 +1,78 @@
+"""Registry-wide differential test: every single-threaded benchmark computes
+identical recorded results on the reference interpreter and on two extreme
+profile tiers of the measured engine (best JIT vs no JIT).
+
+This is the strongest whole-system invariant: every optimization pass, cost
+model and engine behaviour may change cycles, never values.
+"""
+
+import pytest
+
+from repro.benchmarks import all_benchmarks, get
+from repro.lang import compile_source
+from repro.runtimes import NATIVE_C, SSCLI10
+from repro.vm.interpreter import Interpreter
+from repro.vm.loader import LoadedAssembly
+from repro.vm.machine import Machine
+
+#: benchmarks needing real threads (the interpreter is single-threaded)
+THREADED = {
+    "threads.barrier", "threads.forkjoin", "threads.sync", "threads.thread",
+    "threads.lock", "scimark.montecarlo_mt", "scimark.sor_mt",
+}
+
+#: smaller-than-default sizes to keep the triple execution quick
+FAST = {
+    "micro.arith": {"Reps": 400},
+    "micro.assign": {"Reps": 400},
+    "micro.cast": {"Reps": 400},
+    "micro.create": {"Reps": 200},
+    "micro.exception": {"Reps": 40},
+    "micro.loop": {"Reps": 2000},
+    "micro.math": {"Reps": 300},
+    "micro.method": {"Reps": 300},
+    "micro.serial": {"Reps": 3, "Nodes": 10},
+    "clispec.boxing": {"Reps": 300},
+    "clispec.matrix": {"N": 10, "Reps": 2},
+    "scimark.fft": {"N": 32},
+    "scimark.sor": {"N": 12, "Iters": 2},
+    "scimark.montecarlo": {"Samples": 300},
+    "scimark.sparse": {"N": 40, "NZ": 200, "Reps": 2},
+    "scimark.lu": {"N": 10},
+    "grande.fibonacci": {"N": 12},
+    "grande.sieve": {"Limit": 1000},
+    "grande.hanoi": {"Disks": 8},
+    "grande.heapsort": {"N": 300},
+    "grande.crypt": {"Words": 64},
+    "grande.moldyn": {"MM": 2, "Steps": 1},
+    "grande.euler": {"N": 6, "Steps": 1},
+    "grande.search": {"Depth": 3},
+    "grande.raytracer": {"Size": 6, "Grid": 2},
+}
+
+SERIAL_BENCHMARKS = sorted(
+    b.name for b in all_benchmarks() if b.name not in THREADED
+)
+
+
+@pytest.mark.parametrize("name", SERIAL_BENCHMARKS)
+def test_interpreter_and_both_engine_extremes_agree(name):
+    bench = get(name)
+    source = bench.build_source(FAST.get(name))
+    assembly = compile_source(source, assembly_name=name)
+
+    interp = Interpreter(LoadedAssembly(assembly))
+    interp.run()
+    interp.bench.require_valid()
+    reference = {
+        s: tuple(sec.results) for s, sec in interp.bench.sections.items()
+    }
+
+    for profile in (NATIVE_C, SSCLI10):
+        machine = Machine(LoadedAssembly(assembly), profile)
+        machine.run()
+        machine.bench.require_valid()
+        got = {
+            s: tuple(sec.results) for s, sec in machine.bench.sections.items()
+        }
+        assert got == reference, f"{name} diverged on {profile.name}"

@@ -1,0 +1,126 @@
+"""Tests on the runtime-profile layer: registry, derivation, and the
+calibration invariants DESIGN.md commits to."""
+
+import dataclasses
+
+import pytest
+
+from repro.benchmarks.micro.math_bench import GROUP1, GROUP2, GROUP3
+from repro.runtimes import (
+    ALL_PROFILES,
+    BY_NAME,
+    CLI_PROFILES,
+    CLR11,
+    IBM131,
+    JROCKIT81,
+    JSHARP11,
+    MICRO_PROFILES,
+    MONO023,
+    NATIVE_C,
+    SSCLI10,
+    SUN14,
+    get_profile,
+)
+
+
+class TestRegistry:
+    def test_eight_columns_in_graph9_order(self):
+        # the paper's Graph 9 legend order
+        assert [p.name for p in ALL_PROFILES] == [
+            "native-c", "ibm-1.3.1", "clr-1.1", "jrockit-8.1",
+            "jsharp-1.1", "sun-1.4", "mono-0.23", "sscli-1.0",
+        ]
+
+    def test_micro_profiles_are_the_four_vm_study(self):
+        assert {p.name for p in MICRO_PROFILES} == {
+            "ibm-1.3.1", "clr-1.1", "mono-0.23", "sscli-1.0",
+        }
+
+    def test_cli_profiles(self):
+        assert all(p.kind == "cli" for p in CLI_PROFILES)
+        assert len(CLI_PROFILES) == 3
+
+    def test_lookup(self):
+        assert get_profile("clr-1.1") is CLR11
+        with pytest.raises(KeyError, match="unknown runtime profile"):
+            get_profile("clr-9.9")
+
+    def test_profiles_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            CLR11.name = "hacked"
+
+
+class TestDerivation:
+    def test_with_jit_returns_new_profile(self):
+        derived = CLR11.with_jit(boundscheck_elim="none")
+        assert derived is not CLR11
+        assert derived.jit.boundscheck_elim == "none"
+        assert CLR11.jit.boundscheck_elim == "length-pattern"
+        assert derived.costs is CLR11.costs
+
+    def test_with_costs(self):
+        derived = CLR11.with_costs(exception_throw=1)
+        assert derived.costs.exception_throw == 1
+        assert CLR11.costs.exception_throw > 1000
+
+    def test_jsharp_derives_from_clr_jit(self):
+        assert JSHARP11.jit == CLR11.jit
+        assert JSHARP11.costs.math_default > CLR11.costs.math_default
+
+
+class TestCalibrationInvariants:
+    """The qualitative commitments behind the paper's findings, asserted on
+    the raw parameters so miscalibration fails fast."""
+
+    def test_cli_exceptions_cost_an_order_more_than_jvm(self):
+        for cli in (CLR11, MONO023, SSCLI10):
+            for jvm in (IBM131, SUN14, JROCKIT81):
+                assert cli.costs.exception_throw > 4 * jvm.costs.exception_throw
+
+    def test_clr_math_cheaper_than_every_jvm(self):
+        routines = [s.split(":")[1] for s in GROUP2 + GROUP3 if s != "Math:Random"]
+        for routine in ("Sin", "Cos", "Sqrt", "Exp", "Log", "Pow"):
+            for jvm in (IBM131, SUN14, JROCKIT81):
+                assert CLR11.math_cost(routine) < jvm.math_cost(routine), routine
+
+    def test_math_tables_cover_all_routines(self):
+        used = {s.split(":")[1].replace("Int", "").replace("Long", "")
+                .replace("Float", "").replace("Double", "")
+                for s in GROUP1 + GROUP2 + GROUP3}
+        used.discard("Atan2")  # normalizes to Atan2 below
+        for profile in ALL_PROFILES:
+            for routine in ("Abs", "Max", "Min", "Sin", "Cos", "Tan",
+                            "Asin", "Acos", "Atan", "Atan2", "Floor",
+                            "Ceiling", "Sqrt", "Exp", "Log", "Pow",
+                            "Rint", "Round", "Random"):
+                assert routine in profile.costs.math, (profile.name, routine)
+
+    def test_jit_quality_ladder(self):
+        assert CLR11.jit.enreg_mode == "full"
+        assert IBM131.jit.enreg_mode == "full"
+        assert MONO023.jit.enreg_mode == "partial"
+        assert SSCLI10.jit.enreg_mode == "none"
+        assert CLR11.jit.max_tracked_locals == 64
+        assert CLR11.jit.const_div_quirk and not IBM131.jit.const_div_quirk
+        assert SSCLI10.jit.cdq_emulation
+        assert not MONO023.jit.copy_propagation
+        assert not SSCLI10.jit.constant_folding
+
+    def test_only_native_skips_bounds_checks(self):
+        for profile in ALL_PROFILES:
+            assert profile.jit.boundscheck == (profile.kind != "native")
+
+    def test_native_monitors_nearly_free(self):
+        # section 5's MonteCarlo caveat: the C build has no real locking
+        assert NATIVE_C.costs.monitor_enter < 10
+        for profile in ALL_PROFILES:
+            if profile.kind != "native":
+                assert profile.costs.monitor_enter >= 40
+
+    def test_jvm_large_model_penalty_exceeds_clr(self):
+        for jvm in (IBM131, SUN14, JROCKIT81):
+            assert jvm.costs.large_array_extra > CLR11.costs.large_array_extra
+
+    def test_clock_is_the_paper_machine(self):
+        for profile in ALL_PROFILES:
+            assert profile.clock_hz == 2.8e9

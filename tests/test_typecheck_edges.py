@@ -1,0 +1,236 @@
+"""Edge-case tests for the type checker (conversion rules, overloads,
+inheritance validation, scoping)."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from tests.conftest import interpret
+
+
+def run(src):
+    return interpret(src)[0]
+
+
+def err(src, match):
+    with pytest.raises(TypeCheckError, match=match):
+        run(src)
+
+
+class TestConversions:
+    def test_int_to_double_implicit_everywhere(self):
+        assert run("""
+            class P {
+                static double Half(double x) { return x / 2.0; }
+                static double Main() { return Half(7); }
+            }""") == 3.5
+
+    def test_long_to_int_requires_cast(self):
+        err("class P { static int Main() { long l = 5L; return l; } }",
+            "cannot implicitly convert")
+
+    def test_double_to_float_requires_cast(self):
+        err("class P { static void Main() { float f = 1.5; } }",
+            "cannot implicitly convert")
+
+    def test_float_to_double_implicit(self):
+        assert run("class P { static double Main() { float f = 0.5f; double d = f; return d; } }") == 0.5
+
+    def test_bool_not_an_int(self):
+        err("class P { static int Main() { bool b = true; return b + 1; } }",
+            "cannot apply")
+
+    def test_null_assignable_to_reference_only(self):
+        err("class P { static void Main() { int x = null; } }",
+            "cannot implicitly convert")
+
+    def test_small_int_storage_round_trip(self):
+        assert run("""
+            class P { static int Main() {
+                byte b = (byte)300;       // wraps to 44
+                short s = (short)70000;   // wraps to 4464
+                return b * 10000 + s;
+            } }""") == 44 * 10000 + 4464
+
+    def test_char_arithmetic_widens_to_int(self):
+        assert run("class P { static int Main() { char c = 'A'; return c + 1; } }") == 66
+
+
+class TestOverloadsAndCalls:
+    def test_exact_match_beats_convertible(self):
+        assert run("""
+            class O {
+                static int F(int x) { return 1; }
+                static int F(long x) { return 2; }
+                static int F(double x) { return 3; }
+            }
+            class P { static int Main() {
+                return O.F(1) * 100 + O.F(1L) * 10 + O.F(1.0);
+            } }""") == 123
+
+    def test_ambiguity_resolved_by_fewest_conversions(self):
+        # int arg: (long) needs 1 conversion, (double) needs 1 -> first
+        # minimal-score candidate wins deterministically
+        assert run("""
+            class O {
+                static int F(long x) { return 1; }
+                static int F(double x) { return 2; }
+            }
+            class P { static int Main() { return O.F(3); } }""") in (1, 2)
+
+    def test_static_call_on_instance_method_rejected(self):
+        err("""
+            class A { int F() { return 1; } }
+            class P { static int Main() { return A.F(); } }""",
+            "no static method")
+
+    def test_void_in_expression_rejected(self):
+        err("""
+            class P {
+                static void F() { }
+                static int Main() { return F() + 1; }
+            }""", "cannot apply")
+
+    def test_derived_argument_accepted_for_base_parameter(self):
+        assert run("""
+            class A { virtual int Tag() { return 1; } }
+            class B : A { override int Tag() { return 2; } }
+            class P {
+                static int Probe(A a) { return a.Tag(); }
+                static int Main() { return Probe(new B()); }
+            }""") == 2
+
+
+class TestInheritanceValidation:
+    def test_inheritance_cycle_detected(self):
+        err("""
+            class A : B { }
+            class B : A { }
+            class P { static void Main() { } }""",
+            "inheritance cycle")
+
+    def test_override_return_type_mismatch(self):
+        err("""
+            class A { virtual int F() { return 1; } }
+            class B : A { override double F() { return 2.0; } }
+            class P { static void Main() { } }""",
+            "changes return type")
+
+    def test_virtual_on_struct_rejected(self):
+        err("struct S { virtual int F() { return 1; } } class P { static void Main() { } }",
+            "cannot be virtual")
+
+    def test_struct_as_base_rejected(self):
+        # parser already blocks `struct S : X`; class : struct dies in checking
+        err("""
+            struct S { int v; }
+            class C : S { }
+            class P { static void Main() { } }""",
+            "cannot inherit from a struct")
+
+    def test_base_call_without_base_class(self):
+        err("""
+            class A { int F() { return base.F(); } }
+            class P { static void Main() { } }""",
+            "base call with no base class")
+
+
+class TestScoping:
+    def test_block_scopes_are_disjoint(self):
+        assert run("""
+            class P { static int Main() {
+                int total = 0;
+                { int x = 1; total += x; }
+                { int x = 2; total += x; }
+                return total;
+            } }""") == 3
+
+    def test_for_variable_scoped_to_loop(self):
+        assert run("""
+            class P { static int Main() {
+                int total = 0;
+                for (int i = 0; i < 3; i++) { total += i; }
+                for (int i = 0; i < 3; i++) { total += i; }
+                return total;
+            } }""") == 6
+
+    def test_catch_variable_scoped_to_handler(self):
+        err("""
+            class P { static int Main() {
+                try { } catch (Exception e) { }
+                return e == null ? 1 : 0;
+            } }""", "unknown name")
+
+    def test_shadowing_in_same_scope_rejected(self):
+        err("""
+            class P { static void Main() {
+                for (int i = 0; i < 2; i++) { int i = 5; }
+            } }""", "duplicate variable")
+
+    def test_field_vs_local_resolution(self):
+        # a local shadows the instance field, like C#
+        assert run("""
+            class C {
+                int v = 10;
+                int F() { int v = 1; return v; }
+                int G() { return v; }
+            }
+            class P { static int Main() {
+                C c = new C();
+                return c.F() + c.G();
+            } }""") == 11
+
+
+class TestExpressionEdges:
+    def test_conditional_branch_promotion(self):
+        assert run("""
+            class P { static double Main() {
+                bool b = true;
+                return b ? 1 : 2.5;
+            } }""") == 1.0
+
+    def test_chained_assignment_value(self):
+        assert run("""
+            class P { static int Main() {
+                int a; int b;
+                a = b = 21;
+                return a + b;
+            } }""") == 42
+
+    def test_compound_shift(self):
+        assert run("""
+            class P { static int Main() {
+                int x = 1;
+                x <<= 4;
+                x >>= 1;
+                return x;
+            } }""") == 8
+
+    def test_string_compound_concat(self):
+        assert run("""
+            class P { static int Main() {
+                string s = "ab";
+                s += "cd";
+                s += 5;
+                return s.Length;
+            } }""") == 5
+
+    def test_postfix_vs_prefix_value(self):
+        assert run("""
+            class P { static int Main() {
+                int i = 5;
+                int a = i++;   // 5, i=6
+                int b = ++i;   // 7
+                return a * 100 + b * 10 + i;
+            } }""") == 5 * 100 + 7 * 10 + 7
+
+    def test_postfix_on_array_element(self):
+        assert run("""
+            class P { static int Main() {
+                int[] a = new int[2];
+                a[0] = 3;
+                int old = a[0]++;
+                return old * 10 + a[0];
+            } }""") == 34
+
+    def test_negative_literal_min_int(self):
+        assert run("class P { static int Main() { return int.MinValue + int.MaxValue; } }") == -1

@@ -1,0 +1,360 @@
+"""Tests for VES runtime services: loader/linker, allocation accounting,
+monitors, serializer edges, guest-visible clock, verifier rejections."""
+
+import pytest
+
+from repro.cil import (
+    Assembly,
+    ClassDef,
+    FieldDef,
+    MethodBuilder,
+    MethodDef,
+    assemble,
+    cts,
+    opcodes as op,
+    verify_method,
+)
+from repro.errors import LoadError, ManagedException, VerifyError, VMError
+from repro.lang import compile_source
+from repro.runtimes import CLR11, MONO023, NATIVE_C
+from repro.vm.loader import LoadedAssembly
+from repro.vm.machine import Machine
+
+
+def machine_for(source, profile=CLR11, **kwargs):
+    return Machine(LoadedAssembly(compile_source(source)), profile, **kwargs)
+
+
+class TestLoader:
+    def test_field_layout_base_first(self):
+        source = """
+        class A { int a1; int a2; }
+        class B : A { int b1; }
+        class P { static void Main() { } }"""
+        loaded = LoadedAssembly(compile_source(source))
+        b = loaded.get_class("B")
+        assert b.field_slots["a1"] == 0
+        assert b.field_slots["a2"] == 1
+        assert b.field_slots["b1"] == 2
+
+    def test_vtable_override_resolution(self):
+        source = """
+        class A { virtual int F() { return 1; } virtual int G() { return 2; } }
+        class B : A { override int F() { return 10; } }
+        class P { static void Main() { } }"""
+        loaded = LoadedAssembly(compile_source(source))
+        b = loaded.get_class("B")
+        assert b.resolve_virtual("F", ()).declaring_class == "B"
+        assert b.resolve_virtual("G", ()).declaring_class == "A"
+
+    def test_unknown_base_class(self):
+        asm = Assembly("x")
+        asm.add_class(ClassDef("C", base_name="Ghost"))
+        with pytest.raises(LoadError, match="unknown base"):
+            LoadedAssembly(asm)
+
+    def test_field_shadowing_rejected(self):
+        asm = Assembly("x")
+        a = ClassDef("A")
+        a.add_field(FieldDef("v", cts.INT32))
+        b = ClassDef("B", base_name="A")
+        b.add_field(FieldDef("v", cts.INT32))
+        asm.add_class(a)
+        asm.add_class(b)
+        with pytest.raises(LoadError, match="shadows"):
+            LoadedAssembly(asm)
+
+    def test_statics_fresh_per_load(self):
+        source = """
+        class P {
+            static int counter;
+            static int Main() { counter += 1; return counter; }
+        }"""
+        assembly = compile_source(source)
+        assert Machine(LoadedAssembly(assembly), CLR11).run() == 1
+        # a fresh loader starts from zeroed statics (new AppDomain)
+        assert Machine(LoadedAssembly(assembly), CLR11).run() == 1
+
+
+class TestAllocationAccounting:
+    def test_allocation_grows_with_work(self):
+        small = machine_for("""
+            class Blob { long a; }
+            class P { static void Main() {
+                for (int i = 0; i < 10; i++) { Blob b = new Blob(); b.a = i; }
+            } }""")
+        small.run()
+        big = machine_for("""
+            class Blob { long a; }
+            class P { static void Main() {
+                for (int i = 0; i < 100; i++) { Blob b = new Blob(); b.a = i; }
+            } }""")
+        big.run()
+        assert big.allocated_bytes > small.allocated_bytes
+
+    def test_large_working_set_flag_flips(self):
+        m = machine_for("""
+            class P { static void Main() {
+                double[] big = new double[20000];
+                big[0] = 1.0;
+            } }""")
+        m.run()
+        assert m.large_working_set
+
+    def test_small_working_set_stays_small(self):
+        m = machine_for("""
+            class P { static void Main() {
+                double[] small = new double[100];
+                small[0] = 1.0;
+            } }""")
+        m.run()
+        assert not m.large_working_set
+
+    def test_allocation_is_costed(self):
+        lean = machine_for("class P { static void Main() { } }")
+        lean.run()
+        chunky = machine_for("""
+            class P { static void Main() {
+                for (int i = 0; i < 200; i++) { int[] a = new int[64]; }
+            } }""")
+        chunky.run()
+        assert chunky.cycles > lean.cycles + 200 * CLR11.costs.alloc_base
+
+
+class TestMonitorErrors:
+    def test_exit_without_enter_throws_managed(self):
+        source = """
+        class P { static int Main() {
+            object o = new Exception("target");
+            try { Monitor.Exit(o); return 0; }
+            catch (SynchronizationException e) { return 7; }
+        } }"""
+        assert machine_for(source).run() == 7
+
+    def test_wait_without_ownership_throws(self):
+        source = """
+        class P { static int Main() {
+            object o = new Exception("t");
+            try { Monitor.Wait(o); return 0; }
+            catch (SynchronizationException e) { return 3; }
+        } }"""
+        assert machine_for(source).run() == 3
+
+    def test_monitor_on_null_throws(self):
+        source = """
+        class P { static int Main() {
+            object o = null;
+            try { Monitor.Enter(o); return 0; }
+            catch (NullReferenceException e) { return 9; }
+        } }"""
+        assert machine_for(source).run() == 9
+
+
+class TestSerializerEdges:
+    def test_cyclic_graph_round_trips(self):
+        source = """
+        class Node { Node next; int v; }
+        class P { static int Main() {
+            Node a = new Node(); a.v = 1;
+            Node b = new Node(); b.v = 2;
+            a.next = b;
+            b.next = a;   // cycle
+            Serializer.WriteObject(a);
+            Node copy = (Node)Serializer.ReadObject();
+            return copy.v * 100 + copy.next.v * 10
+                 + (copy.next.next == copy ? 1 : 0);
+        } }"""
+        assert machine_for(source).run() == 121
+
+    def test_shared_subobject_identity_preserved(self):
+        source = """
+        class Leaf { int v; }
+        class Pair { Leaf left; Leaf right; }
+        class P { static int Main() {
+            Leaf shared = new Leaf(); shared.v = 5;
+            Pair pair = new Pair();
+            pair.left = shared;
+            pair.right = shared;
+            Serializer.WriteObject(pair);
+            Pair copy = (Pair)Serializer.ReadObject();
+            copy.left.v = 9;
+            return copy.right.v;   // 9 only if identity survived
+        } }"""
+        assert machine_for(source).run() == 9
+
+    def test_read_from_empty_stream_fails(self):
+        source = """
+        class P { static void Main() {
+            Serializer.Reset();
+            object o = Serializer.ReadObject();
+        } }"""
+        with pytest.raises(VMError, match="empty stream"):
+            machine_for(source).run()
+
+    def test_serialize_cost_scales_with_size(self):
+        def cycles(n):
+            m = machine_for(f"""
+                class P {{ static void Main() {{
+                    int[] data = new int[{n}];
+                    Serializer.WriteObject(data);
+                }} }}""")
+            m.run()
+            return m.cycles
+        assert cycles(400) > cycles(10)
+
+
+class TestGuestClock:
+    def test_env_clock_monotonic_in_guest(self):
+        source = """
+        class P { static int Main() {
+            long t0 = Env.Clock();
+            int s = 0;
+            for (int i = 0; i < 1000; i++) { s += i; }
+            long t1 = Env.Clock();
+            return t1 > t0 ? 1 : 0;
+        } }"""
+        assert machine_for(source).run() == 1
+
+    def test_thread_count_visible(self):
+        source = """
+        class W { virtual void Run() { for (int i = 0; i < 5000; i++) { } } }
+        class P { static int Main() {
+            int tid = Thread.Create(new W());
+            Thread.Start(tid);
+            int seen = Env.ThreadCount();
+            Thread.Join(tid);
+            return seen;
+        } }"""
+        assert machine_for(source, quantum=500).run() == 2
+
+
+class TestVerifierRejections:
+    def _method(self, ret=cts.VOID):
+        return MethodDef(name="M", param_types=[], return_type=ret, is_static=True)
+
+    def test_type_confusion_rejected(self):
+        m = self._method(ret=cts.INT32)
+        b = MethodBuilder(m)
+        b.emit(op.LDC_R8, 1.5)
+        b.emit(op.LDC_I4, 1)
+        b.emit(op.ADD)  # float + int without conversion
+        b.emit(op.RET)
+        built = b.build()
+        with pytest.raises(VerifyError, match="mismatch"):
+            verify_method(built)
+
+    def test_fall_off_end_rejected(self):
+        from repro.cil.instructions import Instruction
+
+        m = self._method()
+        # bypass the builder (which already rejects this at build time);
+        # the verifier reports it as an out-of-range fallthrough target
+        m.body = [Instruction(op.NOP)]
+        with pytest.raises(VerifyError, match="out of range|falls off end"):
+            verify_method(m)
+
+    def test_branch_out_of_range_rejected(self):
+        text = """
+.assembly bad
+.class C
+{
+  .method static void C::M()
+  {
+    .maxstack 1
+    IL_0000: br           IL_00ff
+  }
+}
+"""
+        asm = assemble(text)
+        with pytest.raises(Exception):
+            verify_method(asm.find_method("C", "M"))
+
+    def test_rethrow_outside_catch_rejected(self):
+        m = self._method()
+        b = MethodBuilder(m)
+        b.emit(op.RETHROW)
+        b.emit(op.RET)
+        built = b.build()
+        with pytest.raises(VerifyError, match="rethrow outside"):
+            verify_method(built)
+
+    def test_bad_return_type_rejected(self):
+        m = self._method(ret=cts.INT32)
+        b = MethodBuilder(m)
+        b.emit(op.LDSTR, "oops")
+        b.emit(op.RET)
+        built = b.build()
+        with pytest.raises(VerifyError, match="return type"):
+            verify_method(built)
+
+
+class TestUnhandledExceptions:
+    def test_managed_exception_carries_object(self):
+        source = 'class P { static void Main() { throw new ArgumentException("nope"); } }'
+        with pytest.raises(ManagedException) as err:
+            machine_for(source).run()
+        assert err.value.type_name == "ArgumentException"
+        assert err.value.managed_message == "nope"
+        assert err.value.exc_object is not None
+
+    def test_worker_thread_exception_reported_at_join(self):
+        # an exception escaping a worker kills that thread; Join returns
+        # and the main thread observes the missing side effect
+        source = """
+        class Bad {
+            static int flag;
+            virtual void Run() {
+                throw new Exception("worker died");
+            }
+        }
+        class P { static int Main() {
+            int tid = Thread.Create(new Bad());
+            Thread.Start(tid);
+            Thread.Join(tid);
+            return Bad.flag;
+        } }"""
+        assert machine_for(source).run() == 0
+
+
+class TestGcCollect:
+    def test_live_census_counts_reachable_graph(self):
+        source = """
+        class Node { Node next; }
+        class P {
+            static Node head;
+            static void Main() {
+                for (int i = 0; i < 10; i++) {
+                    Node n = new Node();
+                    n.next = head;
+                    head = n;
+                }
+                Node garbage = new Node();
+                garbage = null;
+                GC.Collect();
+            }
+        }"""
+        m = machine_for(source)
+        m.run()
+        assert m.gc_collections == 1
+        # the 10-node list hangs off the static root; at least those live
+        assert m.gc_live_objects >= 10
+
+    def test_collect_cost_scales_with_live_set(self):
+        def cycles_with(n):
+            m = machine_for(f"""
+                class Node {{ Node next; }}
+                class P {{
+                    static Node head;
+                    static void Main() {{
+                        for (int i = 0; i < {n}; i++) {{
+                            Node x = new Node();
+                            x.next = head;
+                            head = x;
+                        }}
+                        long before = Env.Clock();
+                        GC.Collect();
+                    }}
+                }}""")
+            m.run()
+            return m.gc_live_objects
+        assert cycles_with(200) > cycles_with(10)
