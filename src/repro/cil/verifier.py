@@ -92,7 +92,12 @@ def verify_method(method: MethodDef, assembly: Optional[Assembly] = None) -> Non
             work.append(region.handler_start)
 
     def push_state(target: int, stack: Tuple[CType, ...]) -> None:
-        if target >= len(body) or target < 0:
+        if target == len(body):
+            # falling through (or branching) exactly past the last
+            # instruction is a distinct, more useful diagnosis than a
+            # wild branch target
+            raise VerifyError(f"{where}: control falls off end of method")
+        if target > len(body) or target < 0:
             raise VerifyError(f"{where}: branch target {target} out of range")
         prev = states.get(target)
         if prev is None:

@@ -1,0 +1,713 @@
+"""Grammar-directed random Kernel-C# program generator.
+
+Programs are generated from a seeded PRNG under a statement budget, and are
+well-typed by construction: every expression is built for a specific static
+type, with explicit casts at the leaves, so the front end accepts ~100% of
+the output and fuzzing time is spent on the verifier, the JIT passes and
+both engines rather than on compile errors.
+
+Generated programs deliberately exercise the constructs the optimization
+passes pattern-match on:
+
+* int32/int64/float32/float64 arithmetic with wrapping, shifts, guarded
+  division, and explicit casts (constant folding, enregistration);
+* ``for (i = 0; i < a.Length; i++)`` walks (the bounds-check-elimination
+  length pattern) next to masked random-index accesses;
+* jagged vs rectangular arrays;
+* struct copies plus box/unbox through ``object`` locals;
+* virtual/non-virtual/static calls (inlining, vtable dispatch);
+* nested try/catch/finally, both always-throwing and never-throwing,
+  including guest exceptions that escape ``Main`` entirely.
+
+Safety rules keeping every program deterministic and terminating: loops are
+counted with small constant bounds, helper calls only go to lower-numbered
+helpers (no recursion), integer divisors are forced odd via ``| 1``, and
+random array indices are masked with ``& (len - 1)`` on power-of-two sized
+arrays.  Deliberately out-of-range accesses and division by a
+self-cancelling term are generated *inside* try/catch only.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+INT, LONG, FLOAT, DOUBLE, BOOL = "int", "long", "float", "double", "bool"
+NUMERIC = (INT, LONG, FLOAT, DOUBLE)
+
+#: power-of-two sizes so ``expr & (size-1)`` is always a valid index
+ARRAY_SIZES = (4, 8, 16)
+
+_SUFFIX = {INT: "", LONG: "L", FLOAT: "f", DOUBLE: ""}
+
+
+def program_seed(campaign_seed: int, index: int) -> int:
+    """Derive the per-program seed for ``index`` within a campaign.
+
+    Splitmix-style derivation so neighbouring campaign seeds do not produce
+    overlapping program streams.
+    """
+    z = (campaign_seed * 0x9E3779B97F4A7C15 + index * 0xBF58476D1CE4E5B9) & (
+        (1 << 64) - 1
+    )
+    z = ((z ^ (z >> 30)) * 0x94D049BB133111EB) & ((1 << 64) - 1)
+    return z ^ (z >> 31)
+
+
+@dataclass
+class GeneratedProgram:
+    """A generated program plus the metadata a repro needs."""
+
+    seed: int
+    source: str
+    budget: int
+
+    @property
+    def header(self) -> str:
+        return f"// repro-fuzz generated program (seed={self.seed}, budget={self.budget})\n"
+
+
+@dataclass
+class _Var:
+    name: str
+    type: str
+    #: loop counters are readable but never assignment targets — a random
+    #: store into an induction variable turns a bounded loop into a
+    #: near-infinite one
+    mutable: bool = True
+
+
+@dataclass
+class _Array:
+    name: str
+    elem: str  # INT or DOUBLE
+    size: int
+    kind: str  # 'sz' | 'rect' | 'jagged'
+
+
+@dataclass
+class _Helper:
+    name: str
+    params: List[str]
+    ret: str
+
+
+@dataclass
+class _Scope:
+    vars: List[_Var] = field(default_factory=list)
+    arrays: List[_Array] = field(default_factory=list)
+
+    def of_type(self, t: str) -> List[_Var]:
+        return [v for v in self.vars if v.type == t]
+
+
+class _Gen:
+    def __init__(self, seed: int, budget: int) -> None:
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.budget = budget
+        self._name_counter = 0
+        self.helpers: List[_Helper] = []
+        self.lines: List[str] = []
+        self.indent = 0
+        self.loop_depth = 0
+        self.in_try = 0
+        self.in_helper = False
+        self.struct_fields = [("a", INT), ("b", LONG), ("c", DOUBLE)]
+
+    # ------------------------------------------------------------- plumbing
+
+    def fresh(self, prefix: str) -> str:
+        self._name_counter += 1
+        return f"{prefix}{self._name_counter}"
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def spend(self, n: int = 1) -> bool:
+        if self.budget < n:
+            return False
+        self.budget -= n
+        return True
+
+    # ---------------------------------------------------------- expressions
+
+    def literal(self, t: str) -> str:
+        r = self.rng
+        if t == INT:
+            v = r.choice([0, 1, 2, 3, 5, 7, 13, 100, -1, -7, r.randint(-9999, 9999)])
+            return str(v) if v >= 0 else f"({v})"
+        if t == LONG:
+            v = r.choice([0, 1, 3, 9, 1000, -5, r.randint(-10**8, 10**8)])
+            return f"{v}L" if v >= 0 else f"({v}L)"
+        if t == FLOAT:
+            v = r.choice([0.0, 0.5, 1.5, 2.25, -0.75, round(r.uniform(-100, 100), 3)])
+            return f"{v}f" if v >= 0 else f"({v}f)"
+        if t == DOUBLE:
+            v = r.choice([0.0, 0.25, 1.0, 3.5, -2.5, round(r.uniform(-1000, 1000), 4)])
+            return str(v) if v >= 0 else f"({v})"
+        return r.choice(["true", "false"])
+
+    def var_as(self, t: str, scope: _Scope) -> Optional[str]:
+        """A variable readable at type ``t``, cast explicitly if needed."""
+        r = self.rng
+        same = scope.of_type(t)
+        if same and r.random() < 0.7:
+            return r.choice(same).name
+        if t in NUMERIC:
+            others = [v for v in scope.vars if v.type in NUMERIC and v.type != t]
+            if others:
+                v = r.choice(others)
+                return f"(({t})({v.name}))"
+        if same:
+            return r.choice(same).name
+        return None
+
+    def atom(self, t: str, scope: _Scope) -> str:
+        r = self.rng
+        roll = r.random()
+        if roll < 0.45:
+            v = self.var_as(t, scope)
+            if v is not None:
+                return v
+        if t in (INT, DOUBLE) and roll < 0.60:
+            loads = self._array_load_candidates(t, scope)
+            if loads:
+                return r.choice(loads)
+        return self.literal(t)
+
+    def _array_load_candidates(self, t: str, scope: _Scope) -> List[str]:
+        out = []
+        ints = scope.of_type(INT)
+        for a in scope.arrays:
+            if a.elem != t:
+                continue
+            idx = (
+                f"({self.rng.choice(ints).name} & {a.size - 1})"
+                if ints
+                else str(self.rng.randrange(a.size))
+            )
+            if a.kind == "sz":
+                out.append(f"{a.name}[{idx}]")
+            elif a.kind == "rect":
+                out.append(f"{a.name}[{idx}, {self.rng.randrange(a.size)}]")
+            else:
+                out.append(f"{a.name}[{idx}][{self.rng.randrange(a.size)}]")
+        return out
+
+    def expr(self, t: str, scope: _Scope, depth: int = 0) -> str:
+        r = self.rng
+        if depth >= 3 or r.random() < 0.25:
+            return self.atom(t, scope)
+        if t == BOOL:
+            return self.bool_expr(scope, depth)
+        kind = r.random()
+        a = self.expr(t, scope, depth + 1)
+        b = self.expr(t, scope, depth + 1)
+        if t in (INT, LONG):
+            if kind < 0.55:
+                op = r.choice(["+", "-", "*", "&", "|", "^"])
+                return f"(({a}) {op} ({b}))"
+            if kind < 0.70:
+                op = r.choice(["/", "%"])
+                one = "1L" if t == LONG else "1"
+                return f"(({a}) {op} ((({b})) | {one}))"
+            if kind < 0.80 and t == INT:
+                op = r.choice(["<<", ">>"])
+                return f"(({a}) {op} (({b}) & 31))"
+            if kind < 0.86:
+                return f"(~({a}))"
+            if kind < 0.92:
+                return f"(-({a}))"
+            cond = self.bool_expr(scope, depth + 1)
+            return f"(({cond}) ? ({a}) : ({b}))"
+        # float / double
+        if kind < 0.6:
+            op = r.choice(["+", "-", "*"])
+            return f"(({a}) {op} ({b}))"
+        if kind < 0.72:
+            return f"(({a}) / ({b}))"  # IEEE: inf/nan are fine & must agree
+        if kind < 0.80 and t == DOUBLE:
+            pick = r.random()
+            if pick < 0.34:
+                return f"(Math.Sqrt(Math.Abs({a})))"
+            if pick < 0.67:
+                return f"(Math.Floor({a}))"
+            return f"(Math.Ceiling({a}))"
+        if kind < 0.88:
+            return f"(-({a}))"
+        cond = self.bool_expr(scope, depth + 1)
+        return f"(({cond}) ? ({a}) : ({b}))"
+
+    def bool_expr(self, scope: _Scope, depth: int = 0) -> str:
+        r = self.rng
+        if depth >= 3:
+            bv = scope.of_type(BOOL)
+            if bv and r.random() < 0.5:
+                return r.choice(bv).name
+            t = r.choice([INT, DOUBLE])
+            return f"(({self.atom(t, scope)}) {r.choice(['<', '>', '<=', '>=', '==', '!='])} ({self.atom(t, scope)}))"
+        roll = r.random()
+        if roll < 0.5:
+            t = r.choice([INT, LONG, DOUBLE])
+            op = r.choice(["<", ">", "<=", ">=", "==", "!="])
+            return f"(({self.expr(t, scope, depth + 1)}) {op} ({self.expr(t, scope, depth + 1)}))"
+        if roll < 0.7:
+            op = r.choice(["&&", "||"])
+            return f"(({self.bool_expr(scope, depth + 1)}) {op} ({self.bool_expr(scope, depth + 1)}))"
+        if roll < 0.8:
+            return f"(!({self.bool_expr(scope, depth + 1)}))"
+        bv = scope.of_type(BOOL)
+        if bv:
+            return r.choice(bv).name
+        return r.choice(["true", "false"])
+
+    # ----------------------------------------------------------- statements
+
+    def stmt(self, scope: _Scope) -> None:
+        """Emit one random statement (possibly compound)."""
+        if not self.spend():
+            return
+        r = self.rng
+        choices = [
+            (self.st_assign, 26),
+            (self.st_decl, 10),
+            (self.st_array_store, 12),
+            (self.st_if, 10),
+            (self.st_for, 8 if self.loop_depth < 2 else 0),
+            (self.st_while, 4 if self.loop_depth < 2 else 0),
+            # calls inside nested loops multiply trip counts fast; keep the
+            # worst-case interpreted instruction count tame (helpers contain
+            # loops of their own, so only call them from shallow positions)
+            (self.st_crc_call, 8 if self.loop_depth <= (0 if self.in_helper else 1) else 0),
+            (self.st_virtual, 6),
+            (self.st_boxing, 6),
+            (self.st_struct, 5),
+            (self.st_try, 6 if self.in_try < 2 else 0),
+            (self.st_length_walk, 6 if self.loop_depth < 2 else 0),
+            (self.st_break_continue, 4 if self.loop_depth > 0 else 0),
+            (self.st_writeline, 2),
+        ]
+        total = sum(w for _, w in choices)
+        pick = r.uniform(0, total)
+        acc = 0.0
+        for fn, w in choices:
+            acc += w
+            if pick <= acc and w > 0:
+                fn(scope)
+                return
+
+    def st_assign(self, scope: _Scope) -> None:
+        r = self.rng
+        if not scope.vars:
+            self.st_decl(scope)
+            return
+        writable = [v for v in scope.vars if v.mutable]
+        if not writable:
+            self.st_decl(scope)
+            return
+        v = r.choice(writable)
+        if v.type in NUMERIC and r.random() < 0.4:
+            op = r.choice(["+=", "-=", "*="] if v.type in (FLOAT, DOUBLE) else ["+=", "-=", "*=", "&=", "|=", "^="])
+            self.emit(f"{v.name} {op} {self.expr(v.type, scope, 1)};")
+        elif v.type == INT and r.random() < 0.3:
+            self.emit(f"{v.name}{r.choice(['++', '--'])};")
+        else:
+            self.emit(f"{v.name} = {self.expr(v.type, scope)};")
+
+    def st_decl(self, scope: _Scope) -> None:
+        t = self.rng.choice([INT, INT, LONG, DOUBLE, FLOAT, BOOL])
+        name = self.fresh("v")
+        self.emit(f"{t} {name} = {self.expr(t, scope)};")
+        scope.vars.append(_Var(name, t))
+
+    def st_array_store(self, scope: _Scope) -> None:
+        r = self.rng
+        if not scope.arrays:
+            return
+        a = r.choice(scope.arrays)
+        ints = scope.of_type(INT)
+        idx = f"({r.choice(ints).name} & {a.size - 1})" if ints else str(r.randrange(a.size))
+        value = self.expr(a.elem, scope, 1)
+        if a.kind == "sz":
+            target = f"{a.name}[{idx}]"
+        elif a.kind == "rect":
+            target = f"{a.name}[{idx}, {r.randrange(a.size)}]"
+        else:
+            target = f"{a.name}[{idx}][{r.randrange(a.size)}]"
+        op = r.choice(["=", "=", "+="])
+        self.emit(f"{target} {op} {value};")
+
+    def st_if(self, scope: _Scope) -> None:
+        self.emit(f"if ({self.bool_expr(scope)}) {{")
+        self.indent += 1
+        inner = _Scope(list(scope.vars), list(scope.arrays))
+        for _ in range(self.rng.randint(1, 2)):
+            self.stmt(inner)
+        self.indent -= 1
+        if self.rng.random() < 0.5:
+            self.emit("} else {")
+            self.indent += 1
+            inner = _Scope(list(scope.vars), list(scope.arrays))
+            self.stmt(inner)
+            self.indent -= 1
+        self.emit("}")
+
+    def st_for(self, scope: _Scope) -> None:
+        i = self.fresh("i")
+        bounds = [3, 4, 5, 8, 10] if self.loop_depth == 0 else [2, 3]
+        bound = self.rng.choice(bounds)
+        self.emit(f"for (int {i} = 0; {i} < {bound}; {i}++) {{")
+        self._loop_body(scope, _Var(i, INT, mutable=False))
+
+    def st_length_walk(self, scope: _Scope) -> None:
+        """The canonical bounds-check-elimination shape: i < a.Length."""
+        sz = [a for a in scope.arrays if a.kind == "sz"]
+        if not sz:
+            self.st_for(scope)
+            return
+        a = self.rng.choice(sz)
+        i = self.fresh("i")
+        self.emit(f"for (int {i} = 0; {i} < {a.name}.Length; {i}++) {{")
+        self.indent += 1
+        inner = _Scope(list(scope.vars), list(scope.arrays))
+        inner.vars.append(_Var(i, INT, mutable=False))
+        acc = [v for v in inner.of_type(a.elem) if v.mutable]
+        if acc:
+            dst = self.rng.choice(acc).name
+            self.emit(f"{dst} += {a.name}[{i}];")
+        if self.rng.random() < 0.5:
+            self.emit(f"{a.name}[{i}] = {self.expr(a.elem, inner, 2)};")
+        self.loop_depth += 1
+        if self.rng.random() < 0.4:
+            self.stmt(inner)
+        self.loop_depth -= 1
+        self.indent -= 1
+        self.emit("}")
+
+    def st_while(self, scope: _Scope) -> None:
+        c = self.fresh("w")
+        bound = self.rng.randint(2, 6) if self.loop_depth == 0 else self.rng.randint(2, 3)
+        self.emit(f"int {c} = {bound};")
+        scope.vars.append(_Var(c, INT, mutable=False))
+        kind = self.rng.random()
+        # the decrement comes FIRST so a generated `continue` cannot skip it
+        if kind < 0.7:
+            self.emit(f"while ({c} > 0) {{")
+            self.indent += 1
+            self.emit(f"{c}--;")
+            inner = _Scope(list(scope.vars), list(scope.arrays))
+            self.loop_depth += 1
+            for _ in range(self.rng.randint(1, 2)):
+                self.stmt(inner)
+            self.loop_depth -= 1
+            self.indent -= 1
+            self.emit("}")
+        else:
+            self.emit("do {")
+            self.indent += 1
+            self.emit(f"{c}--;")
+            inner = _Scope(list(scope.vars), list(scope.arrays))
+            self.loop_depth += 1
+            self.stmt(inner)
+            self.loop_depth -= 1
+            self.indent -= 1
+            self.emit(f"}} while ({c} > 0);")
+
+    def _loop_body(self, scope: _Scope, induction: _Var) -> None:
+        self.indent += 1
+        inner = _Scope(list(scope.vars), list(scope.arrays))
+        inner.vars.append(induction)
+        self.loop_depth += 1
+        for _ in range(self.rng.randint(1, 3)):
+            self.stmt(inner)
+        self.loop_depth -= 1
+        self.indent -= 1
+        self.emit("}")
+
+    def st_break_continue(self, scope: _Scope) -> None:
+        word = self.rng.choice(["break", "continue"])
+        self.emit(f"if ({self.bool_expr(scope, 2)}) {{ {word}; }}")
+
+    def st_crc_call(self, scope: _Scope) -> None:
+        if not self.helpers:
+            return
+        h = self.rng.choice(self.helpers)
+        args = ", ".join(self.expr(p, scope, 2) for p in h.params)
+        call = f"{h.name}({args})"
+        if h.ret != INT:
+            call = f"((int)({call}))"
+        self.emit(f"crc = crc * 31 + {call};")
+
+    def st_virtual(self, scope: _Scope) -> None:
+        v = self.fresh("vv")
+        cls = self.rng.choice(["VBase", "VDeriv"])
+        self.emit(f"VBase {v} = new {cls}();")
+        self.emit(f"crc = crc * 31 + {v}.Vm({self.expr(INT, scope, 2)});")
+
+    def st_boxing(self, scope: _Scope) -> None:
+        r = self.rng
+        o = self.fresh("o")
+        if r.random() < 0.6:
+            src = self.expr(INT, scope, 2)
+            self.emit(f"object {o} = (object)({src});")
+            self.emit(f"crc = crc * 31 + (int){o};")
+        else:
+            src = self.expr(DOUBLE, scope, 2)
+            self.emit(f"object {o} = (object)({src});")
+            self.emit(f"crc = crc * 31 + (int)((double){o});")
+
+    def st_struct(self, scope: _Scope) -> None:
+        r = self.rng
+        s = self.fresh("sp")
+        self.emit(f"SPack {s} = new SPack();")
+        self.emit(f"{s}.a = {self.expr(INT, scope, 2)};")
+        self.emit(f"{s}.b = {self.expr(LONG, scope, 2)};")
+        self.emit(f"{s}.c = {self.expr(DOUBLE, scope, 2)};")
+        if r.random() < 0.5:
+            t = self.fresh("sp")
+            self.emit(f"SPack {t} = {s};")
+            self.emit(f"{t}.a += 1;")
+            self.emit(f"crc = crc * 31 + {s}.a * 2 + {t}.a;")
+        else:
+            o = self.fresh("ob")
+            self.emit(f"object {o} = (object){s};")
+            self.emit(f"SPack {self.fresh('sp')}u = (SPack){o};")
+            self.emit(f"crc = crc * 31 + {s}.a + (int){s}.b;")
+
+    def st_try(self, scope: _Scope) -> None:
+        r = self.rng
+        self.emit("try {")
+        self.indent += 1
+        self.in_try += 1
+        inner = _Scope(list(scope.vars), list(scope.arrays))
+        fault = r.random()
+        if fault < 0.35 and inner.arrays:
+            a = r.choice(inner.arrays)
+            access = f"{a.name}[{a.size + r.randint(0, 3)}]"
+            if a.kind == "rect":
+                access = f"{a.name}[{a.size + 1}, 0]"
+            elif a.kind == "jagged":
+                access = f"{a.name}[{a.size + 1}][0]"
+            if a.elem == INT:
+                self.emit(f"crc += {access};")
+            else:
+                self.emit(f"crc += (int){access};")
+        elif fault < 0.55:
+            z = self.fresh("z")
+            self.emit(f"int {z} = {self.expr(INT, inner, 2)};")
+            self.emit(f"crc += 100 / ({z} - {z});")
+        elif fault < 0.7:
+            exc = r.choice(["ArithmeticException", "ArgumentException", "Exception"])
+            self.emit(f'if ({self.bool_expr(inner, 2)}) {{ throw new {exc}("fuzz"); }}')
+            self.stmt(inner)
+        else:
+            for _ in range(r.randint(1, 2)):
+                self.stmt(inner)
+        self.in_try -= 1
+        self.indent -= 1
+        catches = []
+        if fault < 0.35:
+            catches = ["IndexOutOfRangeException"]
+        elif fault < 0.55:
+            catches = ["ArithmeticException"]
+        elif r.random() < 0.8:
+            catches = ["Exception"]
+        if r.random() < 0.5:
+            catches.append("Exception") if "Exception" not in catches else None
+        for i, cname in enumerate(catches):
+            e = self.fresh("e")
+            self.emit(f"}} catch ({cname} {e}) {{")
+            self.indent += 1
+            self.emit(f"crc = crc * 31 + {11 + 2 * i};")
+            self.indent -= 1
+        if not catches or r.random() < 0.4:
+            self.emit("} finally {")
+            self.indent += 1
+            self.emit("crc = crc * 31 + 5;")
+            self.indent -= 1
+        self.emit("}")
+
+    def st_writeline(self, scope: _Scope) -> None:
+        self.emit(f"Console.WriteLine({self.expr(INT, scope, 2)});")
+
+    # -------------------------------------------------------------- helpers
+
+    def gen_helper(self, index: int) -> List[str]:
+        r = self.rng
+        nparams = r.randint(1, 3)
+        params = [r.choice([INT, INT, LONG, DOUBLE]) for _ in range(nparams)]
+        ret = r.choice([INT, INT, LONG, DOUBLE])
+        h = _Helper(f"H{index}", params, ret)
+        scope = _Scope([_Var(f"p{i}", t) for i, t in enumerate(params)])
+        saved, self.lines, self.indent = self.lines, [], 1
+        # helpers draw on their own small budget, not Main's
+        main_budget, self.budget = self.budget, r.randint(3, 6)
+        self.in_helper = True
+        sig = ", ".join(f"{t} p{i}" for i, t in enumerate(params))
+        self.emit(f"static {ret} {h.name}({sig}) {{")
+        self.indent += 1
+        if r.random() < 0.35 and len(params) >= 2:
+            # tiny, order-sensitive body: small enough to qualify for the
+            # inlining pass on every profile, and parameter order matters,
+            # so a buggy inliner that mis-binds arguments is observable
+            a = f"(({ret})(p0))"
+            b = f"(({ret})(p1))"
+            combine = r.choice([f"({a} - ({b} * ({ret})2))", f"(({a} * ({ret})3) - {b})"])
+            self.emit(f"return {combine};")
+        else:
+            # every body owns a 'crc' accumulator: the crc-mixing statement
+            # generators work identically in helpers and in Main
+            self.emit(f"int crc = {index + 1};")
+            scope.vars.append(_Var("crc", INT))
+            for _ in range(r.randint(1, 3)):
+                self.stmt(scope)
+            # helpers fold their locals into the return value
+            parts = [self.expr(ret, scope, 2)]
+            for v in scope.vars[:3]:
+                if v.type in NUMERIC:
+                    parts.append(f"(({ret})({v.name}))")
+            self.emit(f"return {' + '.join(f'({p})' for p in parts)};")
+        self.indent -= 1
+        self.emit("}")
+        body, self.lines, self.indent = self.lines, saved, 0
+        self.budget = main_budget
+        self.in_helper = False
+        self.helpers.append(h)
+        return body
+
+    # ----------------------------------------------------------------- main
+
+    def generate(self) -> str:
+        r = self.rng
+        # helpers come first; each owns a private 'crc' accumulator so the
+        # crc-mixing statement generators work there too
+        helper_bodies: List[str] = []
+        for i in range(r.randint(0, 3)):
+            helper_bodies.extend(self.gen_helper(i))
+
+        self.lines = []
+        self.indent = 1
+        self.emit("static int Main() {")
+        self.indent += 1
+        self.emit("int crc = 17;")
+        scope = _Scope([_Var("crc", INT)])
+
+        # local primitive seed values
+        for _ in range(r.randint(2, 4)):
+            self.st_decl(scope)
+
+        # arrays
+        for _ in range(r.randint(1, 3)):
+            elem = r.choice([INT, INT, DOUBLE])
+            size = r.choice(ARRAY_SIZES)
+            kind = r.choice(["sz", "sz", "rect", "jagged"])
+            name = self.fresh("arr")
+            if kind == "sz":
+                self.emit(f"{elem}[] {name} = new {elem}[{size}];")
+                i = self.fresh("i")
+                self.emit(
+                    f"for (int {i} = 0; {i} < {name}.Length; {i}++) "
+                    f"{{ {name}[{i}] = {self._fill(elem, i)}; }}"
+                )
+            elif kind == "rect":
+                self.emit(f"{elem}[,] {name} = new {elem}[{size}, {size}];")
+                i, k = self.fresh("i"), self.fresh("k")
+                self.emit(
+                    f"for (int {i} = 0; {i} < {size}; {i}++) "
+                    f"for (int {k} = 0; {k} < {size}; {k}++) "
+                    f"{{ {name}[{i}, {k}] = {self._fill(elem, i, k)}; }}"
+                )
+            else:
+                self.emit(f"{elem}[][] {name} = new {elem}[{size}][];")
+                i, k = self.fresh("i"), self.fresh("k")
+                self.emit(f"for (int {i} = 0; {i} < {size}; {i}++) {{")
+                self.indent += 1
+                self.emit(f"{name}[{i}] = new {elem}[{size}];")
+                self.emit(
+                    f"for (int {k} = 0; {k} < {size}; {k}++) "
+                    f"{{ {name}[{i}][{k}] = {self._fill(elem, i, k)}; }}"
+                )
+                self.indent -= 1
+                self.emit("}")
+            scope.arrays.append(_Array(name, elem, size, kind))
+
+        # a timed section around a deterministic kernel
+        section = r.random() < 0.8
+        if section:
+            self.emit('Bench.Start("fuzz:kernel");')
+        body_budget = self.budget
+        while self.budget > 0:
+            self.stmt(scope)
+            if self.budget == body_budget:  # a stmt kind declined to emit
+                self.budget -= 1
+            body_budget = self.budget
+        if section:
+            self.emit('Bench.Stop("fuzz:kernel");')
+
+        # fold every live value into the checksum
+        for v in scope.vars:
+            if v.name == "crc":
+                continue
+            if v.type == BOOL:
+                self.emit(f"crc = crc * 31 + ({v.name} ? 1 : 0);")
+            else:
+                self.emit(f"crc = crc * 31 + ((int)({v.name}));")
+        for a in scope.arrays:
+            i = self.fresh("i")
+            if a.kind == "sz":
+                self.emit(
+                    f"for (int {i} = 0; {i} < {a.name}.Length; {i}++) "
+                    f"{{ crc = crc * 31 + ((int)({a.name}[{i}])); }}"
+                )
+            elif a.kind == "rect":
+                self.emit(
+                    f"for (int {i} = 0; {i} < {a.size}; {i}++) "
+                    f"{{ crc = crc * 31 + ((int)({a.name}[{i}, {a.size // 2}])); }}"
+                )
+            else:
+                self.emit(
+                    f"for (int {i} = 0; {i} < {a.size}; {i}++) "
+                    f"{{ crc = crc * 31 + ((int)({a.name}[{i}][{a.size // 2}])); }}"
+                )
+
+        # occasionally let a guest exception escape Main entirely: engines
+        # must then agree on the *exception type* instead of the value
+        if r.random() < 0.1:
+            exc = r.choice(["ArithmeticException", "ArgumentException"])
+            self.emit(f'if ((crc & 3) == {r.randrange(4)}) {{ throw new {exc}("escape"); }}')
+
+        self.emit('Bench.Result("fuzz:crc", (double)crc);')
+        self.emit("return crc;")
+        self.indent -= 1
+        self.emit("}")
+        main_body = self.lines
+
+        out: List[str] = ["class Fuzz {"]
+        out.extend(helper_bodies)
+        out.extend(main_body)
+        out.append("}")
+        out.append("struct SPack { int a; long b; double c; }")
+        out.append("class VBase { VBase() {} virtual int Vm(int x) { return x * 3 - 1; } }")
+        out.append(
+            "class VDeriv : VBase { VDeriv() : base() {} "
+            "override int Vm(int x) { return x * 5 + (x >> 1); } }"
+        )
+        return "\n".join(out) + "\n"
+
+    def _fill(self, elem: str, *ivars: str) -> str:
+        mix = " + ".join(ivars) if ivars else "1"
+        if elem == INT:
+            return f"({mix}) * 3 - 1"
+        return f"(double)(({mix}) * 2) * 0.5"
+
+
+def generate_program(seed: int, budget: int = 40) -> GeneratedProgram:
+    """Generate one well-typed Kernel-C# program from ``seed``.
+
+    ``budget`` caps the number of random statements (roughly; compound
+    statements recurse within it), bounding both source size and runtime.
+    """
+    source = _Gen(seed, budget).generate()
+    return GeneratedProgram(seed=seed, source=source, budget=budget)

@@ -1,0 +1,328 @@
+"""Differential oracle: interpreter vs machine under a profile/pass matrix.
+
+Each program is compiled exactly once (the verifier runs as part of
+compilation, so verifier acceptance is part of the conformance check), then
+executed on the reference :class:`~repro.vm.interpreter.Interpreter` and on
+:class:`~repro.vm.machine.Machine` at every point of an *ablation matrix*:
+every runtime profile with its stock pipeline, plus a fully-optimizing
+profile with each JIT pass individually disabled.  Any difference in
+
+* the entry point's return value,
+* recorded bench-section results,
+* guest stdout, or
+* the escaped guest-exception type
+
+is a :class:`Divergence` — i.e. a bug in the compiler, the verifier, a JIT
+pass, or one of the engines, since every pass is required to be
+semantics-preserving.
+
+:func:`inject_pass_bug` deliberately breaks a pass (mutation testing): a
+healthy oracle must catch each injected bug, which is how we know zero
+divergences means something.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import ManagedException, ReproError
+from ..jit import mir
+from ..lang import compile_source
+from ..runtimes import ALL_PROFILES, CLR11
+from ..runtimes.profile import RuntimeProfile
+from ..vm.exceptions import GuestException
+from ..vm.interpreter import Interpreter
+from ..vm.loader import LoadedAssembly
+from ..vm.machine import Machine
+from .genprog import generate_program, program_seed
+
+#: the passes the matrix ablates one at a time (see jit.pipeline)
+SINGLE_PASS_ABLATIONS = ("boundscheck", "enregister", "inline", "simplify", "quirks")
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One (profile, disabled-passes) cell of the conformance matrix."""
+
+    profile: RuntimeProfile
+    disabled: FrozenSet[str] = frozenset()
+
+    @property
+    def label(self) -> str:
+        if not self.disabled:
+            return self.profile.name
+        return f"{self.profile.name}[-{','.join(sorted(self.disabled))}]"
+
+
+def default_matrix(
+    profiles: Optional[Sequence[RuntimeProfile]] = None,
+    ablation_profile: RuntimeProfile = CLR11,
+) -> List[AblationPoint]:
+    """All profile tiers stock, plus each pass singly disabled on the
+    fully-optimizing ``ablation_profile``."""
+    points = [AblationPoint(p) for p in (profiles or ALL_PROFILES)]
+    for name in SINGLE_PASS_ABLATIONS:
+        points.append(AblationPoint(ablation_profile, frozenset({name})))
+    return points
+
+
+# --------------------------------------------------------------- outcomes
+
+
+@dataclass
+class Outcome:
+    """Observable behaviour of one execution, in comparable form."""
+
+    value: object = None
+    sections: Dict[str, Tuple] = field(default_factory=dict)
+    stdout: Tuple[str, ...] = ()
+    exception: Optional[str] = None
+    #: host-side failure (engine crash) — always a divergence when unequal
+    engine_error: Optional[str] = None
+
+
+def _canon(v: object) -> object:
+    """Canonical comparable form; float NaNs compare equal bit-for-bit."""
+    if isinstance(v, bool):
+        return ("b", v)
+    if isinstance(v, float):
+        return ("f", struct.pack("<d", v))
+    if isinstance(v, int):
+        return ("i", v)
+    if isinstance(v, (list, tuple)):
+        return tuple(_canon(x) for x in v)
+    return v
+
+
+def _outcome_of(run: Callable[[], object], engine) -> Outcome:
+    out = Outcome()
+    try:
+        out.value = _canon(run())
+    except GuestException as exc:  # interpreter: guest exception escaped
+        out.exception = exc.type_name
+    except ManagedException as exc:  # machine: guest exception escaped
+        out.exception = exc.type_name
+    except ReproError as exc:
+        out.engine_error = f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # host crash (e.g. a pass bug broke the engine)
+        out.engine_error = f"host {type(exc).__name__}: {exc}"
+    out.sections = {
+        name: _canon(tuple(sec.results)) for name, sec in engine.bench.sections.items()
+    }
+    out.stdout = tuple(engine.stdout)
+    return out
+
+
+@dataclass
+class Divergence:
+    """One observed disagreement between reference and a matrix point."""
+
+    label: str
+    field: str  # 'value' | 'sections' | 'stdout' | 'exception' | 'engine'
+    expected: object
+    got: object
+
+    def __str__(self) -> str:
+        return f"{self.label}: {self.field} diverged: expected {self.expected!r}, got {self.got!r}"
+
+
+def _compare(reference: Outcome, got: Outcome, label: str) -> List[Divergence]:
+    out: List[Divergence] = []
+    if reference.engine_error or got.engine_error:
+        if reference.engine_error != got.engine_error:
+            out.append(
+                Divergence(label, "engine", reference.engine_error, got.engine_error)
+            )
+            return out
+    if reference.exception != got.exception:
+        out.append(Divergence(label, "exception", reference.exception, got.exception))
+    if reference.value != got.value:
+        out.append(Divergence(label, "value", reference.value, got.value))
+    if reference.sections != got.sections:
+        out.append(Divergence(label, "sections", reference.sections, got.sections))
+    if reference.stdout != got.stdout:
+        out.append(Divergence(label, "stdout", reference.stdout, got.stdout))
+    return out
+
+
+# ------------------------------------------------------------ single program
+
+
+def run_program(
+    source: str,
+    matrix: Optional[Sequence[AblationPoint]] = None,
+    assembly_name: str = "fuzzprog",
+) -> List[Divergence]:
+    """Compile ``source`` once, run the full matrix, return all divergences.
+
+    A compile/verify failure is *not* a divergence (the program never made
+    it to either engine) and raises instead.
+    """
+    matrix = default_matrix() if matrix is None else matrix
+    assembly = compile_source(source, assembly_name=assembly_name)
+
+    interp = Interpreter(LoadedAssembly(assembly))
+    reference = _outcome_of(interp.run, interp)
+    if reference.engine_error is not None:
+        # reference crash: surface loudly, comparing against it is useless
+        raise ReproError(f"reference interpreter failed: {reference.engine_error}")
+
+    divergences: List[Divergence] = []
+    for point in matrix:
+        machine = Machine(
+            LoadedAssembly(assembly),
+            point.profile,
+            disabled_passes=point.disabled,
+        )
+        got = _outcome_of(machine.run, machine)
+        divergences.extend(_compare(reference, got, point.label))
+    return divergences
+
+
+# ---------------------------------------------------------------- campaigns
+
+
+@dataclass
+class ProgramResult:
+    seed: int
+    source: str
+    divergences: List[Divergence]
+
+
+@dataclass
+class CampaignResult:
+    campaign_seed: int
+    budget: int
+    executed: int = 0
+    compile_failures: List[Tuple[int, str]] = field(default_factory=list)
+    failures: List[ProgramResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.compile_failures
+
+
+def run_campaign(
+    seed: int,
+    count: int,
+    budget: int = 40,
+    matrix: Optional[Sequence[AblationPoint]] = None,
+    time_limit: Optional[float] = None,
+    on_program: Optional[Callable[[ProgramResult], None]] = None,
+) -> CampaignResult:
+    """Generate and differentially execute ``count`` programs.
+
+    Program ``i`` uses the derived seed ``program_seed(seed, i)``, so any
+    failure is reproducible from (campaign seed, index) alone.  A generated
+    program that fails to compile is recorded as a failure too: the
+    generator promises well-typed output, so a compile error is a generator
+    (or front-end) bug either way.
+    """
+    matrix = default_matrix() if matrix is None else matrix
+    result = CampaignResult(campaign_seed=seed, budget=budget)
+    started = time.monotonic()
+    for i in range(count):
+        if time_limit is not None and time.monotonic() - started > time_limit:
+            break
+        pseed = program_seed(seed, i)
+        prog = generate_program(pseed, budget=budget)
+        try:
+            divergences = run_program(prog.source, matrix, assembly_name=f"fuzz{i}")
+        except ReproError as exc:
+            result.compile_failures.append((pseed, f"{type(exc).__name__}: {exc}"))
+            result.executed += 1
+            continue
+        result.executed += 1
+        pr = ProgramResult(seed=pseed, source=prog.source, divergences=divergences)
+        if divergences:
+            result.failures.append(pr)
+        if on_program is not None:
+            on_program(pr)
+    return result
+
+
+# ----------------------------------------------------------- mutation check
+
+
+@contextmanager
+def inject_pass_bug(name: str):
+    """Deliberately break one JIT pass for the duration of the context.
+
+    Used by the mutation check: with a bug injected, the oracle *must*
+    report divergences — otherwise the oracle itself is broken.
+
+    * ``"simplify"`` — constant folding produces an off-by-one int32
+      constant (classic miscompiled-literal bug);
+    * ``"inline"`` — the inliner binds the callee's first two parameters
+      in swapped order (classic argument-rebasing bug).
+
+    The bounds-check eliminator deliberately has no mutation: in this
+    simulation the ``bounds_check`` flag is cost-model-only (the engine
+    always range-checks at execution time, as the reference semantics
+    require), so no bug in that pass can be *semantically* visible — its
+    effect is covered by the cycle-cost benchmarks instead.
+    """
+    from ..jit import pipeline
+
+    if name == "simplify":
+        orig = pipeline.constant_fold
+
+        def buggy_fold(fn, profile):
+            orig(fn, profile)
+            for ins in fn.code:
+                if ins.op == mir.LDI and isinstance(ins.a, int) and not isinstance(ins.a, bool):
+                    ins.a = ins.a + 1
+                    break
+
+        pipeline.constant_fold = buggy_fold
+        try:
+            yield
+        finally:
+            pipeline.constant_fold = orig
+    elif name == "inline":
+        orig = pipeline.inline_small_methods
+
+        def buggy_inline(fn, profile, compile_callee):
+            def swapped(ref):
+                callee = compile_callee(ref)
+                if callee is None or callee.n_args < 2:
+                    return callee
+                # rename vreg 0 <-> vreg 1 throughout a copy of the body:
+                # equivalent to binding the first two arguments in the
+                # wrong order at every inlined call site
+                from dataclasses import replace as _replace
+
+                clone = _replace(callee)
+                remap = {0: 1, 1: 0}
+                new_code = []
+                for ins in callee.code:
+                    cins = _replace(ins)
+                    if cins.op != mir.LDI:
+                        for f in ("a", "b", "c"):
+                            v = getattr(cins, f)
+                            if isinstance(v, int) and v in remap and not (
+                                cins.op == mir.RET and f in ("b", "c")
+                            ):
+                                setattr(cins, f, remap[v])
+                    if cins.dst in remap:
+                        cins.dst = remap[cins.dst]
+                    if cins.args:
+                        cins.args = [remap.get(v, v) for v in cins.args]
+                    new_code.append(cins)
+                clone.code = new_code
+                return clone
+
+            orig(fn, profile, swapped)
+
+        pipeline.inline_small_methods = buggy_inline
+        try:
+            yield
+        finally:
+            pipeline.inline_small_methods = orig
+    else:
+        raise ValueError(f"no mutation defined for pass {name!r}")

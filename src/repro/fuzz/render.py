@@ -1,0 +1,203 @@
+"""Kernel-C# source renderer for :mod:`repro.lang.ast_nodes` trees.
+
+The shrinker works structurally: parse the failing program, mutate the AST,
+render back to source, recompile.  The renderer therefore only needs to be
+*round-trip correct* (parse(render(parse(s))) == parse(s) semantically),
+not pretty: composite expressions are fully parenthesized so operator
+precedence never needs reconstructing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..lang import ast_nodes as ast
+
+_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n", "\t": "\\t", "\r": "\\r"}
+
+
+def _escape(text: str) -> str:
+    return "".join(_ESCAPES.get(ch, ch) for ch in text)
+
+
+def _float_text(value: float, single: bool) -> str:
+    text = repr(value)
+    if "e" not in text and "E" not in text and "." not in text:
+        text += ".0"
+    return text + ("f" if single else "")
+
+
+def render_expr(e: ast.Expr) -> str:
+    if isinstance(e, ast.IntLit):
+        text = str(e.value) + ("L" if e.is_long else "")
+        return f"({text})" if e.value < 0 else text
+    if isinstance(e, ast.FloatLit):
+        text = _float_text(e.value, e.is_single)
+        return f"({text})" if e.value < 0 else text
+    if isinstance(e, ast.BoolLit):
+        return "true" if e.value else "false"
+    if isinstance(e, ast.StringLit):
+        return f'"{_escape(e.value)}"'
+    if isinstance(e, ast.CharLit):
+        ch = chr(e.value)
+        if ch == "'":
+            return "'\\''"
+        return f"'{_ESCAPES.get(ch, ch)}'"
+    if isinstance(e, ast.NullLit):
+        return "null"
+    if isinstance(e, ast.Name):
+        return e.ident
+    if isinstance(e, ast.ThisExpr):
+        return "this"
+    if isinstance(e, ast.Member):
+        return f"{render_expr(e.target)}.{e.name}"
+    if isinstance(e, ast.Index):
+        idx = ", ".join(render_expr(i) for i in e.indices)
+        return f"{render_expr(e.target)}[{idx}]"
+    if isinstance(e, ast.Call):
+        args = ", ".join(render_expr(a) for a in e.args)
+        return f"{render_expr(e.callee)}({args})"
+    if isinstance(e, ast.NewObject):
+        args = ", ".join(render_expr(a) for a in e.args)
+        return f"new {e.type_name}({args})"
+    if isinstance(e, ast.NewArray):
+        dims = ", ".join(render_expr(d) for d in e.dims)
+        elem = e.element.name if isinstance(e.element, ast.TypeExpr) else str(e.element)
+        suffix = "".join("[" + "," * (r - 1) + "]" for r in e.extra_ranks)
+        return f"new {elem}[{dims}]{suffix}"
+    if isinstance(e, ast.Unary):
+        return f"({e.op}({render_expr(e.operand)}))"
+    if isinstance(e, ast.Binary):
+        return f"(({render_expr(e.left)}) {e.op} ({render_expr(e.right)}))"
+    if isinstance(e, ast.Logical):
+        return f"(({render_expr(e.left)}) {e.op} ({render_expr(e.right)}))"
+    if isinstance(e, ast.Conditional):
+        return (
+            f"(({render_expr(e.cond)}) ? ({render_expr(e.then)})"
+            f" : ({render_expr(e.other)}))"
+        )
+    if isinstance(e, ast.Assign):
+        return f"{render_expr(e.target)} {e.op}= {render_expr(e.value)}"
+    if isinstance(e, ast.IncDec):
+        if e.prefix:
+            return f"({e.op}{render_expr(e.target)})"
+        return f"({render_expr(e.target)}{e.op})"
+    if isinstance(e, ast.Cast):
+        return f"(({e.type_expr})({render_expr(e.operand)}))"
+    raise TypeError(f"cannot render expression {type(e).__name__}")
+
+
+def _render_stmt(s: ast.Stmt, out: List[str], indent: int) -> None:
+    pad = "    " * indent
+
+    def line(text: str) -> None:
+        out.append(pad + text)
+
+    if isinstance(s, ast.Block):
+        line("{")
+        for inner in s.statements:
+            _render_stmt(inner, out, indent + 1)
+        line("}")
+    elif isinstance(s, ast.VarDecl):
+        parts = []
+        for name, init in zip(s.names, s.inits):
+            parts.append(name if init is None else f"{name} = {render_expr(init)}")
+        line(f"{s.type_expr} {', '.join(parts)};")
+    elif isinstance(s, ast.ExprStmt):
+        line(f"{render_expr(s.expr)};")
+    elif isinstance(s, ast.If):
+        line(f"if ({render_expr(s.cond)})")
+        _render_stmt(_blockify(s.then), out, indent)
+        if s.other is not None:
+            line("else")
+            _render_stmt(_blockify(s.other), out, indent)
+    elif isinstance(s, ast.While):
+        line(f"while ({render_expr(s.cond)})")
+        _render_stmt(_blockify(s.body), out, indent)
+    elif isinstance(s, ast.DoWhile):
+        line("do")
+        _render_stmt(_blockify(s.body), out, indent)
+        line(f"while ({render_expr(s.cond)});")
+    elif isinstance(s, ast.For):
+        if s.init is None:
+            init = ";"
+        elif isinstance(s.init, ast.VarDecl):
+            parts = []
+            for name, iexpr in zip(s.init.names, s.init.inits):
+                parts.append(
+                    name if iexpr is None else f"{name} = {render_expr(iexpr)}"
+                )
+            init = f"{s.init.type_expr} {', '.join(parts)};"
+        else:
+            init = f"{render_expr(s.init.expr)};"
+        cond = "" if s.cond is None else render_expr(s.cond)
+        update = ", ".join(render_expr(u) for u in s.update)
+        line(f"for ({init} {cond}; {update})")
+        _render_stmt(_blockify(s.body), out, indent)
+    elif isinstance(s, ast.Return):
+        line("return;" if s.value is None else f"return {render_expr(s.value)};")
+    elif isinstance(s, ast.Break):
+        line("break;")
+    elif isinstance(s, ast.Continue):
+        line("continue;")
+    elif isinstance(s, ast.Throw):
+        line("throw;" if s.value is None else f"throw {render_expr(s.value)};")
+    elif isinstance(s, ast.Try):
+        line("try")
+        _render_stmt(_blockify(s.body), out, indent)
+        for clause in s.catches:
+            var = f" {clause.var_name}" if clause.var_name else ""
+            line(f"catch ({clause.type_name}{var})")
+            _render_stmt(_blockify(clause.body), out, indent)
+        if s.finally_body is not None:
+            line("finally")
+            _render_stmt(_blockify(s.finally_body), out, indent)
+    elif isinstance(s, ast.Lock):
+        line(f"lock ({render_expr(s.target)})")
+        _render_stmt(_blockify(s.body), out, indent)
+    else:
+        raise TypeError(f"cannot render statement {type(s).__name__}")
+
+
+def _blockify(s: Optional[ast.Stmt]) -> ast.Block:
+    if isinstance(s, ast.Block):
+        return s
+    block = ast.Block()
+    if s is not None:
+        block.statements.append(s)
+    return block
+
+
+def render_program(program: ast.Program) -> str:
+    out: List[str] = []
+    for cls in program.classes:
+        keyword = "struct" if cls.is_struct else "class"
+        base = f" : {cls.base_name}" if cls.base_name else ""
+        out.append(f"{keyword} {cls.name}{base} {{")
+        for f in cls.fields:
+            mods = "static " if f.is_static else ""
+            init = "" if f.init is None else f" = {render_expr(f.init)}"
+            out.append(f"    {mods}{f.type_expr} {f.name}{init};")
+        for m in cls.methods:
+            mods = ""
+            if m.is_static:
+                mods += "static "
+            if m.is_virtual:
+                mods += "virtual "
+            if m.is_override:
+                mods += "override "
+            params = ", ".join(f"{p.type_expr} {p.name}" for p in m.params)
+            if m.is_ctor:
+                base_init = ""
+                if m.base_args is not None:
+                    base_init = (
+                        " : base("
+                        + ", ".join(render_expr(a) for a in m.base_args)
+                        + ")"
+                    )
+                out.append(f"    {cls.name}({params}){base_init}")
+            else:
+                out.append(f"    {mods}{m.return_type} {m.name}({params})")
+            _render_stmt(m.body, out, 1)
+        out.append("}")
+    return "\n".join(out) + "\n"

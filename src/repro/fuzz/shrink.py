@@ -1,0 +1,285 @@
+"""Greedy structural minimizer for diverging Kernel-C# programs.
+
+Works on the parsed AST rather than on text: each candidate edit (delete a
+statement, unwrap a loop, drop a catch clause, replace an expression by a
+subexpression or a literal) is applied in place, the tree is rendered back
+to source, and the caller's *interestingness predicate* — typically "the
+differential oracle still reports the divergence" — decides whether to keep
+it.  Ill-typed candidates are harmless: the predicate's compile step fails
+and the edit is simply undone.
+
+The loop is a greedy fixpoint: keep scanning for an accepted edit until a
+full pass over the tree finds none (or the test budget runs out).  That is
+the classic ddmin-style trade-off — not globally minimal, but small enough
+for a corpus entry, with a bounded number of oracle runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..lang import ast_nodes as ast
+from ..lang.parser import parse
+from .render import render_program
+
+#: (description, apply, undo)
+_Edit = Tuple[str, Callable[[], None], Callable[[], None]]
+
+
+def _list_slot(lst: list, index: int):
+    def get():
+        return lst[index]
+
+    def set_(value):
+        lst[index] = value
+
+    return get, set_
+
+
+def _attr_slot(obj: object, attr: str):
+    def get():
+        return getattr(obj, attr)
+
+    def set_(value):
+        setattr(obj, attr, value)
+
+    return get, set_
+
+
+def _replace_edits(get, set_, expr: ast.Expr) -> Iterator[_Edit]:
+    """Edits replacing the expression in a slot with something simpler."""
+
+    def swap(new: ast.Expr, desc: str) -> _Edit:
+        old = expr
+
+        def apply():
+            set_(new)
+
+        def undo():
+            set_(old)
+
+        return (desc, apply, undo)
+
+    if isinstance(expr, (ast.Binary, ast.Logical)):
+        yield swap(expr.left, "binary->left")
+        yield swap(expr.right, "binary->right")
+    elif isinstance(expr, ast.Conditional):
+        yield swap(expr.then, "cond->then")
+        yield swap(expr.other, "cond->else")
+    elif isinstance(expr, (ast.Unary, ast.Cast)):
+        yield swap(expr.operand, "unwrap-unary")
+    elif isinstance(expr, ast.IncDec):
+        yield swap(expr.target, "incdec->target")
+    if not isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit, ast.NullLit)):
+        yield swap(ast.IntLit(value=0), "->0")
+        yield swap(ast.IntLit(value=1), "->1")
+        yield swap(ast.IntLit(value=0, is_long=True), "->0L")
+        yield swap(ast.FloatLit(value=0.0), "->0.0")
+        yield swap(ast.BoolLit(value=False), "->false")
+
+
+def _expr_slots(node) -> Iterator[Tuple[Callable, Callable, ast.Expr]]:
+    """Every (get, set, expr) expression slot reachable from ``node``,
+    including nested subexpressions."""
+
+    def visit_slot(get, set_):
+        expr = get()
+        if not isinstance(expr, ast.Expr):
+            return
+        yield (get, set_, expr)
+        yield from walk_children(expr)
+
+    def walk_children(obj):
+        for attr, value in list(vars(obj).items()):
+            if attr == "ctype":
+                continue
+            if isinstance(value, ast.Expr):
+                g, s = _attr_slot(obj, attr)
+                yield from visit_slot(g, s)
+            elif isinstance(value, list):
+                for i, item in enumerate(value):
+                    if isinstance(item, ast.Expr):
+                        g, s = _list_slot(value, i)
+                        yield from visit_slot(g, s)
+                    elif isinstance(item, (ast.Stmt, ast.CatchClause)):
+                        yield from walk_children(item)
+            elif isinstance(value, (ast.Stmt, ast.CatchClause)):
+                yield from walk_children(value)
+
+    yield from walk_children(node)
+
+
+def _stmt_edits(block: ast.Block) -> Iterator[_Edit]:
+    """Deletions and unwraps for every statement under ``block``."""
+    for i in range(len(block.statements) - 1, -1, -1):
+        stmt = block.statements[i]
+
+        def make_delete(index: int, old: ast.Stmt) -> _Edit:
+            def apply():
+                del block.statements[index]
+
+            def undo():
+                block.statements.insert(index, old)
+
+            return ("delete-stmt", apply, undo)
+
+        yield make_delete(i, stmt)
+
+        def make_swap(index: int, old: ast.Stmt, new: ast.Stmt, desc: str) -> _Edit:
+            def apply():
+                block.statements[index] = new
+
+            def undo():
+                block.statements[index] = old
+
+            return (desc, apply, undo)
+
+        if isinstance(stmt, ast.If):
+            yield make_swap(i, stmt, _as_block(stmt.then), "if->then")
+            if stmt.other is not None:
+                yield make_swap(i, stmt, _as_block(stmt.other), "if->else")
+        elif isinstance(stmt, (ast.While, ast.DoWhile, ast.For, ast.Lock)):
+            yield make_swap(i, stmt, _as_block(stmt.body), "loop->body")
+        elif isinstance(stmt, ast.Try):
+            yield make_swap(i, stmt, _as_block(stmt.body), "try->body")
+            if stmt.finally_body is not None and stmt.catches:
+                g, s = _attr_slot(stmt, "finally_body")
+                old_fin = stmt.finally_body
+                yield (
+                    "drop-finally",
+                    lambda s=s: s(None),
+                    lambda s=s, v=old_fin: s(v),
+                )
+            if len(stmt.catches) > 1 or (stmt.catches and stmt.finally_body is not None):
+                for ci in range(len(stmt.catches) - 1, -1, -1):
+                    clause = stmt.catches[ci]
+                    yield (
+                        "drop-catch",
+                        lambda c=stmt.catches, j=ci: c.pop(j),
+                        lambda c=stmt.catches, j=ci, v=clause: c.insert(j, v),
+                    )
+
+    # recurse into nested blocks
+    for stmt in list(block.statements):
+        yield from _nested_stmt_edits(stmt)
+
+
+def _nested_stmt_edits(stmt: ast.Stmt) -> Iterator[_Edit]:
+    if isinstance(stmt, ast.Block):
+        yield from _stmt_edits(stmt)
+    elif isinstance(stmt, ast.If):
+        for child in (stmt.then, stmt.other):
+            if isinstance(child, ast.Block):
+                yield from _stmt_edits(child)
+            elif child is not None:
+                yield from _nested_stmt_edits(child)
+    elif isinstance(stmt, (ast.While, ast.DoWhile, ast.For, ast.Lock)):
+        if isinstance(stmt.body, ast.Block):
+            yield from _stmt_edits(stmt.body)
+        elif stmt.body is not None:
+            yield from _nested_stmt_edits(stmt.body)
+    elif isinstance(stmt, ast.Try):
+        yield from _stmt_edits(stmt.body)
+        for clause in stmt.catches:
+            yield from _stmt_edits(clause.body)
+        if stmt.finally_body is not None:
+            yield from _stmt_edits(stmt.finally_body)
+
+
+def _as_block(stmt: Optional[ast.Stmt]) -> ast.Block:
+    if isinstance(stmt, ast.Block):
+        return stmt
+    block = ast.Block()
+    if stmt is not None:
+        block.statements.append(stmt)
+    return block
+
+
+def _program_edits(program: ast.Program) -> Iterator[_Edit]:
+    # whole-declaration deletions first: they shrink fastest
+    for cls in list(program.classes):
+        has_main = any(m.name == "Main" and m.is_static for m in cls.methods)
+        if not has_main:
+            yield (
+                f"drop-class-{cls.name}",
+                lambda c=cls: program.classes.remove(c),
+                lambda c=cls, i=program.classes.index(cls): program.classes.insert(i, c),
+            )
+        for m in list(cls.methods):
+            if m.name == "Main":
+                continue
+            yield (
+                f"drop-method-{m.name}",
+                lambda c=cls, mm=m: c.methods.remove(mm),
+                lambda c=cls, mm=m, i=cls.methods.index(m): c.methods.insert(i, mm),
+            )
+        for f in list(cls.fields):
+            yield (
+                f"drop-field-{f.name}",
+                lambda c=cls, ff=f: c.fields.remove(ff),
+                lambda c=cls, ff=f, i=cls.fields.index(f): c.fields.insert(i, ff),
+            )
+    # statement-level edits
+    for cls in program.classes:
+        for m in cls.methods:
+            if m.body is not None:
+                yield from _stmt_edits(m.body)
+    # expression-level simplifications last
+    for cls in program.classes:
+        for m in cls.methods:
+            if m.body is not None:
+                for get, set_, expr in _expr_slots(m.body):
+                    yield from _replace_edits(get, set_, expr)
+
+
+def shrink_source(
+    source: str,
+    predicate: Callable[[str], bool],
+    max_tests: int = 3000,
+) -> str:
+    """Minimize ``source`` while ``predicate(rendered)`` stays true.
+
+    ``predicate`` must be robust to arbitrary candidate programs — it
+    should return ``False`` (not raise) for candidates that no longer
+    compile; :func:`safe_predicate` wraps an oracle call accordingly.
+    Returns the minimized source (the original if nothing could be
+    removed).
+    """
+    program = parse(source)
+    # canonical starting point: the renderer's own output, so accepted
+    # edits always compare against like-rendered text
+    best = render_program(program)
+    if not predicate(best):
+        raise ValueError("predicate does not hold on the initial program")
+    tests = 0
+    improved = True
+    while improved and tests < max_tests:
+        improved = False
+        for _desc, apply, undo in _program_edits(program):
+            if tests >= max_tests:
+                break
+            apply()
+            try:
+                candidate = render_program(program)
+            except TypeError:
+                undo()
+                continue
+            tests += 1
+            if len(candidate) < len(best) and predicate(candidate):
+                best = candidate
+                improved = True
+                break  # re-enumerate on the mutated tree
+            undo()
+    return best
+
+
+def safe_predicate(check: Callable[[str], bool]) -> Callable[[str], bool]:
+    """Wrap an oracle-backed check so any exception means 'not interesting'."""
+
+    def wrapped(src: str) -> bool:
+        try:
+            return check(src)
+        except Exception:
+            return False
+
+    return wrapped

@@ -111,8 +111,16 @@ def lower(method: MethodDef) -> mir.MIRFunction:
             stack = list(canonical[i])
             dead = False
         elif dead:
-            if i in targets or any(
-                r.handler_start == i or r.try_start == i for r in method.regions
+            # only resurrect at positions the type simulation reached: a
+            # target that exists solely inside unreachable code (e.g. the
+            # front end folded `if (false)` into a `br` across it) must
+            # stay dead, or its entry stack would be wrong
+            if i in shapes and (
+                i in targets
+                or any(
+                    r.handler_start == i or r.try_start == i
+                    for r in method.regions
+                )
             ):
                 stack = []
                 dead = False

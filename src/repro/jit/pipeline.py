@@ -2,11 +2,17 @@
 
 One :class:`JitCompiler` per (profile, loaded assembly); compiled functions
 are cached per MethodDef, mirroring a real JIT's code cache.
+
+Pass ablation: every optimization pass can be individually disabled through
+``disabled_passes`` (names in :data:`ABLATABLE_PASSES`) without deriving a
+new profile.  All passes are semantics-preserving, so an ablated pipeline
+must produce identical *results* (never identical cycles) — the invariant
+the differential fuzzer (:mod:`repro.fuzz`) checks across the whole matrix.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, FrozenSet, Iterable, Optional
 
 from ..cil.metadata import MethodDef
 from ..cil.instructions import MethodRef
@@ -25,11 +31,24 @@ from .passes import (
 )
 from .passes.boundscheck import clear_all_bounds_checks
 
+#: pass names accepted by ``disabled_passes``; "simplify" covers the
+#: fold/copy-propagate/DCE cluster that runs as one unit
+ABLATABLE_PASSES = frozenset(
+    {"boundscheck", "enregister", "inline", "simplify", "quirks"}
+)
+
 
 class JitCompiler:
-    def __init__(self, loaded, profile) -> None:
+    def __init__(self, loaded, profile, disabled_passes: Iterable[str] = ()) -> None:
         self.loaded = loaded
         self.profile = profile
+        self.disabled_passes: FrozenSet[str] = frozenset(disabled_passes)
+        unknown = self.disabled_passes - ABLATABLE_PASSES
+        if unknown:
+            raise JitError(
+                f"unknown JIT passes {sorted(unknown)}; "
+                f"ablatable: {sorted(ABLATABLE_PASSES)}"
+            )
         self._cache: Dict[int, mir.MIRFunction] = {}
         self._inline_cache: Dict[int, Optional[mir.MIRFunction]] = {}
         self._compiling: set = set()
@@ -50,23 +69,32 @@ class JitCompiler:
         if not method.body:
             raise JitError(f"cannot JIT bodyless method {method.full_name}")
         config = self.profile.jit
+        disabled = self.disabled_passes
         fn = lower(method)
-        if config.constant_folding:
+        simplify_on = config.constant_folding and "simplify" not in disabled
+        if simplify_on:
             constant_fold(fn, self.profile)
-        if allow_inline and config.inline_small_methods:
+        if allow_inline and config.inline_small_methods and "inline" not in disabled:
             inline_small_methods(fn, self.profile, self._inline_candidate)
-            if config.constant_folding:
+            if simplify_on:
                 constant_fold(fn, self.profile)
-        if config.copy_propagation:
+        if config.copy_propagation and "simplify" not in disabled:
             copy_propagate(fn, self.profile)
             dead_code_eliminate(fn, self.profile)
-        if config.const_div_quirk:
+        if config.const_div_quirk and "quirks" not in disabled:
             const_div_quirk(fn, self.profile)
         if not config.boundscheck:
             clear_all_bounds_checks(fn, self.profile)
-        elif config.boundscheck_elim == "length-pattern":
+        elif (
+            config.boundscheck_elim == "length-pattern"
+            and "boundscheck" not in disabled
+        ):
             eliminate_bounds_checks(fn, self.profile)
-        enregister(fn, self.profile)
+        if "enregister" in disabled:
+            # cost-only ablation: everything lives in the frame
+            enregister(fn, self.profile.with_jit(enreg_mode="none"))
+        else:
+            enregister(fn, self.profile)
         finalize_costs(fn, self.profile)
         return fn
 

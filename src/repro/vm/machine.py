@@ -88,11 +88,12 @@ class Machine:
         profile,
         quantum: int = 50_000,
         max_cycles: int = 200_000_000_000,
+        disabled_passes=(),
     ) -> None:
         self.loaded = loaded
         self.profile = profile
         self.costs = profile.costs
-        self.jit = JitCompiler(loaded, profile)
+        self.jit = JitCompiler(loaded, profile, disabled_passes=disabled_passes)
         self.quantum = quantum
         self.max_cycles = max_cycles
 

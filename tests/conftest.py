@@ -1,10 +1,53 @@
 """Shared test helpers."""
 
+import random
+
 import pytest
 
 from repro.lang import compile_source
 from repro.vm.interpreter import Interpreter
 from repro.vm.loader import LoadedAssembly
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="fix the seed returned by the rng_seed fixture (reproduce a "
+        "randomized-test failure: the failing run prints the seed to use)",
+    )
+
+
+@pytest.fixture
+def rng_seed(request):
+    """A per-test randomization seed.
+
+    Fresh each run unless pinned with ``--repro-seed``.  When a test using
+    this fixture fails, the seed is printed in the report so the exact run
+    can be replayed with ``pytest --repro-seed=<seed>``.
+    """
+    seed = request.config.getoption("--repro-seed")
+    if seed is None:
+        seed = random.SystemRandom().randrange(2**63)
+    request.node._repro_seed = seed
+    return seed
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    seed = getattr(item, "_repro_seed", None)
+    if seed is not None and report.failed:
+        report.sections.append(
+            (
+                "randomized seed",
+                f"this test used rng_seed={seed}; "
+                f"replay with: pytest {item.nodeid!r} --repro-seed={seed}",
+            )
+        )
 
 
 def interpret(source: str, entry_class=None):

@@ -1,0 +1,84 @@
+// repro-fuzz conformance seed: generated program (generator seed
+// 20260805, budget 25), kept as a corpus entry so replay exercises the
+// generator idioms (loops, arrays, helpers, checksum accumulation)
+// against the full ablation matrix even on machines without the fuzzer
+// in the loop.
+class Fuzz {
+    static int H0(int p0, double p1, long p2) {
+        int crc = 1;
+        object o1 = (object)(((978) + (crc)));
+        crc = crc * 31 + (int)o1;
+        Console.WriteLine((~((-1))));
+        return (((((int)(p2))) + (p0))) + (((int)(p0))) + (((int)(p1))) + (((int)(p2)));
+    }
+    static int Main() {
+        int crc = 17;
+        double v2 = (-(((3.5) / (((((double)(crc))) + (((double)(crc))))))));
+        bool v3 = true;
+        double[,] arr4 = new double[4, 4];
+        for (int i5 = 0; i5 < 4; i5++) for (int k6 = 0; k6 < 4; k6++) { arr4[i5, k6] = (double)((i5 + k6) * 2) * 0.5; }
+        Bench.Start("fuzz:kernel");
+        try {
+            crc += (int)arr4[5, 0];
+        } catch (IndexOutOfRangeException e7) {
+            crc = crc * 31 + 11;
+        } catch (Exception e8) {
+            crc = crc * 31 + 13;
+        }
+        v3 = true;
+        crc = crc * 31 + H0((~(7)), (-((-2.5))), (((-5L)) | (((long)(crc)))));
+        object o9 = (object)(((((crc) != (((int)(v2))))) ? ((-974.598)) : (v2)));
+        crc = crc * 31 + (int)((double)o9);
+        Console.WriteLine(((2) & (6457)));
+        crc = crc * 31 + H0(((100) - (1)), ((v2) + (v2)), ((((long)(crc))) & (0L)));
+        SPack sp10 = new SPack();
+        sp10.a = ((crc) * (0));
+        sp10.b = ((0L) * ((-5L)));
+        sp10.c = arr4[(crc & 3), 3];
+        SPack sp11 = sp10;
+        sp11.a += 1;
+        crc = crc * 31 + sp10.a * 2 + sp11.a;
+        VBase vv12 = new VDeriv();
+        crc = crc * 31 + vv12.Vm(((crc) * (13)));
+        object o13 = (object)(((v3) ? (6979) : ((-1))));
+        crc = crc * 31 + (int)o13;
+        v2 = 0.0;
+        if (((1L) > (((((0L) ^ (((long)(v2))))) % (((((3L) | (((long)(v2)))))) | 1L))))) {
+            for (int i14 = 0; i14 < 4; i14++) {
+                crc++;
+                if (v3) {
+                    for (int i15 = 0; i15 < 2; i15++) {
+                        VBase vv16 = new VDeriv();
+                        crc = crc * 31 + vv16.Vm(((i14) / (((((int)(v2)))) | 1)));
+                        double v17 = ((((((((((int)(v2))) >= (((int)(v2))))) || (v3))) ? (((3.5) + (0.0))) : (0.25))) - (((((v2) * (v2))) * (v2))));
+                    }
+                    try {
+                        crc += (int)arr4[5, 0];
+                    } catch (IndexOutOfRangeException e18) {
+                        crc = crc * 31 + 11;
+                    }
+                }
+                if (v3) {
+                    crc = crc * 31 + H0((-(((int)(v2)))), ((v3) ? (280.6956) : (arr4[(i14 & 3), 0])), (((-5L)) & (1000L)));
+                    crc--;
+                } else {
+                    int v19 = ((i14) - (((100) % ((((((-7)) << ((1) & 31)))) | 1))));
+                }
+            }
+        }
+        for (int i20 = 0; i20 < 5; i20++) {
+            object o21 = (object)(((arr4[(i20 & 3), 3]) - (((double)(crc)))));
+            crc = crc * 31 + (int)((double)o21);
+            crc++;
+        }
+        Bench.Stop("fuzz:kernel");
+        crc = crc * 31 + ((int)(v2));
+        crc = crc * 31 + (v3 ? 1 : 0);
+        for (int i22 = 0; i22 < 4; i22++) { crc = crc * 31 + ((int)(arr4[i22, 2])); }
+        Bench.Result("fuzz:crc", (double)crc);
+        return crc;
+    }
+}
+struct SPack { int a; long b; double c; }
+class VBase { VBase() {} virtual int Vm(int x) { return x * 3 - 1; } }
+class VDeriv : VBase { VDeriv() : base() {} override int Vm(int x) { return x * 5 + (x >> 1); } }

@@ -1,0 +1,20 @@
+// repro-fuzz regression: JIT lowering resurrected branch targets inside
+// unreachable CIL.  The front end folds `if (false)` into a plain `br`,
+// leaving the guarded block (including the ternary's branch targets) as
+// dead code the type simulation never reached; lowering restarted those
+// positions with an empty stack and the STFLD popped from an empty list,
+// crashing the Machine on every profile while the Interpreter was fine.
+// Found by repro-fuzz, shrunk by repro-fuzz shrink.
+class Fuzz {
+    static int Main()
+    {
+        if (false) {
+            SPack s = new SPack();
+            s.c = ((false) ? (0.0) : (0));
+        }
+        return 17;
+    }
+}
+class SPack {
+    double c;
+}

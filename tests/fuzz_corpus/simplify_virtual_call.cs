@@ -1,0 +1,22 @@
+// repro-fuzz mutation-check witness (shrunk from generated seed
+// 986796162481576357): returns a constant through a virtual call, so the
+// result flows through constant folding in the simplify pass.  Stock
+// pipelines must agree with the interpreter; under an injected off-by-one
+// in constant folding (`repro-fuzz run --inject-bug simplify`) every
+// profile diverges.  tests/test_fuzz.py uses this file to prove the
+// oracle actually detects a broken pass.
+class Fuzz {
+    static int Main()
+    {
+        int crc = 17;
+        VBase vv19 = new VBase();
+        crc = vv19.Vm(3);
+        return crc;
+    }
+}
+class VBase {
+    virtual int Vm(int x)
+    {
+        return 3;
+    }
+}

@@ -10,7 +10,7 @@ import pytest
 
 from repro.benchmarks import all_benchmarks, get
 from repro.lang import compile_source
-from repro.runtimes import NATIVE_C, SSCLI10
+from repro.runtimes import CLR11, NATIVE_C, SSCLI10
 from repro.vm.interpreter import Interpreter
 from repro.vm.loader import LoadedAssembly
 from repro.vm.machine import Machine
@@ -76,3 +76,40 @@ def test_interpreter_and_both_engine_extremes_agree(name):
             s: tuple(sec.results) for s, sec in machine.bench.sections.items()
         }
         assert got == reference, f"{name} diverged on {profile.name}"
+
+
+#: smaller threaded sizes for the double execution
+FAST_THREADED = {
+    "threads.barrier": {"Threads": 3, "Crossings": 6},
+    "threads.forkjoin": {"Reps": 3, "Threads": 3},
+    "threads.sync": {"Threads": 3, "Reps": 20},
+    "threads.thread": {"Reps": 6},
+    "threads.lock": {"Reps": 60, "ContendedReps": 20},
+    "scimark.montecarlo_mt": {"Samples": 400, "Threads": 3},
+    "scimark.sor_mt": {"N": 12, "Iters": 2, "Threads": 3},
+}
+
+
+@pytest.mark.parametrize("name", sorted(THREADED))
+def test_threaded_benchmarks_are_deterministic(name):
+    """The paper's timing claims need repeatable runs even under the
+    machine's simulated preemptive scheduler: two executions of the same
+    image on the same profile must produce byte-identical recorded results
+    AND identical cycle counts, or cross-runtime comparisons would be
+    noise."""
+    bench = get(name)
+    source = bench.build_source(FAST_THREADED.get(name))
+    assembly = compile_source(source, assembly_name=name)
+
+    def observe():
+        machine = Machine(LoadedAssembly(assembly), CLR11)
+        machine.run()
+        machine.bench.require_valid()
+        return {
+            s: (tuple(sec.results), sec.total_cycles, sec.ops)
+            for s, sec in machine.bench.sections.items()
+        }
+
+    first = observe()
+    second = observe()
+    assert first == second, f"{name}: non-deterministic across identical runs"

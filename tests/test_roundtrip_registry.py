@@ -1,0 +1,65 @@
+"""Registry-wide assembler/disassembler round-trip.
+
+Every benchmark in the registry — not just the hand-picked programs in
+``test_cil_assembler_disassembler.py`` — must survive
+``assemble(disassemble(asm))`` as a textual fixed point, and the rebuilt
+image must still pass the verifier.  This pins the external CIL syntax for
+the whole corpus the paper's tables are computed from: any assembler or
+disassembler regression that loses a construct used by a real benchmark
+shows up here immediately.
+
+Compilation only (no execution), so the full registry stays fast.
+"""
+
+import pytest
+
+from repro.benchmarks import all_benchmarks, get
+from repro.cil.assembler import assemble
+from repro.cil.disassembler import disassemble_assembly
+from repro.cil.verifier import verify_assembly
+from repro.lang import compile_source
+
+ALL_NAMES = sorted(b.name for b in all_benchmarks())
+
+#: tiny sizes: the embedded Params class is part of the round-tripped
+#: image, so use the smallest sensible values to keep source size down
+TINY = {
+    "micro.serial": {"Reps": 1, "Nodes": 4},
+    "clispec.matrix": {"N": 4, "Reps": 1},
+    "scimark.fft": {"N": 8},
+    "scimark.sor": {"N": 4, "Iters": 1},
+    "scimark.sparse": {"N": 8, "NZ": 16, "Reps": 1},
+    "scimark.lu": {"N": 4},
+    "grande.sieve": {"Limit": 50},
+    "grande.heapsort": {"N": 20},
+    "grande.crypt": {"Words": 8},
+    "grande.moldyn": {"MM": 2, "Steps": 1},
+    "grande.euler": {"N": 4, "Steps": 1},
+    "grande.raytracer": {"Size": 4, "Grid": 2},
+}
+
+
+def _tiny_overrides(name):
+    overrides = TINY.get(name)
+    if overrides is not None:
+        return overrides
+    bench = get(name)
+    out = {}
+    for key, value in bench.params.items():
+        if isinstance(value, bool) or not isinstance(value, int):
+            continue
+        out[key] = min(value, 4)
+    return out
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_registry_roundtrip_fixed_point(name):
+    bench = get(name)
+    original = compile_source(
+        bench.build_source(_tiny_overrides(name)), assembly_name=name.replace(".", "_")
+    )
+    text1 = disassemble_assembly(original)
+    rebuilt = assemble(text1)
+    verify_assembly(rebuilt)
+    text2 = disassemble_assembly(rebuilt)
+    assert text1 == text2, f"{name}: disassembly is not a fixed point"
