@@ -64,8 +64,14 @@ def cmd_run(args) -> int:
     )
     runner = Runner(profiles=profiles, clock_hz=args.clock)
     overrides = _parse_overrides(args.param or [])
-    runs = runner.run(args.benchmark, overrides or None)
+    runs = runner.run(args.benchmark, overrides or None, observe=args.profile)
     bench = get_benchmark(args.benchmark)
+    if args.profile:
+        from ..observe.cli import write_artifacts
+
+        for run in runs.values():
+            for kind, path in write_artifacts(run.observation, args.profile_dir).items():
+                print(f"wrote {kind}: {path}")
     series = {
         section: {name: run.section(section).ops_per_sec for name, run in runs.items()}
         for section in bench.sections
@@ -131,6 +137,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_run.add_argument("--param", action="append", metavar="K=V")
     p_run.add_argument("--clock", type=float, default=None, help="clock Hz override")
     p_run.add_argument("--csv", action="store_true", help="emit CSV instead of bars")
+    p_run.add_argument("--profile", action="store_true",
+                       help="attach the cycle-attribution profiler and write "
+                            "profile/trace/report artifacts per runtime")
+    p_run.add_argument("--profile-dir", default="profile-artifacts", metavar="DIR",
+                       help="where --profile writes artifacts")
     p_run.set_defaults(func=cmd_run)
 
     p_exp = sub.add_parser("experiment", help="regenerate one paper graph/table")

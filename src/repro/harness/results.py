@@ -14,6 +14,8 @@ class SectionResult:
     flops: int
     ops_per_sec: float
     mflops: float
+    #: wall seconds at the run's nominal clock
+    seconds: float = 0.0
     results: List[float] = field(default_factory=list)
 
 
@@ -30,6 +32,8 @@ class ProfileRun:
     #: machine-level counters useful for reports
     allocated_bytes: int = 0
     instructions: int = 0
+    #: the repro.observe.Observer attached for this run, when profiling
+    observation: Optional[object] = None
 
     def section(self, name: str) -> SectionResult:
         try:

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from ..benchmarks import get as get_benchmark
 from ..cil.metadata import Assembly
 from ..lang import compile_source
+from ..observe import Observer
 from ..runtimes import MICRO_PROFILES, RuntimeProfile
 from ..vm.loader import LoadedAssembly
 from ..vm.machine import Machine
@@ -26,12 +27,16 @@ class Runner:
         profiles: Optional[Iterable[RuntimeProfile]] = None,
         clock_hz: Optional[float] = None,
         quantum: int = 50_000,
+        disabled_passes: Iterable[str] = (),
     ) -> None:
         self.profiles: List[RuntimeProfile] = list(profiles or MICRO_PROFILES)
         #: override the nominal clock (the paper uses 2.8 GHz for micro,
         #: 2.2 GHz for the SciMark machine)
         self.clock_hz = clock_hz
         self.quantum = quantum
+        #: JIT passes disabled on every machine this runner builds
+        #: (see ``repro.jit.pipeline.ABLATABLE_PASSES``)
+        self.disabled_passes: Tuple[str, ...] = tuple(disabled_passes)
         self._compiled: Dict[Tuple[str, Tuple[Tuple[str, object], ...]], Assembly] = {}
 
     def compile_benchmark(
@@ -51,9 +56,31 @@ class Runner:
         name: str,
         profile: RuntimeProfile,
         overrides: Optional[Dict[str, object]] = None,
+        observe=None,
+        disabled_passes: Optional[Iterable[str]] = None,
     ) -> ProfileRun:
+        """Run one benchmark on one profile.
+
+        ``observe`` may be True (build a fresh :class:`repro.observe.Observer`)
+        or an unattached Observer instance; either way the observer lands on
+        the returned run's ``observation`` field.  ``disabled_passes``
+        overrides the runner-wide setting for this run only.
+        """
         assembly = self.compile_benchmark(name, overrides)
-        machine = Machine(LoadedAssembly(assembly), profile, quantum=self.quantum)
+        if observe is True:
+            observe = Observer()
+        if observe is not None:
+            observe.benchmark = name
+        disabled = (
+            self.disabled_passes if disabled_passes is None else tuple(disabled_passes)
+        )
+        machine = Machine(
+            LoadedAssembly(assembly),
+            profile,
+            quantum=self.quantum,
+            disabled_passes=disabled,
+            observer=observe,
+        )
         machine.run()
         machine.bench.require_valid()
         clock = self.clock_hz or profile.clock_hz
@@ -65,6 +92,7 @@ class Runner:
             stdout=list(machine.stdout),
             allocated_bytes=machine.allocated_bytes,
             instructions=machine.instructions,
+            observation=observe,
         )
         for section_name, section in machine.bench.sections.items():
             run.sections[section_name] = SectionResult(
@@ -74,20 +102,25 @@ class Runner:
                 flops=section.flops,
                 ops_per_sec=section.ops_per_sec(clock),
                 mflops=section.mflops(clock),
+                seconds=section.seconds(clock),
                 results=list(section.results),
             )
         return run
 
     def run(
-        self, name: str, overrides: Optional[Dict[str, object]] = None
+        self,
+        name: str,
+        overrides: Optional[Dict[str, object]] = None,
+        observe: bool = False,
     ) -> Dict[str, ProfileRun]:
         """Run on every configured profile; results keyed by profile name.
         Also asserts the paper's cross-runtime invariant: every profile's
-        recorded computation results are identical."""
+        recorded computation results are identical.  ``observe=True``
+        attaches a fresh Observer per profile (observers are single-machine)."""
         out: Dict[str, ProfileRun] = {}
         reference: Optional[ProfileRun] = None
         for profile in self.profiles:
-            run = self.run_on(name, profile, overrides)
+            run = self.run_on(name, profile, overrides, observe=observe or None)
             out[profile.name] = run
             if reference is None:
                 reference = run

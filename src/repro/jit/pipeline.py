@@ -17,6 +17,7 @@ from typing import Dict, FrozenSet, Iterable, Optional
 from ..cil.metadata import MethodDef
 from ..cil.instructions import MethodRef
 from ..errors import JitError
+from ..observe.jittrace import InlineDecision
 from . import mir
 from .costmodel import finalize_costs
 from .lowering import lower
@@ -39,9 +40,15 @@ ABLATABLE_PASSES = frozenset(
 
 
 class JitCompiler:
-    def __init__(self, loaded, profile, disabled_passes: Iterable[str] = ()) -> None:
+    def __init__(
+        self, loaded, profile, disabled_passes: Iterable[str] = (), trace=None
+    ) -> None:
         self.loaded = loaded
         self.profile = profile
+        #: optional repro.observe.JitTrace; recording is structural only
+        #: (pass names + instruction counts + decisions), so traced and
+        #: untraced compilations emit identical code and costs
+        self.trace = trace
         self.disabled_passes: FrozenSet[str] = frozenset(disabled_passes)
         unknown = self.disabled_passes - ABLATABLE_PASSES
         if unknown:
@@ -70,33 +77,85 @@ class JitCompiler:
             raise JitError(f"cannot JIT bodyless method {method.full_name}")
         config = self.profile.jit
         disabled = self.disabled_passes
+        rec = (
+            self.trace.begin(method.full_name, inline_candidate=not allow_inline)
+            if self.trace is not None
+            else None
+        )
         fn = lower(method)
+        if rec is not None:
+            rec.lowered_instrs = len(fn.code)
         simplify_on = config.constant_folding and "simplify" not in disabled
         if simplify_on:
+            before = len(fn.code)
             constant_fold(fn, self.profile)
+            if rec is not None:
+                rec.record_pass("constant_fold", before, fn)
         if allow_inline and config.inline_small_methods and "inline" not in disabled:
-            inline_small_methods(fn, self.profile, self._inline_candidate)
+            before = len(fn.code)
+            inline_small_methods(fn, self.profile, self._candidate_supplier(rec))
+            if rec is not None:
+                rec.record_pass("inline", before, fn)
             if simplify_on:
+                before = len(fn.code)
                 constant_fold(fn, self.profile)
+                if rec is not None:
+                    rec.record_pass("constant_fold", before, fn)
         if config.copy_propagation and "simplify" not in disabled:
+            before = len(fn.code)
             copy_propagate(fn, self.profile)
             dead_code_eliminate(fn, self.profile)
+            if rec is not None:
+                rec.record_pass("copy_prop+dce", before, fn)
         if config.const_div_quirk and "quirks" not in disabled:
+            before = len(fn.code)
             const_div_quirk(fn, self.profile)
+            if rec is not None:
+                rec.record_pass("const_div_quirk", before, fn)
         if not config.boundscheck:
+            before = len(fn.code)
             clear_all_bounds_checks(fn, self.profile)
+            if rec is not None:
+                rec.record_pass("clear_bounds_checks", before, fn)
         elif (
             config.boundscheck_elim == "length-pattern"
             and "boundscheck" not in disabled
         ):
+            before = len(fn.code)
             eliminate_bounds_checks(fn, self.profile)
+            if rec is not None:
+                rec.record_pass("boundscheck_elim", before, fn)
+        before = len(fn.code)
         if "enregister" in disabled:
             # cost-only ablation: everything lives in the frame
             enregister(fn, self.profile.with_jit(enreg_mode="none"))
         else:
             enregister(fn, self.profile)
+        if rec is not None:
+            rec.record_pass("enregister", before, fn)
         finalize_costs(fn, self.profile)
+        if rec is not None:
+            rec.finish(fn)
         return fn
+
+    def _candidate_supplier(self, rec):
+        """The inline-candidate callback, wrapped to record each decision
+        when tracing (the wrapper returns the exact same candidates)."""
+        if rec is None:
+            return self._inline_candidate
+
+        def supplier(ref):
+            callee = self._inline_candidate(ref)
+            rec.inline_decisions.append(
+                InlineDecision(
+                    callee=f"{ref.class_name}::{ref.name}",
+                    available=callee is not None,
+                    size=0 if callee is None else len(callee.code),
+                )
+            )
+            return callee
+
+        return supplier
 
     def _inline_candidate(self, ref: MethodRef) -> Optional[mir.MIRFunction]:
         """Lowered, inline-disabled copy of a callee, or None when the ref

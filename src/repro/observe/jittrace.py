@@ -1,0 +1,127 @@
+"""JIT compilation trace: what did the pipeline do to each method?
+
+The fuzz matrix can already *detect* that disabling a pass changes cycles;
+this trace makes the delta explainable — per method it records the pass
+sequence with MIR instruction counts before/after each pass, every inlining
+decision (candidate requested, available or why not), and the final
+enregistration statistics.  Recording is structural only: the trace never
+touches instruction costs, so traced and untraced compilations produce
+identical code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class PassRecord:
+    """One pipeline stage applied to one method."""
+
+    name: str
+    instrs_before: int
+    instrs_after: int
+
+    @property
+    def delta(self) -> int:
+        return self.instrs_after - self.instrs_before
+
+
+@dataclass
+class InlineDecision:
+    """One call site the inliner asked a candidate body for."""
+
+    callee: str
+    #: a lowered body was available (None body => refused: intrinsic,
+    #: virtual, recursive, or unresolvable)
+    available: bool
+    #: candidate body size when available (the budget check happens in the
+    #: pass; sizes over the profile's inline_budget are kept but not spliced)
+    size: int = 0
+
+
+@dataclass
+class MethodCompile:
+    """The full pipeline record for one compiled method."""
+
+    method: str
+    #: compiled as an inline candidate (inlining disabled to bound recursion)
+    inline_candidate: bool = False
+    lowered_instrs: int = 0
+    passes: List[PassRecord] = field(default_factory=list)
+    inline_decisions: List[InlineDecision] = field(default_factory=list)
+    final_instrs: int = 0
+    n_vregs: int = 0
+    enregistered: int = 0
+    static_cost: float = 0
+    #: copy of the pass statistics (inlined_calls, bce_eliminated, ...)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def record_pass(self, name: str, before: int, fn) -> None:
+        self.passes.append(PassRecord(name, before, len(fn.code)))
+
+    def finish(self, fn) -> None:
+        self.final_instrs = len(fn.code)
+        self.n_vregs = fn.n_vregs
+        self.enregistered = sum(1 for r in fn.in_register if r)
+        self.static_cost = sum(ins.cost for ins in fn.code)
+        # stats values must serialize (force_spill is a set of vregs)
+        self.stats = {
+            k: sorted(v) if isinstance(v, (set, frozenset)) else v
+            for k, v in fn.stats.items()
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "inline_candidate": self.inline_candidate,
+            "lowered_instrs": self.lowered_instrs,
+            "final_instrs": self.final_instrs,
+            "n_vregs": self.n_vregs,
+            "enregistered": self.enregistered,
+            "static_cost": self.static_cost,
+            "passes": [
+                {"name": p.name, "before": p.instrs_before, "after": p.instrs_after}
+                for p in self.passes
+            ],
+            "inline_decisions": [
+                {"callee": d.callee, "available": d.available, "size": d.size}
+                for d in self.inline_decisions
+            ],
+            "stats": self.stats,
+        }
+
+    def summary(self) -> str:
+        steps = ", ".join(
+            f"{p.name}({p.instrs_before}->{p.instrs_after})" for p in self.passes
+        )
+        inlined = self.stats.get("inlined_calls", 0)
+        extra = f"; inlined {inlined} call(s)" if inlined else ""
+        return (
+            f"{self.method}: lowered {self.lowered_instrs} -> {self.final_instrs} "
+            f"instrs [{steps}]; enregistered {self.enregistered}/{self.n_vregs} "
+            f"vregs{extra}"
+        )
+
+
+class JitTrace:
+    """Chronological per-method compilation records for one machine."""
+
+    def __init__(self) -> None:
+        self.methods: List[MethodCompile] = []
+
+    def begin(self, method: str, inline_candidate: bool) -> MethodCompile:
+        rec = MethodCompile(method=method, inline_candidate=inline_candidate)
+        self.methods.append(rec)
+        return rec
+
+    def find(self, method: str) -> Optional[MethodCompile]:
+        """The main (non-candidate) compilation of ``method``, if any."""
+        for rec in self.methods:
+            if rec.method == method and not rec.inline_candidate:
+                return rec
+        return None
+
+    def to_list(self) -> List[dict]:
+        return [rec.to_dict() for rec in self.methods]

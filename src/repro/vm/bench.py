@@ -33,9 +33,9 @@ class Section:
             return 0.0
         return self.flops / (self.total_cycles / clock_hz) / 1e6
 
-    @property
-    def seconds_at(self) -> Callable[[float], float]:
-        return lambda clock_hz: self.total_cycles / clock_hz
+    def seconds(self, clock_hz: float) -> float:
+        """Wall seconds this section would take at a nominal clock."""
+        return self.total_cycles / clock_hz
 
 
 class BenchRecorder:

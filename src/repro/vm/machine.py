@@ -31,6 +31,15 @@ from ..cil.metadata import MethodDef
 from ..errors import ManagedException, VMError
 from ..jit import mir
 from ..jit.pipeline import JitCompiler
+from ..observe.recorder import (
+    CAT_ALLOC,
+    CAT_DISPATCH,
+    CAT_EXCEPTION,
+    CAT_EXECUTE,
+    CAT_MEMTAX,
+    CAT_MONITOR,
+    CAT_RUNTIME,
+)
 from .bench import BenchRecorder
 from .exceptions import GuestException, make_exception, matches
 from .intrinsics import INTRINSICS, JavaRandom, Serializer, THREADING_CLASSES
@@ -89,11 +98,21 @@ class Machine:
         quantum: int = 50_000,
         max_cycles: int = 200_000_000_000,
         disabled_passes=(),
+        observer=None,
     ) -> None:
         self.loaded = loaded
         self.profile = profile
         self.costs = profile.costs
-        self.jit = JitCompiler(loaded, profile, disabled_passes=disabled_passes)
+        #: optional repro.observe.Observer; all hooks are read-only with
+        #: respect to machine state, so observation never changes cycles,
+        #: instructions, or results (the zero-perturbation invariant)
+        self.observer = observer
+        self.jit = JitCompiler(
+            loaded,
+            profile,
+            disabled_passes=disabled_passes,
+            trace=None if observer is None else observer.jit,
+        )
         self.quantum = quantum
         self.max_cycles = max_cycles
 
@@ -113,31 +132,49 @@ class Machine:
         self._next_tid = 1
         self.current: Optional[GuestThread] = None
         self._linked: set = set()
+        if observer is not None:
+            observer.attach(self)
 
     # ----------------------------------------------------------- host hooks
 
     def now(self) -> int:
         return self.cycles
 
+    def _obs_dyn(self, category: str, cycles) -> None:
+        """Report a dynamic charge to the observer, attributed to the
+        method executing on the current thread (never mutates state)."""
+        t = self.current
+        fn = t.frames[-1].fn if (t is not None and t.frames) else None
+        self.observer.dyn(fn, category, cycles)
+
     def charge(self, n: int) -> None:
         self.cycles += n
+        if self.observer is not None:
+            self._obs_dyn(CAT_RUNTIME, n)
 
     def charge_units(self, kind: str, n: int) -> None:
         if kind == "serialize_byte":
-            self.cycles += self.costs.serialize_byte * n
+            amount = self.costs.serialize_byte * n
         elif kind == "string_char":
-            self.cycles += self.costs.string_char * n
+            amount = self.costs.string_char * n
         else:
-            self.cycles += n
+            amount = n
+        self.cycles += amount
+        if self.observer is not None:
+            self._obs_dyn(CAT_RUNTIME, amount)
 
     def gc_collect(self) -> None:
         """Explicit collection: a real mark phase over the roots (thread
         frames + statics), costed per object visited.  The steady-state GC
         tax is otherwise amortized into allocation (``gc_per_kbyte``)."""
         self.gc_collections += 1
+        started = self.cycles
         live = self._mark_live()
         self.gc_live_objects = live
         self.cycles += 2000 + 12 * live
+        if self.observer is not None:
+            self._obs_dyn(CAT_ALLOC, self.cycles - started)
+            self.observer.gc(started, self.cycles, live)
 
     def _mark_live(self) -> int:
         """Count heap objects reachable from thread frames and statics."""
@@ -190,8 +227,11 @@ class Machine:
         main = GuestThread(0, "main")
         self.threads = [main]
         self._next_tid = 1
+        observer = self.observer
         for cctor in self.loaded.static_constructors():
             main.frames.append(Frame(self._function(cctor), []))
+            if observer is not None:
+                observer.enter(main, main.frames[-1].fn, self.cycles)
             main.state = RUNNABLE
             self._scheduler_loop()
             if main.unhandled is not None:
@@ -201,6 +241,8 @@ class Machine:
                     main.unhandled,
                 )
         main.frames.append(Frame(self._function(entry), list(args or [])))
+        if observer is not None:
+            observer.enter(main, main.frames[-1].fn, self.cycles)
         main.state = RUNNABLE
         self._scheduler_loop()
         if main.unhandled is not None:
@@ -311,6 +353,10 @@ class Machine:
         t.frames.append(Frame(self._function(run_m), [obj]))
         t.state = RUNNABLE
         self.cycles += self.costs.thread_start
+        if self.observer is not None:
+            self._obs_dyn(CAT_MONITOR, self.costs.thread_start)
+            self.observer.thread_started(t, self.cycles)
+            self.observer.enter(t, t.frames[-1].fn, self.cycles)
 
     def _finish_thread(self, t: GuestThread, result) -> None:
         t.state = FINISHED
@@ -325,6 +371,7 @@ class Machine:
     def _scheduler_loop(self) -> None:
         threads = self.threads
         switch_cost = self.costs.thread_switch
+        observer = self.observer
         while True:
             ran = False
             blocked = 0
@@ -335,8 +382,12 @@ class Machine:
                     self._step_thread(t, self.quantum)
                     t.cycles += self.cycles - before
                     ran = True
+                    if observer is not None and self.cycles > before:
+                        observer.quantum(t, before, self.cycles)
                     if sum(1 for x in threads if x.alive) > 1:
                         self.cycles += switch_cost
+                        if observer is not None:
+                            self._obs_dyn(CAT_MONITOR, switch_cost)
                 elif t.state is BLOCKED:
                     blocked += 1
             if self.cycles > self.max_cycles:
@@ -362,11 +413,16 @@ class Machine:
         Sets up finally continuations / catch entry; when nothing handles
         it, the thread dies with ``unhandled`` set.
         """
+        observer = self.observer
         self.cycles += self.costs.exception_throw
+        if observer is not None:
+            self._obs_dyn(CAT_EXCEPTION, self.costs.exception_throw)
         frames = thread.frames
         while frames:
             frame = frames[-1]
             self.cycles += self.costs.exception_frame
+            if observer is not None:
+                self._obs_dyn(CAT_EXCEPTION, self.costs.exception_frame)
             fn = frame.fn
             pc = frame.pc
             candidates = [reg for reg in fn.regions if reg.covers(pc)]
@@ -396,6 +452,8 @@ class Machine:
                 self._enter_catch(frame, catch, exc_obj)
                 return
             frames.pop()
+            if observer is not None:
+                observer.exit(thread, self.cycles)
         # escaped the thread
         self._finish_thread(thread, None)
         thread.unhandled = exc_obj
@@ -428,6 +486,8 @@ class Machine:
             return
         # unwind: pop this frame, continue dispatch in the caller
         thread.frames.pop()
+        if self.observer is not None:
+            self.observer.exit(thread, self.cycles)
         if thread.frames:
             self._throw_continue(thread, exc_obj)
         else:
@@ -441,6 +501,8 @@ class Machine:
         # _throw charges the throw cost; compensate so unwinding only pays
         # the per-frame share
         self.cycles -= saved
+        if self.observer is not None:
+            self._obs_dyn(CAT_EXCEPTION, -saved)
         self._throw(thread, exc_obj)
 
     def _leave(self, thread: GuestThread, frame: Frame, target: int) -> None:
@@ -464,9 +526,14 @@ class Machine:
         if self.allocated_bytes > LARGE_WS_BYTES:
             self.large_working_set = True
         t = self.costs
-        self.cycles += t.alloc_base + t.alloc_per_word * (byte_size // 8)
-        # amortized GC share
-        self.cycles += (t.gc_per_kbyte * byte_size) // 1024
+        amount = (
+            t.alloc_base
+            + t.alloc_per_word * (byte_size // 8)
+            + (t.gc_per_kbyte * byte_size) // 1024  # amortized GC share
+        )
+        self.cycles += amount
+        if self.observer is not None:
+            self._obs_dyn(CAT_ALLOC, amount)
 
     def _new_szarray(self, elem, length: int) -> SZArray:
         if length < 0:
@@ -488,13 +555,20 @@ class Machine:
         obj = args[0]
         mon = get_monitor(obj)
         t = self.costs
+        observer = self.observer
+
+        def charge(n):
+            self.cycles += n
+            if observer is not None:
+                self._obs_dyn(CAT_MONITOR, n)
+
         if name == "Enter":
             if mon.owner is None or mon.owner is thread:
                 mon.owner = thread
                 mon.count += 1
-                self.cycles += t.monitor_enter
+                charge(t.monitor_enter)
             else:
-                self.cycles += t.monitor_contended
+                charge(t.monitor_contended)
                 mon.entry_queue.append(thread)
                 thread.state = BLOCKED
                 thread.waiting_on = ("monitor", id(obj))
@@ -504,7 +578,7 @@ class Machine:
                 raise make_exception(
                     self.loaded, "SynchronizationException", "Exit by non-owner"
                 )
-            self.cycles += t.monitor_exit
+            charge(t.monitor_exit)
             mon.count -= 1
             if mon.count == 0:
                 self._release_monitor(mon)
@@ -520,14 +594,14 @@ class Machine:
             mon.wait_queue.append(thread)
             thread.state = BLOCKED
             thread.waiting_on = ("wait", id(obj))
-            self.cycles += t.monitor_enter
+            charge(t.monitor_enter)
             return
         if name in ("Pulse", "PulseAll"):
             if mon.owner is not thread:
                 raise make_exception(
                     self.loaded, "SynchronizationException", "Pulse by non-owner"
                 )
-            self.cycles += t.monitor_exit
+            charge(t.monitor_exit)
             movers = mon.wait_queue[: (1 if name == "Pulse" else len(mon.wait_queue))]
             del mon.wait_queue[: len(movers)]
             mon.entry_queue.extend(movers)
@@ -570,6 +644,11 @@ class Machine:
         """Run ``thread`` for up to ``budget`` cycles (approximately)."""
         loaded = self.loaded
         costs = self.costs
+        observer = self.observer
+        # hot-loop locals; None when observation is off so the only cost of
+        # the instrumentation is one is-None test per instruction
+        obs_instr = None if observer is None else observer.instr
+        obs_dyn = None if observer is None else observer.dyn
         spent = 0
         total_spent = 0
         # instruction burst bound: coarse for big quanta (cheap), fine for
@@ -593,6 +672,8 @@ class Machine:
                     o = ins.op
                     spent += ins.cost
                     icount += 1
+                    if obs_instr is not None:
+                        obs_instr(fn, o, ins.cost)
 
                     if o == 0:  # MOV
                         v = R[ins.a]
@@ -761,6 +842,8 @@ class Machine:
                             raise make_exception(loaded, "IndexOutOfRangeException")
                         if self.large_working_set:
                             spent += costs.large_array_extra
+                            if obs_dyn is not None:
+                                obs_dyn(fn, CAT_MEMTAX, costs.large_array_extra)
                         R[ins.dst] = data[idx]
                         pc += 1
                     elif o == mir.STELEM:
@@ -773,6 +856,8 @@ class Machine:
                             raise make_exception(loaded, "IndexOutOfRangeException")
                         if self.large_working_set:
                             spent += costs.large_array_extra
+                            if obs_dyn is not None:
+                                obs_dyn(fn, CAT_MEMTAX, costs.large_array_extra)
                         v = R[ins.c]
                         if ins.kind == "r4" and type(v) is float:
                             v = r4(v)
@@ -810,6 +895,8 @@ class Machine:
                         if kind == "intrinsic":
                             _k, fn_i, cost_i, ref = ins.extra
                             spent += cost_i
+                            if obs_dyn is not None:
+                                obs_dyn(fn, CAT_DISPATCH, cost_i)
                             self.cycles += spent
                             total_spent += spent
                             spent = 0
@@ -826,6 +913,11 @@ class Machine:
                             callee = self._function(method)
                             argv = [R[v] for v in ins.args] if ins.args else []
                             thread.frames.append(Frame(callee, argv, ret_dst=ins.dst))
+                            if observer is not None:
+                                obs_dyn(fn, CAT_DISPATCH, costs.call)
+                                observer.enter(
+                                    thread, callee, self.cycles + total_spent + spent
+                                )
                             rebind = True
                             break
                         elif kind == "virtual":
@@ -840,6 +932,15 @@ class Machine:
                             callee = self._function(method)
                             argv = [R[v] for v in ins.args]
                             thread.frames.append(Frame(callee, argv, ret_dst=ins.dst))
+                            if observer is not None:
+                                obs_dyn(
+                                    fn,
+                                    CAT_DISPATCH,
+                                    costs.call + costs.virtual_call_extra,
+                                )
+                                observer.enter(
+                                    thread, callee, self.cycles + total_spent + spent
+                                )
                             rebind = True
                             break
                         else:  # thread / monitor ops
@@ -868,6 +969,8 @@ class Machine:
                     elif o == mir.RET:
                         value = R[ins.a] if isinstance(ins.a, int) and ins.a >= 0 else None
                         thread.frames.pop()
+                        if observer is not None:
+                            observer.exit(thread, self.cycles + total_spent + spent)
                         if thread.frames:
                             caller = thread.frames[-1]
                             if frame.ret_dst >= 0:
@@ -890,6 +993,11 @@ class Machine:
                             callee = self._function(ctor)
                             argv = [obj] + ([R[v] for v in ins.args] if ins.args else [])
                             thread.frames.append(Frame(callee, argv, ret_dst=-1))
+                            if observer is not None:
+                                obs_dyn(fn, CAT_DISPATCH, costs.call)
+                                observer.enter(
+                                    thread, callee, self.cycles + total_spent + spent
+                                )
                             rebind = True
                             break
                         pc += 1
@@ -926,6 +1034,8 @@ class Machine:
                             raise make_exception(loaded, "IndexOutOfRangeException")
                         if self.large_working_set:
                             spent += costs.large_array_extra
+                            if obs_dyn is not None:
+                                obs_dyn(fn, CAT_MEMTAX, costs.large_array_extra)
                         R[ins.dst] = arr.data[flat]
                         pc += 1
                     elif o == mir.STELEM_MD:
@@ -937,6 +1047,8 @@ class Machine:
                             raise make_exception(loaded, "IndexOutOfRangeException")
                         if self.large_working_set:
                             spent += costs.large_array_extra
+                            if obs_dyn is not None:
+                                obs_dyn(fn, CAT_MEMTAX, costs.large_array_extra)
                         v = R[ins.c]
                         if ins.kind == "r4" and type(v) is float:
                             v = r4(v)
@@ -980,6 +1092,12 @@ class Machine:
                         v = R[ins.a]
                         if isinstance(v, StructValue):
                             spent += costs.struct_copy_per_field * len(v.fields)
+                            if obs_dyn is not None:
+                                obs_dyn(
+                                    fn,
+                                    CAT_EXECUTE,
+                                    costs.struct_copy_per_field * len(v.fields),
+                                )
                             R[ins.dst] = v.copy()
                         else:
                             R[ins.dst] = v

@@ -1,0 +1,187 @@
+"""Scheduler/threading tests for the measured engine (vm/threads.py).
+
+Covers the thread state machine (NEW -> RUNNABLE -> BLOCKED -> FINISHED),
+round-robin quantum fairness, and the determinism of context-switch
+charges — the properties DESIGN.md section 6 promises.
+"""
+
+import pytest
+
+from repro.errors import VMError
+from repro.lang import compile_source
+from repro.runtimes import CLR11, MONO023
+from repro.vm.loader import LoadedAssembly
+from repro.vm.machine import Machine
+from repro.vm.threads import BLOCKED, FINISHED, NEW, RUNNABLE
+
+
+def make(src, profile=CLR11, quantum=50_000):
+    return Machine(LoadedAssembly(compile_source(src)), profile, quantum=quantum)
+
+
+WORKER = """
+class Worker {
+    int n;
+    int result;
+    virtual void Run() {
+        int s = 0;
+        for (int i = 0; i < n; i++) { s += i; }
+        result = s;
+    }
+}
+"""
+
+
+class TestStateMachine:
+    def test_created_but_never_started_stays_new(self):
+        src = WORKER + """
+        class P { static int Main() {
+            Worker w = new Worker();
+            w.n = 10;
+            int tid = Thread.Create(w);
+            return tid;
+        } }"""
+        machine = make(src)
+        machine.run()
+        assert len(machine.threads) == 2
+        worker = machine.threads[1]
+        assert worker.state is NEW
+        assert worker.cycles == 0  # never scheduled
+
+    def test_started_and_joined_workers_finish(self):
+        src = WORKER + """
+        class P { static int Main() {
+            int[] tids = new int[3];
+            Worker[] ws = new Worker[3];
+            for (int i = 0; i < 3; i++) {
+                ws[i] = new Worker();
+                ws[i].n = 50;
+                tids[i] = Thread.Create(ws[i]);
+                Thread.Start(tids[i]);
+            }
+            int total = 0;
+            for (int i = 0; i < 3; i++) {
+                Thread.Join(tids[i]);
+                total += ws[i].result;
+            }
+            return total;
+        } }"""
+        machine = make(src, quantum=600)
+        assert machine.run() == 3 * sum(range(50))
+        assert all(t.state is FINISHED for t in machine.threads)
+        # every started worker was actually scheduled (NEW -> RUNNABLE)
+        assert all(t.cycles > 0 for t in machine.threads[1:])
+
+    def test_deadlocked_threads_report_blocked(self):
+        # Main waits on a monitor nobody will ever pulse
+        src = """
+        class Box { int x; }
+        class P { static int Main() {
+            Box o = new Box();
+            lock (o) { Monitor.Wait(o); }
+            return 0;
+        } }"""
+        machine = make(src)
+        with pytest.raises(VMError, match="deadlock"):
+            machine.run()
+        assert machine.threads[0].state is BLOCKED
+        assert machine.threads[0].waiting_on is not None
+
+    def test_join_blocks_until_worker_finishes(self):
+        src = WORKER + """
+        class P { static int Main() {
+            Worker w = new Worker();
+            w.n = 2000;
+            int tid = Thread.Create(w);
+            Thread.Start(tid);
+            Thread.Join(tid);
+            return w.result;
+        } }"""
+        machine = make(src, quantum=300)  # worker needs many quanta
+        assert machine.run() == sum(range(2000))
+        assert machine.threads[1].state is FINISHED
+        # main stalled while the worker ran: worker earned its own cycles
+        assert machine.threads[1].cycles > 300
+
+
+class TestFairness:
+    def _fair_run(self, quantum):
+        src = WORKER + """
+        class P { static int Main() {
+            int[] tids = new int[4];
+            Worker[] ws = new Worker[4];
+            for (int i = 0; i < 4; i++) {
+                ws[i] = new Worker();
+                ws[i].n = 3000;
+                tids[i] = Thread.Create(ws[i]);
+                Thread.Start(tids[i]);
+            }
+            for (int i = 0; i < 4; i++) { Thread.Join(tids[i]); }
+            return ws[0].result;
+        } }"""
+        machine = make(src, quantum=quantum)
+        assert machine.run() == sum(range(3000))
+        return machine
+
+    def test_equal_workers_get_equal_cycles(self):
+        quantum = 2000
+        machine = self._fair_run(quantum)
+        worker_cycles = [t.cycles for t in machine.threads[1:]]
+        assert len(worker_cycles) == 4
+        # round-robin: identical work => per-thread totals within ~one
+        # quantum of each other (a turn can overshoot by one instruction)
+        spread = max(worker_cycles) - min(worker_cycles)
+        assert spread <= 2 * quantum, (worker_cycles, spread)
+
+    def test_all_workers_interleave(self):
+        machine = self._fair_run(1500)
+        # with a quantum far below per-worker work, everyone ran many turns
+        for t in machine.threads[1:]:
+            assert t.cycles > 3 * 1500
+
+
+class TestDeterminism:
+    SRC = WORKER + """
+    class P { static int Main() {
+        int[] tids = new int[3];
+        Worker[] ws = new Worker[3];
+        for (int i = 0; i < 3; i++) {
+            ws[i] = new Worker();
+            ws[i].n = 400 * (i + 1);
+            tids[i] = Thread.Create(ws[i]);
+            Thread.Start(tids[i]);
+        }
+        int total = 0;
+        for (int i = 0; i < 3; i++) {
+            Thread.Join(tids[i]);
+            total += ws[i].result;
+        }
+        return total;
+    } }"""
+
+    def test_identical_cycles_across_runs(self):
+        runs = []
+        for _ in range(3):
+            machine = make(self.SRC, quantum=900)
+            machine.run()
+            runs.append(
+                (machine.cycles, machine.instructions,
+                 tuple(t.cycles for t in machine.threads))
+            )
+        assert len(set(runs)) == 1, runs
+
+    @pytest.mark.parametrize("profile", [CLR11, MONO023], ids=lambda p: p.name)
+    def test_switch_charges_are_exact_multiples(self, profile):
+        cost = profile.costs.thread_switch
+        assert cost > 0
+        with_switch = make(self.SRC, profile=profile, quantum=900)
+        with_switch.run()
+        free = make(self.SRC, profile=profile.with_costs(thread_switch=0),
+                    quantum=900)
+        free.run()
+        delta = with_switch.cycles - free.cycles
+        # scheduling is identical in both runs, so the whole difference is
+        # N context switches at the profile's fixed price
+        assert delta > 0
+        assert delta % cost == 0, (delta, cost)
+        assert delta // cost >= 4  # several rotations actually happened
