@@ -32,8 +32,13 @@ class ProfileRun:
     #: machine-level counters useful for reports
     allocated_bytes: int = 0
     instructions: int = 0
+    gc_collections: int = 0
+    gc_live_objects: int = 0
     #: the repro.observe.Observer attached for this run, when profiling
     observation: Optional[object] = None
+    #: repro.metrics registry snapshot ({"counters": ..., "gauges": ...,
+    #: "histograms": ...}) when the run was metric-instrumented, else None
+    metrics: Optional[dict] = None
 
     def section(self, name: str) -> SectionResult:
         try:

@@ -14,7 +14,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from ..benchmarks import get as get_benchmark
 from ..cil.metadata import Assembly
 from ..lang import compile_source
-from ..observe import Observer
+from ..metrics import MachineMetrics
+from ..observe import CompositeObserver, Observer
 from ..runtimes import MICRO_PROFILES, RuntimeProfile
 from ..vm.loader import LoadedAssembly
 from ..vm.machine import Machine
@@ -58,19 +59,32 @@ class Runner:
         overrides: Optional[Dict[str, object]] = None,
         observe=None,
         disabled_passes: Optional[Iterable[str]] = None,
+        metrics=None,
     ) -> ProfileRun:
         """Run one benchmark on one profile.
 
         ``observe`` may be True (build a fresh :class:`repro.observe.Observer`)
         or an unattached Observer instance; either way the observer lands on
-        the returned run's ``observation`` field.  ``disabled_passes``
-        overrides the runner-wide setting for this run only.
+        the returned run's ``observation`` field.  ``metrics`` may be True
+        (fresh :class:`repro.metrics.MachineMetrics`) or an unattached
+        MachineMetrics; its finalized snapshot lands on the run's
+        ``metrics`` field.  Both may be given at once — the machine's single
+        observer slot then gets a :class:`repro.observe.CompositeObserver`
+        fanning every hook (and the JIT trace) out to both.
+        ``disabled_passes`` overrides the runner-wide setting for this run
+        only.
         """
         assembly = self.compile_benchmark(name, overrides)
         if observe is True:
             observe = Observer()
-        if observe is not None:
-            observe.benchmark = name
+        if metrics is True:
+            metrics = MachineMetrics()
+        if observe is not None and metrics is not None:
+            observer = CompositeObserver(observe, metrics)
+        else:
+            observer = metrics if observe is None else observe
+        if observer is not None:
+            observer.benchmark = name
         disabled = (
             self.disabled_passes if disabled_passes is None else tuple(disabled_passes)
         )
@@ -79,7 +93,7 @@ class Runner:
             profile,
             quantum=self.quantum,
             disabled_passes=disabled,
-            observer=observe,
+            observer=observer,
         )
         machine.run()
         machine.bench.require_valid()
@@ -92,7 +106,10 @@ class Runner:
             stdout=list(machine.stdout),
             allocated_bytes=machine.allocated_bytes,
             instructions=machine.instructions,
+            gc_collections=machine.gc_collections,
+            gc_live_objects=machine.gc_live_objects,
             observation=observe,
+            metrics=None if metrics is None else metrics.snapshot(),
         )
         for section_name, section in machine.bench.sections.items():
             run.sections[section_name] = SectionResult(
@@ -112,15 +129,20 @@ class Runner:
         name: str,
         overrides: Optional[Dict[str, object]] = None,
         observe: bool = False,
+        metrics: bool = False,
     ) -> Dict[str, ProfileRun]:
         """Run on every configured profile; results keyed by profile name.
         Also asserts the paper's cross-runtime invariant: every profile's
-        recorded computation results are identical.  ``observe=True``
-        attaches a fresh Observer per profile (observers are single-machine)."""
+        recorded computation results are identical.  ``observe=True`` /
+        ``metrics=True`` attach a fresh Observer / MachineMetrics per
+        profile (both are single-machine)."""
         out: Dict[str, ProfileRun] = {}
         reference: Optional[ProfileRun] = None
         for profile in self.profiles:
-            run = self.run_on(name, profile, overrides, observe=observe or None)
+            run = self.run_on(
+                name, profile, overrides,
+                observe=observe or None, metrics=metrics or None,
+            )
             out[profile.name] = run
             if reference is None:
                 reference = run

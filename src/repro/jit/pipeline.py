@@ -59,6 +59,13 @@ class JitCompiler:
         self._cache: Dict[int, mir.MIRFunction] = {}
         self._inline_cache: Dict[int, Optional[mir.MIRFunction]] = {}
         self._compiling: set = set()
+        #: compile-effort accounting, kept whether or not a trace is wired:
+        #: methods compiled and synthetic compile "cycles" (instructions
+        #: processed: the lowered body plus each pass's input size).  These
+        #: model JIT *work*, never enter ``machine.cycles``, and feed the
+        #: metrics layer's ``jit.*`` series.
+        self.compiled_methods = 0
+        self.compile_effort = 0
 
     # ------------------------------------------------------------------ api
 
@@ -83,37 +90,44 @@ class JitCompiler:
             else None
         )
         fn = lower(method)
+        effort = len(fn.code)
         if rec is not None:
             rec.lowered_instrs = len(fn.code)
         simplify_on = config.constant_folding and "simplify" not in disabled
         if simplify_on:
             before = len(fn.code)
+            effort += before
             constant_fold(fn, self.profile)
             if rec is not None:
                 rec.record_pass("constant_fold", before, fn)
         if allow_inline and config.inline_small_methods and "inline" not in disabled:
             before = len(fn.code)
+            effort += before
             inline_small_methods(fn, self.profile, self._candidate_supplier(rec))
             if rec is not None:
                 rec.record_pass("inline", before, fn)
             if simplify_on:
                 before = len(fn.code)
+                effort += before
                 constant_fold(fn, self.profile)
                 if rec is not None:
                     rec.record_pass("constant_fold", before, fn)
         if config.copy_propagation and "simplify" not in disabled:
             before = len(fn.code)
+            effort += before
             copy_propagate(fn, self.profile)
             dead_code_eliminate(fn, self.profile)
             if rec is not None:
                 rec.record_pass("copy_prop+dce", before, fn)
         if config.const_div_quirk and "quirks" not in disabled:
             before = len(fn.code)
+            effort += before
             const_div_quirk(fn, self.profile)
             if rec is not None:
                 rec.record_pass("const_div_quirk", before, fn)
         if not config.boundscheck:
             before = len(fn.code)
+            effort += before
             clear_all_bounds_checks(fn, self.profile)
             if rec is not None:
                 rec.record_pass("clear_bounds_checks", before, fn)
@@ -122,10 +136,12 @@ class JitCompiler:
             and "boundscheck" not in disabled
         ):
             before = len(fn.code)
+            effort += before
             eliminate_bounds_checks(fn, self.profile)
             if rec is not None:
                 rec.record_pass("boundscheck_elim", before, fn)
         before = len(fn.code)
+        effort += before
         if "enregister" in disabled:
             # cost-only ablation: everything lives in the frame
             enregister(fn, self.profile.with_jit(enreg_mode="none"))
@@ -134,6 +150,8 @@ class JitCompiler:
         if rec is not None:
             rec.record_pass("enregister", before, fn)
         finalize_costs(fn, self.profile)
+        self.compiled_methods += 1
+        self.compile_effort += effort
         if rec is not None:
             rec.finish(fn)
         return fn

@@ -1,0 +1,54 @@
+"""Continuous benchmark trajectory: metrics registry, machine telemetry,
+deterministic flamegraph sampling, and BENCH_* regression artifacts.
+
+Layering: :mod:`.registry` is the neutral store (counters / gauges /
+streaming histograms); :mod:`.instrument` adapts the machine's observer
+hooks into registry updates; :mod:`.sampler` turns the same hooks into
+collapsed-stack flamegraphs; :mod:`.baseline` runs the graph suite with
+metrics attached and writes/compares ``BENCH_<seq>.json`` artifacts
+(:mod:`.cli` is the ``repro-bench`` entry point).
+"""
+
+from .baseline import (
+    BENCH_SCHEMA,
+    DEFAULT_TOLERANCES,
+    collect,
+    compare,
+    current_git_sha,
+    graph_suite,
+    load_artifact,
+    regressions,
+    render_compare,
+    write_artifact,
+)
+from .instrument import JitMetricsTrace, MachineMetrics
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+from .sampler import RUNTIME_FRAME, StackSampler
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "Counter",
+    "DEFAULT_TOLERANCES",
+    "Gauge",
+    "Histogram",
+    "JitMetricsTrace",
+    "MachineMetrics",
+    "MetricsError",
+    "MetricsRegistry",
+    "RUNTIME_FRAME",
+    "StackSampler",
+    "collect",
+    "compare",
+    "current_git_sha",
+    "graph_suite",
+    "load_artifact",
+    "regressions",
+    "render_compare",
+    "write_artifact",
+]

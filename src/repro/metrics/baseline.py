@@ -1,0 +1,323 @@
+"""Benchmark-trajectory artifacts: collect, serialize, and compare.
+
+The paper's argument is comparative (CLR vs Mono vs Rotor vs the JVMs) and
+this repo's engine is deterministic, so a perf baseline can be an *exact*
+artifact: ``BENCH_<seq>.json`` records, for every graph-suite benchmark on
+every runtime profile, the simulated cycles, instruction counts, metric
+snapshots, and the cross-runtime cycle ratios — keyed by schema version and
+git SHA.  ``repro-bench compare`` diffs two artifacts under per-metric
+tolerances and exits nonzero on regression; CI runs it between the base
+ref's artifact and the PR's, so a JIT or cost-model change that silently
+shifts a runtime ratio fails the gate instead of shipping unnoticed.
+
+Tolerance policy:
+
+* ``cycles`` and ``instructions`` are **one-sided**: getting slower beyond
+  the tolerance is a regression, getting faster is reported as improvement
+  (and never fails the gate).  The engine is deterministic, so any drift at
+  all means the generated code or cost model changed; the small default
+  tolerance leaves room for intentional cost-model tweaks.
+* ``ratio`` (per-benchmark cycles relative to the reference runtime,
+  CLR 1.1 when present) is **two-sided**: the ratios *are* the paper's
+  claims, so a shift in either direction beyond tolerance is flagged.
+
+A benchmark or profile that disappears from the new artifact is a
+regression (coverage loss); a new one is informational.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+from typing import Dict, Iterable, List, Optional, Tuple
+
+BENCH_SCHEMA = "repro.bench/1"
+
+#: artifact filename pattern: BENCH_<seq>.json
+ARTIFACT_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: default per-metric relative tolerances (fractions, not percent)
+DEFAULT_TOLERANCES: Dict[str, float] = {
+    "cycles": 0.02,
+    "instructions": 0.02,
+    "ratio": 0.05,
+}
+
+#: runtime whose cycles anchor the per-benchmark ratio series
+RATIO_BASE = "clr-1.1"
+
+
+def graph_suite(scale: float = 1.0) -> List[Tuple[str, Dict[str, object]]]:
+    """The graph-experiment benchmarks captured per artifact, with sizes
+    scaled by ``scale`` (1.0 = the CI gate's sizes; tests use far less).
+
+    Each entry maps onto the paper's figures: graphs 1-3 (arith), 4
+    (loops), 5 (exceptions), 6-8 (math), 9-11 (SciMark kernels), 12
+    (matrix styles), plus one threaded benchmark so scheduler/monitor
+    metrics have a trajectory too.
+    """
+
+    def reps(base: int, floor: int) -> int:
+        return max(floor, int(base * scale))
+
+    return [
+        ("micro.arith", {"Reps": reps(3000, 50)}),
+        ("micro.loop", {"Reps": reps(15000, 200)}),
+        ("micro.exception", {"Reps": reps(200, 10), "Depth": 6}),
+        ("micro.math", {"Reps": reps(800, 20)}),
+        ("grande.sieve", {"Limit": reps(5000, 200), "Reps": 1}),
+        ("scimark.sor", {"N": 16, "Iters": reps(4, 1), "Seed": 101010}),
+        ("scimark.fft", {"N": 64, "Reps": 1, "Seed": 101010}),
+        ("scimark.montecarlo", {"Samples": reps(1500, 100), "Seed": 101010}),
+        ("clispec.matrix", {"N": 12, "Reps": reps(3, 1)}),
+        ("threads.sync", {"Threads": 4, "Reps": reps(40, 5)}),
+    ]
+
+
+def current_git_sha(cwd: Optional[str] = None) -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        sha = out.stdout.strip()
+        return sha if out.returncode == 0 and sha else "unknown"
+    except OSError:
+        return "unknown"
+
+
+# ------------------------------------------------------------------ collect
+
+
+def collect(
+    profiles=None,
+    suite: Optional[Iterable[Tuple[str, Dict[str, object]]]] = None,
+    scale: float = 1.0,
+    git_sha: Optional[str] = None,
+    progress=None,
+) -> dict:
+    """Run the suite on every profile with metrics attached; return the
+    artifact dict (pure data, JSON-ready)."""
+    # imported here: the harness imports repro.metrics in turn
+    from ..harness.runner import Runner
+    from ..runtimes import ALL_PROFILES
+
+    profiles = list(profiles or ALL_PROFILES)
+    suite = list(suite if suite is not None else graph_suite(scale))
+    runner = Runner(profiles=profiles)
+    benchmarks: Dict[str, dict] = {}
+    for name, params in suite:
+        if progress is not None:
+            progress(f"{name} {params}")
+        runs = runner.run(name, params or None, metrics=True)
+        per_profile: Dict[str, dict] = {}
+        for pname, run in runs.items():
+            per_profile[pname] = {
+                "cycles": run.total_cycles,
+                "instructions": run.instructions,
+                "allocated_bytes": run.allocated_bytes,
+                "gc_collections": run.gc_collections,
+                "sections": {
+                    s: {"cycles": sec.cycles, "ops": sec.ops, "flops": sec.flops}
+                    for s, sec in run.sections.items()
+                },
+                "metrics": run.metrics,
+            }
+        base_name = RATIO_BASE if RATIO_BASE in per_profile else profiles[0].name
+        base_cycles = per_profile[base_name]["cycles"]
+        ratios = {
+            f"{pname}/{base_name}": (
+                entry["cycles"] / base_cycles if base_cycles else 0.0
+            )
+            for pname, entry in per_profile.items()
+            if pname != base_name
+        }
+        benchmarks[name] = {
+            "params": dict(params),
+            "profiles": per_profile,
+            "ratios": ratios,
+        }
+    return {
+        "schema": BENCH_SCHEMA,
+        "git_sha": git_sha if git_sha is not None else current_git_sha(),
+        "scale": scale,
+        "profiles": [p.name for p in profiles],
+        "benchmarks": benchmarks,
+    }
+
+
+# ---------------------------------------------------------------- serialize
+
+
+def load_artifact(path: str) -> dict:
+    with open(path) as handle:
+        data = json.load(handle)
+    if data.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {BENCH_SCHEMA} artifact (schema={data.get('schema')!r})"
+        )
+    return data
+
+
+def next_seq(out_dir: str) -> int:
+    """The next free BENCH_<seq> number in ``out_dir`` (0 when empty)."""
+    taken = [-1]
+    if os.path.isdir(out_dir):
+        for entry in os.listdir(out_dir):
+            match = ARTIFACT_RE.match(entry)
+            if match:
+                taken.append(int(match.group(1)))
+    return max(taken) + 1
+
+
+def write_artifact(artifact: dict, out_dir: str, seq: Optional[int] = None) -> str:
+    os.makedirs(out_dir, exist_ok=True)
+    if seq is None:
+        seq = next_seq(out_dir)
+    path = os.path.join(out_dir, f"BENCH_{seq}.json")
+    payload = dict(artifact, seq=seq)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# ------------------------------------------------------------------ compare
+
+
+def _rel_delta(base: float, new: float) -> float:
+    if base == 0:
+        return 0.0 if new == 0 else float("inf")
+    return (new - base) / base
+
+
+def compare(
+    base: dict,
+    new: dict,
+    tolerances: Optional[Dict[str, float]] = None,
+) -> List[dict]:
+    """Row-per-comparison diff of two artifacts.
+
+    Each row: ``{benchmark, profile, metric, base, new, delta, tolerance,
+    status}`` with status one of ``ok`` / ``improved`` / ``regression`` /
+    ``removed`` / ``added``.  ``delta`` is relative (fraction of base) for
+    cycles/instructions and absolute for ratios.
+    """
+    tol = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        unknown = set(tolerances) - set(tol)
+        if unknown:
+            raise ValueError(
+                f"unknown tolerance metrics {sorted(unknown)}; "
+                f"known: {sorted(tol)}"
+            )
+        tol.update(tolerances)
+    rows: List[dict] = []
+
+    def row(benchmark, profile, metric, b, n, delta, tolerance, status):
+        rows.append(
+            {
+                "benchmark": benchmark,
+                "profile": profile,
+                "metric": metric,
+                "base": b,
+                "new": n,
+                "delta": delta,
+                "tolerance": tolerance,
+                "status": status,
+            }
+        )
+
+    base_benches = base.get("benchmarks", {})
+    new_benches = new.get("benchmarks", {})
+    for bench in sorted(set(base_benches) | set(new_benches)):
+        b_entry = base_benches.get(bench)
+        n_entry = new_benches.get(bench)
+        if n_entry is None:
+            row(bench, "*", "coverage", 1, 0, None, None, "removed")
+            continue
+        if b_entry is None:
+            row(bench, "*", "coverage", 0, 1, None, None, "added")
+            continue
+        b_profiles = b_entry["profiles"]
+        n_profiles = n_entry["profiles"]
+        for pname in sorted(set(b_profiles) | set(n_profiles)):
+            bp = b_profiles.get(pname)
+            np = n_profiles.get(pname)
+            if np is None:
+                row(bench, pname, "coverage", 1, 0, None, None, "removed")
+                continue
+            if bp is None:
+                row(bench, pname, "coverage", 0, 1, None, None, "added")
+                continue
+            for metric in ("cycles", "instructions"):
+                delta = _rel_delta(bp[metric], np[metric])
+                if delta > tol[metric]:
+                    status = "regression"
+                elif delta < -tol[metric]:
+                    status = "improved"
+                else:
+                    status = "ok"
+                row(bench, pname, metric, bp[metric], np[metric],
+                    delta, tol[metric], status)
+        # cross-runtime ratios: two-sided
+        b_ratios = b_entry.get("ratios", {})
+        n_ratios = n_entry.get("ratios", {})
+        for key in sorted(set(b_ratios) & set(n_ratios)):
+            br, nr = b_ratios[key], n_ratios[key]
+            delta = _rel_delta(br, nr)
+            status = "regression" if abs(delta) > tol["ratio"] else "ok"
+            row(bench, key, "ratio", br, nr, delta, tol["ratio"], status)
+    return rows
+
+
+def regressions(rows: List[dict]) -> List[dict]:
+    return [r for r in rows if r["status"] in ("regression", "removed")]
+
+
+def render_compare(rows: List[dict], base: dict, new: dict,
+                   show_ok: bool = False) -> str:
+    """Readable fixed-width comparison table plus a verdict line."""
+
+    def fmt_val(v) -> str:
+        if v is None:
+            return "-"
+        if isinstance(v, float) and not v.is_integer():
+            return f"{v:.4f}"
+        return f"{int(v):,}"
+
+    lines = [
+        "benchmark trajectory compare: "
+        f"{base.get('git_sha', '?')[:12]} -> {new.get('git_sha', '?')[:12]}",
+        f"  {'benchmark':<20} {'profile':<24} {'metric':<12} "
+        f"{'base':>16} {'new':>16} {'delta':>9} {'tol':>7}  status",
+    ]
+    flagged = [r for r in rows if r["status"] != "ok"]
+    shown = rows if show_ok else flagged
+    for r in shown:
+        delta = "-" if r["delta"] is None else f"{100 * r['delta']:+8.2f}%"
+        tolerance = "-" if r["tolerance"] is None else f"{100 * r['tolerance']:.1f}%"
+        status = r["status"].upper() if r["status"] != "ok" else "ok"
+        lines.append(
+            f"  {r['benchmark']:<20} {r['profile']:<24} {r['metric']:<12} "
+            f"{fmt_val(r['base']):>16} {fmt_val(r['new']):>16} {delta:>9} "
+            f"{tolerance:>7}  {status}"
+        )
+    bad = regressions(rows)
+    improved = sum(1 for r in rows if r["status"] == "improved")
+    ok = sum(1 for r in rows if r["status"] == "ok")
+    if not shown:
+        lines.append("  (all comparisons within tolerance)")
+    lines.append(
+        f"  {len(rows)} comparisons: {ok} ok, {improved} improved, "
+        f"{len(bad)} regressed"
+    )
+    lines.append(
+        "VERDICT: REGRESSION" if bad else "VERDICT: ok — no regressions"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""``repro-bench``: benchmark-trajectory artifacts and the regression gate.
+
+::
+
+    repro-bench run [--out DIR] [--seq N] [--scale S]
+                    [--profiles a,b] [--benchmarks x,y] [--git-sha SHA]
+    repro-bench compare BASE.json NEW.json [--tolerance metric=frac ...]
+                    [--show-ok]
+
+``run`` executes the graph suite on every runtime profile with the metrics
+registry attached and writes ``BENCH_<seq>.json`` (sequence auto-increments
+per output directory).  ``compare`` diffs two artifacts under the tolerance
+policy documented in :mod:`repro.metrics.baseline` and exits 1 when any
+regression (or coverage loss) is found — that exit code *is* the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from . import baseline
+
+
+def _parse_tolerances(pairs: List[str]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(
+                f"repro-bench: bad --tolerance {pair!r} (expected metric=fraction)"
+            )
+        key, _, value = pair.partition("=")
+        try:
+            out[key.strip()] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"repro-bench: bad --tolerance value {value!r} for {key!r}"
+            )
+    return out
+
+
+def _resolve_profiles(spec: Optional[str]):
+    from ..runtimes import ALL_PROFILES, get_profile
+
+    if not spec:
+        return list(ALL_PROFILES)
+    return [get_profile(name.strip()) for name in spec.split(",") if name.strip()]
+
+
+def _resolve_suite(spec: Optional[str], scale: float):
+    suite = baseline.graph_suite(scale)
+    if not spec:
+        return suite
+    wanted = [name.strip() for name in spec.split(",") if name.strip()]
+    by_name = dict(suite)
+    missing = [name for name in wanted if name not in by_name]
+    if missing:
+        raise SystemExit(
+            f"repro-bench: not in the graph suite: {', '.join(missing)} "
+            f"(available: {', '.join(name for name, _ in suite)})"
+        )
+    return [(name, by_name[name]) for name in wanted]
+
+
+def cmd_run(args) -> int:
+    profiles = _resolve_profiles(args.profiles)
+    suite = _resolve_suite(args.benchmarks, args.scale)
+    artifact = baseline.collect(
+        profiles=profiles,
+        suite=suite,
+        scale=args.scale,
+        git_sha=args.git_sha,
+        progress=lambda msg: print(f"repro-bench: {msg}", file=sys.stderr),
+    )
+    path = baseline.write_artifact(artifact, args.out, seq=args.seq)
+    benches = artifact["benchmarks"]
+    print(
+        f"repro-bench: wrote {path} "
+        f"({len(benches)} benchmarks x {len(artifact['profiles'])} profiles, "
+        f"git {artifact['git_sha'][:12]})"
+    )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    base = baseline.load_artifact(args.base)
+    new = baseline.load_artifact(args.new)
+    tolerances = _parse_tolerances(args.tolerance)
+    try:
+        rows = baseline.compare(base, new, tolerances)
+    except ValueError as exc:
+        raise SystemExit(f"repro-bench: {exc}")
+    print(baseline.render_compare(rows, base, new, show_ok=args.show_ok))
+    return 1 if baseline.regressions(rows) else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="benchmark-trajectory artifacts and regression gate",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="collect a BENCH_<seq>.json artifact")
+    run.add_argument("--out", default="bench", help="output directory (default: bench/)")
+    run.add_argument("--seq", type=int, default=None,
+                     help="artifact sequence number (default: next free)")
+    run.add_argument("--scale", type=float, default=1.0,
+                     help="problem-size scale factor (default: 1.0)")
+    run.add_argument("--profiles", default=None,
+                     help="comma-separated runtime profile names (default: all)")
+    run.add_argument("--benchmarks", default=None,
+                     help="comma-separated subset of the graph suite (default: all)")
+    run.add_argument("--git-sha", default=None,
+                     help="override the recorded git SHA (default: git rev-parse HEAD)")
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare", help="diff two artifacts; exit 1 on regression")
+    compare.add_argument("base", help="baseline BENCH_*.json")
+    compare.add_argument("new", help="candidate BENCH_*.json")
+    compare.add_argument("--tolerance", action="append", default=[],
+                         metavar="METRIC=FRAC",
+                         help="override a tolerance, e.g. cycles=0.05 (repeatable)")
+    compare.add_argument("--show-ok", action="store_true",
+                         help="also list within-tolerance comparisons")
+    compare.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

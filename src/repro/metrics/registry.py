@@ -1,0 +1,187 @@
+"""Streaming metrics registry: counters, gauges, simulated-clock histograms.
+
+The registry is the neutral store between the instrumentation layer
+(:mod:`repro.metrics.instrument`, which translates machine observation
+hooks into metric updates) and the consumers (``ProfileRun.metrics``
+snapshots, ``BENCH_*.json`` artifacts, tests).  Everything is *streaming*:
+a histogram keeps bucket counts and running aggregates, never the samples,
+so instrumented runs stay O(1) in memory no matter how long the benchmark
+runs.
+
+All values live on the simulated clock or are plain event counts — wall
+time never enters a metric (the same rule as the rest of the measured
+engine).  Snapshots are plain JSON-ready dicts with deterministic key
+order, so two runs of a deterministic benchmark produce byte-identical
+serialized snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import VMError
+
+
+class MetricsError(VMError):
+    """Registry misuse: duplicate name with a different type, bad buckets."""
+
+
+class Counter:
+    """Monotonically-*named* accumulator.
+
+    ``add`` accepts negative deltas because some machine charges are
+    compensating (exception re-dispatch refunds the throw cost); the
+    counter is a running sum of charges, not a strictly increasing value.
+    """
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n=1) -> None:
+        self.value += n
+
+    add = inc
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins value (live-set size, cycles at end of run...)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, v) -> None:
+        self.value = v
+
+    def snapshot(self):
+        return self.value
+
+
+#: default histogram bounds: geometric in cycles/bytes, wide enough for
+#: GC pauses and scheduler quanta at the scaled problem sizes
+DEFAULT_BUCKETS: Tuple[int, ...] = (
+    16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304,
+)
+
+
+class Histogram:
+    """Fixed-bound streaming histogram (counts per bucket + aggregates).
+
+    ``bounds[i]`` is the inclusive upper edge of bucket ``i``; one overflow
+    bucket catches everything above the last bound.  Only counts and the
+    running count/sum/min/max are kept.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: Sequence[int] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(bounds)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise MetricsError(f"histogram {name!r}: bounds must be ascending")
+        self.name = name
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, v) -> None:
+        self.count += 1
+        self.total += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+        for i, bound in enumerate(self.bounds):
+            if v <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "bounds": list(self.bounds),
+            "buckets": list(self.bucket_counts),
+        }
+
+
+class MetricsRegistry:
+    """Create-or-get store for named metrics.
+
+    Names are hierarchical by convention (``gc.pause_cycles``,
+    ``jit.pass.enregister.runs``); asking for an existing name with a
+    different metric type is an error rather than a silent shadow.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    # -------------------------------------------------------------- creation
+
+    def _get_or_make(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise MetricsError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_make(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_make(name, Gauge)
+
+    def histogram(self, name: str, bounds: Sequence[int] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_make(name, Histogram, bounds)
+
+    # --------------------------------------------------------------- queries
+
+    def get(self, name: str):
+        """The metric object, or None when never registered."""
+        return self._metrics.get(name)
+
+    def value(self, name: str, default=0):
+        """Scalar value of a counter/gauge (``default`` when absent)."""
+        metric = self._metrics.get(name)
+        return default if metric is None else metric.value
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        """JSON-ready ``{"counters": {...}, "gauges": {...},
+        "histograms": {...}}`` with deterministically ordered keys."""
+        out: Dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            out[metric.kind + "s"][name] = metric.snapshot()
+        return out

@@ -15,6 +15,8 @@ Command-line access: ``repro-prof report|diff|export`` (see
 :mod:`repro.observe.cli`) or ``hpcnet run ... --profile``.
 """
 
+from .base import MachineObserver
+from .composite import CompositeJitTrace, CompositeObserver
 from .jittrace import JitTrace, MethodCompile
 from .recorder import (
     CAT_ALLOC,
@@ -48,8 +50,11 @@ __all__ = [
     "CAT_MEMTAX",
     "CAT_MONITOR",
     "CAT_RUNTIME",
+    "CompositeJitTrace",
+    "CompositeObserver",
     "CycleAttribution",
     "JitTrace",
+    "MachineObserver",
     "MethodCompile",
     "Observer",
     "Timeline",

@@ -5,6 +5,7 @@ Subcommands::
     repro-prof report micro.loop --runtime clr-1.1 [--param Reps=20000]
     repro-prof diff clr11 mono023 --benchmark scimark.sor
     repro-prof export micro.loop --runtime clr-1.1 --out trace.json
+    repro-prof flame scimark.sor --runtime clr-1.1 --out sor.folded
 
 ``report`` profiles one benchmark on one runtime and prints the
 cycle-attribution report (optionally saving the JSON profile, Chrome
@@ -13,7 +14,10 @@ by their contribution to the cycle gap between two runtimes — the
 paper's "which component explains the 2x?" question as a command; its
 operands are runtime names *or* previously saved ``*.profile.json``
 paths.  ``export`` writes just the Chrome trace-event timeline (load it
-at ``chrome://tracing`` or https://ui.perfetto.dev).
+at ``chrome://tracing`` or https://ui.perfetto.dev).  ``flame`` samples
+the call stack on the simulated clock and emits collapsed-stack
+(flamegraph.pl / speedscope "folded") text — deterministic, so two runs
+of the same benchmark produce byte-identical flamegraphs.
 
 Runtime names are matched loosely: ``clr11``, ``CLR-1.1`` and
 ``clr-1.1`` all resolve to the same profile.
@@ -165,6 +169,34 @@ def cmd_export(args) -> int:
     return 0
 
 
+def cmd_flame(args) -> int:
+    # imported lazily: repro.metrics builds on this package
+    from ..harness.runner import Runner
+    from ..metrics.sampler import StackSampler
+
+    profile = resolve_profile(args.runtime)
+    sampler = StackSampler(period=args.period)
+    runner = Runner(profiles=[profile])
+    runner.run_on(
+        args.benchmark, profile, _parse_overrides(args.param or []),
+        observe=sampler,
+    )
+    folded = sampler.collapsed()
+    if args.out:
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w") as handle:
+            handle.write(folded + "\n")
+        print(
+            f"wrote {args.out}: {len(sampler.weights)} stacks, "
+            f"{sampler.total_samples} samples at period={args.period} cycles"
+        )
+    else:
+        print(folded)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-prof",
@@ -198,6 +230,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_exp.add_argument("--param", action="append", metavar="K=V")
     p_exp.add_argument("--out", required=True, metavar="FILE.json")
     p_exp.set_defaults(func=cmd_export)
+
+    p_flame = sub.add_parser(
+        "flame", help="write a collapsed-stack (folded) flamegraph profile"
+    )
+    p_flame.add_argument("benchmark")
+    p_flame.add_argument("--runtime", default="clr-1.1")
+    p_flame.add_argument("--param", action="append", metavar="K=V")
+    p_flame.add_argument("--period", type=int, default=1000,
+                         help="simulated cycles per sample (default: 1000)")
+    p_flame.add_argument("--out", metavar="FILE.folded",
+                         help="output path (default: stdout)")
+    p_flame.set_defaults(func=cmd_flame)
 
     args = parser.parse_args(argv)
     return args.func(args)

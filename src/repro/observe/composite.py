@@ -1,0 +1,169 @@
+"""Fan one machine observer slot out to several observers.
+
+The :class:`~repro.vm.machine.Machine` has a single ``observer`` slot and
+the :class:`~repro.jit.pipeline.JitCompiler` a single ``trace`` slot; both
+are wired once at construction time.  Attaching the cycle-attribution
+profiler *and* a metrics registry (or a flamegraph sampler) to the same run
+therefore needs a fan-out, not a second registration — re-registering hooks
+would double-charge recorders and break the profiler's exact-coverage
+accounting.  :class:`CompositeObserver` is that fan-out: it presents the
+ordinary observer surface and forwards every hook to each child exactly
+once, and its ``jit`` attribute fans the compilation trace out the same
+way.
+
+Hot-path note: the composite honours the ``instr = None`` convention from
+:class:`~repro.observe.base.MachineObserver` — it precomputes the list of
+children that want per-instruction callbacks, and when none do it sets its
+own ``instr`` to ``None`` so the machine skips the call entirely.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .base import MachineObserver
+
+
+class _FanoutList:
+    """List façade whose ``append`` forwards to several real lists (the
+    inliner appends InlineDecision records to ``rec.inline_decisions``)."""
+
+    __slots__ = ("_lists",)
+
+    def __init__(self, lists) -> None:
+        self._lists = lists
+
+    def append(self, item) -> None:
+        for target in self._lists:
+            target.append(item)
+
+
+class _FanoutCompileRec:
+    """Per-method compilation record that mirrors every operation — method
+    calls *and* attribute writes like ``rec.lowered_instrs = n`` — onto the
+    child traces' records."""
+
+    def __init__(self, recs) -> None:
+        object.__setattr__(self, "_recs", recs)
+        object.__setattr__(
+            self, "inline_decisions", _FanoutList([r.inline_decisions for r in recs])
+        )
+
+    def __setattr__(self, name, value) -> None:
+        for rec in self._recs:
+            setattr(rec, name, value)
+
+    def record_pass(self, name: str, before: int, fn) -> None:
+        for rec in self._recs:
+            rec.record_pass(name, before, fn)
+
+    def finish(self, fn) -> None:
+        for rec in self._recs:
+            rec.finish(fn)
+
+
+class CompositeJitTrace:
+    """JitTrace-compatible fan-out over several compilation recorders."""
+
+    def __init__(self, traces) -> None:
+        self.traces = list(traces)
+
+    def begin(self, method: str, inline_candidate: bool) -> _FanoutCompileRec:
+        return _FanoutCompileRec(
+            [t.begin(method, inline_candidate=inline_candidate) for t in self.traces]
+        )
+
+
+class CompositeObserver(MachineObserver):
+    """Forward every machine hook to each of ``observers`` exactly once.
+
+    Children keep their own exclusivity rules (e.g. the profiler's
+    one-machine-per-Observer check) because ``attach`` propagates; the
+    machine itself only ever sees the composite.
+    """
+
+    def __init__(self, *observers: Optional[MachineObserver]) -> None:
+        self.observers: List[MachineObserver] = [o for o in observers if o is not None]
+        if not self.observers:
+            raise ValueError("CompositeObserver needs at least one observer")
+        jits = [o.jit for o in self.observers if o.jit is not None]
+        if len(jits) == 1:
+            self.jit = jits[0]
+        elif jits:
+            self.jit = CompositeJitTrace(jits)
+        self._instr_targets = [
+            o.instr for o in self.observers if o.instr is not None
+        ]
+        if not self._instr_targets:
+            # machine-side convention: skip the per-instruction call
+            self.instr = None
+        self.machine = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def attach(self, machine) -> None:
+        self.machine = machine
+        for o in self.observers:
+            o.attach(machine)
+
+    @property
+    def benchmark(self):
+        for o in self.observers:
+            if o.benchmark is not None:
+                return o.benchmark
+        return None
+
+    @benchmark.setter
+    def benchmark(self, name) -> None:
+        for o in self.observers:
+            o.benchmark = name
+
+    # ----------------------------------------------------------------- hooks
+
+    def instr(self, fn, op: int, cost) -> None:
+        for target in self._instr_targets:
+            target(fn, op, cost)
+
+    def dyn(self, fn, category: str, cycles) -> None:
+        for o in self.observers:
+            o.dyn(fn, category, cycles)
+
+    def enter(self, thread, fn, now) -> None:
+        for o in self.observers:
+            o.enter(thread, fn, now)
+
+    def exit(self, thread, now) -> None:
+        for o in self.observers:
+            o.exit(thread, now)
+
+    def thread_started(self, thread, now) -> None:
+        for o in self.observers:
+            o.thread_started(thread, now)
+
+    def quantum(self, thread, start, end) -> None:
+        for o in self.observers:
+            o.quantum(thread, start, end)
+
+    def switch(self, thread, cost, now) -> None:
+        for o in self.observers:
+            o.switch(thread, cost, now)
+
+    def alloc(self, byte_size: int, cycles) -> None:
+        for o in self.observers:
+            o.alloc(byte_size, cycles)
+
+    def gc(self, start, end, live: int) -> None:
+        for o in self.observers:
+            o.gc(start, end, live)
+
+    def throw(self, now) -> None:
+        for o in self.observers:
+            o.throw(now)
+
+    def unwound(self, thread, now) -> None:
+        for o in self.observers:
+            o.unwound(thread, now)
+
+    def contention(self, thread, now) -> None:
+        for o in self.observers:
+            o.contention(thread, now)

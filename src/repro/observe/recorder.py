@@ -37,6 +37,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..jit import mir
+from .base import MachineObserver
 from .jittrace import JitTrace
 from .timeline import Timeline
 
@@ -145,7 +146,7 @@ class CycleAttribution:
         return out
 
 
-class Observer:
+class Observer(MachineObserver):
     """The bundle a :class:`~repro.vm.machine.Machine` reports into.
 
     Wire it at construction time::

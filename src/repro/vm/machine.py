@@ -381,13 +381,16 @@ class Machine:
                     before = self.cycles
                     self._step_thread(t, self.quantum)
                     t.cycles += self.cycles - before
+                    t.quanta += 1
                     ran = True
                     if observer is not None and self.cycles > before:
                         observer.quantum(t, before, self.cycles)
                     if sum(1 for x in threads if x.alive) > 1:
                         self.cycles += switch_cost
+                        t.switches += 1
                         if observer is not None:
                             self._obs_dyn(CAT_MONITOR, switch_cost)
+                            observer.switch(t, switch_cost, self.cycles)
                 elif t.state is BLOCKED:
                     blocked += 1
             if self.cycles > self.max_cycles:
@@ -454,6 +457,7 @@ class Machine:
             frames.pop()
             if observer is not None:
                 observer.exit(thread, self.cycles)
+                observer.unwound(thread, self.cycles)
         # escaped the thread
         self._finish_thread(thread, None)
         thread.unhandled = exc_obj
@@ -488,6 +492,7 @@ class Machine:
         thread.frames.pop()
         if self.observer is not None:
             self.observer.exit(thread, self.cycles)
+            self.observer.unwound(thread, self.cycles)
         if thread.frames:
             self._throw_continue(thread, exc_obj)
         else:
@@ -534,6 +539,7 @@ class Machine:
         self.cycles += amount
         if self.observer is not None:
             self._obs_dyn(CAT_ALLOC, amount)
+            self.observer.alloc(byte_size, amount)
 
     def _new_szarray(self, elem, length: int) -> SZArray:
         if length < 0:
@@ -572,6 +578,8 @@ class Machine:
                 mon.entry_queue.append(thread)
                 thread.state = BLOCKED
                 thread.waiting_on = ("monitor", id(obj))
+                if observer is not None:
+                    observer.contention(thread, self.cycles)
             return
         if name == "Exit":
             if mon.owner is not thread:
@@ -916,7 +924,7 @@ class Machine:
                             if observer is not None:
                                 obs_dyn(fn, CAT_DISPATCH, costs.call)
                                 observer.enter(
-                                    thread, callee, self.cycles + total_spent + spent
+                                    thread, callee, self.cycles + spent
                                 )
                             rebind = True
                             break
@@ -939,7 +947,7 @@ class Machine:
                                     costs.call + costs.virtual_call_extra,
                                 )
                                 observer.enter(
-                                    thread, callee, self.cycles + total_spent + spent
+                                    thread, callee, self.cycles + spent
                                 )
                             rebind = True
                             break
@@ -970,7 +978,7 @@ class Machine:
                         value = R[ins.a] if isinstance(ins.a, int) and ins.a >= 0 else None
                         thread.frames.pop()
                         if observer is not None:
-                            observer.exit(thread, self.cycles + total_spent + spent)
+                            observer.exit(thread, self.cycles + spent)
                         if thread.frames:
                             caller = thread.frames[-1]
                             if frame.ret_dst >= 0:
@@ -996,7 +1004,7 @@ class Machine:
                             if observer is not None:
                                 obs_dyn(fn, CAT_DISPATCH, costs.call)
                                 observer.enter(
-                                    thread, callee, self.cycles + total_spent + spent
+                                    thread, callee, self.cycles + spent
                                 )
                             rebind = True
                             break
@@ -1138,6 +1146,8 @@ class Machine:
                 total_spent += spent
                 spent = 0
                 self.instructions += icount
+                if observer is not None:
+                    observer.throw(self.cycles)
                 self._throw(thread, guest.obj)
                 continue
             if not rebind:

@@ -51,6 +51,8 @@ class GuestThread:
         "saved_monitor_count",
         "result",
         "cycles",
+        "quanta",
+        "switches",
         "unhandled",
     )
 
@@ -70,6 +72,12 @@ class GuestThread:
         self.result = None
         #: cycles attributed to this thread
         self.cycles = 0
+        #: scheduler quanta this thread was stepped for (maintained by the
+        #: scheduler on every run, observed or not — the metrics layer and
+        #: deadlock diagnostics read it; it never feeds back into cycles)
+        self.quanta = 0
+        #: context switches charged after this thread's quanta
+        self.switches = 0
         #: managed exception object that escaped the thread, if any
         self.unhandled = None
 
