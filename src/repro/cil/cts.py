@@ -182,6 +182,47 @@ _named_cache: Dict[str, NamedType] = {}
 _array_cache: Dict[Tuple[int, int], ArrayType] = {}
 
 
+# --------------------------------------------------------------- serialization
+#
+# Types are compared by identity throughout the verifier, JIT and engines, so
+# deserializing an Assembly (persistent compile cache, process-pool workers)
+# must yield the *interned* instances of this process, never fresh copies.
+# Every CType therefore reduces to a re-interning constructor call.
+
+
+def _restore_primitive(name: str) -> CType:
+    return BY_NAME[name]
+
+
+def _restore_singleton(name: str) -> CType:
+    return {"object": OBJECT, "string": STRING, "null": NULL}[name]
+
+
+def _restore_named(name: str, value_type_hint: bool) -> "NamedType":
+    t = named(name)
+    # re-stamp what the compiling process's front end knew: the hint drives
+    # value/reference semantics in the engines (array element copying, box
+    # behaviour), so a worker that never compiled this program needs it too
+    t.value_type_hint = value_type_hint
+    return t
+
+
+def _primitive_reduce(self):
+    return (_restore_primitive, (self.name,))
+
+
+def _singleton_reduce(self):
+    return (_restore_singleton, (self.name,))
+
+
+PrimitiveType.__reduce__ = _primitive_reduce
+ObjectType.__reduce__ = _singleton_reduce
+StringType.__reduce__ = _singleton_reduce
+NullType.__reduce__ = _singleton_reduce
+NamedType.__reduce__ = lambda self: (_restore_named, (self.name, self.value_type_hint))
+ArrayType.__reduce__ = lambda self: (array_of, (self.element, self.rank))
+
+
 def named(name: str) -> NamedType:
     """Return the interned :class:`NamedType` for ``name``."""
     t = _named_cache.get(name)

@@ -7,12 +7,18 @@ load, verify, JIT-compile and run the code, with no out-of-band information.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import CilError
 from .cts import CType, VOID
 from .instructions import ExceptionRegion, Instruction, MethodRef
+
+#: serialization format tag for :meth:`Assembly.to_bytes`; bump on any
+#: layout change of the metadata classes so stale payloads are rejected
+#: instead of deserializing into the wrong shape
+ASSEMBLY_WIRE_FORMAT = b"repro.cil.assembly/1\n"
 
 
 @dataclass
@@ -157,6 +163,37 @@ class Assembly:
         for cls in self.classes.values():
             out.extend(cls.methods)
         return out
+
+    # ------------------------------------------------------------ serialization
+
+    def to_bytes(self) -> bytes:
+        """Serialize the whole image (classes, bodies, entry point) to a
+        self-describing byte string; the exact inverse of :meth:`from_bytes`.
+
+        This is the unit the persistent compile cache
+        (:mod:`repro.parallel.cache`) stores and every pool worker loads: a
+        round-tripped assembly must be indistinguishable from a freshly
+        compiled one.  Protocol 4 is pinned so payloads written by one
+        Python minor version load on another.
+        """
+        return ASSEMBLY_WIRE_FORMAT + pickle.dumps(self, protocol=4)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "Assembly":
+        if not data.startswith(ASSEMBLY_WIRE_FORMAT):
+            raise CilError(
+                "not a serialized assembly (missing "
+                f"{ASSEMBLY_WIRE_FORMAT!r} header)"
+            )
+        try:
+            assembly = pickle.loads(data[len(ASSEMBLY_WIRE_FORMAT):])
+        except Exception as exc:
+            raise CilError(f"corrupt serialized assembly: {exc}") from exc
+        if not isinstance(assembly, Assembly):
+            raise CilError(
+                f"serialized payload is {type(assembly).__name__}, not Assembly"
+            )
+        return assembly
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Assembly {self.name}: {len(self.classes)} classes>"

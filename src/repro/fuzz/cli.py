@@ -4,6 +4,7 @@ Subcommands::
 
     repro-fuzz run --seed 42 --count 50        # differential campaign
     repro-fuzz run --seed 42 --count 200 --time-limit 60
+    repro-fuzz run --seed 42 --count 200 --jobs auto   # process-pool fan-out
     repro-fuzz run --seed 7 --count 20 --inject-bug simplify   # mutation check
     repro-fuzz shrink --seed 123456            # minimize one diverging seed
     repro-fuzz shrink --file repro.cs
@@ -64,6 +65,8 @@ def _write_repro(corpus: Path, seed: int, source: str, divergences: Sequence[Div
 
 
 def cmd_run(args) -> int:
+    from ..parallel import CompileCache
+
     def report(pr) -> None:
         status = "DIVERGED" if pr.divergences else "ok"
         if args.verbose or pr.divergences:
@@ -71,25 +74,25 @@ def cmd_run(args) -> int:
         for d in pr.divergences:
             print(f"    {d}")
 
-    def campaign():
-        return run_campaign(
-            seed=args.seed,
-            count=args.count,
-            budget=args.budget,
-            time_limit=args.time_limit,
-            on_program=report,
-        )
-
     print(
         f"repro-fuzz: campaign seed={args.seed} count={args.count} "
         f"budget={args.budget}"
+        + (f" jobs={args.jobs}" if args.jobs else "")
         + (f" inject-bug={args.inject_bug}" if args.inject_bug else "")
     )
-    if args.inject_bug:
-        with inject_pass_bug(args.inject_bug):
-            result = campaign()
-    else:
-        result = campaign()
+    cache = None if args.no_compile_cache else CompileCache(args.cache_dir)
+    result = run_campaign(
+        seed=args.seed,
+        count=args.count,
+        budget=args.budget,
+        time_limit=args.time_limit,
+        on_program=report,
+        jobs=args.jobs,
+        cache=cache,
+        inject_bug=args.inject_bug,
+    )
+    if result.report is not None:
+        print(f"repro-fuzz: parallel {result.report.summary()}")
 
     print(
         f"repro-fuzz: {result.executed} programs executed, "
@@ -163,6 +166,9 @@ def cmd_shrink(args) -> int:
 
 
 def cmd_replay(args) -> int:
+    from ..parallel import CompileCache
+
+    cache = None if args.no_compile_cache else CompileCache(args.cache_dir)
     paths: List[Path]
     if args.paths:
         paths = [Path(p) for p in args.paths]
@@ -179,7 +185,7 @@ def cmd_replay(args) -> int:
         except OSError as exc:
             print(f"repro-fuzz: cannot read {path}: {exc}", file=sys.stderr)
             return 1
-        divergences = run_program(text, assembly_name=path.stem)
+        divergences = run_program(text, assembly_name=path.stem, cache=cache)
         if divergences:
             bad += 1
             print(f"  {path}: DIVERGED")
@@ -211,6 +217,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="minimize each diverging program into the corpus")
     p_run.add_argument("--corpus", default=str(DEFAULT_CORPUS), help="corpus directory")
     p_run.add_argument("--verbose", action="store_true", help="print every program")
+    from ..parallel import add_jobs_argument, default_cache_dir
+
+    add_jobs_argument(p_run)
+    p_run.add_argument("--cache-dir", default=default_cache_dir(), metavar="DIR",
+                       help="persistent compile cache location "
+                            "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    p_run.add_argument("--no-compile-cache", action="store_true",
+                       help="compile from scratch; do not read or write the cache")
     p_run.set_defaults(func=cmd_run)
 
     p_shrink = sub.add_parser("shrink", help="minimize one diverging program")
@@ -228,6 +242,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay = sub.add_parser("replay", help="re-run saved corpus repros")
     p_replay.add_argument("paths", nargs="*", help="specific files (default: corpus dir)")
     p_replay.add_argument("--corpus", default=str(DEFAULT_CORPUS), help="corpus directory")
+    p_replay.add_argument("--cache-dir", default=default_cache_dir(), metavar="DIR",
+                          help="persistent compile cache location")
+    p_replay.add_argument("--no-compile-cache", action="store_true",
+                          help="compile from scratch; do not read or write the cache")
     p_replay.set_defaults(func=cmd_replay)
 
     return parser

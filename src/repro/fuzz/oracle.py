@@ -157,14 +157,20 @@ def run_program(
     source: str,
     matrix: Optional[Sequence[AblationPoint]] = None,
     assembly_name: str = "fuzzprog",
+    cache=None,
 ) -> List[Divergence]:
     """Compile ``source`` once, run the full matrix, return all divergences.
 
     A compile/verify failure is *not* a divergence (the program never made
-    it to either engine) and raises instead.
+    it to either engine) and raises instead.  ``cache`` may be a
+    :class:`repro.parallel.CompileCache`; replaying a corpus (or re-running
+    a campaign seed) with a warm cache then skips compilation entirely.
     """
     matrix = default_matrix() if matrix is None else matrix
-    assembly = compile_source(source, assembly_name=assembly_name)
+    if cache is not None:
+        assembly = cache.get_or_compile(source, assembly_name=assembly_name)
+    else:
+        assembly = compile_source(source, assembly_name=assembly_name)
 
     interp = Interpreter(LoadedAssembly(assembly))
     reference = _outcome_of(interp.run, interp)
@@ -201,10 +207,19 @@ class CampaignResult:
     executed: int = 0
     compile_failures: List[Tuple[int, str]] = field(default_factory=list)
     failures: List[ProgramResult] = field(default_factory=list)
+    #: operational fan-out summary (repro.parallel.PoolReport) — wall-clock
+    #: telemetry only, never part of the campaign's comparable outcome
+    report: Optional[object] = None
 
     @property
     def ok(self) -> bool:
         return not self.failures and not self.compile_failures
+
+
+def _matrix_spec(matrix: Sequence[AblationPoint]) -> List[Tuple[str, Tuple[str, ...]]]:
+    """Picklable (profile name, disabled passes) form of a matrix; pool
+    workers rebuild the points from the runtime registry."""
+    return [(p.profile.name, tuple(sorted(p.disabled))) for p in matrix]
 
 
 def run_campaign(
@@ -214,6 +229,9 @@ def run_campaign(
     matrix: Optional[Sequence[AblationPoint]] = None,
     time_limit: Optional[float] = None,
     on_program: Optional[Callable[[ProgramResult], None]] = None,
+    jobs=None,
+    cache=None,
+    inject_bug: Optional[str] = None,
 ) -> CampaignResult:
     """Generate and differentially execute ``count`` programs.
 
@@ -222,27 +240,73 @@ def run_campaign(
     program that fails to compile is recorded as a failure too: the
     generator promises well-typed output, so a compile error is a generator
     (or front-end) bug either way.
+
+    ``jobs`` (int or ``"auto"``) shards the programs across a process pool
+    (:mod:`repro.parallel`); without a ``time_limit`` the merged result is
+    bit-identical to a serial run, because every program's outcome is a
+    pure function of its seed and the matrix.  ``cache`` is an optional
+    :class:`repro.parallel.CompileCache` shared by all workers.
+    ``inject_bug`` applies :func:`inject_pass_bug` around every program
+    (including inside pool workers, where a caller's context manager could
+    not reach).
     """
+    from ..parallel import resolve_jobs, run_cells
+    from ..parallel.cache import CompileCache
+
     matrix = default_matrix() if matrix is None else matrix
     result = CampaignResult(campaign_seed=seed, budget=budget)
-    started = time.monotonic()
-    for i in range(count):
-        if time_limit is not None and time.monotonic() - started > time_limit:
-            break
-        pseed = program_seed(seed, i)
-        prog = generate_program(pseed, budget=budget)
-        try:
-            divergences = run_program(prog.source, matrix, assembly_name=f"fuzz{i}")
-        except ReproError as exc:
-            result.compile_failures.append((pseed, f"{type(exc).__name__}: {exc}"))
+
+    if resolve_jobs(jobs) > 1 and count > 1:
+        spec = {
+            "kind": "fuzz",
+            "seed": seed,
+            "budget": budget,
+            "matrix_spec": _matrix_spec(matrix),
+            "inject_bug": inject_bug,
+            "cache_dir": None if cache is None else cache.root,
+            "deadline": None if time_limit is None else time.monotonic() + time_limit,
+        }
+        payloads, report = run_cells(spec, list(range(count)), jobs=jobs)
+        result.report = report
+        for payload in payloads:
+            if payload[0] == "timeout":
+                continue
+            if payload[0] == "compile_failure":
+                result.compile_failures.append((payload[1], payload[2]))
+                result.executed += 1
+                continue
+            _, pseed, source, divergences = payload
             result.executed += 1
-            continue
-        result.executed += 1
-        pr = ProgramResult(seed=pseed, source=prog.source, divergences=divergences)
-        if divergences:
-            result.failures.append(pr)
-        if on_program is not None:
-            on_program(pr)
+            pr = ProgramResult(seed=pseed, source=source, divergences=divergences)
+            if divergences:
+                result.failures.append(pr)
+            if on_program is not None:
+                on_program(pr)
+        return result
+
+    from contextlib import nullcontext
+
+    started = time.monotonic()
+    with inject_pass_bug(inject_bug) if inject_bug else nullcontext():
+        for i in range(count):
+            if time_limit is not None and time.monotonic() - started > time_limit:
+                break
+            pseed = program_seed(seed, i)
+            prog = generate_program(pseed, budget=budget)
+            try:
+                divergences = run_program(
+                    prog.source, matrix, assembly_name=f"fuzz{i}", cache=cache
+                )
+            except ReproError as exc:
+                result.compile_failures.append((pseed, f"{type(exc).__name__}: {exc}"))
+                result.executed += 1
+                continue
+            result.executed += 1
+            pr = ProgramResult(seed=pseed, source=prog.source, divergences=divergences)
+            if divergences:
+                result.failures.append(pr)
+            if on_program is not None:
+                on_program(pr)
     return result
 
 

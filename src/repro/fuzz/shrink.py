@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, List, Optional, Tuple
 
+from ..errors import ReproError
 from ..lang import ast_nodes as ast
 from ..lang.parser import parse
 from .render import render_program
@@ -274,12 +275,21 @@ def shrink_source(
 
 
 def safe_predicate(check: Callable[[str], bool]) -> Callable[[str], bool]:
-    """Wrap an oracle-backed check so any exception means 'not interesting'."""
+    """Wrap an oracle-backed check, classifying its failures.
+
+    A shrink candidate is routinely ill-typed or otherwise *rejected* by
+    the toolchain — any :class:`~repro.errors.ReproError` (compile/verify
+    failure, reference-interpreter refusal) just means "not interesting"
+    and the edit is undone.  Anything else is a genuine **crash** of the
+    oracle or shrinker itself and is re-raised: swallowing it would make
+    the minimizer silently shrink toward "makes the oracle crash" instead
+    of "still reproduces the divergence", which is the wrong predicate.
+    """
 
     def wrapped(src: str) -> bool:
         try:
             return check(src)
-        except Exception:
+        except ReproError:
             return False
 
     return wrapped

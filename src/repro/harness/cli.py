@@ -57,14 +57,39 @@ def cmd_profiles(_args) -> int:
 
 
 def cmd_run(args) -> int:
+    from ..parallel import CompileCache, resolve_jobs, run_cells
+    from .runner import check_cross_profile_results
+
     profiles = (
         [get_profile(name) for name in args.profiles]
         if args.profiles
         else MICRO_PROFILES
     )
-    runner = Runner(profiles=profiles, clock_hz=args.clock)
     overrides = _parse_overrides(args.param or [])
-    runs = runner.run(args.benchmark, overrides or None, observe=args.profile)
+    cache = None if args.no_compile_cache else CompileCache(args.cache_dir)
+    jobs = args.jobs
+    if args.profile and resolve_jobs(jobs) > 1:
+        # the cycle-attribution observer is a live per-machine object, not a
+        # picklable result record; profiling runs stay serial
+        print("hpcnet: --profile forces serial execution (ignoring --jobs)")
+        jobs = None
+    if resolve_jobs(jobs) > 1 and len(profiles) > 1:
+        cells = [
+            (args.benchmark, overrides or None, p.name) for p in profiles
+        ]
+        spec = {
+            "kind": "harness",
+            "metrics": False,
+            "clock_hz": args.clock,
+            "cache_dir": None if cache is None else cache.root,
+        }
+        payloads, report = run_cells(spec, cells, jobs=jobs)
+        runs = {p.name: run for p, run in zip(profiles, payloads)}
+        check_cross_profile_results(args.benchmark, runs)
+        print(f"hpcnet: parallel {report.summary()}")
+    else:
+        runner = Runner(profiles=profiles, clock_hz=args.clock, compile_cache=cache)
+        runs = runner.run(args.benchmark, overrides or None, observe=args.profile)
     bench = get_benchmark(args.benchmark)
     if args.profile:
         from ..observe.cli import write_artifacts
@@ -142,6 +167,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "profile/trace/report artifacts per runtime")
     p_run.add_argument("--profile-dir", default="profile-artifacts", metavar="DIR",
                        help="where --profile writes artifacts")
+    from ..parallel import add_jobs_argument, default_cache_dir
+
+    add_jobs_argument(p_run)
+    p_run.add_argument("--cache-dir", default=default_cache_dir(), metavar="DIR",
+                       help="persistent compile cache location "
+                            "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    p_run.add_argument("--no-compile-cache", action="store_true",
+                       help="compile from scratch; do not read or write the cache")
     p_run.set_defaults(func=cmd_run)
 
     p_exp = sub.add_parser("experiment", help="regenerate one paper graph/table")

@@ -9,10 +9,12 @@ loader (fresh statics) over that same image.
 
 from __future__ import annotations
 
+import struct
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..benchmarks import get as get_benchmark
 from ..cil.metadata import Assembly
+from ..errors import BenchmarkError
 from ..lang import compile_source
 from ..metrics import MachineMetrics
 from ..observe import CompositeObserver, Observer
@@ -22,6 +24,46 @@ from ..vm.machine import Machine
 from .results import ProfileRun, SectionResult
 
 
+def _canon_param(value: object) -> object:
+    """Canonical hashable form of one override value (same type-tagging
+    discipline as ``repro.fuzz.oracle._canon``: 1, 1.0 and True must not
+    collide as cache keys, and float NaNs compare bit-for-bit)."""
+    if isinstance(value, bool):
+        return ("b", value)
+    if isinstance(value, float):
+        return ("f", struct.pack("<d", value))
+    if isinstance(value, int):
+        return ("i", value)
+    if isinstance(value, (list, tuple)):
+        return tuple(_canon_param(v) for v in value)
+    return value
+
+
+def compile_key(
+    name: str, overrides: Optional[Dict[str, object]] = None
+) -> Tuple[str, Tuple[Tuple[str, object], ...]]:
+    """The canonical cache key for one (benchmark, overrides) compilation.
+
+    Values are canonicalized before keying; an override whose value cannot
+    be made hashable raises :class:`~repro.errors.BenchmarkError` naming
+    the offending key, instead of the opaque ``TypeError`` a raw
+    ``tuple(sorted(overrides.items()))`` key would hit.
+    """
+    items = []
+    for key in sorted(overrides or {}, key=str):
+        value = overrides[key]
+        canon = _canon_param(value)
+        try:
+            hash(canon)
+        except TypeError:
+            raise BenchmarkError(
+                f"{name}: override {key!r} has an uncacheable value of type "
+                f"{type(value).__name__}: {value!r}"
+            ) from None
+        items.append((str(key), canon))
+    return (name, tuple(items))
+
+
 class Runner:
     def __init__(
         self,
@@ -29,6 +71,7 @@ class Runner:
         clock_hz: Optional[float] = None,
         quantum: int = 50_000,
         disabled_passes: Iterable[str] = (),
+        compile_cache=None,
     ) -> None:
         self.profiles: List[RuntimeProfile] = list(profiles or MICRO_PROFILES)
         #: override the nominal clock (the paper uses 2.8 GHz for micro,
@@ -38,17 +81,24 @@ class Runner:
         #: JIT passes disabled on every machine this runner builds
         #: (see ``repro.jit.pipeline.ABLATABLE_PASSES``)
         self.disabled_passes: Tuple[str, ...] = tuple(disabled_passes)
+        #: optional persistent :class:`repro.parallel.CompileCache`; the
+        #: in-memory dict below still short-circuits repeat compiles within
+        #: this runner's lifetime either way
+        self.compile_cache = compile_cache
         self._compiled: Dict[Tuple[str, Tuple[Tuple[str, object], ...]], Assembly] = {}
 
     def compile_benchmark(
         self, name: str, overrides: Optional[Dict[str, object]] = None
     ) -> Assembly:
-        key = (name, tuple(sorted((overrides or {}).items())))
+        key = compile_key(name, overrides)
         assembly = self._compiled.get(key)
         if assembly is None:
             bench = get_benchmark(name)
             source = bench.build_source(overrides)
-            assembly = compile_source(source, assembly_name=name)
+            if self.compile_cache is not None:
+                assembly = self.compile_cache.get_or_compile(source, assembly_name=name)
+            else:
+                assembly = compile_source(source, assembly_name=name)
             self._compiled[key] = assembly
         return assembly
 
@@ -137,22 +187,31 @@ class Runner:
         ``metrics=True`` attach a fresh Observer / MachineMetrics per
         profile (both are single-machine)."""
         out: Dict[str, ProfileRun] = {}
-        reference: Optional[ProfileRun] = None
         for profile in self.profiles:
-            run = self.run_on(
+            out[profile.name] = self.run_on(
                 name, profile, overrides,
                 observe=observe or None, metrics=metrics or None,
             )
-            out[profile.name] = run
-            if reference is None:
-                reference = run
-            else:
-                for s, sec in run.sections.items():
-                    ref = reference.sections[s]
-                    if sec.results != ref.results:
-                        raise AssertionError(
-                            f"{name}:{s}: results differ between "
-                            f"{reference.profile} and {run.profile}: "
-                            f"{ref.results} vs {sec.results}"
-                        )
+        check_cross_profile_results(name, out)
         return out
+
+
+def check_cross_profile_results(name: str, runs: Dict[str, ProfileRun]) -> None:
+    """Assert the paper's cross-runtime invariant over a set of per-profile
+    runs: every profile recorded identical computation results.  Shared by
+    the serial :meth:`Runner.run` path and the parallel-merge paths
+    (``hpcnet run --jobs``, ``repro-bench run --jobs``), so a fan-out can
+    never skip the check."""
+    reference: Optional[ProfileRun] = None
+    for run in runs.values():
+        if reference is None:
+            reference = run
+            continue
+        for s, sec in run.sections.items():
+            ref = reference.sections[s]
+            if sec.results != ref.results:
+                raise AssertionError(
+                    f"{name}:{s}: results differ between "
+                    f"{reference.profile} and {run.profile}: "
+                    f"{ref.results} vs {sec.results}"
+                )

@@ -38,6 +38,11 @@ ABLATABLE_PASSES = frozenset(
     {"boundscheck", "enregister", "inline", "simplify", "quirks"}
 )
 
+#: inline-cache miss sentinel: ``None`` is a *cached* answer ("this callee
+#: is not inlinable"), so absence needs its own marker — a plain
+#: ``.get(key)`` cannot distinguish the two in one lookup
+_INLINE_MISS = object()
+
 
 class JitCompiler:
     def __init__(
@@ -57,7 +62,7 @@ class JitCompiler:
                 f"ablatable: {sorted(ABLATABLE_PASSES)}"
             )
         self._cache: Dict[int, mir.MIRFunction] = {}
-        self._inline_cache: Dict[int, Optional[mir.MIRFunction]] = {}
+        self._inline_cache: Dict[tuple, Optional[mir.MIRFunction]] = {}
         self._compiling: set = set()
         #: compile-effort accounting, kept whether or not a trace is wired:
         #: methods compiled and synthetic compile "cycles" (instructions
@@ -185,8 +190,8 @@ class JitCompiler:
         if ref.class_name in INTRINSIC_CLASSES:
             return None
         key = (ref.class_name, ref.name, tuple(t.name for t in ref.param_types))
-        cached = self._inline_cache.get(key)
-        if cached is not None or key in self._inline_cache:
+        cached = self._inline_cache.get(key, _INLINE_MISS)
+        if cached is not _INLINE_MISS:
             return cached
         if key in self._compiling:
             return None

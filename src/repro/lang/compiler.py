@@ -18,6 +18,17 @@ from .codegen import CodeGen
 from .parser import parse
 from .typecheck import check_program
 
+#: compiler generation tag; part of every persistent compile-cache key
+#: (:mod:`repro.parallel.cache`).  Bump whenever the front end, codegen, or
+#: verifier change observable output, so stale cached assemblies are never
+#: reused across compiler versions.
+COMPILER_VERSION = "kernel-cs/1"
+
+#: process-local call accounting, primarily so tests (and the parallel
+#: layer's cache-effectiveness assertions) can prove a warm compile cache
+#: performs zero real compilations.
+COMPILE_STATS = {"compile_source_calls": 0}
+
 
 def compile_source(
     source: str,
@@ -33,6 +44,7 @@ def compile_source(
     method named ``entry_method`` (if any); the assembly then carries an
     entry point the machine can run directly.
     """
+    COMPILE_STATS["compile_source_calls"] += 1
     full = (CORELIB_SOURCE + "\n" + source) if include_corelib else source
     program = parse(full)
     checker = check_program(program)

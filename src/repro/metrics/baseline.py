@@ -100,24 +100,64 @@ def collect(
     scale: float = 1.0,
     git_sha: Optional[str] = None,
     progress=None,
+    jobs=None,
+    cache=None,
 ) -> dict:
     """Run the suite on every profile with metrics attached; return the
-    artifact dict (pure data, JSON-ready)."""
+    artifact dict (pure data, JSON-ready).
+
+    ``jobs`` (int or ``"auto"``) fans the (benchmark x profile) cells out
+    over a :mod:`repro.parallel` process pool; the merge is keyed by cell
+    index, so the returned artifact is bit-identical to a serial
+    collection.  The pool's operational report lands on the function
+    attribute ``collect.last_report`` (wall-clock telemetry only — it never
+    enters the artifact).  ``cache`` is an optional
+    :class:`repro.parallel.CompileCache` shared by workers and serial runs
+    alike.
+    """
     # imported here: the harness imports repro.metrics in turn
-    from ..harness.runner import Runner
+    from ..harness.runner import Runner, check_cross_profile_results
+    from ..parallel import resolve_jobs, run_cells
     from ..runtimes import ALL_PROFILES
 
     profiles = list(profiles or ALL_PROFILES)
     suite = list(suite if suite is not None else graph_suite(scale))
-    runner = Runner(profiles=profiles)
+    collect.last_report = None
+
+    runs_by_bench: Dict[str, Dict[str, object]] = {}
+    if resolve_jobs(jobs) > 1 and len(suite) * len(profiles) > 1:
+        cells = [
+            (name, params or None, profile.name)
+            for name, params in suite
+            for profile in profiles
+        ]
+        spec = {
+            "kind": "harness",
+            "metrics": True,
+            "cache_dir": None if cache is None else cache.root,
+        }
+        if progress is not None:
+            progress(f"{len(cells)} cells across jobs={jobs}")
+        payloads, report = run_cells(spec, cells, jobs=jobs)
+        collect.last_report = report
+        for (name, _params, pname), run in zip(cells, payloads):
+            runs_by_bench.setdefault(name, {})[pname] = run
+        for name, runs in runs_by_bench.items():
+            check_cross_profile_results(name, runs)
+    else:
+        runner = Runner(profiles=profiles, compile_cache=cache)
+        for name, params in suite:
+            if progress is not None:
+                progress(f"{name} {params}")
+            runs_by_bench[name] = runner.run(name, params or None, metrics=True)
+
     benchmarks: Dict[str, dict] = {}
     for name, params in suite:
-        if progress is not None:
-            progress(f"{name} {params}")
-        runs = runner.run(name, params or None, metrics=True)
+        runs = runs_by_bench[name]
         per_profile: Dict[str, dict] = {}
-        for pname, run in runs.items():
-            per_profile[pname] = {
+        for profile in profiles:
+            run = runs[profile.name]
+            per_profile[profile.name] = {
                 "cycles": run.total_cycles,
                 "instructions": run.instructions,
                 "allocated_bytes": run.allocated_bytes,
@@ -149,6 +189,10 @@ def collect(
         "profiles": [p.name for p in profiles],
         "benchmarks": benchmarks,
     }
+
+
+#: the last collection's repro.parallel.PoolReport (None for serial runs)
+collect.last_report = None
 
 
 # ---------------------------------------------------------------- serialize

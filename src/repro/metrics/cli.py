@@ -4,6 +4,7 @@
 
     repro-bench run [--out DIR] [--seq N] [--scale S]
                     [--profiles a,b] [--benchmarks x,y] [--git-sha SHA]
+                    [--jobs N|auto] [--cache-dir DIR] [--no-compile-cache]
     repro-bench compare BASE.json NEW.json [--tolerance metric=frac ...]
                     [--show-ok]
 
@@ -64,14 +65,19 @@ def _resolve_suite(spec: Optional[str], scale: float):
 
 
 def cmd_run(args) -> int:
+    from ..parallel import CompileCache
+
     profiles = _resolve_profiles(args.profiles)
     suite = _resolve_suite(args.benchmarks, args.scale)
+    cache = None if args.no_compile_cache else CompileCache(args.cache_dir)
     artifact = baseline.collect(
         profiles=profiles,
         suite=suite,
         scale=args.scale,
         git_sha=args.git_sha,
         progress=lambda msg: print(f"repro-bench: {msg}", file=sys.stderr),
+        jobs=args.jobs,
+        cache=cache,
     )
     path = baseline.write_artifact(artifact, args.out, seq=args.seq)
     benches = artifact["benchmarks"]
@@ -80,6 +86,14 @@ def cmd_run(args) -> int:
         f"({len(benches)} benchmarks x {len(artifact['profiles'])} profiles, "
         f"git {artifact['git_sha'][:12]})"
     )
+    report = baseline.collect.last_report
+    if report is not None:
+        print(f"repro-bench: parallel {report.summary()}")
+    elif cache is not None:
+        print(
+            f"repro-bench: compile cache {cache.hits} hits / "
+            f"{cache.misses} misses ({cache.root})"
+        )
     return 0
 
 
@@ -114,6 +128,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated subset of the graph suite (default: all)")
     run.add_argument("--git-sha", default=None,
                      help="override the recorded git SHA (default: git rev-parse HEAD)")
+    from ..parallel import add_jobs_argument, default_cache_dir
+
+    add_jobs_argument(run)
+    run.add_argument("--cache-dir", default=default_cache_dir(), metavar="DIR",
+                     help="persistent compile cache location "
+                          "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    run.add_argument("--no-compile-cache", action="store_true",
+                     help="compile from scratch; do not read or write the cache")
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="diff two artifacts; exit 1 on regression")

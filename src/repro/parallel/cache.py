@@ -1,0 +1,119 @@
+"""Persistent on-disk compile cache: content hash -> serialized Assembly.
+
+The paper's methodology compiles each benchmark once and runs the identical
+image on every runtime, so across harness invocations (CI jobs, repeated
+``repro-bench run``, fuzz-corpus replays) the compiler is pure function of
+its source text.  This cache makes that purity pay: a cache entry is keyed
+by SHA-256 over (compiler version, assembly name, source), the value is the
+:meth:`~repro.cil.metadata.Assembly.to_bytes` payload, and a warm cache
+eliminates every ``compile_source`` call of a repeat run.
+
+Invalidation rule: the key embeds
+:data:`repro.lang.compiler.COMPILER_VERSION` and the assembly wire-format
+tag, so bumping either orphans old entries (they are simply never hit
+again); there is no in-place mutation.  Writes are atomic
+(tempfile + ``os.replace``), so concurrent pool workers may race on the
+same key and the loser's write harmlessly replaces the identical payload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from typing import Optional
+
+from ..cil.metadata import ASSEMBLY_WIRE_FORMAT, Assembly
+
+#: environment override for the cache location (CLI flags still win)
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: default cache root, relative to the current working directory
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> str:
+    return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+
+
+class CompileCache:
+    """Content-addressed store of compiled assemblies under ``root``.
+
+    ``hits``/``misses`` count this instance's lookups (each pool worker
+    holds its own instance over the shared directory; the pool layer sums
+    worker counts into the parent's metrics registry).
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root or default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # ----------------------------------------------------------------- keys
+
+    def key_for(self, source: str, assembly_name: str) -> str:
+        from ..lang.compiler import COMPILER_VERSION
+
+        digest = hashlib.sha256()
+        digest.update(COMPILER_VERSION.encode())
+        digest.update(ASSEMBLY_WIRE_FORMAT)
+        digest.update(assembly_name.encode())
+        digest.update(b"\x00")
+        digest.update(source.encode())
+        return digest.hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, "asm", key[:2], key + ".bin")
+
+    # -------------------------------------------------------------- load/store
+
+    def load(self, key: str) -> Optional[Assembly]:
+        """The cached assembly for ``key``, or None.  A corrupt or
+        wrong-format entry reads as a miss (and is overwritten by the next
+        store), never as an error."""
+        try:
+            with open(self._path(key), "rb") as handle:
+                data = handle.read()
+        except OSError:
+            return None
+        try:
+            return Assembly.from_bytes(data)
+        except Exception:
+            return None
+
+    def store(self, key: str, assembly: Assembly) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(assembly.to_bytes())
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------- api
+
+    def get_or_compile(self, source: str, assembly_name: str = "program", **kwargs) -> Assembly:
+        """Return the cached assembly for ``source``, compiling (and
+        persisting) on a miss.  ``kwargs`` pass through to
+        :func:`repro.lang.compile_source` on the compile path only — callers
+        using non-default compile options should not share a cache directory
+        with default-option callers."""
+        from ..lang import compile_source
+
+        key = self.key_for(source, assembly_name)
+        assembly = self.load(key)
+        if assembly is not None:
+            self.hits += 1
+            return assembly
+        self.misses += 1
+        assembly = compile_source(source, assembly_name=assembly_name, **kwargs)
+        self.store(key, assembly)
+        return assembly
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "root": self.root}

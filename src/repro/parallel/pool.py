@@ -1,0 +1,294 @@
+"""Deterministic process-pool fan-out over independent experiment cells.
+
+The experiment matrices this repo runs — (benchmark x runtime profile) in
+the harness and ``repro-bench``, (program x profile x pass-ablation) in the
+differential fuzzer — are embarrassingly parallel by construction: every
+cell compiles-or-loads the same immutable CIL image and executes on its own
+:class:`~repro.vm.machine.Machine` on the *simulated* clock.  Wall-clock
+parallelism therefore cannot perturb any measured number, which lets this
+layer promise something stronger than most pools: **the merged output of a
+parallel run is bit-identical to the serial run**.
+
+Two design rules make that promise enforceable rather than probabilistic:
+
+* *Static sharding.*  Cell ``i`` always goes to worker ``i % jobs``; there
+  is no work-stealing queue whose scheduling could reorder anything.
+* *Indexed merge.*  Workers return ``(index, payload)`` pairs and the
+  parent reassembles strictly by index, so arrival order is irrelevant.
+
+Workers are plain ``multiprocessing`` processes (fork where available,
+spawn otherwise); payloads are picklable result records (``ProfileRun``,
+divergence lists), never live machines.  Per-cell wall clock, worker
+utilisation, and compile-cache hit/miss counts are folded into a
+:class:`~repro.metrics.MetricsRegistry` — wall time is *operational*
+telemetry about the pool and never enters a measured artifact.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+
+
+class PoolError(ReproError):
+    """A pool worker died with an unexpected host-side error."""
+
+
+# ------------------------------------------------------------------ job count
+
+
+def resolve_jobs(jobs) -> int:
+    """Normalize a ``--jobs`` value to a worker count (>= 1).
+
+    ``None``/``0``/``1`` mean serial; ``"auto"`` (or any negative count)
+    means one worker per CPU; anything else must be a positive int.
+    """
+    if jobs is None:
+        return 1
+    if isinstance(jobs, str):
+        if jobs.strip().lower() == "auto":
+            return max(1, multiprocessing.cpu_count())
+        try:
+            jobs = int(jobs)
+        except ValueError:
+            raise ValueError(f"bad jobs value {jobs!r}; expected an int or 'auto'")
+    if jobs < 0:
+        return max(1, multiprocessing.cpu_count())
+    return max(1, jobs)
+
+
+def add_jobs_argument(parser, default=None) -> None:
+    """Attach the shared ``--jobs N|auto`` option to an argparse parser."""
+    parser.add_argument(
+        "--jobs",
+        default=default,
+        metavar="N",
+        help="worker processes for the experiment matrix: an int, or 'auto' "
+        "for one per CPU (default: serial; output is bit-identical either way)",
+    )
+
+
+# ------------------------------------------------------------------- reports
+
+
+@dataclass
+class PoolReport:
+    """Operational summary of one fan-out (never part of measured output)."""
+
+    cells: int = 0
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    worker_pids: Tuple[int, ...] = ()
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: per-cell wall seconds, in cell-index order
+    cell_wall: List[float] = field(default_factory=list)
+
+    @property
+    def workers_used(self) -> int:
+        return len(set(self.worker_pids))
+
+    @property
+    def cells_per_sec(self) -> float:
+        return self.cells / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def record(self, registry) -> None:
+        """Fold the report into a :class:`repro.metrics.MetricsRegistry`."""
+        registry.counter("parallel.cells").add(self.cells)
+        registry.counter("parallel.cache.hits").add(self.cache_hits)
+        registry.counter("parallel.cache.misses").add(self.cache_misses)
+        registry.gauge("parallel.jobs").set(self.jobs)
+        registry.gauge("parallel.workers").set(self.workers_used)
+        hist = registry.histogram("parallel.cell_wall_us")
+        for seconds in self.cell_wall:
+            hist.observe(int(seconds * 1e6))
+
+    def summary(self) -> str:
+        line = (
+            f"{self.cells} cells in {self.wall_seconds:.2f}s "
+            f"({self.cells_per_sec:.1f} cells/sec, jobs={self.jobs}, "
+            f"workers={self.workers_used}"
+        )
+        if self.cache_hits or self.cache_misses:
+            line += f", cache {self.cache_hits} hits / {self.cache_misses} misses"
+        return line + ")"
+
+
+# ------------------------------------------------------------- worker bodies
+#
+# One module-level function per cell kind so the pool works under the spawn
+# start method too (workers re-import this module and unpickle plain data).
+
+
+def _make_state(spec: dict) -> dict:
+    """Per-worker-process state, built once before its chunk runs."""
+    from .cache import CompileCache
+
+    state: dict = {}
+    if spec.get("cache_dir"):
+        state["cache"] = CompileCache(spec["cache_dir"])
+    else:
+        state["cache"] = None
+    if spec["kind"] == "harness":
+        from ..harness.runner import Runner
+
+        state["runner"] = Runner(
+            profiles=[],
+            clock_hz=spec.get("clock_hz"),
+            quantum=spec.get("quantum", 50_000),
+            disabled_passes=spec.get("disabled_passes", ()),
+            compile_cache=state["cache"],
+        )
+    elif spec["kind"] == "fuzz":
+        from ..runtimes import get_profile
+        from ..fuzz.oracle import AblationPoint
+
+        state["matrix"] = [
+            AblationPoint(get_profile(name), frozenset(disabled))
+            for name, disabled in spec["matrix_spec"]
+        ]
+    else:
+        raise PoolError(f"unknown cell kind {spec['kind']!r}")
+    return state
+
+
+def _run_cell(state: dict, spec: dict, cell) -> object:
+    if spec["kind"] == "harness":
+        from ..runtimes import get_profile
+
+        bench, params, profile_name = cell
+        return state["runner"].run_on(
+            bench,
+            get_profile(profile_name),
+            params,
+            metrics=True if spec.get("metrics") else None,
+        )
+    # fuzz: one generated (or replayed) program through the whole matrix
+    from contextlib import nullcontext
+
+    from ..fuzz.genprog import generate_program, program_seed
+    from ..fuzz.oracle import run_program
+
+    index = cell
+    deadline = spec.get("deadline")
+    if deadline is not None and time.monotonic() > deadline:
+        return ("timeout", index)
+    pseed = program_seed(spec["seed"], index)
+    prog = generate_program(pseed, budget=spec["budget"])
+    inject = spec.get("inject_bug")
+    if inject:
+        from ..fuzz.oracle import inject_pass_bug
+
+        ctx = inject_pass_bug(inject)
+    else:
+        ctx = nullcontext()
+    try:
+        with ctx:
+            divergences = run_program(
+                prog.source,
+                state["matrix"],
+                assembly_name=f"fuzz{index}",
+                cache=state["cache"],
+            )
+    except ReproError as exc:
+        return ("compile_failure", pseed, f"{type(exc).__name__}: {exc}")
+    return ("result", pseed, prog.source, divergences)
+
+
+def _worker_main(spec: dict, chunk: Sequence[Tuple[int, object]], queue) -> None:
+    try:
+        state = _make_state(spec)
+        results = []
+        for index, cell in chunk:
+            t0 = time.perf_counter()
+            payload = _run_cell(state, spec, cell)
+            results.append((index, payload, time.perf_counter() - t0))
+        cache = state.get("cache")
+        hits, misses = (cache.hits, cache.misses) if cache else (0, 0)
+        queue.put(("ok", os.getpid(), results, hits, misses))
+    except BaseException:
+        queue.put(("error", os.getpid(), traceback.format_exc()))
+
+
+# ----------------------------------------------------------------- the pool
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_cells(
+    spec: dict,
+    cells: Sequence[object],
+    jobs=None,
+    registry=None,
+) -> Tuple[List[object], PoolReport]:
+    """Run every cell and return ``(payloads_in_cell_order, report)``.
+
+    ``spec`` describes the cell kind plus its immutable per-run
+    configuration (everything picklable); see :func:`_run_cell`.  With a
+    resolved job count of 1 the cells run in-process through the *same*
+    code path, so serial-vs-parallel comparisons always compare like with
+    like.
+    """
+    njobs = resolve_jobs(jobs)
+    started = time.perf_counter()
+    indexed = list(enumerate(cells))
+    outcomes: Dict[int, Tuple[object, float]] = {}
+    report = PoolReport(cells=len(indexed), jobs=njobs)
+
+    if njobs <= 1 or len(indexed) <= 1:
+        state = _make_state(spec)
+        for index, cell in indexed:
+            t0 = time.perf_counter()
+            payload = _run_cell(state, spec, cell)
+            outcomes[index] = (payload, time.perf_counter() - t0)
+        cache = state.get("cache")
+        if cache is not None:
+            report.cache_hits, report.cache_misses = cache.hits, cache.misses
+        report.worker_pids = (os.getpid(),)
+    else:
+        ctx = _pool_context()
+        queue = ctx.SimpleQueue()
+        chunks = [indexed[w::njobs] for w in range(njobs)]
+        procs = [
+            ctx.Process(target=_worker_main, args=(spec, chunk, queue), daemon=True)
+            for chunk in chunks
+            if chunk
+        ]
+        for proc in procs:
+            proc.start()
+        pids: List[int] = []
+        failures: List[str] = []
+        for _ in procs:
+            message = queue.get()
+            if message[0] == "error":
+                failures.append(f"worker {message[1]}:\n{message[2]}")
+                continue
+            _, pid, results, hits, misses = message
+            pids.append(pid)
+            report.cache_hits += hits
+            report.cache_misses += misses
+            for index, payload, wall in results:
+                outcomes[index] = (payload, wall)
+        for proc in procs:
+            proc.join()
+        if failures:
+            raise PoolError(
+                f"{len(failures)} pool worker(s) failed:\n" + "\n".join(failures)
+            )
+        report.worker_pids = tuple(pids)
+
+    report.wall_seconds = time.perf_counter() - started
+    ordered = [outcomes[index] for index, _ in indexed]
+    report.cell_wall = [wall for _, wall in ordered]
+    if registry is not None:
+        report.record(registry)
+    return [payload for payload, _ in ordered], report

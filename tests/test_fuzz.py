@@ -121,3 +121,55 @@ class VBase {
     # the junk arithmetic and the if/else must be gone
     assert "junk" not in small
     assert "if" not in small
+
+
+class TestSafePredicateClassification:
+    """Regression for the shrinker's failure handling: ``safe_predicate``
+    used to swallow *every* exception, so a crashing oracle made the
+    minimizer shrink toward "crashes the oracle" instead of "still
+    reproduces the divergence"."""
+
+    def test_toolchain_rejection_reads_as_false(self):
+        from repro.errors import CompileError, ReproError
+
+        def rejects(_src):
+            raise CompileError("ill-typed candidate")
+
+        assert safe_predicate(rejects)("class X {}") is False
+
+        def verifier_refuses(_src):
+            raise ReproError("reference interpreter failed")
+
+        assert safe_predicate(verifier_refuses)("class X {}") is False
+
+    def test_oracle_crash_propagates(self):
+        def crashes(_src):
+            raise RuntimeError("oracle bug: index out of range")
+
+        with pytest.raises(RuntimeError, match="oracle bug"):
+            safe_predicate(crashes)("class X {}")
+
+    def test_shrink_reraises_mid_shrink_crash(self):
+        """A predicate that accepts the initial program but crashes on a
+        later candidate must abort the shrink loudly, not be treated as an
+        uninteresting edit."""
+        source = """
+        class P {
+            static int Main() {
+                int junk = 40 + 2;
+                int keep = junk;
+                return keep;
+            }
+        }
+        """
+        seen = []
+
+        def crash_after_first(src):
+            seen.append(src)
+            if len(seen) == 1:
+                return True  # initial program holds
+            raise ZeroDivisionError("engine crashed on a shrink candidate")
+
+        with pytest.raises(ZeroDivisionError):
+            shrink_source(source, safe_predicate(crash_after_first))
+        assert len(seen) >= 2  # it really was a mid-shrink candidate

@@ -151,3 +151,51 @@ class TestCliCsv:
         lines = [l for l in out.splitlines() if l.strip()]
         assert lines[0] == "section,clr-1.1,ibm-1.3.1"
         assert any(l.startswith("Loop:For,") for l in lines)
+
+
+class TestCompileKey:
+    """Regression for the runner's memo key: ``tuple(sorted(dict.items()))``
+    raised an opaque TypeError on unhashable override values and collided
+    1 / 1.0 / True.  ``compile_key`` canonicalizes values and names the
+    offending key when one genuinely cannot be cached."""
+
+    def test_unhashable_value_raises_named_error(self):
+        from repro.errors import BenchmarkError
+        from repro.harness.runner import compile_key
+
+        with pytest.raises(BenchmarkError, match=r"'Reps'"):
+            compile_key("micro.arith", {"Reps": {"nested": 1}})
+        with pytest.raises(BenchmarkError, match="micro.arith"):
+            compile_key("micro.arith", {"Reps": {"nested": 1}})
+
+    def test_numeric_types_do_not_collide(self):
+        from repro.harness.runner import compile_key
+
+        keys = {
+            compile_key("b", {"X": 1}),
+            compile_key("b", {"X": 1.0}),
+            compile_key("b", {"X": True}),
+        }
+        assert len(keys) == 3
+
+    def test_list_values_are_keyable_and_order_sensitive(self):
+        from repro.harness.runner import compile_key
+
+        a = compile_key("b", {"Xs": [1, 2, 3]})
+        assert a == compile_key("b", {"Xs": [1, 2, 3]})
+        assert a == compile_key("b", {"Xs": (1, 2, 3)})  # canon form is a tuple
+        assert a != compile_key("b", {"Xs": [3, 2, 1]})
+
+    def test_key_is_order_insensitive_over_params(self):
+        from repro.harness.runner import compile_key
+
+        assert compile_key("b", {"A": 1, "B": 2}) == compile_key(
+            "b", {"B": 2, "A": 1}
+        )
+
+    def test_runner_surfaces_the_same_error(self):
+        from repro.errors import BenchmarkError
+
+        runner = Runner(profiles=[CLR11])
+        with pytest.raises(BenchmarkError, match=r"'Reps'"):
+            runner.compile_benchmark("micro.arith", {"Reps": [1, [2, {"x": 3}]]})

@@ -317,3 +317,52 @@ class TestQuirkPass:
         } }"""
         expected = Interpreter(LoadedAssembly(compile_source(src))).run()
         assert Machine(LoadedAssembly(compile_source(src)), CLR11).run() == expected
+
+
+class TestInlineCandidateCache:
+    """Regression: a failed ``resolve_method`` must be cached as a negative
+    answer, not re-resolved on every call site.  The cache used to do a
+    ``get(key) or miss-path`` double lookup in which a stored ``None``
+    (a *cached* negative) was indistinguishable from "never looked up"."""
+
+    SRC = "class P { static int Main() { return 1; } }"
+
+    def _jit_with_counting_resolver(self, fail=True):
+        from repro.errors import CilError
+
+        assembly = compile_source(self.SRC)
+        loaded = LoadedAssembly(assembly)
+        calls = []
+
+        def resolver(ref):
+            calls.append(ref)
+            raise CilError(f"unresolvable: {ref.class_name}::{ref.name}")
+
+        loaded.resolve_method = resolver
+        return JitCompiler(loaded, CLR11), calls
+
+    def test_failed_resolve_is_cached_negative(self):
+        from repro.cil import cts
+        from repro.cil.instructions import MethodRef
+
+        jit, calls = self._jit_with_counting_resolver()
+        ref = MethodRef("C", "Helper", (cts.INT32,), cts.INT32)
+        assert jit._inline_candidate(ref) is None
+        assert jit._inline_candidate(ref) is None
+        assert len(calls) == 1, (
+            "resolve_method ran %d times for one unresolvable ref; the "
+            "negative result must be served from the inline cache" % len(calls)
+        )
+
+    def test_distinct_refs_resolve_independently(self):
+        from repro.cil import cts
+        from repro.cil.instructions import MethodRef
+
+        jit, calls = self._jit_with_counting_resolver()
+        a = MethodRef("C", "Helper", (cts.INT32,), cts.INT32)
+        b = MethodRef("C", "Helper", (cts.FLOAT64,), cts.INT32)
+        jit._inline_candidate(a)
+        jit._inline_candidate(b)
+        jit._inline_candidate(a)
+        jit._inline_candidate(b)
+        assert len(calls) == 2  # one per distinct (class, name, signature)
