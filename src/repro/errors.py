@@ -63,6 +63,22 @@ class VMError(ReproError):
     """Runtime failure inside the virtual execution system itself."""
 
 
+class CellTimeout(VMError):
+    """The per-cell cycle watchdog expired: the guest exceeded its cycle
+    budget and was stopped.  Carries the spent cycles and the limit so the
+    harness can report a structured partial result instead of aborting the
+    whole experiment matrix.
+    """
+
+    def __init__(self, cycles: int, limit: int) -> None:
+        self.cycles = cycles
+        self.limit = limit
+        super().__init__(
+            f"cycle budget exceeded (runaway benchmark?): "
+            f"{cycles:,} cycles > limit {limit:,}"
+        )
+
+
 class ManagedException(VMError):
     """A managed (guest) exception escaped to the host.
 

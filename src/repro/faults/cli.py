@@ -1,0 +1,277 @@
+"""``repro-chaos``: seeded fault-matrix campaigns over the harness.
+
+::
+
+    repro-chaos run --seed N [--sites a,b] [--rate R] [--pin INDEX:SITE ...]
+                    [--heap-limit B] [--stack-limit F] [--cycle-limit C]
+                    [--max-retries K] [--cell-timeout S]
+                    [--benchmarks x,y] [--profiles a,b] [--scale S]
+                    [--jobs N|auto] [--out REPORT.json]
+    repro-chaos verify --seed N [same matrix/fault flags]
+    repro-chaos check REPORT.json
+
+``run`` executes one (benchmark x profile) matrix under a
+:class:`~repro.faults.FaultPlan`, writes the failure-annotation report,
+and exits by the containment policy: **0** when every failure is
+attributed to an injected fault or a fired guest limit, **1** when any
+failure lacks an explanation.  ``verify`` runs the same campaign at
+``--jobs 1``, ``2`` and ``4`` and asserts the three reports are
+byte-identical (the determinism acceptance gate).  ``check`` re-evaluates
+the containment policy of an existing report file — CI uses it to assert
+the exit-code contract without re-running the matrix.
+
+This module also hosts the shared ``--fault-*`` argparse helpers that
+``hpcnet run`` and ``repro-bench run`` use to accept a plan.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Tuple
+
+from .plan import ALL_SITES, FaultPlan
+from .report import FaultMatrixReport, annotate_cells, load_report
+
+#: default chaos-campaign matrix: covers allocation, exception unwinding,
+#: and recursion so every machine-level site has something to bite
+DEFAULT_BENCHMARKS = "micro.arith,micro.exception,grande.sieve"
+
+
+# ------------------------------------------------------- shared argparse glue
+
+
+def add_fault_arguments(parser, prefix: str = "fault") -> None:
+    """Attach the shared fault-plan options to an argparse parser.
+
+    ``hpcnet run`` / ``repro-bench run`` pass the default prefix, so their
+    flags read ``--fault-seed`` etc. and never collide with existing
+    options; ``repro-chaos`` itself uses bare names via ``prefix=''``.
+    """
+    p = f"--{prefix}-" if prefix else "--"
+    group = parser.add_argument_group("fault injection")
+    group.add_argument(f"{p}seed", type=int, default=None, metavar="N",
+                       dest="fault_seed",
+                       help="arm a deterministic FaultPlan with this seed")
+    group.add_argument(f"{p}sites", default=None, metavar="A,B",
+                       dest="fault_sites",
+                       help="comma-separated fault sites to arm probabilistically "
+                            f"(known: {','.join(ALL_SITES)})")
+    group.add_argument(f"{p}rate", type=float, default=0.25, metavar="R",
+                       dest="fault_rate",
+                       help="per-(cell, site) arming probability (default: 0.25)")
+    group.add_argument(f"{p}pin", action="append", default=[],
+                       metavar="INDEX:SITE", dest="fault_pin",
+                       help="force SITE on cell INDEX regardless of rate "
+                            "(repeatable)")
+    group.add_argument("--heap-limit", type=int, default=None, metavar="BYTES",
+                       help="guest heap ceiling; exceeding it raises a guest "
+                            "OutOfMemoryException")
+    group.add_argument("--stack-limit", type=int, default=None, metavar="FRAMES",
+                       help="guest call-depth ceiling; exceeding it raises a "
+                            "guest StackOverflowException")
+    group.add_argument("--cycle-limit", type=int, default=None, metavar="CYCLES",
+                       help="per-cell cycle watchdog; exceeding it is a "
+                            "structured CellTimeout")
+    group.add_argument("--max-retries", type=int, default=2, metavar="K",
+                       help="worker retry budget before a cell is quarantined "
+                            "(default: 2)")
+    group.add_argument("--cell-timeout", type=float, default=None, metavar="SECONDS",
+                       help="pool-wide silence watchdog before unfinished "
+                            "workers are presumed hung (default: 20 with a "
+                            "plan, off without)")
+
+
+def _parse_pins(pins: List[str]) -> Tuple[Tuple[int, str], ...]:
+    out = []
+    for pin in pins:
+        index, sep, site = pin.partition(":")
+        try:
+            out.append((int(index), site.strip()))
+        except ValueError:
+            raise SystemExit(f"bad --pin {pin!r} (expected INDEX:SITE)")
+        if not sep or not site.strip():
+            raise SystemExit(f"bad --pin {pin!r} (expected INDEX:SITE)")
+    return tuple(out)
+
+
+def plan_from_args(args) -> Optional[FaultPlan]:
+    """Build the FaultPlan an argparse namespace describes, or None when no
+    fault option was armed (the zero-perturbation default)."""
+    sites = tuple(
+        s.strip() for s in (args.fault_sites or "").split(",") if s.strip()
+    )
+    pinned = _parse_pins(args.fault_pin)
+    armed = (
+        args.fault_seed is not None
+        or sites
+        or pinned
+        or args.heap_limit is not None
+        or args.stack_limit is not None
+        or args.cycle_limit is not None
+    )
+    if not armed:
+        return None
+    try:
+        return FaultPlan(
+            seed=args.fault_seed if args.fault_seed is not None else 0,
+            sites=sites,
+            rate=args.fault_rate,
+            pinned=pinned,
+            heap_limit=args.heap_limit,
+            stack_limit=args.stack_limit,
+            cycle_limit=args.cycle_limit,
+            max_retries=args.max_retries,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"fault plan: {exc}")
+
+
+# --------------------------------------------------------------- the campaign
+
+
+def _campaign_cells(args):
+    from ..benchmarks import get as get_benchmark
+    from ..metrics.baseline import graph_suite
+    from ..runtimes import MICRO_PROFILES, get_profile
+
+    benches = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+    if args.profiles:
+        profiles = [p.strip() for p in args.profiles.split(",") if p.strip()]
+        for name in profiles:
+            get_profile(name)  # fail fast on typos
+    else:
+        profiles = [p.name for p in MICRO_PROFILES]
+    # scaled sizes for graph-suite members; registry defaults otherwise
+    scaled = dict(graph_suite(args.scale))
+    cells = []
+    for bench in benches:
+        get_benchmark(bench)  # fail fast on typos
+        params = scaled.get(bench)
+        for profile in profiles:
+            cells.append((bench, params or None, profile))
+    return cells
+
+
+def _run_campaign(args, plan, jobs) -> FaultMatrixReport:
+    from ..parallel import CompileCache, run_cells
+
+    cells = _campaign_cells(args)
+    cache = None if args.no_compile_cache else CompileCache(args.cache_dir)
+    spec = {
+        "kind": "harness",
+        "metrics": False,
+        "cache_dir": None if cache is None else cache.root,
+        "plan": plan,
+        "cell_timeout": args.cell_timeout,
+    }
+    payloads, pool_report = run_cells(spec, cells, jobs=jobs)
+    report = annotate_cells(
+        [(bench, profile) for bench, _params, profile in cells], payloads, plan
+    )
+    print(f"repro-chaos: pool {pool_report.summary()}", file=sys.stderr)
+    return report
+
+
+def cmd_run(args) -> int:
+    plan = plan_from_args(args)
+    if plan is None:
+        raise SystemExit(
+            "repro-chaos run: no fault armed; pass --seed (optionally with "
+            "--sites/--pin/limits)"
+        )
+    report = _run_campaign(args, plan, args.jobs)
+    if args.out:
+        parent = os.path.dirname(args.out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json())
+        print(f"repro-chaos: wrote {args.out}")
+    print(f"repro-chaos: {report.summary()}")
+    for line in report.failure_lines():
+        print(f"repro-chaos:   {line}")
+    return 0 if report.contained else 1
+
+
+def cmd_verify(args) -> int:
+    plan = plan_from_args(args)
+    if plan is None:
+        raise SystemExit("repro-chaos verify: no fault armed; pass --seed")
+    blobs = {}
+    for jobs in (1, 2, 4):
+        print(f"repro-chaos: campaign at --jobs {jobs}", file=sys.stderr)
+        blobs[jobs] = _run_campaign(args, plan, jobs).to_json()
+    if not (blobs[1] == blobs[2] == blobs[4]):
+        print("repro-chaos: FAIL — reports differ across --jobs 1/2/4")
+        return 1
+    report = FaultMatrixReport(plan=plan, cells=json.loads(blobs[1])["cells"])
+    print(f"repro-chaos: byte-identical across --jobs 1/2/4 — {report.summary()}")
+    return 0 if report.contained else 1
+
+
+def cmd_check(args) -> int:
+    try:
+        report = load_report(args.report)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro-chaos check: {exc}")
+    print(f"repro-chaos: {args.report}: {report.summary()}")
+    for line in report.failure_lines():
+        print(f"repro-chaos:   {line}")
+    return 0 if report.contained else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from ..parallel import add_jobs_argument, default_cache_dir
+
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description="seeded fault-matrix campaigns with the containment "
+        "exit-code policy (0 = every failure attributed, 1 = uncontained)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_matrix_arguments(p) -> None:
+        add_fault_arguments(p, prefix="")
+        p.add_argument("--benchmarks", default=DEFAULT_BENCHMARKS,
+                       help=f"comma-separated benchmarks (default: {DEFAULT_BENCHMARKS})")
+        p.add_argument("--profiles", default=None,
+                       help="comma-separated runtime profiles (default: micro set)")
+        p.add_argument("--scale", type=float, default=0.05,
+                       help="benchmark problem-size scale (default: 0.05)")
+        p.add_argument("--cache-dir", default=default_cache_dir(), metavar="DIR",
+                       help="persistent compile cache location")
+        p.add_argument("--no-compile-cache", action="store_true",
+                       help="compile from scratch; do not touch the cache")
+
+    run = sub.add_parser("run", help="one campaign; write the report; exit by containment")
+    add_matrix_arguments(run)
+    add_jobs_argument(run)
+    run.add_argument("--out", default="chaos-report.json", metavar="PATH",
+                     help="failure-annotation report path (default: "
+                          "chaos-report.json; '' to skip)")
+    run.set_defaults(func=cmd_run)
+
+    verify = sub.add_parser(
+        "verify", help="same campaign at --jobs 1/2/4; assert byte-identical reports"
+    )
+    add_matrix_arguments(verify)
+    verify.set_defaults(func=cmd_verify)
+
+    check = sub.add_parser(
+        "check", help="re-evaluate an existing report's containment policy"
+    )
+    check.add_argument("report", help="a repro.faults/1 report JSON file")
+    check.set_defaults(func=cmd_check)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..errors import ManagedException, ReproError
+from ..faults.report import CellFailure
 from ..jit import mir
 from ..lang import compile_source
 from ..runtimes import ALL_PROFILES, CLR11
@@ -269,7 +270,13 @@ def run_campaign(
         payloads, report = run_cells(spec, list(range(count)), jobs=jobs)
         result.report = report
         for payload in payloads:
-            if payload[0] == "timeout":
+            if isinstance(payload, CellFailure):
+                # "deadline" mirrors the serial path's time-budget break:
+                # the cell simply never ran.  Any other contained failure
+                # is still a campaign-visible program failure.
+                if payload.status != "deadline":
+                    result.compile_failures.append((None, payload.error))
+                    result.executed += 1
                 continue
             if payload[0] == "compile_failure":
                 result.compile_failures.append((payload[1], payload[2]))

@@ -57,6 +57,8 @@ def cmd_profiles(_args) -> int:
 
 
 def cmd_run(args) -> int:
+    from ..faults.cli import plan_from_args
+    from ..faults.report import CellFailure, annotate_cells
     from ..parallel import CompileCache, resolve_jobs, run_cells
     from .runner import check_cross_profile_results
 
@@ -67,13 +69,17 @@ def cmd_run(args) -> int:
     )
     overrides = _parse_overrides(args.param or [])
     cache = None if args.no_compile_cache else CompileCache(args.cache_dir)
+    plan = plan_from_args(args)
     jobs = args.jobs
     if args.profile and resolve_jobs(jobs) > 1:
         # the cycle-attribution observer is a live per-machine object, not a
         # picklable result record; profiling runs stay serial
         print("hpcnet: --profile forces serial execution (ignoring --jobs)")
         jobs = None
-    if resolve_jobs(jobs) > 1 and len(profiles) > 1:
+    if plan is not None and args.profile:
+        raise SystemExit("hpcnet run: --profile cannot be combined with fault injection")
+    faults_report = None
+    if (resolve_jobs(jobs) > 1 and len(profiles) > 1) or plan is not None:
         cells = [
             (args.benchmark, overrides or None, p.name) for p in profiles
         ]
@@ -82,15 +88,32 @@ def cmd_run(args) -> int:
             "metrics": False,
             "clock_hz": args.clock,
             "cache_dir": None if cache is None else cache.root,
+            "plan": plan,
+            "cell_timeout": args.cell_timeout,
         }
         payloads, report = run_cells(spec, cells, jobs=jobs)
-        runs = {p.name: run for p, run in zip(profiles, payloads)}
+        runs = {
+            p.name: run
+            for p, run in zip(profiles, payloads)
+            if not isinstance(run, CellFailure)
+        }
         check_cross_profile_results(args.benchmark, runs)
         print(f"hpcnet: parallel {report.summary()}")
+        faults_report = annotate_cells(
+            [(args.benchmark, p.name) for p in profiles], payloads, plan
+        )
+        if faults_report.failures:
+            print(f"hpcnet: {faults_report.summary()}")
+            for line in faults_report.failure_lines():
+                print(f"hpcnet:   {line}")
+        if not runs:
+            print("hpcnet: no surviving profile runs")
+            return 0 if faults_report.contained else 1
     else:
         runner = Runner(profiles=profiles, clock_hz=args.clock, compile_cache=cache)
         runs = runner.run(args.benchmark, overrides or None, observe=args.profile)
     bench = get_benchmark(args.benchmark)
+    profiles = [p for p in profiles if p.name in runs]
     if args.profile:
         from ..observe.cli import write_artifacts
 
@@ -113,6 +136,8 @@ def cmd_run(args) -> int:
     else:
         print(bar_chart(series, unit=unit, profile_order=[p.name for p in profiles],
                         title=f"{args.benchmark} ({bench.description})"))
+    if faults_report is not None and faults_report.failures:
+        return 0 if faults_report.contained else 1
     return 0
 
 
@@ -175,6 +200,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "(default: $REPRO_CACHE_DIR or .repro-cache)")
     p_run.add_argument("--no-compile-cache", action="store_true",
                        help="compile from scratch; do not read or write the cache")
+    from ..faults.cli import add_fault_arguments
+
+    add_fault_arguments(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_exp = sub.add_parser("experiment", help="regenerate one paper graph/table")

@@ -39,6 +39,9 @@ class ProfileRun:
     #: repro.metrics registry snapshot ({"counters": ..., "gauges": ...,
     #: "histograms": ...}) when the run was metric-instrumented, else None
     metrics: Optional[dict] = None
+    #: fired fault-site counts ({site: count}) when a repro.faults spec was
+    #: active and at least one site fired without failing the run, else None
+    faults: Optional[dict] = None
 
     def section(self, name: str) -> SectionResult:
         try:

@@ -14,7 +14,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..benchmarks import get as get_benchmark
 from ..cil.metadata import Assembly
-from ..errors import BenchmarkError
+from ..errors import BenchmarkError, ReproError
 from ..lang import compile_source
 from ..metrics import MachineMetrics
 from ..observe import CompositeObserver, Observer
@@ -110,6 +110,7 @@ class Runner:
         observe=None,
         disabled_passes: Optional[Iterable[str]] = None,
         metrics=None,
+        faults=None,
     ) -> ProfileRun:
         """Run one benchmark on one profile.
 
@@ -122,7 +123,11 @@ class Runner:
         observer slot then gets a :class:`repro.observe.CompositeObserver`
         fanning every hook (and the JIT trace) out to both.
         ``disabled_passes`` overrides the runner-wide setting for this run
-        only.
+        only.  ``faults`` is an optional
+        :class:`repro.faults.MachineFaults` spec; when a fault fires the
+        escaping :class:`~repro.errors.ReproError` carries the machine's
+        fired-site counters as ``exc.fault_fired`` so merge paths can
+        attribute the failure.
         """
         assembly = self.compile_benchmark(name, overrides)
         if observe is True:
@@ -144,9 +149,21 @@ class Runner:
             quantum=self.quantum,
             disabled_passes=disabled,
             observer=observer,
+            faults=faults,
         )
-        machine.run()
-        machine.bench.require_valid()
+        try:
+            machine.run()
+            machine.bench.require_valid()
+        except ReproError as exc:
+            if machine.faults is not None and machine.faults.fired:
+                exc.fault_fired = dict(machine.faults.fired)
+            raise
+        fired = None
+        if machine.faults is not None and machine.faults.fired:
+            fired = dict(machine.faults.fired)
+            if metrics is not None:
+                for site, count in sorted(fired.items()):
+                    metrics.registry.counter(f"faults.{site}").add(count)
         clock = self.clock_hz or profile.clock_hz
         run = ProfileRun(
             benchmark=name,
@@ -160,6 +177,7 @@ class Runner:
             gc_live_objects=machine.gc_live_objects,
             observation=observe,
             metrics=None if metrics is None else metrics.snapshot(),
+            faults=fired,
         )
         for section_name, section in machine.bench.sections.items():
             run.sections[section_name] = SectionResult(

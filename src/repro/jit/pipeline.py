@@ -82,6 +82,11 @@ class JitCompiler:
             self._cache[key] = fn
         return fn
 
+    def is_compiled(self, method: MethodDef) -> bool:
+        """True when ``method`` already has a cached MIR body (i.e. a
+        further :meth:`compile` call performs no compilation work)."""
+        return id(method) in self._cache
+
     # ------------------------------------------------------------- internals
 
     def _compile(self, method: MethodDef, allow_inline: bool) -> mir.MIRFunction:

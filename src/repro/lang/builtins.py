@@ -218,6 +218,10 @@ class SynchronizationException : Exception {
     SynchronizationException() { this.Message = "synchronization error"; }
     SynchronizationException(string m) { this.Message = m; }
 }
+class StackOverflowException : Exception {
+    StackOverflowException() { this.Message = "stack overflow"; }
+    StackOverflowException(string m) { this.Message = m; }
+}
 """
 
 #: classes defined by CORELIB_SOURCE (kept in sync by a unit test)
@@ -231,4 +235,5 @@ CORELIB_CLASSES = (
     "ArgumentException",
     "OutOfMemoryException",
     "SynchronizationException",
+    "StackOverflowException",
 )

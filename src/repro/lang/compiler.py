@@ -22,7 +22,7 @@ from .typecheck import check_program
 #: (:mod:`repro.parallel.cache`).  Bump whenever the front end, codegen, or
 #: verifier change observable output, so stale cached assemblies are never
 #: reused across compiler versions.
-COMPILER_VERSION = "kernel-cs/1"
+COMPILER_VERSION = "kernel-cs/2"
 
 #: process-local call accounting, primarily so tests (and the parallel
 #: layer's cache-effectiveness assertions) can prove a warm compile cache

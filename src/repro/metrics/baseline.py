@@ -102,6 +102,8 @@ def collect(
     progress=None,
     jobs=None,
     cache=None,
+    plan=None,
+    cell_timeout: Optional[float] = None,
 ) -> dict:
     """Run the suite on every profile with metrics attached; return the
     artifact dict (pure data, JSON-ready).
@@ -114,8 +116,17 @@ def collect(
     enters the artifact).  ``cache`` is an optional
     :class:`repro.parallel.CompileCache` shared by workers and serial runs
     alike.
+
+    ``plan`` is an optional :class:`repro.faults.FaultPlan`: cells the
+    plan fails come back as structured failures instead of aborting the
+    collection — the artifact then carries a ``failures`` key, failed
+    (benchmark, profile) entries are simply absent from ``profiles`` /
+    ``ratios``, and the full :class:`repro.faults.FaultMatrixReport` lands
+    on ``collect.last_faults``.  An artifact collected with no plan is
+    byte-identical to one collected before fault injection existed.
     """
     # imported here: the harness imports repro.metrics in turn
+    from ..faults.report import CellFailure, annotate_cells
     from ..harness.runner import Runner, check_cross_profile_results
     from ..parallel import resolve_jobs, run_cells
     from ..runtimes import ALL_PROFILES
@@ -123,9 +134,12 @@ def collect(
     profiles = list(profiles or ALL_PROFILES)
     suite = list(suite if suite is not None else graph_suite(scale))
     collect.last_report = None
+    collect.last_faults = None
 
     runs_by_bench: Dict[str, Dict[str, object]] = {}
-    if resolve_jobs(jobs) > 1 and len(suite) * len(profiles) > 1:
+    faults_report = None
+    use_pool = resolve_jobs(jobs) > 1 and len(suite) * len(profiles) > 1
+    if use_pool or plan is not None:
         cells = [
             (name, params or None, profile.name)
             for name, params in suite
@@ -135,15 +149,22 @@ def collect(
             "kind": "harness",
             "metrics": True,
             "cache_dir": None if cache is None else cache.root,
+            "plan": plan,
+            "cell_timeout": cell_timeout,
         }
         if progress is not None:
             progress(f"{len(cells)} cells across jobs={jobs}")
         payloads, report = run_cells(spec, cells, jobs=jobs)
         collect.last_report = report
         for (name, _params, pname), run in zip(cells, payloads):
-            runs_by_bench.setdefault(name, {})[pname] = run
+            if not isinstance(run, CellFailure):
+                runs_by_bench.setdefault(name, {})[pname] = run
         for name, runs in runs_by_bench.items():
             check_cross_profile_results(name, runs)
+        faults_report = annotate_cells(
+            [(name, pname) for name, _params, pname in cells], payloads, plan
+        )
+        collect.last_faults = faults_report
     else:
         runner = Runner(profiles=profiles, compile_cache=cache)
         for name, params in suite:
@@ -153,10 +174,12 @@ def collect(
 
     benchmarks: Dict[str, dict] = {}
     for name, params in suite:
-        runs = runs_by_bench[name]
+        runs = runs_by_bench.get(name, {})
         per_profile: Dict[str, dict] = {}
         for profile in profiles:
-            run = runs[profile.name]
+            run = runs.get(profile.name)
+            if run is None:
+                continue
             per_profile[profile.name] = {
                 "cycles": run.total_cycles,
                 "instructions": run.instructions,
@@ -168,31 +191,46 @@ def collect(
                 },
                 "metrics": run.metrics,
             }
-        base_name = RATIO_BASE if RATIO_BASE in per_profile else profiles[0].name
-        base_cycles = per_profile[base_name]["cycles"]
-        ratios = {
-            f"{pname}/{base_name}": (
-                entry["cycles"] / base_cycles if base_cycles else 0.0
+        ratios: Dict[str, float] = {}
+        if per_profile:
+            base_name = (
+                RATIO_BASE
+                if RATIO_BASE in per_profile
+                else next(p.name for p in profiles if p.name in per_profile)
             )
-            for pname, entry in per_profile.items()
-            if pname != base_name
-        }
+            base_cycles = per_profile[base_name]["cycles"]
+            ratios = {
+                f"{pname}/{base_name}": (
+                    entry["cycles"] / base_cycles if base_cycles else 0.0
+                )
+                for pname, entry in per_profile.items()
+                if pname != base_name
+            }
         benchmarks[name] = {
             "params": dict(params),
             "profiles": per_profile,
             "ratios": ratios,
         }
-    return {
+    artifact = {
         "schema": BENCH_SCHEMA,
         "git_sha": git_sha if git_sha is not None else current_git_sha(),
         "scale": scale,
         "profiles": [p.name for p in profiles],
         "benchmarks": benchmarks,
     }
+    if faults_report is not None and faults_report.failures:
+        # present only on faulted collections, so clean artifacts stay
+        # byte-identical to the pre-fault-injection layout
+        artifact["failures"] = faults_report.failures
+    return artifact
 
 
 #: the last collection's repro.parallel.PoolReport (None for serial runs)
 collect.last_report = None
+
+#: the last collection's repro.faults.FaultMatrixReport (None unless the
+#: collection went through the pool path — always the case with a plan)
+collect.last_faults = None
 
 
 # ---------------------------------------------------------------- serialize

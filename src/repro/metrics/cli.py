@@ -65,11 +65,13 @@ def _resolve_suite(spec: Optional[str], scale: float):
 
 
 def cmd_run(args) -> int:
+    from ..faults.cli import plan_from_args
     from ..parallel import CompileCache
 
     profiles = _resolve_profiles(args.profiles)
     suite = _resolve_suite(args.benchmarks, args.scale)
     cache = None if args.no_compile_cache else CompileCache(args.cache_dir)
+    plan = plan_from_args(args)
     artifact = baseline.collect(
         profiles=profiles,
         suite=suite,
@@ -78,6 +80,8 @@ def cmd_run(args) -> int:
         progress=lambda msg: print(f"repro-bench: {msg}", file=sys.stderr),
         jobs=args.jobs,
         cache=cache,
+        plan=plan,
+        cell_timeout=args.cell_timeout,
     )
     path = baseline.write_artifact(artifact, args.out, seq=args.seq)
     benches = artifact["benchmarks"]
@@ -94,6 +98,12 @@ def cmd_run(args) -> int:
             f"repro-bench: compile cache {cache.hits} hits / "
             f"{cache.misses} misses ({cache.root})"
         )
+    faults_report = baseline.collect.last_faults
+    if faults_report is not None and faults_report.failures:
+        print(f"repro-bench: {faults_report.summary()}")
+        for line in faults_report.failure_lines():
+            print(f"repro-bench:   {line}")
+        return 0 if faults_report.contained else 1
     return 0
 
 
@@ -136,6 +146,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: $REPRO_CACHE_DIR or .repro-cache)")
     run.add_argument("--no-compile-cache", action="store_true",
                      help="compile from scratch; do not read or write the cache")
+    from ..faults.cli import add_fault_arguments
+
+    add_fault_arguments(run)
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="diff two artifacts; exit 1 on regression")

@@ -14,6 +14,14 @@ tag, so bumping either orphans old entries (they are simply never hit
 again); there is no in-place mutation.  Writes are atomic
 (tempfile + ``os.replace``), so concurrent pool workers may race on the
 same key and the loser's write harmlessly replaces the identical payload.
+
+Crash consistency: a worker killed mid-:meth:`~CompileCache.store` can
+leave at most an orphaned ``*.tmp`` file — never a partial entry at a
+final path, because the final name only ever appears via ``os.replace`` of
+a fully-written temp file.  Orphans are invisible to :meth:`load` (final
+paths end in ``.bin``) and are reaped by :meth:`sweep`.  A truncated or
+corrupted entry that does reach a final path (e.g. torn storage) reads as
+a miss and is repaired by the next store.
 """
 
 from __future__ import annotations
@@ -21,7 +29,7 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from ..cil.metadata import ASSEMBLY_WIRE_FORMAT, Assembly
 
@@ -42,12 +50,25 @@ class CompileCache:
     ``hits``/``misses`` count this instance's lookups (each pool worker
     holds its own instance over the shared directory; the pool layer sums
     worker counts into the parent's metrics registry).
+
+    ``corrupt_loads`` is the fault-injection hook: a sorted tuple of
+    1-based load ordinals whose read bytes are truncated to half before
+    deserialization, simulating a torn entry.  Each such load must count
+    as a miss (``corrupted`` tracks how many did) — the degradation
+    contract under corruption is recompile, never crash.
     """
 
-    def __init__(self, root: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        corrupt_loads: Sequence[int] = (),
+    ) -> None:
         self.root = root or default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.corrupted = 0
+        self.corrupt_loads: Tuple[int, ...] = tuple(corrupt_loads)
+        self._loads = 0
 
     # ----------------------------------------------------------------- keys
 
@@ -76,9 +97,13 @@ class CompileCache:
                 data = handle.read()
         except OSError:
             return None
+        self._loads += 1
+        if self._loads in self.corrupt_loads:
+            data = data[: len(data) // 2]
         try:
             return Assembly.from_bytes(data)
         except Exception:
+            self.corrupted += 1
             return None
 
     def store(self, key: str, assembly: Assembly) -> None:
@@ -86,14 +111,36 @@ class CompileCache:
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
         try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(assembly.to_bytes())
-            os.replace(tmp, path)
-        except OSError:
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(assembly.to_bytes())
+                os.replace(tmp, path)
+            except OSError:
+                pass
+        finally:
+            # os.replace consumed tmp on success; anything left behind is
+            # a partial write from the failure path above.
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+
+    def sweep(self) -> int:
+        """Remove orphaned ``*.tmp`` files left by killed writers; returns
+        how many were reaped.  Safe to run concurrently with writers: a
+        live temp file that disappears under a sweeping process was about
+        to be replaced anyway, and ``store`` tolerates the lost unlink."""
+        reaped = 0
+        asm_root = os.path.join(self.root, "asm")
+        for dirpath, _dirnames, filenames in os.walk(asm_root):
+            for name in filenames:
+                if name.endswith(".tmp"):
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                        reaped += 1
+                    except OSError:
+                        pass
+        return reaped
 
     # ------------------------------------------------------------------- api
 
@@ -116,4 +163,9 @@ class CompileCache:
         return assembly
 
     def stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses, "root": self.root}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupted": self.corrupted,
+            "root": self.root,
+        }

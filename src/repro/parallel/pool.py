@@ -1,4 +1,4 @@
-"""Deterministic process-pool fan-out over independent experiment cells.
+"""Deterministic, fault-resilient process-pool fan-out over experiment cells.
 
 The experiment matrices this repo runs — (benchmark x runtime profile) in
 the harness and ``repro-bench``, (program x profile x pass-ablation) in the
@@ -9,31 +9,63 @@ parallelism therefore cannot perturb any measured number, which lets this
 layer promise something stronger than most pools: **the merged output of a
 parallel run is bit-identical to the serial run**.
 
-Two design rules make that promise enforceable rather than probabilistic:
+Three design rules make that promise enforceable rather than probabilistic:
 
-* *Static sharding.*  Cell ``i`` always goes to worker ``i % jobs``; there
-  is no work-stealing queue whose scheduling could reorder anything.
-* *Indexed merge.*  Workers return ``(index, payload)`` pairs and the
+* *Static sharding.*  Each dispatch round sends cell ``i`` of the round's
+  pending list to worker ``i % jobs``; there is no work-stealing queue
+  whose scheduling could reorder anything.
+* *Indexed merge.*  Workers stream ``(index, payload)`` pairs and the
   parent reassembles strictly by index, so arrival order is irrelevant.
+* *Plan-derived outcomes.*  Under a :class:`~repro.faults.FaultPlan`,
+  which attempts fail, how many retries a cell gets, and whether it ends
+  quarantined are pure functions of ``(plan seed, cell index)`` — never of
+  observed pids, arrival order, or wall clock — so failure annotations are
+  byte-identical at any ``--jobs`` count.
+
+Resilience contract: a cell-level :class:`~repro.errors.ReproError` (guest
+exception, injected OOM, cycle-watchdog timeout, compile failure) comes
+back as a structured :class:`~repro.faults.CellFailure` payload in the
+merged result list, never as a raised exception.  A worker that dies or
+hangs forfeits only its *unreported* cells: the first of them is charged
+one retry attempt (it is the cell the worker was executing — everything
+before it was already streamed), the rest requeue penalty-free, and a cell
+whose attempts exceed the retry budget is quarantined.  Only host-side
+bugs (a worker body raising a non-Repro exception) still raise
+:class:`PoolError`.
 
 Workers are plain ``multiprocessing`` processes (fork where available,
 spawn otherwise); payloads are picklable result records (``ProfileRun``,
-divergence lists), never live machines.  Per-cell wall clock, worker
-utilisation, and compile-cache hit/miss counts are folded into a
-:class:`~repro.metrics.MetricsRegistry` — wall time is *operational*
-telemetry about the pool and never enters a measured artifact.
+``CellFailure``, divergence lists), never live machines.  Per-cell wall
+clock, worker utilisation, and compile-cache hit/miss counts are folded
+into a :class:`~repro.metrics.MetricsRegistry` — wall time is
+*operational* telemetry about the pool and never enters a measured
+artifact.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import queue as queue_module
 import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
+from ..faults.report import CellFailure
+
+#: retry budget when no FaultPlan supplies one (real worker deaths are
+#: still retried and quarantined without any injection armed)
+DEFAULT_MAX_RETRIES = 2
+
+#: silence watchdog (seconds without any worker message before alive,
+#: unfinished workers are presumed hung) when a plan is active but the
+#: caller set no explicit cell timeout
+DEFAULT_CELL_TIMEOUT = 20.0
+
+#: parent poll interval while draining the worker queue
+_POLL_SECONDS = 0.25
 
 
 class PoolError(ReproError):
@@ -87,8 +119,16 @@ class PoolReport:
     worker_pids: Tuple[int, ...] = ()
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_corrupted: int = 0
     #: per-cell wall seconds, in cell-index order
     cell_wall: List[float] = field(default_factory=list)
+    #: plan-derived worker-fault accounting (identical serial/parallel)
+    worker_faults: int = 0
+    retries: int = 0
+    quarantined: int = 0
+    #: observed (not plan-derived) worker deaths/kills; operational only
+    crashes_observed: int = 0
+    hangs_observed: int = 0
 
     @property
     def workers_used(self) -> int:
@@ -99,7 +139,12 @@ class PoolReport:
         return self.cells / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
     def record(self, registry) -> None:
-        """Fold the report into a :class:`repro.metrics.MetricsRegistry`."""
+        """Fold the report into a :class:`repro.metrics.MetricsRegistry`.
+
+        The ``faults.*`` counters are only touched when nonzero so a run
+        with no plan (and no real worker death) produces a registry
+        snapshot bit-identical to one taken before this layer existed.
+        """
         registry.counter("parallel.cells").add(self.cells)
         registry.counter("parallel.cache.hits").add(self.cache_hits)
         registry.counter("parallel.cache.misses").add(self.cache_misses)
@@ -108,6 +153,18 @@ class PoolReport:
         hist = registry.histogram("parallel.cell_wall_us")
         for seconds in self.cell_wall:
             hist.observe(int(seconds * 1e6))
+        if self.worker_faults:
+            registry.counter("faults.worker_faults").add(self.worker_faults)
+        if self.retries:
+            registry.counter("faults.worker_retries").add(self.retries)
+        if self.quarantined:
+            registry.counter("faults.quarantined").add(self.quarantined)
+        if self.crashes_observed:
+            registry.counter("faults.worker_crashes").add(self.crashes_observed)
+        if self.hangs_observed:
+            registry.counter("faults.worker_hangs").add(self.hangs_observed)
+        if self.cache_corrupted:
+            registry.counter("faults.cache_corrupt").add(self.cache_corrupted)
 
     def summary(self) -> str:
         line = (
@@ -117,6 +174,13 @@ class PoolReport:
         )
         if self.cache_hits or self.cache_misses:
             line += f", cache {self.cache_hits} hits / {self.cache_misses} misses"
+        if self.cache_corrupted:
+            line += f" ({self.cache_corrupted} corrupt)"
+        if self.worker_faults:
+            line += (
+                f", worker faults {self.worker_faults} "
+                f"({self.retries} retries, {self.quarantined} quarantined)"
+            )
         return line + ")"
 
 
@@ -130,9 +194,11 @@ def _make_state(spec: dict) -> dict:
     """Per-worker-process state, built once before its chunk runs."""
     from .cache import CompileCache
 
+    plan = spec.get("plan")
     state: dict = {}
     if spec.get("cache_dir"):
-        state["cache"] = CompileCache(spec["cache_dir"])
+        corrupt = plan.cache_corrupt_loads() if plan is not None else ()
+        state["cache"] = CompileCache(spec["cache_dir"], corrupt_loads=corrupt)
     else:
         state["cache"] = None
     if spec["kind"] == "harness":
@@ -158,27 +224,38 @@ def _make_state(spec: dict) -> dict:
     return state
 
 
-def _run_cell(state: dict, spec: dict, cell) -> object:
+def _run_cell(state: dict, spec: dict, cell, index: int) -> object:
+    """Run one cell; a :class:`ReproError` crossing this boundary becomes a
+    structured :class:`CellFailure` payload (the containment contract)."""
+    plan = spec.get("plan")
     if spec["kind"] == "harness":
         from ..runtimes import get_profile
 
         bench, params, profile_name = cell
-        return state["runner"].run_on(
-            bench,
-            get_profile(profile_name),
-            params,
-            metrics=True if spec.get("metrics") else None,
-        )
+        faults = plan.machine_faults(index) if plan is not None else None
+        try:
+            return state["runner"].run_on(
+                bench,
+                get_profile(profile_name),
+                params,
+                metrics=True if spec.get("metrics") else None,
+                faults=faults,
+            )
+        except ReproError as exc:
+            return CellFailure.from_exception(index, exc)
     # fuzz: one generated (or replayed) program through the whole matrix
     from contextlib import nullcontext
 
     from ..fuzz.genprog import generate_program, program_seed
     from ..fuzz.oracle import run_program
 
-    index = cell
     deadline = spec.get("deadline")
     if deadline is not None and time.monotonic() > deadline:
-        return ("timeout", index)
+        return CellFailure(
+            index=index,
+            status="deadline",
+            error="time budget exhausted before cell ran",
+        )
     pseed = program_seed(spec["seed"], index)
     prog = generate_program(pseed, budget=spec["budget"])
     inject = spec.get("inject_bug")
@@ -201,17 +278,46 @@ def _run_cell(state: dict, spec: dict, cell) -> object:
     return ("result", pseed, prog.source, divergences)
 
 
-def _worker_main(spec: dict, chunk: Sequence[Tuple[int, object]], queue) -> None:
+def _apply_worker_fault(plan, index: int, attempt: int, queue) -> None:
+    """Execute the plan's worker-level fault for ``(cell, attempt)``:
+    hard-exit for ``worker_crash``, sleep forever for ``worker_hang`` (the
+    parent's silence watchdog kills us).  No-op once ``attempt`` reaches
+    the plan's fail count — that attempt succeeds."""
+    fault = plan.worker_fault(index)
+    if fault is None or attempt >= fault[1]:
+        return
+    if fault[0] == "worker_crash":
+        # flush earlier cells' streamed results so the parent's penalty
+        # lands on this cell, not a completed one whose message was still
+        # buffered in the feeder thread
+        queue.close()
+        queue.join_thread()
+        os._exit(70)
+    while True:  # worker_hang
+        time.sleep(3600)
+
+
+def _worker_main(spec: dict, chunk: Sequence[Tuple[int, object, int]], queue) -> None:
+    """Stream one ``("cell", pid, index, payload, wall)`` message per cell,
+    then ``("done", pid, hits, misses, corrupted)``.  Streaming (rather
+    than batching the chunk) is what makes the parent's penalty rule sound:
+    when this process dies, exactly the unreported cells are outstanding
+    and the first of them is the one being executed."""
     try:
         state = _make_state(spec)
-        results = []
-        for index, cell in chunk:
+        plan = spec.get("plan")
+        pid = os.getpid()
+        for index, cell, attempt in chunk:
+            if plan is not None:
+                _apply_worker_fault(plan, index, attempt, queue)
             t0 = time.perf_counter()
-            payload = _run_cell(state, spec, cell)
-            results.append((index, payload, time.perf_counter() - t0))
+            payload = _run_cell(state, spec, cell, index)
+            queue.put(("cell", pid, index, payload, time.perf_counter() - t0))
         cache = state.get("cache")
-        hits, misses = (cache.hits, cache.misses) if cache else (0, 0)
-        queue.put(("ok", os.getpid(), results, hits, misses))
+        if cache is not None:
+            queue.put(("done", pid, cache.hits, cache.misses, cache.corrupted))
+        else:
+            queue.put(("done", pid, 0, 0, 0))
     except BaseException:
         queue.put(("error", os.getpid(), traceback.format_exc()))
 
@@ -224,6 +330,181 @@ def _pool_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _quarantine_failure(index: int, attempts: int, max_retries: int, plan) -> CellFailure:
+    """The structured outcome of a cell whose retry budget is spent.
+    Built from plan-derived fields when the plan armed a fault here (so
+    serial and parallel runs agree byte-for-byte); a quarantine with no
+    armed fault keeps ``fault=""`` and therefore reads as UNATTRIBUTED."""
+    record = plan.fault_record(index) if plan is not None else None
+    if record is not None and record.outcome == "quarantined":
+        return CellFailure(
+            index=index,
+            status="quarantined",
+            error=(
+                f"worker fault {record.site}: {record.fail_attempts} failed "
+                f"attempts exhausted retry budget {max_retries}"
+            ),
+            fault=record.site,
+            retries=record.retries,
+            backoff_cycles=record.backoff_cycles,
+        )
+    return CellFailure(
+        index=index,
+        status="quarantined",
+        error=(
+            f"worker died {attempts} times on this cell; "
+            f"retry budget {max_retries} exhausted"
+        ),
+        retries=max_retries,
+    )
+
+
+def _run_serial(spec: dict, indexed, outcomes, report: PoolReport) -> None:
+    """The jobs=1 path.  Worker-level faults are *simulated* from the plan
+    (failed attempts are skipped, not executed) so the final outcome of
+    every cell — recovered cells run once, quarantined cells never run —
+    is identical to what the parallel retry machinery converges to."""
+    state = _make_state(spec)
+    plan = spec.get("plan")
+    max_retries = plan.max_retries if plan is not None else DEFAULT_MAX_RETRIES
+    for index, cell in indexed:
+        record = plan.fault_record(index) if plan is not None else None
+        if record is not None and record.outcome == "quarantined":
+            outcomes[index] = (
+                _quarantine_failure(index, record.fail_attempts, max_retries, plan),
+                0.0,
+            )
+            continue
+        t0 = time.perf_counter()
+        payload = _run_cell(state, spec, cell, index)
+        outcomes[index] = (payload, time.perf_counter() - t0)
+    cache = state.get("cache")
+    if cache is not None:
+        report.cache_hits, report.cache_misses = cache.hits, cache.misses
+        report.cache_corrupted = cache.corrupted
+    report.worker_pids = (os.getpid(),)
+
+
+def _run_parallel(spec: dict, indexed, njobs: int, outcomes, report: PoolReport) -> None:
+    """Dispatch rounds of workers until every cell has an outcome.
+
+    Per round: shard the pending cells statically, stream results, and
+    watch for worker death (process exited without ``done``) and hangs
+    (no message from anyone for the silence timeout while unfinished
+    workers are alive).  A dead/hung worker charges one retry attempt to
+    the first unreported cell of its chunk — the cell it was executing —
+    and requeues the rest penalty-free; cells over the retry budget are
+    quarantined between rounds.  Every round either finishes cells or
+    charges at least one attempt, so the loop terminates.
+    """
+    plan = spec.get("plan")
+    max_retries = plan.max_retries if plan is not None else DEFAULT_MAX_RETRIES
+    cell_timeout = spec.get("cell_timeout")
+    if cell_timeout is None and plan is not None:
+        cell_timeout = DEFAULT_CELL_TIMEOUT
+
+    ctx = _pool_context()
+    queue = ctx.Queue()
+    attempts: Dict[int, int] = {index: 0 for index, _ in indexed}
+    pids: List[int] = []
+    host_errors: List[str] = []
+
+    while True:
+        pending = [(i, c) for i, c in indexed if i not in outcomes]
+        for index, _cell in pending:
+            if attempts[index] > max_retries:
+                outcomes[index] = (
+                    _quarantine_failure(index, attempts[index], max_retries, plan),
+                    0.0,
+                )
+        pending = [(i, c) for i, c in pending if i not in outcomes]
+        if not pending or host_errors:
+            break
+
+        chunks = [
+            [(index, cell, attempts[index]) for index, cell in pending[w::njobs]]
+            for w in range(njobs)
+        ]
+        workers = []
+        for chunk in chunks:
+            if not chunk:
+                continue
+            proc = ctx.Process(
+                target=_worker_main, args=(spec, chunk, queue), daemon=True
+            )
+            proc.start()
+            workers.append(
+                {"proc": proc, "chunk": chunk, "reported": set(), "done": False}
+            )
+        by_pid = {w["proc"].pid: w for w in workers}
+        pids.extend(by_pid)
+        last_message = time.monotonic()
+
+        def penalize(worker) -> None:
+            unreported = [
+                index for index, _c, _a in worker["chunk"]
+                if index not in worker["reported"]
+            ]
+            if unreported:
+                attempts[unreported[0]] += 1
+
+        while any(not w["done"] for w in workers):
+            try:
+                message = queue.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                message = None
+            if message is not None:
+                last_message = time.monotonic()
+                kind = message[0]
+                worker = by_pid.get(message[1])
+                if kind == "cell":
+                    _k, _pid, index, payload, wall = message
+                    if worker is not None:
+                        worker["reported"].add(index)
+                    if index not in outcomes:
+                        outcomes[index] = (payload, wall)
+                elif kind == "done":
+                    _k, _pid, hits, misses, corrupted = message
+                    report.cache_hits += hits
+                    report.cache_misses += misses
+                    report.cache_corrupted += corrupted
+                    if worker is not None:
+                        worker["done"] = True
+                else:  # host-side bug in the worker body
+                    host_errors.append(f"worker {message[1]}:\n{message[2]}")
+                    if worker is not None:
+                        worker["done"] = True
+                continue
+
+            # no message this poll: look for crashed workers...
+            for worker in workers:
+                if not worker["done"] and not worker["proc"].is_alive():
+                    report.crashes_observed += 1
+                    penalize(worker)
+                    worker["done"] = True
+            # ...then for a pool-wide hang
+            if (
+                cell_timeout is not None
+                and time.monotonic() - last_message > cell_timeout
+            ):
+                for worker in workers:
+                    if not worker["done"] and worker["proc"].is_alive():
+                        report.hangs_observed += 1
+                        worker["proc"].terminate()
+                        worker["proc"].join()
+                        penalize(worker)
+                        worker["done"] = True
+
+        for worker in workers:
+            worker["proc"].join()
+
+    report.worker_pids = tuple(pids)
+    if host_errors:
+        raise PoolError(
+            f"{len(host_errors)} pool worker(s) failed:\n" + "\n".join(host_errors)
+        )
+
+
 def run_cells(
     spec: dict,
     cells: Sequence[object],
@@ -233,10 +514,14 @@ def run_cells(
     """Run every cell and return ``(payloads_in_cell_order, report)``.
 
     ``spec`` describes the cell kind plus its immutable per-run
-    configuration (everything picklable); see :func:`_run_cell`.  With a
-    resolved job count of 1 the cells run in-process through the *same*
-    code path, so serial-vs-parallel comparisons always compare like with
-    like.
+    configuration (everything picklable); see :func:`_run_cell`.  Optional
+    fault-injection keys: ``spec["plan"]`` (a
+    :class:`~repro.faults.FaultPlan`) and ``spec["cell_timeout"]`` (wall
+    seconds of pool-wide silence before unfinished workers are presumed
+    hung).  With a resolved job count of 1 the cells run in-process
+    through the *same* cell code path, so serial-vs-parallel comparisons
+    always compare like with like; each payload is either the cell's
+    result record or a :class:`CellFailure`.
     """
     njobs = resolve_jobs(jobs)
     started = time.perf_counter()
@@ -244,47 +529,20 @@ def run_cells(
     outcomes: Dict[int, Tuple[object, float]] = {}
     report = PoolReport(cells=len(indexed), jobs=njobs)
 
+    plan = spec.get("plan")
+    if plan is not None:
+        for index, _cell in indexed:
+            record = plan.fault_record(index)
+            if record is not None:
+                report.worker_faults += 1
+                report.retries += record.retries
+                if record.outcome == "quarantined":
+                    report.quarantined += 1
+
     if njobs <= 1 or len(indexed) <= 1:
-        state = _make_state(spec)
-        for index, cell in indexed:
-            t0 = time.perf_counter()
-            payload = _run_cell(state, spec, cell)
-            outcomes[index] = (payload, time.perf_counter() - t0)
-        cache = state.get("cache")
-        if cache is not None:
-            report.cache_hits, report.cache_misses = cache.hits, cache.misses
-        report.worker_pids = (os.getpid(),)
+        _run_serial(spec, indexed, outcomes, report)
     else:
-        ctx = _pool_context()
-        queue = ctx.SimpleQueue()
-        chunks = [indexed[w::njobs] for w in range(njobs)]
-        procs = [
-            ctx.Process(target=_worker_main, args=(spec, chunk, queue), daemon=True)
-            for chunk in chunks
-            if chunk
-        ]
-        for proc in procs:
-            proc.start()
-        pids: List[int] = []
-        failures: List[str] = []
-        for _ in procs:
-            message = queue.get()
-            if message[0] == "error":
-                failures.append(f"worker {message[1]}:\n{message[2]}")
-                continue
-            _, pid, results, hits, misses = message
-            pids.append(pid)
-            report.cache_hits += hits
-            report.cache_misses += misses
-            for index, payload, wall in results:
-                outcomes[index] = (payload, wall)
-        for proc in procs:
-            proc.join()
-        if failures:
-            raise PoolError(
-                f"{len(failures)} pool worker(s) failed:\n" + "\n".join(failures)
-            )
-        report.worker_pids = tuple(pids)
+        _run_parallel(spec, indexed, njobs, outcomes, report)
 
     report.wall_seconds = time.perf_counter() - started
     ordered = [outcomes[index] for index, _ in indexed]

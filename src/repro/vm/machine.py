@@ -28,7 +28,8 @@ from typing import Dict, List, Optional
 from ..cil import cts
 from ..cil.instructions import MethodRef
 from ..cil.metadata import MethodDef
-from ..errors import ManagedException, VMError
+from ..errors import CellTimeout, JitError, ManagedException, VMError
+from ..faults.plan import FaultInjector
 from ..jit import mir
 from ..jit.pipeline import JitCompiler
 from ..observe.recorder import (
@@ -99,6 +100,7 @@ class Machine:
         max_cycles: int = 200_000_000_000,
         disabled_passes=(),
         observer=None,
+        faults=None,
     ) -> None:
         self.loaded = loaded
         self.profile = profile
@@ -107,6 +109,10 @@ class Machine:
         #: respect to machine state, so observation never changes cycles,
         #: instructions, or results (the zero-perturbation invariant)
         self.observer = observer
+        #: optional repro.faults.MachineFaults spec, wrapped in a runtime
+        #: injector; every hook below is a single is-None test when off, so
+        #: an unfaulted machine is cycle-identical to one without the layer
+        self.faults = None if faults is None else FaultInjector(faults)
         self.jit = JitCompiler(
             loaded,
             profile,
@@ -115,6 +121,11 @@ class Machine:
         )
         self.quantum = quantum
         self.max_cycles = max_cycles
+        #: effective cycle watchdog: the hard ceiling, tightened by an
+        #: injected per-cell cycle_limit when a fault plan arms one
+        self._cycle_limit = max_cycles
+        if self.faults is not None and 0 <= self.faults.cycle_limit < max_cycles:
+            self._cycle_limit = self.faults.cycle_limit
 
         self.cycles = 0
         self.instructions = 0
@@ -265,6 +276,19 @@ class Machine:
     # ------------------------------------------------------------ jit/link
 
     def _function(self, method: MethodDef):
+        faults = self.faults
+        if (
+            faults is not None
+            and faults.compile_fail_at > 0
+            and not self.jit.is_compiled(method)
+        ):
+            faults.compiles += 1
+            if faults.compiles == faults.compile_fail_at:
+                faults.record("compile_fail")
+                raise JitError(
+                    f"injected compile failure at method "
+                    f"#{faults.compiles}: {method.full_name}"
+                )
         fn = self.jit.compile(method)
         if id(fn) not in self._linked:
             self._link(fn)
@@ -393,8 +417,11 @@ class Machine:
                             observer.switch(t, switch_cost, self.cycles)
                 elif t.state is BLOCKED:
                     blocked += 1
-            if self.cycles > self.max_cycles:
-                raise VMError("cycle budget exceeded (runaway benchmark?)")
+            if self.cycles > self._cycle_limit:
+                faults = self.faults
+                if faults is not None and faults.cycle_limit == self._cycle_limit:
+                    faults.record("cycle_limit")
+                raise CellTimeout(self.cycles, self._cycle_limit)
             if not ran:
                 if blocked:
                     names = [
@@ -450,6 +477,9 @@ class Machine:
             if finallies:
                 frame.finally_stack.append(("throw", finallies[1:], action, exc_obj))
                 frame.pc = finallies[0].handler_start
+                faults = self.faults
+                if faults is not None and faults.throw_during_unwind > 0:
+                    faults.enter_unwind_finally(thread)
                 return
             if catch is not None:
                 self._enter_catch(frame, catch, exc_obj)
@@ -484,6 +514,9 @@ class Machine:
         if queue:
             frame.finally_stack.append(("throw", queue[1:], action, exc_obj))
             frame.pc = queue[0].handler_start
+            faults = self.faults
+            if faults is not None and faults.throw_during_unwind > 0:
+                faults.enter_unwind_finally(thread)
             return
         if action[0] == "catch":
             self._enter_catch(frame, action[1], exc_obj)
@@ -540,6 +573,24 @@ class Machine:
         if self.observer is not None:
             self._obs_dyn(CAT_ALLOC, amount)
             self.observer.alloc(byte_size, amount)
+        faults = self.faults
+        if faults is not None:
+            faults.allocs += 1
+            if faults.allocs == faults.oom_at_alloc:
+                faults.record("alloc_oom")
+                raise make_exception(
+                    self.loaded,
+                    "OutOfMemoryException",
+                    f"injected allocation failure at allocation #{faults.allocs}",
+                )
+            if 0 <= faults.heap_limit < self.allocated_bytes:
+                faults.record("heap_limit")
+                raise make_exception(
+                    self.loaded,
+                    "OutOfMemoryException",
+                    f"heap limit exceeded: {self.allocated_bytes} bytes "
+                    f"> {faults.heap_limit}",
+                )
 
     def _new_szarray(self, elem, length: int) -> SZArray:
         if length < 0:
@@ -569,6 +620,17 @@ class Machine:
                 self._obs_dyn(CAT_MONITOR, n)
 
         if name == "Enter":
+            faults = self.faults
+            if faults is not None and faults.monitor_fail_at > 0:
+                faults.monitor_enters += 1
+                if faults.monitor_enters == faults.monitor_fail_at:
+                    faults.record("monitor_fail")
+                    raise make_exception(
+                        self.loaded,
+                        "SynchronizationException",
+                        f"injected monitor acquire failure at enter "
+                        f"#{faults.monitor_enters}",
+                    )
             if mon.owner is None or mon.owner is thread:
                 mon.owner = thread
                 mon.count += 1
@@ -657,6 +719,10 @@ class Machine:
         # the instrumentation is one is-None test per instruction
         obs_instr = None if observer is None else observer.instr
         obs_dyn = None if observer is None else observer.dyn
+        # fault-injection locals: -1 means disarmed, so the per-call checks
+        # below stay single int compares and cost zero simulated cycles
+        faults = self.faults
+        stack_limit = -1 if faults is None else faults.stack_limit
         spent = 0
         total_spent = 0
         # instruction burst bound: coarse for big quanta (cheap), fine for
@@ -675,6 +741,14 @@ class Machine:
             icount = 0
             rebind = False
             try:
+                if faults is not None and faults.pending is not None:
+                    injected = faults.take_pending(thread)
+                    if injected is not None:
+                        # an exception seeded during unwind fires at the
+                        # entry of the finally handler the dispatcher just
+                        # targeted, and goes through the same two-pass
+                        # machinery as any guest throw
+                        raise make_exception(loaded, injected[0], injected[1])
                 while True:
                     ins = code[pc]
                     o = ins.op
@@ -918,6 +992,14 @@ class Machine:
                             spent += costs.call
                             if not method.is_static and ins.args and R[ins.args[0]] is None:
                                 raise make_exception(loaded, "NullReferenceException")
+                            if 0 <= stack_limit <= len(thread.frames):
+                                faults.record("stack_limit")
+                                raise make_exception(
+                                    loaded,
+                                    "StackOverflowException",
+                                    f"call depth {len(thread.frames)} at limit "
+                                    f"{stack_limit}",
+                                )
                             callee = self._function(method)
                             argv = [R[v] for v in ins.args] if ins.args else []
                             thread.frames.append(Frame(callee, argv, ret_dst=ins.dst))
@@ -937,6 +1019,14 @@ class Machine:
                             method = receiver.rtclass.resolve_virtual(
                                 ref.name, ref.param_types
                             )
+                            if 0 <= stack_limit <= len(thread.frames):
+                                faults.record("stack_limit")
+                                raise make_exception(
+                                    loaded,
+                                    "StackOverflowException",
+                                    f"call depth {len(thread.frames)} at limit "
+                                    f"{stack_limit}",
+                                )
                             callee = self._function(method)
                             argv = [R[v] for v in ins.args]
                             thread.frames.append(Frame(callee, argv, ret_dst=ins.dst))
@@ -998,6 +1088,14 @@ class Machine:
                         if ctor is not None:
                             frame.pc = pc + 1
                             spent += costs.call
+                            if 0 <= stack_limit <= len(thread.frames):
+                                faults.record("stack_limit")
+                                raise make_exception(
+                                    loaded,
+                                    "StackOverflowException",
+                                    f"call depth {len(thread.frames)} at limit "
+                                    f"{stack_limit}",
+                                )
                             callee = self._function(ctor)
                             argv = [obj] + ([R[v] for v in ins.args] if ins.args else [])
                             thread.frames.append(Frame(callee, argv, ret_dst=-1))

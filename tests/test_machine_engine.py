@@ -525,3 +525,76 @@ class TestMachineMisc:
         assert placements["sscli-1.0"] == (0, 0)
         assert placements["mono-0.23"][1] == 0
         assert placements["clr-1.1"][1] > 0
+
+class TestTwoPassUnwindFaults:
+    """Two-pass exception handling under hostile unwind shapes: finally
+    blocks that themselves throw must *replace* the in-flight exception
+    (ECMA-335 behavior), with enclosing finallies still running — identical
+    on the interpreter and every machine profile."""
+
+    def test_finally_that_throws_replaces_inflight_exception(self):
+        src = """
+        class P {
+            static int Trace;
+            static void Inner() {
+                try { throw new ArgumentException("original"); }
+                finally {
+                    P.Trace = P.Trace + 1;
+                    throw new ArithmeticException("from finally");
+                }
+            }
+            static int Main() {
+                int caught = 0;
+                try { P.Inner(); }
+                catch (ArithmeticException e) { caught = 1; }
+                catch (ArgumentException e) { caught = 2; }
+                return caught * 10 + P.Trace;
+            }
+        }"""
+        reference, _runs = run_all(src)
+        assert reference == 11  # finally ran once; its exception won
+
+    def test_outer_finally_runs_after_inner_finally_throws(self):
+        src = """
+        class P {
+            static int Trace;
+            static void Inner() {
+                try {
+                    try { throw new ArgumentException("original"); }
+                    finally {
+                        P.Trace = P.Trace + 1;
+                        throw new ArithmeticException("mid-unwind");
+                    }
+                } finally { P.Trace = P.Trace + 10; }
+            }
+            static int Main() {
+                int caught = 0;
+                try { P.Inner(); }
+                catch (ArithmeticException e) { caught = 1; }
+                catch (ArgumentException e) { caught = 2; }
+                return caught * 100 + P.Trace;
+            }
+        }"""
+        reference, _runs = run_all(src)
+        assert reference == 111  # replacement exception; both finallies ran
+
+    def test_finally_throw_on_normal_exit_propagates(self):
+        src = """
+        class P {
+            static int Calls;
+            static int Quiet() {
+                try { P.Calls = P.Calls + 1; return 7; }
+                finally {
+                    if (P.Calls > 1) { throw new ArithmeticException("late"); }
+                }
+            }
+            static int Main() {
+                int first = P.Quiet();
+                int second = 0;
+                try { second = P.Quiet(); }
+                catch (ArithmeticException e) { second = 42; }
+                return first * 100 + second;
+            }
+        }"""
+        reference, _runs = run_all(src)
+        assert reference == 742  # normal exit once, finally-thrown once

@@ -330,3 +330,87 @@ class TestHarnessCliParallel:
         a = (tmp_path / "a" / "BENCH_0.json").read_bytes()
         b = (tmp_path / "b" / "BENCH_0.json").read_bytes()
         assert a == b
+
+# -------------------------------------------------- cache crash consistency
+
+
+class TestCacheCrashConsistency:
+    """A worker killed mid-store must never poison the cache: at worst an
+    orphaned ``*.tmp`` remains, which load() cannot see and sweep() reaps."""
+
+    SOURCE = TestCompileCache.SOURCE
+
+    def test_writer_killed_mid_store_leaves_no_partial_entry(self, tmp_path):
+        import glob
+        import os
+        import signal
+        import subprocess
+        import sys
+        import textwrap
+
+        root = str(tmp_path / "cc")
+        # the child reproduces store() up to (but not including) os.replace,
+        # then SIGKILLs itself: exactly the on-disk state a kill can leave
+        child = textwrap.dedent(
+            f"""
+            import os, signal, tempfile
+            from repro.lang import compile_source
+            from repro.parallel import CompileCache
+
+            source = {self.SOURCE!r}
+            cache = CompileCache({root!r})
+            path = cache._path(cache.key_for(source, "t"))
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+            payload = compile_source(source, assembly_name="t").to_bytes()
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload[: len(payload) // 2])
+            os.kill(os.getpid(), signal.SIGKILL)
+            """
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", child], env=dict(os.environ), timeout=120
+        )
+        assert proc.returncode == -signal.SIGKILL
+
+        cache = CompileCache(root)
+        key = cache.key_for(self.SOURCE, "t")
+        assert cache.load(key) is None  # the orphan is invisible
+        orphans = glob.glob(os.path.join(root, "asm", "**", "*.tmp"), recursive=True)
+        assert len(orphans) == 1
+        assert cache.sweep() == 1
+        assert not glob.glob(os.path.join(root, "asm", "**", "*.tmp"), recursive=True)
+        # the next writer repairs the entry
+        cache.get_or_compile(self.SOURCE, assembly_name="t")
+        assert cache.load(key) is not None
+
+    def test_truncated_final_entry_reads_as_miss(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        key = cache.key_for(self.SOURCE, "t")
+        cache.get_or_compile(self.SOURCE, assembly_name="t")
+        path = cache._path(key)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])  # torn storage
+        fresh = CompileCache(str(tmp_path))
+        fresh.get_or_compile(self.SOURCE, assembly_name="t")
+        assert (fresh.hits, fresh.misses, fresh.corrupted) == (0, 1, 1)
+        assert fresh.load(key) is not None  # repaired in place
+
+    def test_store_failure_leaves_no_stray_tmp(self, tmp_path, monkeypatch):
+        import glob
+        import os
+
+        def refuse(_src, _dst):
+            raise OSError("simulated ENOSPC")
+
+        monkeypatch.setattr(os, "replace", refuse)
+        cache = CompileCache(str(tmp_path))
+        key = cache.key_for(self.SOURCE, "t")
+        cache.get_or_compile(self.SOURCE, assembly_name="t")  # store swallowed
+        monkeypatch.undo()
+        assert cache.load(key) is None  # nothing reached the final path
+        assert not glob.glob(
+            os.path.join(str(tmp_path), "asm", "**", "*.tmp"), recursive=True
+        )
