@@ -166,6 +166,7 @@ def _run_campaign(args, plan, jobs) -> FaultMatrixReport:
         "cache_dir": None if cache is None else cache.root,
         "plan": plan,
         "cell_timeout": args.cell_timeout,
+        "dispatch": getattr(args, "dispatch", None),
     }
     payloads, pool_report = run_cells(spec, cells, jobs=jobs)
     report = annotate_cells(
@@ -245,6 +246,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persistent compile cache location")
         p.add_argument("--no-compile-cache", action="store_true",
                        help="compile from scratch; do not touch the cache")
+        from ..vm.dispatch import DISPATCH_MODES
+
+        p.add_argument("--dispatch", default=None, choices=DISPATCH_MODES,
+                       help="VM dispatch engine; fault-fire sites and failure "
+                            "annotations are engine-independent by contract")
 
     run = sub.add_parser("run", help="one campaign; write the report; exit by containment")
     add_matrix_arguments(run)

@@ -90,6 +90,7 @@ def cmd_run(args) -> int:
             "cache_dir": None if cache is None else cache.root,
             "plan": plan,
             "cell_timeout": args.cell_timeout,
+            "dispatch": args.dispatch,
         }
         payloads, report = run_cells(spec, cells, jobs=jobs)
         runs = {
@@ -110,7 +111,12 @@ def cmd_run(args) -> int:
             print("hpcnet: no surviving profile runs")
             return 0 if faults_report.contained else 1
     else:
-        runner = Runner(profiles=profiles, clock_hz=args.clock, compile_cache=cache)
+        runner = Runner(
+            profiles=profiles,
+            clock_hz=args.clock,
+            compile_cache=cache,
+            dispatch=args.dispatch,
+        )
         runs = runner.run(args.benchmark, overrides or None, observe=args.profile)
     bench = get_benchmark(args.benchmark)
     profiles = [p for p in profiles if p.name in runs]
@@ -200,6 +206,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "(default: $REPRO_CACHE_DIR or .repro-cache)")
     p_run.add_argument("--no-compile-cache", action="store_true",
                        help="compile from scratch; do not read or write the cache")
+    from ..vm.dispatch import DISPATCH_MODES
+
+    p_run.add_argument("--dispatch", default=None, choices=DISPATCH_MODES,
+                       help="VM dispatch engine (default: classic, or "
+                            "$REPRO_DISPATCH); engines are bit-identical in "
+                            "simulated cycles — only host wall clock differs")
     from ..faults.cli import add_fault_arguments
 
     add_fault_arguments(p_run)

@@ -101,6 +101,26 @@ COND_JUMPS = frozenset({JTRUE, JFALSE, JEQ, JNE, JLT, JLE, JGT, JGE})
 TERMINATORS = frozenset({JMP, RET, THROW, RETHROW, LEAVE, ENDFINALLY})
 
 
+def branch_targets(fn) -> frozenset:
+    """All MIR indices an explicit control transfer can land on.
+
+    Computed once at JIT-finalize time (the pipeline stamps the result on
+    the function as ``fn.branch_targets``); the threaded dispatch engine's
+    superinstruction fuser refuses to fuse a pair whose second half is a
+    target, so entering a pair sideways always hits a plain closure.
+    Exception-region boundaries are a separate concern handled by the
+    fuser itself (regions travel on ``fn.regions``).
+    """
+    targets = set()
+    for ins in fn.code:
+        o = ins.op
+        if o == SWITCH:
+            targets.update(ins.extra)
+        elif (o == JMP or o == LEAVE or o in COND_JUMPS) and ins.target >= 0:
+            targets.add(ins.target)
+    return frozenset(targets)
+
+
 @dataclass
 class MInstr:
     """One MIR instruction.

@@ -160,6 +160,10 @@ class JitCompiler:
         if rec is not None:
             rec.record_pass("enregister", before, fn)
         finalize_costs(fn, self.profile)
+        # resolved once per compile so the threaded dispatch engine's
+        # superinstruction fuser never rescans the body (and so cached MIR
+        # carries its control-flow landing sites with it)
+        fn.branch_targets = mir.branch_targets(fn)
         self.compiled_methods += 1
         self.compile_effort += effort
         if rec is not None:

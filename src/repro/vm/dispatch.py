@@ -1,0 +1,1512 @@
+"""Threaded-code dispatch for the measured (MIR) engine.
+
+The classic executor (:meth:`repro.vm.machine.Machine._step_thread`) walks
+one giant if/elif chain per instruction and re-derives operands, cost
+constants and jump targets from the :class:`~repro.jit.mir.MInstr` on every
+cycle.  The PR 2/3 flamegraphs put >80% of host time in exactly that
+re-derivation.  This module removes it: at first execution of a function the
+machine translates its MIR once into a flat array of *pre-bound closures* —
+one per pc, with operand vregs, cost constants, resolved call records and
+jump targets burned in — and the driver loop shrinks to
+``pc = ops[pc](R, st)``.  For the core register/arith/branch subset the
+closures are *generated as Python source* and ``exec``-compiled
+(:func:`_make_single_gen`), so operands and constants are ``LOAD_FAST``
+locals with value-kind wrap/round math inlined; everything outside the
+subset keeps a hand-written closure.
+
+Equivalence contract (enforced by ``tests/test_dispatch_equivalence.py``):
+a threaded machine is **bit-identical** to a classic one in ``cycles``,
+``instructions``, results, metrics snapshots, observer event streams and
+fault-fire sites.  Two classic behaviours matter for that:
+
+* the budget predicate ``total_spent + spent >= budget`` is checked after
+  every instruction; flushes move ``spent`` into ``total`` so the sum is
+  flush-invariant and the driver can test it after each closure returns;
+* a quantum that ends because the thread blocked on a monitor / yielded
+  drops the current binding's instruction count (the classic loop returns
+  before the ``self.instructions += icount`` flush).  The driver reproduces
+  the drop on the EXIT sentinel;
+* the classic per-binding *burst* rebind (``icount >= burst``) must be
+  kept with the exact same cadence: several profiles carry **float** cost
+  entries, and a rebind flushes ``spent`` into ``machine.cycles`` — float
+  addition is non-associative, so moving a flush boundary by even one
+  instruction changes the low-order bits of the final cycle count.  The
+  instruction counter therefore lives in :class:`ExecState` so fused runs
+  can break between elements exactly where the classic loop would have.
+
+Closure protocol: ``ops[pc](R, st) -> next_pc``, where ``next_pc >= 0``
+continues in this frame, ``REBIND`` re-binds the top frame (call/ret/
+endfinally) and ``EXIT`` ends the quantum (blocked / yielded).  Frame
+locals are the plain ``frame.R`` slot array, passed to every closure per
+dispatch — closures never capture a frame's ``R`` at build time, because
+one closure array is shared by *every* activation of the function
+(recursion, multiple threads); see the frame-aliasing regression tests.
+
+Superinstructions: :func:`fuse_plan` greedily merges straight-line runs of
+pure register ops (up to :data:`MAX_FUSE_RUN`, optionally ending in a
+branch) into one generated function per run (:func:`_make_fused_gen`).
+Fusion changes host speed only.  Each fused body carries two paths: a
+guarded *fast path* (all costs int, comfortably inside the budget and
+burst bounds) that executes the whole run with a single bookkeeping store,
+and a *slow path* that re-checks the exact classic budget/burst predicates
+between elements and returns to the unfused interior pc when the quantum
+ends mid-run.  A raising element flushes the classic-partial ``spent`` /
+``icount`` and records the precise raising pc in ``ExecState.raise_pc``
+before the throw.  The fuser refuses to fuse into branch targets or
+exception-region boundaries, and stands down entirely on machines with a
+fault injector armed (every pc stays an attributable fire site).
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+import os
+import struct
+
+from ..cil import cts
+from ..errors import VMError
+from ..jit import mir
+from ..observe.recorder import CAT_DISPATCH, CAT_EXECUTE, CAT_MEMTAX
+from .exceptions import GuestException, make_exception
+from .objects import BoxedValue, MDArray, StructValue
+from .threads import Frame, RUNNABLE
+from .values import i32, i64, r4
+
+#: closure sentinel returns (< 0 so real pcs stay >= 0)
+REBIND = -1
+EXIT = -2
+
+#: recognised values for the Machine(dispatch=...) knob
+DISPATCH_MODES = ("classic", "threaded", "threaded-nofuse")
+
+#: environment default for the knob (CLI/harness leave it None)
+ENV_VAR = "REPRO_DISPATCH"
+
+
+def resolve_dispatch(value=None) -> str:
+    """Resolve a ``dispatch=`` knob value: explicit value, else the
+    ``REPRO_DISPATCH`` environment variable, else ``classic``."""
+    if value is None:
+        value = os.environ.get(ENV_VAR) or "classic"
+    if value not in DISPATCH_MODES:
+        raise VMError(
+            f"unknown dispatch engine {value!r} "
+            f"(expected one of: {', '.join(DISPATCH_MODES)})"
+        )
+    return value
+
+
+class ExecState:
+    """Mutable per-quantum execution state shared with the closures.
+
+    ``spent`` is the unflushed cycle count of the current binding,
+    ``total`` the cycles already flushed to ``machine.cycles`` this
+    quantum (their sum is the budget predicate), ``icount`` the current
+    binding's instruction count (fused second halves bump it too, so the
+    burst predicate sees exactly what the classic loop would), ``burst``
+    the classic per-binding rebind bound.  ``raise_pc`` is -1 except when
+    a fused run raises a guest exception from an interior element: the run
+    records the raising pc here (after flushing its hoisted ``spent`` and
+    ``icount`` copies) so the driver attributes the throw to the exact
+    instruction, not the run start.
+    """
+
+    __slots__ = (
+        "machine", "thread", "frame", "budget", "spent", "total",
+        "icount", "burst", "raise_pc",
+    )
+
+    def __init__(self, machine, thread, budget, burst) -> None:
+        self.machine = machine
+        self.thread = thread
+        self.frame = None
+        self.budget = budget
+        self.spent = 0
+        self.total = 0
+        self.icount = 0
+        self.burst = burst
+        self.raise_pc = -1
+
+
+# ---------------------------------------------------------------------------
+# superinstruction planning
+# ---------------------------------------------------------------------------
+
+#: ops that may appear anywhere in a fused run: register transforms that
+#: never flush or rebind a frame, and always fall through to pc+1.
+#: DIV/REM may raise — the generated run records the exact raising pc in
+#: ``ExecState.raise_pc`` so the driver's throw attribution stays
+#: per-instruction.  (Memory ops flush or tax; calls rebind — excluded.)
+FUSABLE_FIRST = frozenset(
+    {
+        mir.MOV,
+        mir.LDI,
+        mir.ADD,
+        mir.SUB,
+        mir.MUL,
+        mir.DIV,
+        mir.REM,
+        mir.AND,
+        mir.OR,
+        mir.XOR,
+        mir.SHL,
+        mir.SHR,
+        mir.SHRU,
+        mir.NEG,
+        mir.NOT,
+        mir.CONV,
+    }
+) | mir.COMPARES
+
+#: the last element of a run may additionally be a branch (compare+branch
+#: and arith+branch are the dominant pairs in the PR 2/3 profiles)
+FUSABLE_SECOND = FUSABLE_FIRST | frozenset({mir.JMP}) | mir.COND_JUMPS
+
+#: longest superinstruction: straight-line MIR collapses into runs of up
+#: to this many instructions per dispatch
+MAX_FUSE_RUN = 16
+
+
+def fuse_plan(code, regions, branch_targets, faults_armed: bool,
+              max_run: int = MAX_FUSE_RUN):
+    """Plan superinstruction fusion for one function.
+
+    Returns ``(start, length)`` tuples of non-overlapping fused runs
+    (``length >= 2``), chosen greedily left to right.  Pure function of
+    its inputs so the property-based tests can exercise it standalone.
+
+    All interior elements of a run must be in :data:`FUSABLE_FIRST` (pure
+    register transforms that always fall through); the final element may
+    additionally be a branch (:data:`FUSABLE_SECOND`).  No element other
+    than the first may be a branch target or an exception region boundary
+    (try/handler start or end) — entering a run sideways must always hit a
+    plain closure.  With a fault injector armed nothing is fused at all:
+    every pc stays an individually observable fire site.
+    """
+    if faults_armed:
+        return []
+    boundaries = set(branch_targets)
+    for reg in regions:
+        boundaries.update(
+            (reg.try_start, reg.try_end, reg.handler_start, reg.handler_end)
+        )
+    runs = []
+    i = 0
+    n = len(code)
+    while i < n - 1:
+        if code[i].op not in FUSABLE_FIRST:
+            i += 1
+            continue
+        j = i + 1
+        while j < n and j - i < max_run and j not in boundaries:
+            op = code[j].op
+            if op in FUSABLE_FIRST:
+                j += 1
+            elif op in FUSABLE_SECOND:
+                j += 1  # branch: include it, then the run must end
+                break
+            else:
+                break
+        if j - i >= 2:
+            runs.append((i, j - i))
+            i = j
+        else:
+            i += 1
+    return runs
+
+
+# ---------------------------------------------------------------------------
+# source-specialized closures
+# ---------------------------------------------------------------------------
+#
+# The fusable opcode subset is hot enough that every residual host-level
+# call per retired instruction — an ``operator`` function, an ``i32``/``r4``
+# wrap, the second half of a composed pair — shows up directly in
+# wall-clock.  For these opcodes the builder generates the closure *source*
+# with operand slots, wrap arithmetic and jump targets inlined as literals,
+# then exec-compiles it once per (machine, function).  A fused pair becomes
+# one flat function body with the classic budget/burst predicate re-checked
+# between the halves.  The semantics are exactly those of the hand-written
+# closures below; the differential suite holds the result to the classic
+# loop bit-for-bit.
+
+_F32 = struct.Struct("f")
+#: names every generated body may reference; bound as default arguments so
+#: lookups are LOAD_FAST, not LOAD_GLOBAL.  ``_loaded`` and ``_mkexc``
+#: (used by the raising DIV/REM fragments) are supplied per machine by
+#: :func:`build_ops` through the ``xenv`` parameter.
+_GEN_ENV = {
+    "_fp": _F32.pack,
+    "_fu": _F32.unpack,
+    "_INF": float("inf"),
+    "_NINF": float("-inf"),
+    "_NAN": float("nan"),
+    "_copysign": math.copysign,
+    "_fmod": math.fmod,
+    "type": type,
+    "float": float,
+    "int": int,
+    "abs": abs,
+}
+
+_ARITH_SYM = {mir.ADD: "+", mir.SUB: "-", mir.MUL: "*"}
+_BIT_SYM = {mir.AND: "&", mir.OR: "|", mir.XOR: "^"}
+_CMP_SYM = {mir.CLT: "<", mir.CLE: "<=", mir.CGT: ">", mir.CGE: ">="}
+_JCC_SYM = {mir.JLT: "<", mir.JLE: "<=", mir.JGT: ">", mir.JGE: ">="}
+
+
+def _i32_into(tmp, lv):
+    """Statements writing ``i32(tmp)`` into lvalue ``lv`` (two's-complement
+    wrap, identical to :func:`repro.vm.values.i32`)."""
+    return [
+        f"{tmp} &= 4294967295",
+        f"{lv} = {tmp} - 4294967296 if {tmp} >= 2147483648 else {tmp}",
+    ]
+
+
+def _i64_into(tmp, lv):
+    return [
+        f"{tmp} &= 18446744073709551615",
+        f"{lv} = {tmp} - 18446744073709551616"
+        f" if {tmp} >= 9223372036854775808 else {tmp}",
+    ]
+
+
+def _r4_into(tmp, lv):
+    """Statements writing ``r4(tmp)`` into ``lv``: round through an actual
+    4-byte representation, saturating to ±inf exactly like values.r4."""
+    return [
+        "try:",
+        f"    {lv} = _fu(_fp({tmp}))[0]",
+        "except OverflowError:",
+        f"    {lv} = _INF if {tmp} > 0 else _NINF",
+    ]
+
+
+def _nan_check(x, y):
+    return f"(type({x}) is float and {x} != {x}) or (type({y}) is float and {y} != {y})"
+
+
+def _fragment(ins, nxt, sfx, raise_pre=()):
+    """Source fragment for one fusable instruction: ``(body, tail, env)``.
+
+    ``body`` is the computation (falls through), ``tail`` the control
+    transfer (``return`` statements), ``env`` extra names to bind as
+    defaults.  ``raise_pre`` is spliced in front of every ``raise``
+    statement — fused runs use it to flush their hoisted bookkeeping and
+    record the raising pc before the exception unwinds.  Returns None for
+    opcodes outside the codegen subset — the caller falls back to the
+    hand-written closures, so the two layers can never disagree about
+    coverage silently.
+    """
+    o = ins.op
+    a = ins.a
+    b = ins.b
+    d = ins.dst
+    kind = ins.kind
+    t = ins.target
+    v = f"v{sfx}"
+    x = f"x{sfx}"
+    y = f"y{sfx}"
+    env = {}
+    tail = [f"return {nxt}"]
+
+    if o == mir.MOV:
+        if kind == "r4":
+            body = [f"{v} = R[{a}]", f"if type({v}) is float:"]
+            body += ["    " + ln for ln in _r4_into(v, v)]
+            body.append(f"R[{d}] = {v}")
+        else:
+            body = [f"R[{d}] = R[{a}]"]
+        return body, tail, env
+
+    if o == mir.LDI:
+        imm = f"_i{sfx}"
+        env[imm] = a
+        return [f"R[{d}] = {imm}"], tail, env
+
+    if o in _ARITH_SYM:
+        expr = f"R[{a}] {_ARITH_SYM[o]} R[{b}]"
+        if kind == "i4":
+            body = [f"{v} = {expr}"] + _i32_into(v, f"R[{d}]")
+        elif kind == "i8":
+            body = [f"{v} = {expr}"] + _i64_into(v, f"R[{d}]")
+        elif kind == "r4":
+            body = [f"{v} = {expr}"] + _r4_into(v, f"R[{d}]")
+        else:
+            body = [f"R[{d}] = {expr}"]
+        return body, tail, env
+
+    if o in _BIT_SYM:
+        return [f"R[{d}] = R[{a}] {_BIT_SYM[o]} R[{b}]"], tail, env
+
+    if o == mir.SHL:
+        if kind == "i4":
+            body = [f"{v} = R[{a}] << (R[{b}] & 31)"] + _i32_into(v, f"R[{d}]")
+        else:
+            body = [f"{v} = R[{a}] << (R[{b}] & 63)"] + _i64_into(v, f"R[{d}]")
+        return body, tail, env
+
+    if o == mir.SHR:
+        mask = 31 if kind == "i4" else 63
+        return [f"R[{d}] = R[{a}] >> (R[{b}] & {mask})"], tail, env
+
+    if o == mir.SHRU:
+        if kind == "i4":
+            body = [f"{v} = (R[{a}] & 4294967295) >> (R[{b}] & 31)"]
+            body += _i32_into(v, f"R[{d}]")
+        else:
+            body = [f"{v} = (R[{a}] & 18446744073709551615) >> (R[{b}] & 63)"]
+            body += _i64_into(v, f"R[{d}]")
+        return body, tail, env
+
+    if o == mir.NEG:
+        if kind == "i4":
+            body = [f"{v} = -R[{a}]"] + _i32_into(v, f"R[{d}]")
+        elif kind == "i8":
+            body = [f"{v} = -R[{a}]"] + _i64_into(v, f"R[{d}]")
+        else:
+            body = [f"R[{d}] = -R[{a}]"]
+        return body, tail, env
+
+    if o == mir.NOT:
+        into = _i32_into if kind == "i4" else _i64_into
+        return [f"{v} = ~R[{a}]"] + into(v, f"R[{d}]"), tail, env
+
+    if o == mir.CEQ or o == mir.CNE:
+        eq, ne = ("1", "0") if o == mir.CEQ else ("0", "1")
+        on_nan = "0" if o == mir.CEQ else "1"
+        body = [
+            f"{x} = R[{a}]",
+            f"{y} = R[{b}]",
+            f"if {_nan_check(x, y)}:",
+            f"    R[{d}] = {on_nan}",
+            f"elif {x} is {y} or {x} == {y}:",
+            f"    R[{d}] = {eq}",
+            "else:",
+            f"    R[{d}] = {ne}",
+        ]
+        return body, tail, env
+
+    if o in _CMP_SYM:
+        body = [
+            f"{x} = R[{a}]",
+            f"{y} = R[{b}]",
+            f"if {_nan_check(x, y)}:",
+            f"    R[{d}] = 0",
+            "else:",
+            f"    R[{d}] = 1 if {x} {_CMP_SYM[o]} {y} else 0",
+        ]
+        return body, tail, env
+
+    if o == mir.JMP:
+        return [], [f"return {t}"], env
+
+    if o == mir.JTRUE:
+        body = [f"{v} = R[{a}]"]
+        return body, [f"return {t} if ({v} is not None and {v} != 0) else {nxt}"], env
+
+    if o == mir.JFALSE:
+        body = [f"{v} = R[{a}]"]
+        return body, [f"return {t} if ({v} is None or {v} == 0) else {nxt}"], env
+
+    if o == mir.JEQ or o == mir.JNE:
+        want_eq = o == mir.JEQ
+        body = [f"{x} = R[{a}]", f"{y} = R[{b}]"]
+        tail = [
+            f"if {_nan_check(x, y)}:",
+            f"    return {nxt if want_eq else t}",
+            f"if {x} is {y} or {x} == {y}:",
+            f"    return {t if want_eq else nxt}",
+            f"return {nxt if want_eq else t}",
+        ]
+        return body, tail, env
+
+    if o in _JCC_SYM:
+        body = [f"{x} = R[{a}]", f"{y} = R[{b}]"]
+        tail = [
+            f"if {_nan_check(x, y)}:",
+            f"    return {nxt}",
+            f"return {t} if {x} {_JCC_SYM[o]} {y} else {nxt}",
+        ]
+        return body, tail, env
+
+    # --- raising opcodes: as singles the driver's pc already points at
+    # the instruction; inside a fused run ``raise_pre`` records the exact
+    # raising pc (and flushes the run's hoisted bookkeeping) first.
+    raise_dbz = list(raise_pre) + [
+        "raise _mkexc(_loaded, 'DivideByZeroException')"
+    ]
+
+    if o == mir.DIV:
+        q = f"q{sfx}"
+        if kind in ("i4", "i8"):
+            into = _i32_into if kind == "i4" else _i64_into
+            body = [
+                f"{x} = R[{a}]",
+                f"{y} = R[{b}]",
+                f"if {y} == 0:",
+            ] + ["    " + ln for ln in raise_dbz] + [
+                f"{v} = ({x} if {x} >= 0 else -{x}) // ({y} if {y} >= 0 else -{y})",
+                f"if ({x} >= 0) != ({y} >= 0):",
+                f"    {v} = -{v}",
+            ] + into(v, f"R[{d}]")
+            return body, tail, env
+        body = [
+            f"{x} = R[{a}]",
+            f"{y} = R[{b}]",
+            f"if {y} == 0.0:",
+            f"    if {x} == 0.0 or {x} != {x}:",
+            f"        {q} = _NAN",
+            f"    elif ({x} > 0) == (_copysign(1.0, {y}) > 0):",
+            f"        {q} = _INF",
+            "    else:",
+            f"        {q} = _NINF",
+            "else:",
+            f"    {q} = {x} / {y}",
+        ]
+        if kind == "r4":
+            body += _r4_into(q, f"R[{d}]")
+        else:
+            body.append(f"R[{d}] = {q}")
+        return body, tail, env
+
+    if o == mir.REM:
+        if kind in ("i4", "i8"):
+            body = [
+                f"{x} = R[{a}]",
+                f"{y} = R[{b}]",
+                f"if {y} == 0:",
+            ] + ["    " + ln for ln in raise_dbz] + [
+                f"{v} = ({x} if {x} >= 0 else -{x}) // ({y} if {y} >= 0 else -{y})",
+                f"if ({x} >= 0) != ({y} >= 0):",
+                f"    {v} = -{v}",
+                f"R[{d}] = {x} - {v} * {y}",
+            ]
+        else:
+            body = [
+                f"{y} = R[{b}]",
+                f"R[{d}] = _fmod(R[{a}], {y}) if {y} != 0.0 else _NAN",
+            ]
+        return body, tail, env
+
+    if o == mir.CONV:
+        ck = ins.extra
+        if ck == "r8":
+            return [f"R[{d}] = float(R[{a}])"], tail, env
+        if ck == "r4":
+            return [f"{v} = float(R[{a}])"] + _r4_into(v, f"R[{d}]"), tail, env
+        if ck == "i4":
+            body = [
+                f"{v} = R[{a}]",
+                f"if type({v}) is float:",
+                f"    R[{d}] = -2147483648 if ({v} != {v} or {v} >= 2147483648.0"
+                f" or {v} < -2147483648.0) else int({v})",
+                "else:",
+            ] + ["    " + ln for ln in _i32_into(v, f"R[{d}]")]
+            return body, tail, env
+        if ck == "i8":
+            body = [
+                f"{v} = R[{a}]",
+                f"if type({v}) is float:",
+                f"    R[{d}] = -9223372036854775808 if ({v} != {v}"
+                f" or {v} >= 9223372036854775808.0"
+                f" or {v} < -9223372036854775808.0) else int({v})",
+                "else:",
+            ] + ["    " + ln for ln in _i64_into(v, f"R[{d}]")]
+            return body, tail, env
+        return None  # narrow int converts: keep the hand-written closure
+
+    return None
+
+
+def _compile_gen(lines, env, xenv=None):
+    """exec-compile a generated closure body into a callable ``(R, st)``."""
+    ns = dict(_GEN_ENV)
+    if xenv:
+        ns.update(xenv)
+    ns.update(env)
+    args = "".join(f", {k}={k}" for k in ns)
+    src = "def op_(R, st{}):\n{}\n".format(
+        args, "\n".join("    " + ln for ln in lines)
+    )
+    exec(compile(src, "<dispatch-gen>", "exec"), ns)
+    return ns["op_"]
+
+
+def _make_single_gen(ins, pc, xenv=None):
+    """Source-specialized single closure, or None outside the subset."""
+    frag = _fragment(ins, pc + 1, "")
+    if frag is None:
+        return None
+    body, tail, env = frag
+    return _compile_gen([f"st.spent += {ins.cost!r}"] + body + tail, env, xenv)
+
+
+def _make_fused_gen(code, start, length, xenv=None):
+    """One flat function body for the run ``code[start : start + length]``.
+
+    Cycle and instruction bookkeeping live in function locals (``sp``,
+    ``ic``) for the whole run — one attribute load each at entry, one
+    store at every exit.  Between elements the body re-checks the exact
+    classic budget *and burst* predicates (``st.total``/``st.budget``/
+    ``st.burst`` are constant across the run — pure register ops never
+    flush — so their hoisted copies see the same values the classic loop
+    reads per instruction)
+    and resumes at the plain closure for the next element when the
+    quantum would have ended there.  The cost additions happen in the
+    same order and grouping as classic's per-instruction ``spent +=``,
+    which keeps float-cost profiles bit-identical.
+    """
+    env = {}
+    lines = [
+        "spent = st.spent",
+        "tot = st.total",
+        "bud = st.budget",
+        "ic = st.icount",
+        "bur = st.burst",
+    ]
+
+    # Fast path: when every cost in the run is an int (exact, associative
+    # arithmetic) and neither the budget nor the burst can trip anywhere
+    # inside the run — provable with one conservative entry check, since
+    # costs are non-negative and float addition is monotonic — the
+    # per-element bookkeeping collapses to two stores at the exits.  The
+    # ``spent`` int check matters: dynamic costs can have made it a float,
+    # and float ``+=`` is order-sensitive, so only the per-element slow
+    # path reproduces classic's sums then.
+    all_int = all(type(code[start + k].cost) is int for k in range(length))
+    if all_int:
+        total_cost = sum(code[start + k].cost for k in range(length))
+        partial = 0
+        fast = []
+        for k in range(length):
+            pc = start + k
+            partial += code[pc].cost
+            frag = _fragment(
+                code[pc],
+                pc + 1,
+                str(k),
+                raise_pre=(
+                    f"st.spent = spent + {partial}",
+                    f"st.icount = ic + {k}",
+                    f"st.raise_pc = {pc}",
+                ),
+            )
+            if frag is None:
+                return None
+            body, tail, frag_env = frag
+            env.update(frag_env)
+            fast += body
+            if k == length - 1:
+                fast += [
+                    f"st.spent = spent + {total_cost}",
+                    f"st.icount = ic + {length - 1}",
+                ] + tail
+        lines.append(
+            f"if spent.__class__ is int"
+            f" and tot + spent + {total_cost} < bud"
+            f" and ic + {length} < bur:"
+        )
+        lines += ["    " + ln for ln in fast]
+
+    # Slow path: per-element cost accumulation and predicate checks, in
+    # exactly classic's order and grouping (bit-identical float sums).
+    for k in range(length):
+        pc = start + k
+        frag = _fragment(
+            code[pc],
+            pc + 1,
+            f"s{k}",
+            raise_pre=(
+                "st.spent = sp",
+                "st.icount = ic",
+                f"st.raise_pc = {pc}",
+            ),
+        )
+        if frag is None:
+            return None
+        body, tail, frag_env = frag
+        env.update(frag_env)
+        if k == 0:
+            lines.append(f"sp = spent + {code[pc].cost!r}")
+        else:
+            lines += [
+                "if tot + sp >= bud or ic >= bur:",
+                "    st.spent = sp",
+                "    st.icount = ic",
+                f"    return {start + k}",
+                "ic += 1",
+                f"sp += {code[pc].cost!r}",
+            ]
+        lines += body
+        if k == length - 1:
+            lines += ["st.spent = sp", "st.icount = ic"] + tail
+    return _compile_gen(lines, env, xenv)
+
+
+# ---------------------------------------------------------------------------
+# closure translation
+# ---------------------------------------------------------------------------
+
+_BIN_OPS = {mir.ADD: operator.add, mir.SUB: operator.sub, mir.MUL: operator.mul}
+_BIT_OPS = {mir.AND: operator.and_, mir.OR: operator.or_, mir.XOR: operator.xor}
+_CMP_OPS = {
+    mir.CLT: operator.lt,
+    mir.CLE: operator.le,
+    mir.CGT: operator.gt,
+    mir.CGE: operator.ge,
+}
+_JCC_OPS = {
+    mir.JLT: operator.lt,
+    mir.JLE: operator.le,
+    mir.JGT: operator.gt,
+    mir.JGE: operator.ge,
+}
+
+
+def build_ops(machine, fn):
+    """Translate ``fn``'s MIR into the flat closure array for ``machine``.
+
+    Called lazily at the first frame binding of ``fn`` on this machine —
+    i.e. strictly after :meth:`Machine._link` resolved field slots and
+    call records in place.  The result is cached per ``(machine, fn)``.
+    """
+    # imported here: machine.py imports this module at top level
+    from .machine import _CONV_FNS, _box_matches, _int_div
+
+    M = machine
+    loaded = M.loaded
+    costs = M.costs
+    observer = M.observer
+    obs_dyn = None if observer is None else observer.dyn
+    obs_instr = None if observer is None else observer.instr
+    faults = M.faults
+    stack_limit = -1 if faults is None else faults.stack_limit
+    call_cost = costs.call
+    memtax = costs.large_array_extra
+
+    def _raise_stack_overflow(depth):
+        faults.record("stack_limit")
+        raise make_exception(
+            loaded,
+            "StackOverflowException",
+            f"call depth {depth} at limit {stack_limit}",
+        )
+
+    gen_env = {"_loaded": loaded, "_mkexc": make_exception}
+
+    def build(pc, ins):
+        gen = _make_single_gen(ins, pc, gen_env)
+        if gen is not None:
+            return gen
+        o = ins.op
+        cost = ins.cost
+        a = ins.a
+        b = ins.b
+        c = ins.c
+        dst = ins.dst
+        kind = ins.kind
+        nxt = pc + 1
+
+        if o == mir.MOV:
+            if kind == "r4":
+                def op_(R, st, a=a, dst=dst, cost=cost, nxt=nxt):
+                    st.spent += cost
+                    v = R[a]
+                    if type(v) is float:
+                        v = r4(v)
+                    R[dst] = v
+                    return nxt
+            else:
+                def op_(R, st, a=a, dst=dst, cost=cost, nxt=nxt):
+                    st.spent += cost
+                    R[dst] = R[a]
+                    return nxt
+            return op_
+
+        if o == mir.LDI:
+            def op_(R, st, v=a, dst=dst, cost=cost, nxt=nxt):
+                st.spent += cost
+                R[dst] = v
+                return nxt
+            return op_
+
+        if o in _BIN_OPS:
+            fop = _BIN_OPS[o]
+            if kind == "i4":
+                wrap = i32
+            elif kind == "i8":
+                wrap = i64
+            elif kind == "r4":
+                wrap = r4
+            else:
+                wrap = None
+            if wrap is None:
+                def op_(R, st, a=a, b=b, dst=dst, cost=cost, nxt=nxt, fop=fop):
+                    st.spent += cost
+                    R[dst] = fop(R[a], R[b])
+                    return nxt
+            else:
+                def op_(R, st, a=a, b=b, dst=dst, cost=cost, nxt=nxt,
+                        fop=fop, wrap=wrap):
+                    st.spent += cost
+                    R[dst] = wrap(fop(R[a], R[b]))
+                    return nxt
+            return op_
+
+        if o == mir.DIV:
+            if kind in ("i4", "i8"):
+                wrap = i32 if kind == "i4" else i64
+                def op_(R, st, a=a, b=b, dst=dst, cost=cost, nxt=nxt, wrap=wrap):
+                    st.spent += cost
+                    y = R[b]
+                    if y == 0:
+                        raise make_exception(loaded, "DivideByZeroException")
+                    R[dst] = wrap(_int_div(R[a], y))
+                    return nxt
+            else:
+                fwrap = r4 if kind == "r4" else None
+                def op_(R, st, a=a, b=b, dst=dst, cost=cost, nxt=nxt, fwrap=fwrap):
+                    st.spent += cost
+                    x = R[a]
+                    y = R[b]
+                    if y == 0.0:
+                        if x == 0.0 or x != x:
+                            q = float("nan")
+                        else:
+                            pos = (x > 0) == (math.copysign(1.0, y) > 0)
+                            q = float("inf") if pos else float("-inf")
+                    else:
+                        q = x / y
+                    R[dst] = fwrap(q) if fwrap is not None else q
+                    return nxt
+            return op_
+
+        if o == mir.REM:
+            if kind in ("i4", "i8"):
+                def op_(R, st, a=a, b=b, dst=dst, cost=cost, nxt=nxt):
+                    st.spent += cost
+                    x = R[a]
+                    y = R[b]
+                    if y == 0:
+                        raise make_exception(loaded, "DivideByZeroException")
+                    R[dst] = x - _int_div(x, y) * y
+                    return nxt
+            else:
+                def op_(R, st, a=a, b=b, dst=dst, cost=cost, nxt=nxt):
+                    st.spent += cost
+                    y = R[b]
+                    R[dst] = math.fmod(R[a], y) if y != 0.0 else float("nan")
+                    return nxt
+            return op_
+
+        if o in _BIT_OPS:
+            fop = _BIT_OPS[o]
+            def op_(R, st, a=a, b=b, dst=dst, cost=cost, nxt=nxt, fop=fop):
+                st.spent += cost
+                R[dst] = fop(R[a], R[b])
+                return nxt
+            return op_
+
+        if o == mir.SHL:
+            if kind == "i4":
+                def op_(R, st, a=a, b=b, dst=dst, cost=cost, nxt=nxt):
+                    st.spent += cost
+                    R[dst] = i32(R[a] << (R[b] & 31))
+                    return nxt
+            else:
+                def op_(R, st, a=a, b=b, dst=dst, cost=cost, nxt=nxt):
+                    st.spent += cost
+                    R[dst] = i64(R[a] << (R[b] & 63))
+                    return nxt
+            return op_
+
+        if o == mir.SHR:
+            mask = 31 if kind == "i4" else 63
+            def op_(R, st, a=a, b=b, dst=dst, cost=cost, nxt=nxt, mask=mask):
+                st.spent += cost
+                R[dst] = R[a] >> (R[b] & mask)
+                return nxt
+            return op_
+
+        if o == mir.SHRU:
+            if kind == "i4":
+                def op_(R, st, a=a, b=b, dst=dst, cost=cost, nxt=nxt):
+                    st.spent += cost
+                    R[dst] = i32((R[a] & 0xFFFFFFFF) >> (R[b] & 31))
+                    return nxt
+            else:
+                def op_(R, st, a=a, b=b, dst=dst, cost=cost, nxt=nxt):
+                    st.spent += cost
+                    R[dst] = i64((R[a] & 0xFFFFFFFFFFFFFFFF) >> (R[b] & 63))
+                    return nxt
+            return op_
+
+        if o == mir.NEG:
+            if kind == "i4":
+                def op_(R, st, a=a, dst=dst, cost=cost, nxt=nxt):
+                    st.spent += cost
+                    R[dst] = i32(-R[a])
+                    return nxt
+            elif kind == "i8":
+                def op_(R, st, a=a, dst=dst, cost=cost, nxt=nxt):
+                    st.spent += cost
+                    R[dst] = i64(-R[a])
+                    return nxt
+            else:
+                def op_(R, st, a=a, dst=dst, cost=cost, nxt=nxt):
+                    st.spent += cost
+                    R[dst] = -R[a]
+                    return nxt
+            return op_
+
+        if o == mir.NOT:
+            wrap = i32 if kind == "i4" else i64
+            def op_(R, st, a=a, dst=dst, cost=cost, nxt=nxt, wrap=wrap):
+                st.spent += cost
+                R[dst] = wrap(~R[a])
+                return nxt
+            return op_
+
+        if o == mir.CEQ or o == mir.CNE:
+            on_nan = 0 if o == mir.CEQ else 1
+            def op_(R, st, a=a, b=b, dst=dst, cost=cost, nxt=nxt, on_nan=on_nan):
+                st.spent += cost
+                x = R[a]
+                y = R[b]
+                if (type(x) is float and x != x) or (type(y) is float and y != y):
+                    R[dst] = on_nan
+                else:
+                    eq = 1 if (x is y or x == y) else 0
+                    R[dst] = eq if on_nan == 0 else 1 - eq
+                return nxt
+            return op_
+
+        if o in _CMP_OPS:
+            cmp = _CMP_OPS[o]
+            def op_(R, st, a=a, b=b, dst=dst, cost=cost, nxt=nxt, cmp=cmp):
+                st.spent += cost
+                x = R[a]
+                y = R[b]
+                if (type(x) is float and x != x) or (type(y) is float and y != y):
+                    R[dst] = 0
+                else:
+                    R[dst] = 1 if cmp(x, y) else 0
+                return nxt
+            return op_
+
+        if o == mir.CONV:
+            conv = _CONV_FNS[ins.extra]
+            def op_(R, st, a=a, dst=dst, cost=cost, nxt=nxt, conv=conv):
+                st.spent += cost
+                R[dst] = conv(R[a])
+                return nxt
+            return op_
+
+        if o == mir.JMP:
+            def op_(R, st, cost=cost, t=ins.target):
+                st.spent += cost
+                return t
+            return op_
+
+        if o == mir.JTRUE:
+            def op_(R, st, a=a, cost=cost, t=ins.target, nxt=nxt):
+                st.spent += cost
+                v = R[a]
+                return t if (v is not None and v != 0) else nxt
+            return op_
+
+        if o == mir.JFALSE:
+            def op_(R, st, a=a, cost=cost, t=ins.target, nxt=nxt):
+                st.spent += cost
+                v = R[a]
+                return t if (v is None or v == 0) else nxt
+            return op_
+
+        if o == mir.JEQ or o == mir.JNE:
+            want_eq = o == mir.JEQ
+            def op_(R, st, a=a, b=b, cost=cost, t=ins.target, nxt=nxt,
+                    want_eq=want_eq):
+                st.spent += cost
+                x = R[a]
+                y = R[b]
+                if (type(x) is float and x != x) or (type(y) is float and y != y):
+                    taken = not want_eq
+                else:
+                    taken = (x is y or x == y) == want_eq
+                return t if taken else nxt
+            return op_
+
+        if o in _JCC_OPS:
+            cmp = _JCC_OPS[o]
+            def op_(R, st, a=a, b=b, cost=cost, t=ins.target, nxt=nxt, cmp=cmp):
+                st.spent += cost
+                x = R[a]
+                y = R[b]
+                if (type(x) is float and x != x) or (type(y) is float and y != y):
+                    return nxt
+                return t if cmp(x, y) else nxt
+            return op_
+
+        if o == mir.SWITCH:
+            targets = tuple(ins.extra)
+            def op_(R, st, a=a, cost=cost, targets=targets, n=len(targets), nxt=nxt):
+                st.spent += cost
+                v = R[a]
+                return targets[v] if 0 <= v < n else nxt
+            return op_
+
+        if o == mir.LDELEM:
+            def op_(R, st, a=a, b=b, dst=dst, cost=cost, nxt=nxt):
+                st.spent += cost
+                arr = R[a]
+                if arr is None:
+                    raise make_exception(loaded, "NullReferenceException")
+                idx = R[b]
+                data = arr.data
+                if idx < 0 or idx >= len(data):
+                    raise make_exception(loaded, "IndexOutOfRangeException")
+                if M.large_working_set:
+                    st.spent += memtax
+                    if obs_dyn is not None:
+                        obs_dyn(fn, CAT_MEMTAX, memtax)
+                R[dst] = data[idx]
+                return nxt
+            return op_
+
+        if o == mir.STELEM:
+            coerce = kind == "r4"
+            def op_(R, st, a=a, b=b, c=c, cost=cost, nxt=nxt, coerce=coerce):
+                st.spent += cost
+                arr = R[a]
+                if arr is None:
+                    raise make_exception(loaded, "NullReferenceException")
+                idx = R[b]
+                data = arr.data
+                if idx < 0 or idx >= len(data):
+                    raise make_exception(loaded, "IndexOutOfRangeException")
+                if M.large_working_set:
+                    st.spent += memtax
+                    if obs_dyn is not None:
+                        obs_dyn(fn, CAT_MEMTAX, memtax)
+                v = R[c]
+                if coerce and type(v) is float:
+                    v = r4(v)
+                data[idx] = v
+                return nxt
+            return op_
+
+        if o == mir.LDFLD:
+            def op_(R, st, a=a, dst=dst, slot=ins.b, cost=cost, nxt=nxt):
+                st.spent += cost
+                obj = R[a]
+                if obj is None:
+                    raise make_exception(loaded, "NullReferenceException")
+                R[dst] = obj.fields[slot]
+                return nxt
+            return op_
+
+        if o == mir.STFLD:
+            coerce = kind == "r4"
+            def op_(R, st, a=a, c=c, slot=ins.b, cost=cost, nxt=nxt, coerce=coerce):
+                st.spent += cost
+                obj = R[a]
+                if obj is None:
+                    raise make_exception(loaded, "NullReferenceException")
+                v = R[c]
+                if coerce and type(v) is float:
+                    v = r4(v)
+                obj.fields[slot] = v
+                return nxt
+            return op_
+
+        if o == mir.LDSFLD:
+            rc, slot = ins.extra
+            def op_(R, st, dst=dst, rc=rc, slot=slot, cost=cost, nxt=nxt):
+                st.spent += cost
+                R[dst] = rc.statics[slot]
+                return nxt
+            return op_
+
+        if o == mir.STSFLD:
+            rc, slot = ins.extra
+            coerce = kind == "r4"
+            def op_(R, st, c=c, rc=rc, slot=slot, cost=cost, nxt=nxt, coerce=coerce):
+                st.spent += cost
+                v = R[c]
+                if coerce and type(v) is float:
+                    v = r4(v)
+                rc.statics[slot] = v
+                return nxt
+            return op_
+
+        if o == mir.CALL:
+            ckind = ins.extra[0]
+            args_t = tuple(ins.args or ())
+
+            if ckind == "intrinsic":
+                _k, fn_i, cost_i, _ref = ins.extra
+                def op_(R, st, cost=cost, cost_i=cost_i, fn_i=fn_i,
+                        args_t=args_t, dst=dst, nxt=nxt):
+                    st.frame.pc = nxt
+                    st.spent += cost + cost_i
+                    if obs_dyn is not None:
+                        obs_dyn(fn, CAT_DISPATCH, cost_i)
+                    M.cycles += st.spent
+                    st.total += st.spent
+                    st.spent = 0
+                    argv = [R[v] for v in args_t]
+                    result = fn_i(M, argv)
+                    if dst >= 0:
+                        R[dst] = result
+                    return nxt
+                return op_
+
+            if ckind == "static":
+                method = ins.extra[1]
+                this_reg = args_t[0] if (not method.is_static and args_t) else -1
+                def op_(R, st, cost=cost, method=method, args_t=args_t,
+                        dst=dst, nxt=nxt, this_reg=this_reg):
+                    st.frame.pc = nxt
+                    st.spent += cost + call_cost
+                    if this_reg >= 0 and R[this_reg] is None:
+                        raise make_exception(loaded, "NullReferenceException")
+                    th = st.thread
+                    frames = th.frames
+                    if 0 <= stack_limit <= len(frames):
+                        _raise_stack_overflow(len(frames))
+                    callee = M._function(method)
+                    argv = [R[v] for v in args_t]
+                    frames.append(Frame(callee, argv, ret_dst=dst))
+                    if observer is not None:
+                        obs_dyn(fn, CAT_DISPATCH, call_cost)
+                        observer.enter(th, callee, M.cycles + st.spent)
+                    return REBIND
+                return op_
+
+            if ckind == "virtual":
+                ref = ins.extra[1]
+                vcost = call_cost + costs.virtual_call_extra
+                def op_(R, st, cost=cost, vcost=vcost, name=ref.name,
+                        params=ref.param_types, args_t=args_t, dst=dst, nxt=nxt):
+                    st.frame.pc = nxt
+                    st.spent += cost + vcost
+                    receiver = R[args_t[0]]
+                    if receiver is None:
+                        raise make_exception(loaded, "NullReferenceException")
+                    method = receiver.rtclass.resolve_virtual(name, params)
+                    th = st.thread
+                    frames = th.frames
+                    if 0 <= stack_limit <= len(frames):
+                        _raise_stack_overflow(len(frames))
+                    callee = M._function(method)
+                    argv = [R[v] for v in args_t]
+                    frames.append(Frame(callee, argv, ret_dst=dst))
+                    if observer is not None:
+                        obs_dyn(fn, CAT_DISPATCH, vcost)
+                        observer.enter(th, callee, M.cycles + st.spent)
+                    return REBIND
+                return op_
+
+            # thread / monitor ops
+            _k, name, is_monitor = ins.extra
+            if is_monitor:
+                def op_(R, st, cost=cost, name=name, args_t=args_t, nxt=nxt):
+                    st.frame.pc = nxt
+                    st.spent += cost
+                    M.cycles += st.spent
+                    st.total += st.spent
+                    st.spent = 0
+                    argv = [R[v] for v in args_t]
+                    M._monitor_op(st.thread, name, argv)
+                    if st.thread.state is not RUNNABLE:
+                        return EXIT
+                    return nxt
+                return op_
+
+            def op_(R, st, cost=cost, name=name, args_t=args_t, dst=dst, nxt=nxt):
+                st.frame.pc = nxt
+                st.spent += cost
+                M.cycles += st.spent
+                st.total += st.spent
+                st.spent = 0
+                argv = [R[v] for v in args_t]
+                result = M._thread_op(st.thread, name, argv)
+                if result == "yield":
+                    return EXIT
+                if dst >= 0:
+                    R[dst] = result
+                if st.thread.state is not RUNNABLE:
+                    return EXIT
+                return nxt
+            return op_
+
+        if o == mir.RET:
+            ret_reg = a if isinstance(a, int) and a >= 0 else -1
+            def op_(R, st, cost=cost, ret_reg=ret_reg):
+                st.spent += cost
+                value = R[ret_reg] if ret_reg >= 0 else None
+                th = st.thread
+                frames = th.frames
+                frames.pop()
+                if observer is not None:
+                    observer.exit(th, M.cycles + st.spent)
+                if frames:
+                    rd = st.frame.ret_dst
+                    if rd >= 0:
+                        frames[-1].R[rd] = value
+                else:
+                    M._finish_thread(th, value)
+                return REBIND
+            return op_
+
+        if o == mir.NEWOBJ:
+            rc, ctor = ins.extra
+            size = rc.instance_size
+            if ctor is None:
+                def op_(R, st, cost=cost, rc=rc, size=size, dst=dst, nxt=nxt):
+                    st.spent += cost
+                    obj = loaded.new_instance(rc)
+                    M.cycles += st.spent
+                    st.total += st.spent
+                    st.spent = 0
+                    M._alloc_charge(size)
+                    R[dst] = obj
+                    return nxt
+                return op_
+            args_t = tuple(ins.args or ())
+            def op_(R, st, cost=cost, rc=rc, size=size, ctor=ctor,
+                    args_t=args_t, dst=dst, nxt=nxt):
+                st.spent += cost
+                obj = loaded.new_instance(rc)
+                M.cycles += st.spent
+                st.total += st.spent
+                st.spent = 0
+                M._alloc_charge(size)
+                R[dst] = obj
+                st.frame.pc = nxt
+                st.spent += call_cost
+                th = st.thread
+                frames = th.frames
+                if 0 <= stack_limit <= len(frames):
+                    _raise_stack_overflow(len(frames))
+                callee = M._function(ctor)
+                argv = [obj] + [R[v] for v in args_t]
+                frames.append(Frame(callee, argv, ret_dst=-1))
+                if observer is not None:
+                    obs_dyn(fn, CAT_DISPATCH, call_cost)
+                    observer.enter(th, callee, M.cycles + st.spent)
+                return REBIND
+            return op_
+
+        if o == mir.NEWARR:
+            def op_(R, st, a=a, dst=dst, cost=cost, nxt=nxt, elem=ins.extra):
+                st.spent += cost
+                length = R[a]
+                M.cycles += st.spent
+                st.total += st.spent
+                st.spent = 0
+                R[dst] = M._new_szarray(elem, length)
+                return nxt
+            return op_
+
+        if o == mir.NEWARR_MD:
+            args_t = tuple(ins.args or ())
+            def op_(R, st, args_t=args_t, dst=dst, cost=cost, nxt=nxt,
+                    elem=ins.extra):
+                st.spent += cost
+                dims = [R[v] for v in args_t]
+                if any(d < 0 for d in dims):
+                    raise make_exception(loaded, "ArgumentException", "negative length")
+                arr = MDArray(elem, dims)
+                M.cycles += st.spent
+                st.total += st.spent
+                st.spent = 0
+                M._alloc_charge(16 + 8 * len(arr.data))
+                R[dst] = arr
+                return nxt
+            return op_
+
+        if o == mir.LDLEN:
+            def op_(R, st, a=a, dst=dst, cost=cost, nxt=nxt):
+                st.spent += cost
+                arr = R[a]
+                if arr is None:
+                    raise make_exception(loaded, "NullReferenceException")
+                R[dst] = arr.length
+                return nxt
+            return op_
+
+        if o == mir.LDELEM_MD:
+            args_t = tuple(ins.args or ())
+            def op_(R, st, a=a, args_t=args_t, dst=dst, cost=cost, nxt=nxt):
+                st.spent += cost
+                arr = R[a]
+                if arr is None:
+                    raise make_exception(loaded, "NullReferenceException")
+                flat = arr.flat_index([R[v] for v in args_t])
+                if flat < 0:
+                    raise make_exception(loaded, "IndexOutOfRangeException")
+                if M.large_working_set:
+                    st.spent += memtax
+                    if obs_dyn is not None:
+                        obs_dyn(fn, CAT_MEMTAX, memtax)
+                R[dst] = arr.data[flat]
+                return nxt
+            return op_
+
+        if o == mir.STELEM_MD:
+            args_t = tuple(ins.args or ())
+            coerce = kind == "r4"
+            def op_(R, st, a=a, c=c, args_t=args_t, cost=cost, nxt=nxt,
+                    coerce=coerce):
+                st.spent += cost
+                arr = R[a]
+                if arr is None:
+                    raise make_exception(loaded, "NullReferenceException")
+                flat = arr.flat_index([R[v] for v in args_t])
+                if flat < 0:
+                    raise make_exception(loaded, "IndexOutOfRangeException")
+                if M.large_working_set:
+                    st.spent += memtax
+                    if obs_dyn is not None:
+                        obs_dyn(fn, CAT_MEMTAX, memtax)
+                v = R[c]
+                if coerce and type(v) is float:
+                    v = r4(v)
+                arr.data[flat] = v
+                return nxt
+            return op_
+
+        if o == mir.BOX:
+            tname = ins.extra.name
+            def op_(R, st, a=a, dst=dst, cost=cost, nxt=nxt, tname=tname):
+                st.spent += cost
+                M._alloc_charge(16)
+                R[dst] = BoxedValue(tname, R[a])
+                return nxt
+            return op_
+
+        if o == mir.UNBOX:
+            t, _rc = ins.extra
+            if isinstance(t, cts.NamedType):
+                def op_(R, st, a=a, dst=dst, cost=cost, nxt=nxt, tname=t.name):
+                    st.spent += cost
+                    v = R[a]
+                    if v is None:
+                        raise make_exception(loaded, "NullReferenceException")
+                    if not isinstance(v, BoxedValue):
+                        raise make_exception(loaded, "InvalidCastException")
+                    if (
+                        not isinstance(v.value, StructValue)
+                        or v.value.rtclass.name != tname
+                    ):
+                        raise make_exception(loaded, "InvalidCastException")
+                    R[dst] = v.value.copy()
+                    return nxt
+            else:
+                def op_(R, st, a=a, dst=dst, cost=cost, nxt=nxt, tname=t.name):
+                    st.spent += cost
+                    v = R[a]
+                    if v is None:
+                        raise make_exception(loaded, "NullReferenceException")
+                    if not isinstance(v, BoxedValue):
+                        raise make_exception(loaded, "InvalidCastException")
+                    if not _box_matches(v.type_name, tname):
+                        raise make_exception(loaded, "InvalidCastException")
+                    R[dst] = v.value
+                    return nxt
+            return op_
+
+        if o == mir.CASTCLASS or o == mir.ISINST:
+            t, rc = ins.extra
+            if o == mir.CASTCLASS:
+                def op_(R, st, a=a, dst=dst, cost=cost, nxt=nxt, t=t, rc=rc):
+                    st.spent += cost
+                    v = R[a]
+                    if v is not None and not M._isinst(v, t, rc):
+                        raise make_exception(loaded, "InvalidCastException")
+                    R[dst] = v
+                    return nxt
+            else:
+                def op_(R, st, a=a, dst=dst, cost=cost, nxt=nxt, t=t, rc=rc):
+                    st.spent += cost
+                    v = R[a]
+                    R[dst] = v if (v is not None and M._isinst(v, t, rc)) else None
+                    return nxt
+            return op_
+
+        if o == mir.STRUCT_COPY:
+            per_field = costs.struct_copy_per_field
+            def op_(R, st, a=a, dst=dst, cost=cost, nxt=nxt, per_field=per_field):
+                st.spent += cost
+                v = R[a]
+                if isinstance(v, StructValue):
+                    extra = per_field * len(v.fields)
+                    st.spent += extra
+                    if obs_dyn is not None:
+                        obs_dyn(fn, CAT_EXECUTE, extra)
+                    R[dst] = v.copy()
+                else:
+                    R[dst] = v
+                return nxt
+            return op_
+
+        if o == mir.THROW:
+            def op_(R, st, a=a, cost=cost):
+                st.spent += cost
+                v = R[a]
+                if v is None:
+                    raise make_exception(loaded, "NullReferenceException")
+                raise GuestException(v)
+            return op_
+
+        if o == mir.RETHROW:
+            def op_(R, st, cost=cost):
+                st.spent += cost
+                exc = st.frame.exc
+                if exc is None:
+                    raise VMError("rethrow with no active exception")
+                raise GuestException(exc)
+            return op_
+
+        if o == mir.LEAVE:
+            def op_(R, st, cost=cost, mypc=pc, target=ins.target):
+                st.spent += cost
+                f = st.frame
+                f.pc = mypc
+                M._leave(st.thread, f, target)
+                return f.pc
+            return op_
+
+        if o == mir.ENDFINALLY:
+            def op_(R, st, cost=cost, mypc=pc):
+                st.spent += cost
+                f = st.frame
+                f.pc = mypc
+                M.cycles += st.spent
+                st.total += st.spent
+                st.spent = 0
+                M._end_finally(st.thread, f)
+                return REBIND
+            return op_
+
+        if o == mir.NOP:
+            def op_(R, st, cost=cost, nxt=nxt):
+                st.spent += cost
+                return nxt
+            return op_
+
+        raise VMError(f"unhandled MIR op {mir.name(o)}")  # pragma: no cover
+
+    code = fn.code
+    ops = [build(pc, ins) for pc, ins in enumerate(code)]
+
+    if obs_instr is not None:
+        # classic fires observer.instr before executing each instruction;
+        # wrap every closure so the hook stream is order-identical
+        def wrap(inner, o, cost):
+            def op_(R, st, inner=inner, o=o, cost=cost):
+                obs_instr(fn, o, cost)
+                return inner(R, st)
+            return op_
+
+        ops = [wrap(ops[pc], ins.op, ins.cost) for pc, ins in enumerate(code)]
+
+    if M.dispatch == "threaded" and observer is None:
+        targets = getattr(fn, "branch_targets", None)
+        if targets is None:
+            targets = mir.branch_targets(fn)
+        for i, length in fuse_plan(code, fn.regions, targets, faults is not None):
+            fused = _make_fused_gen(code, i, length, gen_env)
+            if fused is not None:
+                ops[i] = fused
+
+    return ops
+
+
+# ---------------------------------------------------------------------------
+# quantum driver
+# ---------------------------------------------------------------------------
+
+
+def step_thread(machine, thread, budget: int) -> None:
+    """Threaded-code replacement for ``Machine._step_thread``.
+
+    Structure mirrors the classic loop exactly: bind the top frame, run
+    closures until a sentinel / the budget trips / a guest exception
+    unwinds, flush ``spent`` and the instruction count per binding, and let
+    the outer loop re-bind.  See the module docstring for the equivalence
+    contract.
+    """
+    faults = machine.faults
+    observer = machine.observer
+    loaded = machine.loaded
+    cache = machine._threaded_code
+    # instruction burst bound: same formula as classic — a rebind flushes
+    # ``spent`` into the (possibly float) cycle counter, so the flush
+    # cadence is part of the bit-identity contract
+    burst = budget >> 1
+    if burst > 4096:
+        burst = 4096
+    elif burst < 8:
+        burst = 8
+    st = ExecState(machine, thread, budget, burst)
+    frames = thread.frames
+    while frames and st.total < budget and thread.state is RUNNABLE:
+        frame = frames[-1]
+        st.frame = frame
+        fn = frame.fn
+        ops = cache.get(id(fn))
+        if ops is None:
+            ops = build_ops(machine, fn)
+            cache[id(fn)] = ops
+        R = frame.R
+        pc = frame.pc
+        st.icount = 0
+        try:
+            if faults is not None and faults.pending is not None:
+                injected = faults.take_pending(thread)
+                if injected is not None:
+                    # an exception seeded during unwind fires at the entry
+                    # of the finally handler the dispatcher just targeted
+                    raise make_exception(loaded, injected[0], injected[1])
+            while True:
+                st.icount += 1
+                n = ops[pc](R, st)
+                if n >= 0:
+                    if st.total + st.spent >= budget or st.icount >= burst:
+                        frame.pc = n
+                        break
+                    pc = n
+                elif n == REBIND:
+                    break
+                else:
+                    # EXIT: blocked on a monitor / yielded.  Classic
+                    # returns before its instruction flush, dropping the
+                    # binding's icount — reproduce that exactly.
+                    return
+        except GuestException as guest:
+            # a fused run records the exact raising pc (and flushes its
+            # hoisted bookkeeping) before the exception unwinds; every
+            # other closure raises with the driver's pc current
+            rp = st.raise_pc
+            if rp >= 0:
+                frame.pc = rp
+                st.raise_pc = -1
+            else:
+                frame.pc = pc
+            machine.cycles += st.spent
+            st.total += st.spent
+            st.spent = 0
+            machine.instructions += st.icount
+            if observer is not None:
+                observer.throw(machine.cycles)
+            machine._throw(thread, guest.obj)
+            continue
+        machine.cycles += st.spent
+        st.total += st.spent
+        st.spent = 0
+        machine.instructions += st.icount

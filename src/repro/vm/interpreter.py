@@ -71,6 +71,11 @@ class Interpreter:
         self.serializer = Serializer()
         self.bench = BenchRecorder(self.now)
         self.allocated_bytes = 0
+        # static type annotation cache: annotate() is a whole-body pass, so
+        # re-running it per _exec entry made every finally handler (which
+        # executes through a nested _exec on the shared frame) re-derive
+        # the same table; keyed by method identity like the JIT code cache
+        self._kinds: Dict[int, dict] = {}
         # single-threaded monitor bookkeeping (reentrancy only)
         self._monitor_depth: Dict[int, int] = {}
 
@@ -183,7 +188,9 @@ class Interpreter:
         the loop runs a finally handler in the caller's frame (shared
         ``locals_``) and returns when its ``endfinally`` is reached."""
         body = method.body
-        kinds = annotate(method)
+        kinds = self._kinds.get(id(method))
+        if kinds is None:
+            kinds = self._kinds.setdefault(id(method), annotate(method))
         loaded = self.loaded
         if locals_ is None:
             locals_ = [None] * len(method.locals)

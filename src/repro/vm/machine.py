@@ -23,6 +23,7 @@ multithreaded benchmarks are deterministic.
 from __future__ import annotations
 
 import math
+from types import MethodType
 from typing import Dict, List, Optional
 
 from ..cil import cts
@@ -42,6 +43,7 @@ from ..observe.recorder import (
     CAT_RUNTIME,
 )
 from .bench import BenchRecorder
+from .dispatch import resolve_dispatch, step_thread
 from .exceptions import GuestException, make_exception, matches
 from .intrinsics import INTRINSICS, JavaRandom, Serializer, THREADING_CLASSES
 from .loader import LoadedAssembly, RuntimeClass
@@ -101,6 +103,7 @@ class Machine:
         disabled_passes=(),
         observer=None,
         faults=None,
+        dispatch=None,
     ) -> None:
         self.loaded = loaded
         self.profile = profile
@@ -143,6 +146,17 @@ class Machine:
         self._next_tid = 1
         self.current: Optional[GuestThread] = None
         self._linked: set = set()
+        #: dispatch engine: "classic" (interpreted elif chain, the default),
+        #: "threaded" (pre-bound closures + superinstructions), or
+        #: "threaded-nofuse" (closures without pair fusion).  The threaded
+        #: engines shadow the _step_thread method with the closure driver;
+        #: both are bit-identical to classic in every simulated observable
+        #: (see tests/test_dispatch_equivalence.py).
+        self.dispatch = resolve_dispatch(dispatch)
+        if self.dispatch != "classic":
+            #: per-function closure arrays, keyed by id(fn)
+            self._threaded_code: Dict[int, list] = {}
+            self._step_thread = MethodType(step_thread, self)
         if observer is not None:
             observer.attach(self)
 
@@ -1277,12 +1291,12 @@ def _box_matches(box_type: str, target_name: str) -> bool:
 
 
 def run_source_on(source: str, profile, entry_class: Optional[str] = None,
-                  quantum: int = 50_000):
+                  quantum: int = 50_000, dispatch=None):
     """Convenience: compile once, run on one profile; returns (result, machine)."""
     from ..lang import compile_source
 
     assembly = compile_source(source, entry_class=entry_class)
     loaded = LoadedAssembly(assembly)
-    machine = Machine(loaded, profile, quantum=quantum)
+    machine = Machine(loaded, profile, quantum=quantum, dispatch=dispatch)
     result = machine.run()
     return result, machine

@@ -1,0 +1,254 @@
+"""Differential dispatch-equivalence harness: classic vs threaded engines.
+
+The threaded-code engine (``repro.vm.dispatch``) re-implements the MIR hot
+path as pre-bound closure arrays with superinstruction fusion.  Its whole
+license to exist is this file's oracle: **every observable number is
+bit-identical to the classic loop** — results, simulated cycles (including
+float cost accumulation order), instruction counts, allocation/GC totals,
+metrics snapshots, observe-profiles, and stdout.  Anything the classic
+engine produces is ground truth; the threaded engine is only ever faster,
+never different.
+
+Three engine configurations are differenced everywhere: ``classic``,
+``threaded`` (codegen + fusion), and ``threaded-nofuse`` (codegen singles,
+no fusion) — the intermediate form localizes a divergence to either the
+closure translation or the fuser.
+
+Coverage: every registered benchmark x all eight runtime profiles (scaled
+small), the fuzz corpus, observer-attached runs (zero-perturbation hooks
+must compose), and the frame-locals aliasing regressions (a guest
+exception caught mid-method — including mid-fused-run — must observe the
+same local values under every engine).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.benchmarks.registry import all_benchmarks
+from repro.harness.runner import Runner
+from repro.lang import compile_source
+from repro.observe.report import profile_to_dict
+from repro.runtimes import ALL_PROFILES, CLR11, NATIVE_C, SSCLI10
+from repro.vm.interpreter import Interpreter
+from repro.vm.loader import LoadedAssembly
+from repro.vm.machine import Machine
+
+CORPUS = Path(__file__).parent / "fuzz_corpus"
+CORPUS_FILES = sorted(CORPUS.glob("*.cs"))
+
+#: the non-classic engines, each differenced against classic ground truth
+ENGINES = ("threaded", "threaded-nofuse")
+
+#: tiny per-benchmark workloads: the equivalence property is about engine
+#: plumbing, not workload size, so every cell is scaled to run in tier-1
+#: time while still reaching its steady-state loops at least once
+SMALL_PARAMS = {
+    "clispec.boxing": {"Reps": 60},
+    "clispec.matrix": {"N": 8, "Reps": 1},
+    "grande.crypt": {"Words": 32},
+    "grande.euler": {"N": 4, "Steps": 1},
+    "grande.fibonacci": {"N": 8},
+    "grande.hanoi": {"Disks": 5},
+    "grande.heapsort": {"N": 64},
+    "grande.moldyn": {"MM": 2, "Steps": 1},
+    "grande.raytracer": {"Size": 4, "Grid": 2},
+    "grande.search": {"Depth": 2, "TTSize": 509},
+    "grande.sieve": {"Limit": 200, "Reps": 1},
+    "micro.arith": {"Reps": 60},
+    "micro.assign": {"Reps": 60},
+    "micro.cast": {"Reps": 60},
+    "micro.create": {"Reps": 40},
+    "micro.exception": {"Reps": 6, "Depth": 3},
+    "micro.loop": {"Reps": 300},
+    "micro.math": {"Reps": 30},
+    "micro.method": {"Reps": 60},
+    "micro.serial": {"Reps": 2, "Nodes": 8, "Payload": 4},
+    "scimark.fft": {"N": 16, "Reps": 1, "Seed": 101010},
+    "scimark.lu": {"N": 8, "Reps": 1, "Seed": 101010},
+    "scimark.montecarlo": {"Samples": 50, "Seed": 101010},
+    "scimark.montecarlo_mt": {"Samples": 40, "Threads": 2, "Seed": 101010},
+    "scimark.sor": {"N": 8, "Iters": 1, "Seed": 101010},
+    "scimark.sor_mt": {"N": 8, "Iters": 1, "Threads": 2, "Seed": 101010},
+    "scimark.sparse": {"N": 20, "NZ": 60, "Reps": 1, "Seed": 101010},
+    "threads.barrier": {"Threads": 2, "Crossings": 4},
+    "threads.forkjoin": {"Reps": 2, "Threads": 2},
+    "threads.lock": {"Reps": 20, "ContendedReps": 10},
+    "threads.sync": {"Threads": 2, "Reps": 5},
+    "threads.thread": {"Reps": 4},
+}
+
+#: one shared runner so each benchmark's source is compiled once for the
+#: whole module (the per-profile JIT still runs per machine, as it must)
+_runner = Runner(profiles=list(ALL_PROFILES))
+
+
+def run_fingerprint(run):
+    """Everything observable about a harness run, bitwise.
+
+    Floats go through ``repr`` so the comparison is on the exact bit
+    pattern (cycle accumulation order matters when costs are float), not
+    on a tolerance.
+    """
+    return {
+        "cycles": repr(run.total_cycles),
+        "instructions": run.instructions,
+        "allocated_bytes": run.allocated_bytes,
+        "gc_collections": run.gc_collections,
+        "stdout": list(run.stdout),
+        "sections": {
+            name: (repr(sec.cycles), sec.ops, sec.flops,
+                   [repr(r) for r in sec.results])
+            for name, sec in run.sections.items()
+        },
+        "metrics": json.dumps(run.metrics, sort_keys=True),
+    }
+
+
+def machine_fingerprint(machine, result):
+    return {
+        "result": repr(result),
+        "cycles": repr(machine.cycles),
+        "instructions": machine.instructions,
+        "allocated_bytes": machine.allocated_bytes,
+        "gc_collections": machine.gc_collections,
+        "stdout": list(machine.stdout),
+    }
+
+
+# ------------------------------------------------- benchmarks x profiles
+
+
+@pytest.mark.parametrize(
+    "bench", sorted(SMALL_PARAMS), ids=lambda name: name
+)
+def test_benchmark_bit_identical_across_engines(bench):
+    params = SMALL_PARAMS[bench]
+    for profile in ALL_PROFILES:
+        truth = run_fingerprint(
+            _runner.run_on(bench, profile, params, metrics=True,
+                           dispatch="classic")
+        )
+        for engine in ENGINES:
+            got = run_fingerprint(
+                _runner.run_on(bench, profile, params, metrics=True,
+                               dispatch=engine)
+            )
+            assert got == truth, f"{bench} / {profile.name} / {engine}"
+
+
+def test_every_registered_benchmark_is_covered():
+    # a new benchmark must join the differential matrix to ship
+    assert sorted(SMALL_PARAMS) == sorted(b.name for b in all_benchmarks())
+
+
+# ----------------------------------------------------------- fuzz corpus
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+)
+def test_fuzz_corpus_bit_identical_across_engines(path):
+    assembly = compile_source(path.read_text(), assembly_name=path.stem)
+    for profile in (NATIVE_C, CLR11, SSCLI10):
+        prints = {}
+        for engine in ("classic",) + ENGINES:
+            machine = Machine(LoadedAssembly(assembly), profile,
+                              dispatch=engine)
+            prints[engine] = machine_fingerprint(machine, machine.run())
+        for engine in ENGINES:
+            assert prints[engine] == prints["classic"], (
+                f"{path.stem} / {profile.name} / {engine}"
+            )
+
+
+# ------------------------------------------- zero-perturbation observers
+
+
+@pytest.mark.parametrize("bench,profile", [
+    ("micro.exception", CLR11),
+    ("micro.arith", SSCLI10),
+    ("grande.sieve", NATIVE_C),
+], ids=lambda v: v if isinstance(v, str) else v.name)
+def test_observed_runs_identical_profiles_across_engines(bench, profile):
+    """The cycle-attribution observer sees the same stream from every
+    engine (per-instruction hook order included), and attaching it never
+    perturbs the numbers the unobserved run produced."""
+    params = SMALL_PARAMS[bench]
+    plain = run_fingerprint(
+        _runner.run_on(bench, profile, params, metrics=True,
+                       dispatch="classic")
+    )
+    profiles = {}
+    for engine in ("classic",) + ENGINES:
+        run = _runner.run_on(bench, profile, params, observe=True,
+                             metrics=True, dispatch=engine)
+        observed = run_fingerprint(run)
+        assert observed == plain, f"observer perturbed {engine}"
+        profiles[engine] = json.dumps(
+            profile_to_dict(run.observation, benchmark=bench), sort_keys=True
+        )
+    for engine in ENGINES:
+        assert profiles[engine] == profiles["classic"], engine
+
+
+# ------------------------------------- frame-locals aliasing regressions
+
+#: a guest exception raised from the middle of a fusable straight-line
+#: run: the catch handler must observe exactly the locals the classic
+#: engine leaves behind (the fused DIV records the precise raising pc and
+#: flushes its hoisted state before the throw)
+MID_RUN_THROW = """
+class P {
+    static int Main() {
+        int a = 1; int b = 2; int c = 3; int d = 0; int acc = 0;
+        try {
+            a = a + 40;
+            b = b * 3;
+            c = a + b;
+            acc = c / d;
+            a = 999;
+        } catch (DivideByZeroException e) {
+            acc = a * 1000 + b * 10 + c;
+        }
+        return acc;
+    }
+}
+"""
+
+#: two activations of the same method alive at once: after the inner one
+#: throws, the outer activation's locals must be intact (slot frames are
+#: per-activation, never shared through the translated code object)
+RECURSIVE_CATCH = """
+class P {
+    static int F(int n) {
+        int local = n * 10;
+        if (n == 0) { throw new ArgumentException("deep"); }
+        int got = 0;
+        try { got = P.F(n - 1); } catch (ArgumentException e) { got = local + 1; }
+        return got + local;
+    }
+    static int Main() { return P.F(3); }
+}
+"""
+
+
+@pytest.mark.parametrize("source,expected,label", [
+    (MID_RUN_THROW, 41107, "mid_run_throw"),
+    (RECURSIVE_CATCH, 71, "recursive_catch"),
+], ids=["mid_run_throw", "recursive_catch"])
+def test_catch_observes_same_locals_under_every_engine(source, expected, label):
+    assembly = compile_source(source, assembly_name=label)
+    assert Interpreter(LoadedAssembly(assembly)).run() == expected
+    for profile in (NATIVE_C, CLR11, SSCLI10):
+        prints = {}
+        for engine in ("classic",) + ENGINES:
+            machine = Machine(LoadedAssembly(assembly), profile,
+                              dispatch=engine)
+            prints[engine] = machine_fingerprint(machine, machine.run())
+        assert prints["classic"]["result"] == repr(expected), profile.name
+        for engine in ENGINES:
+            assert prints[engine] == prints["classic"], (
+                f"{label} / {profile.name} / {engine}"
+            )

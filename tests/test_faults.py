@@ -239,12 +239,13 @@ CELLS = [
 META = [(bench, profile) for bench, _params, profile in CELLS]
 
 
-def chaos_report(plan, jobs, cell_timeout=3.0):
+def chaos_report(plan, jobs, cell_timeout=3.0, dispatch=None):
     spec = {
         "kind": "harness",
         "metrics": False,
         "plan": plan,
         "cell_timeout": cell_timeout,
+        "dispatch": dispatch,
     }
     payloads, pool_report = run_cells(spec, CELLS, jobs=jobs)
     return annotate_cells(META, payloads, plan), pool_report
@@ -308,6 +309,77 @@ class TestResilientPool:
             if cell["fault"] and cell["status"] == "quarantined":
                 assert cell["retries"] == plan.max_retries
                 assert cell["backoff_cycles"] > 0
+
+    def test_dispatch_engines_chaos_parity_jobs_1_and_2(self):
+        """The threaded engine is invisible to the fault layer: a pinned
+        plan covering guest OOM, stack overflow, and a cycle-budget
+        timeout produces byte-identical failure-annotation reports under
+        ``classic`` and ``threaded`` at ``--jobs`` 1 and 2 — same fire
+        sites, same counts, same annotations.  (With a fault injector
+        armed the fuser stands down entirely, so every pc stays an
+        individually attributable fire site.)"""
+        cells = [
+            ("micro.arith", {"Reps": 60}, "clr-1.1"),
+            ("micro.create", {"Reps": 40}, "clr-1.1"),
+            ("micro.exception", {"Reps": 12, "Depth": 4}, "clr-1.1"),
+            ("micro.exception", {"Reps": 2, "Depth": 40}, "mono-0.23"),
+            ("grande.sieve", {"Limit": 200, "Reps": 1}, "sscli-1.0"),
+        ]
+        meta = [(bench, profile) for bench, _params, profile in cells]
+        plan = FaultPlan(seed=17, pinned=((1, "alloc_oom"),),
+                         stack_limit=20, cycle_limit=400_000, max_retries=0)
+        blobs = {}
+        for engine in ("classic", "threaded"):
+            for jobs in (1, 2):
+                spec = {"kind": "harness", "metrics": False, "plan": plan,
+                        "cell_timeout": 10.0, "dispatch": engine}
+                payloads, _pool = run_cells(spec, cells, jobs=jobs)
+                report = annotate_cells(meta, payloads, plan)
+                blobs[(engine, jobs)] = report.to_json()
+        assert len(set(blobs.values())) == 1, sorted(blobs)
+        data = json.loads(blobs[("classic", 1)])
+        by_index = {c["index"]: c for c in data["cells"]}
+        assert by_index[1]["exception"] == "OutOfMemoryException"
+        assert by_index[2]["status"] == "cell_timeout"
+        assert by_index[3]["fired"] == {"stack_limit": 2}
+
+    def test_dispatch_engines_unwind_injection_parity(self):
+        """No benchmark has ``finally`` blocks, so the unwind-injection
+        site is differenced at machine level: the injected mid-unwind OOM
+        fires at the same finally, replaces the same in-flight exception,
+        and leaves identical cycles under every dispatch engine."""
+        source = """
+        class P {
+            static int Leak;
+            static void Inner() {
+                try {
+                    try { throw new ArgumentException("original"); }
+                    finally { P.Leak = P.Leak + 1; }
+                } finally { P.Leak = P.Leak + 10; }
+            }
+            static int Main() {
+                int caught = 0;
+                try { P.Inner(); }
+                catch (OutOfMemoryException e) { caught = 1; }
+                catch (ArgumentException e) { caught = 2; }
+                return caught * 100 + P.Leak;
+            }
+        }"""
+        assembly = compile_source(source)
+        prints = {}
+        for engine in ("classic", "threaded", "threaded-nofuse"):
+            machine = Machine(
+                LoadedAssembly(assembly), CLR11,
+                faults=MachineFaults(throw_during_unwind=1),
+                dispatch=engine,
+            )
+            result = machine.run()
+            prints[engine] = (result, dict(machine.faults.fired),
+                              repr(machine.cycles), machine.instructions)
+        assert prints["classic"][0] == 110
+        assert prints["classic"][1] == {"unwind_throw": 1}
+        assert prints["threaded"] == prints["classic"]
+        assert prints["threaded-nofuse"] == prints["classic"]
 
     def test_no_plan_pool_payloads_unchanged(self):
         spec = {"kind": "harness", "metrics": False}

@@ -6,7 +6,12 @@
 * IDEA en/decryption round-trips for arbitrary keys and plaintexts;
 * randomly generated arithmetic expressions evaluate identically in the
   reference interpreter and the measured engine on every profile tier —
-  the compile-once/run-everywhere invariant, fuzzed.
+  the compile-once/run-everywhere invariant, fuzzed;
+* the threaded engine's superinstruction fuser obeys its safety rules on
+  arbitrary MIR shapes (never fuses into a branch target, an exception
+  region boundary, or anything when a fault injector is armed), and fused
+  execution is bit-identical to unfused and classic execution — state
+  *and* cycles — on random programs.
 """
 
 import math
@@ -227,3 +232,135 @@ class TestExpressionFuzz:
         for profile in (NATIVE_C, CLR11, SSCLI10):
             got = Machine(LoadedAssembly(assembly), profile).run()
             assert got == expected, f"{profile.name}: {expr=}"
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        int_expressions(),
+        st.integers(min_value=-1000, max_value=1000),
+        st.integers(min_value=-1000, max_value=1000),
+    )
+    def test_fused_unfused_classic_identical_state_and_cycles(self, expr, x, y):
+        """Random straight-line arithmetic (dense fusable runs, division
+        included): the threaded engine with fusion, without fusion, and
+        the classic loop agree on result, cycles, and instruction count
+        bit for bit."""
+        from repro.lang import compile_source
+        from repro.runtimes import CLR11, NATIVE_C, SSCLI10
+        from repro.vm.loader import LoadedAssembly
+        from repro.vm.machine import Machine
+
+        source = f"""
+        class P {{ static int Main() {{
+            int x = {x}; int y = {y};
+            int a = {expr};
+            int b = ((a * 3) ^ (x + y));
+            double d = ((a * 0.5) + (b * 0.25));
+            return ((a + b) ^ (a - b)) + ((int) d);
+        }} }}"""
+        assembly = compile_source(source)
+        for profile in (NATIVE_C, CLR11, SSCLI10):
+            prints = {}
+            for engine in ("classic", "threaded", "threaded-nofuse"):
+                machine = Machine(LoadedAssembly(assembly), profile,
+                                  dispatch=engine)
+                result = machine.run()
+                prints[engine] = (
+                    repr(result), repr(machine.cycles), machine.instructions
+                )
+            assert prints["threaded"] == prints["classic"], (
+                f"{profile.name}: {expr=}"
+            )
+            assert prints["threaded-nofuse"] == prints["classic"], (
+                f"{profile.name}: {expr=}"
+            )
+
+
+# --------------------------------------------------------------------------
+# the superinstruction fuser: safety rules on arbitrary MIR shapes
+# --------------------------------------------------------------------------
+
+
+def _mir_modules():
+    from repro.jit import mir
+    from repro.vm import dispatch
+
+    return mir, dispatch
+
+
+def _synthetic_code(mir, ops):
+    return [mir.MInstr(op=op) for op in ops]
+
+
+_fusable_ops = st.sampled_from(("MOV", "LDI", "ADD", "MUL", "DIV", "CEQ"))
+_terminal_ops = st.sampled_from(("JMP", "JTRUE", "JEQ"))
+_opaque_ops = st.sampled_from(("CALL", "RET", "LDELEM", "NEWOBJ", "THROW"))
+_any_ops = st.one_of(_fusable_ops, _terminal_ops, _opaque_ops)
+
+
+class TestFusePlan:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(_any_ops, min_size=0, max_size=24),
+        st.sets(st.integers(min_value=0, max_value=23)),
+        st.integers(min_value=2, max_value=16),
+    )
+    def test_plan_obeys_all_safety_rules(self, ops, targets, max_run):
+        mir, dispatch = _mir_modules()
+        code = _synthetic_code(mir, [getattr(mir, o) for o in ops])
+        regions = []
+        if len(code) >= 4:
+            regions.append(mir.MIRRegion(
+                kind="catch", try_start=1, try_end=2,
+                handler_start=len(code) - 2, handler_end=len(code) - 1,
+            ))
+        plan = dispatch.fuse_plan(code, regions, frozenset(targets),
+                                  faults_armed=False, max_run=max_run)
+        boundaries = set(targets)
+        for reg in regions:
+            boundaries.update((reg.try_start, reg.try_end,
+                               reg.handler_start, reg.handler_end))
+        prev_end = 0
+        for start, length in plan:
+            # non-overlapping, in order, and within bounds
+            assert start >= prev_end
+            assert 2 <= length <= max_run
+            assert start + length <= len(code)
+            prev_end = start + length
+            # every element but the last always falls through
+            for k in range(length - 1):
+                assert code[start + k].op in dispatch.FUSABLE_FIRST
+            assert code[start + length - 1].op in dispatch.FUSABLE_SECOND
+            # entering a run sideways is impossible: no interior element
+            # is a branch target or an exception region boundary
+            for k in range(1, length):
+                assert start + k not in boundaries, (start, length, k)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_fusable_ops, min_size=2, max_size=12))
+    def test_fault_armed_site_is_never_fused(self, ops):
+        mir, dispatch = _mir_modules()
+        code = _synthetic_code(mir, [getattr(mir, o) for o in ops])
+        assert dispatch.fuse_plan(code, [], frozenset(), faults_armed=True) == []
+        # ... while the same shape without a fault injector fuses fully
+        plan = dispatch.fuse_plan(code, [], frozenset(), faults_armed=False)
+        assert plan and plan[0] == (0, min(len(code), dispatch.MAX_FUSE_RUN))
+
+    def test_branch_target_splits_a_run(self):
+        mir, dispatch = _mir_modules()
+        code = _synthetic_code(mir, [mir.ADD] * 6)
+        whole = dispatch.fuse_plan(code, [], frozenset(), faults_armed=False)
+        assert whole == [(0, 6)]
+        split = dispatch.fuse_plan(code, [], frozenset({3}), faults_armed=False)
+        assert split == [(0, 3), (3, 3)]
+
+    def test_handler_boundary_splits_a_run(self):
+        mir, dispatch = _mir_modules()
+        code = _synthetic_code(mir, [mir.ADD] * 6)
+        region = mir.MIRRegion(kind="finally", try_start=0, try_end=2,
+                               handler_start=4, handler_end=6)
+        plan = dispatch.fuse_plan(code, [region], frozenset(),
+                                  faults_armed=False)
+        for start, length in plan:
+            for k in range(1, length):
+                assert start + k not in (0, 2, 4, 6)
