@@ -156,17 +156,18 @@ def _campaign_cells(args):
 
 
 def _run_campaign(args, plan, jobs) -> FaultMatrixReport:
-    from ..parallel import CompileCache, run_cells
+    from ..parallel import execution_from_args, run_cells
 
     cells = _campaign_cells(args)
-    cache = None if args.no_compile_cache else CompileCache(args.cache_dir)
+    execution = execution_from_args(args)
+    cache = execution.cache
     spec = {
         "kind": "harness",
         "metrics": False,
         "cache_dir": None if cache is None else cache.root,
         "plan": plan,
-        "cell_timeout": args.cell_timeout,
-        "dispatch": getattr(args, "dispatch", None),
+        "cell_timeout": execution.cell_timeout,
+        "dispatch": execution.dispatch,
     }
     payloads, pool_report = run_cells(spec, cells, jobs=jobs)
     report = annotate_cells(
@@ -225,7 +226,7 @@ def cmd_check(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    from ..parallel import add_jobs_argument, default_cache_dir
+    from ..parallel import add_execution_args
 
     parser = argparse.ArgumentParser(
         prog="repro-chaos",
@@ -235,26 +236,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_matrix_arguments(p) -> None:
-        add_fault_arguments(p, prefix="")
+        # chaos takes the shared execution flags with bare fault names
+        # (--seed, --sites, ...); verify ignores --jobs (it pins 1/2/4)
+        add_execution_args(p, fault_prefix="")
         p.add_argument("--benchmarks", default=DEFAULT_BENCHMARKS,
                        help=f"comma-separated benchmarks (default: {DEFAULT_BENCHMARKS})")
         p.add_argument("--profiles", default=None,
                        help="comma-separated runtime profiles (default: micro set)")
         p.add_argument("--scale", type=float, default=0.05,
                        help="benchmark problem-size scale (default: 0.05)")
-        p.add_argument("--cache-dir", default=default_cache_dir(), metavar="DIR",
-                       help="persistent compile cache location")
-        p.add_argument("--no-compile-cache", action="store_true",
-                       help="compile from scratch; do not touch the cache")
-        from ..vm.dispatch import DISPATCH_MODES
-
-        p.add_argument("--dispatch", default=None, choices=DISPATCH_MODES,
-                       help="VM dispatch engine; fault-fire sites and failure "
-                            "annotations are engine-independent by contract")
 
     run = sub.add_parser("run", help="one campaign; write the report; exit by containment")
     add_matrix_arguments(run)
-    add_jobs_argument(run)
     run.add_argument("--out", default="chaos-report.json", metavar="PATH",
                      help="failure-annotation report path (default: "
                           "chaos-report.json; '' to skip)")

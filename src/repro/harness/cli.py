@@ -57,9 +57,8 @@ def cmd_profiles(_args) -> int:
 
 
 def cmd_run(args) -> int:
-    from ..faults.cli import plan_from_args
     from ..faults.report import CellFailure, annotate_cells
-    from ..parallel import CompileCache, resolve_jobs, run_cells
+    from ..parallel import execution_from_args, resolve_jobs, run_cells
     from .runner import check_cross_profile_results
 
     profiles = (
@@ -68,9 +67,10 @@ def cmd_run(args) -> int:
         else MICRO_PROFILES
     )
     overrides = _parse_overrides(args.param or [])
-    cache = None if args.no_compile_cache else CompileCache(args.cache_dir)
-    plan = plan_from_args(args)
-    jobs = args.jobs
+    execution = execution_from_args(args)
+    cache = execution.cache
+    plan = execution.plan
+    jobs = execution.jobs
     if args.profile and resolve_jobs(jobs) > 1:
         # the cycle-attribution observer is a live per-machine object, not a
         # picklable result record; profiling runs stay serial
@@ -198,23 +198,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "profile/trace/report artifacts per runtime")
     p_run.add_argument("--profile-dir", default="profile-artifacts", metavar="DIR",
                        help="where --profile writes artifacts")
-    from ..parallel import add_jobs_argument, default_cache_dir
+    from ..parallel import add_execution_args
 
-    add_jobs_argument(p_run)
-    p_run.add_argument("--cache-dir", default=default_cache_dir(), metavar="DIR",
-                       help="persistent compile cache location "
-                            "(default: $REPRO_CACHE_DIR or .repro-cache)")
-    p_run.add_argument("--no-compile-cache", action="store_true",
-                       help="compile from scratch; do not read or write the cache")
-    from ..vm.dispatch import DISPATCH_MODES
-
-    p_run.add_argument("--dispatch", default=None, choices=DISPATCH_MODES,
-                       help="VM dispatch engine (default: classic, or "
-                            "$REPRO_DISPATCH); engines are bit-identical in "
-                            "simulated cycles — only host wall clock differs")
-    from ..faults.cli import add_fault_arguments
-
-    add_fault_arguments(p_run)
+    add_execution_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_exp = sub.add_parser("experiment", help="regenerate one paper graph/table")

@@ -77,6 +77,58 @@ def graph_suite(scale: float = 1.0) -> List[Tuple[str, Dict[str, object]]]:
     ]
 
 
+def resolve_profiles(spec=None):
+    """Normalize a profile selection — ``None`` (all), a comma-separated
+    string, or an iterable of names — to RuntimeProfile objects.  Shared
+    by ``repro-bench`` and the experiment service so a submission and a
+    direct run resolve identically.  Unknown names raise ValueError."""
+    from ..runtimes import ALL_PROFILES, BY_NAME, get_profile
+
+    if not spec:
+        return list(ALL_PROFILES)
+    if isinstance(spec, str):
+        spec = [name.strip() for name in spec.split(",") if name.strip()]
+    unknown = [name for name in spec if name not in BY_NAME]
+    if unknown:
+        raise ValueError(
+            f"unknown profiles {', '.join(unknown)} "
+            f"(known: {', '.join(BY_NAME)})"
+        )
+    return [get_profile(name) for name in spec]
+
+
+def resolve_suite(spec=None, scale: float = 1.0):
+    """Normalize a benchmark selection to ``[(name, params), ...]``.
+
+    ``None`` means the full graph suite at ``scale``; a comma-separated
+    string or list of names selects a scaled subset; a list entry may
+    also be an explicit ``(name, params)`` pair.  Unknown names raise
+    ValueError naming the available suite."""
+    suite = graph_suite(scale)
+    if not spec:
+        return suite
+    if isinstance(spec, str):
+        spec = [name.strip() for name in spec.split(",") if name.strip()]
+    by_name = dict(suite)
+    out = []
+    missing = []
+    for entry in spec:
+        if isinstance(entry, str):
+            if entry in by_name:
+                out.append((entry, by_name[entry]))
+            else:
+                missing.append(entry)
+        else:
+            name, params = entry
+            out.append((name, dict(params or {})))
+    if missing:
+        raise ValueError(
+            f"not in the graph suite: {', '.join(missing)} "
+            f"(available: {', '.join(name for name, _ in suite)})"
+        )
+    return out
+
+
 def current_git_sha(cwd: Optional[str] = None) -> str:
     try:
         out = subprocess.run(
@@ -90,6 +142,77 @@ def current_git_sha(cwd: Optional[str] = None) -> str:
         return sha if out.returncode == 0 and sha else "unknown"
     except OSError:
         return "unknown"
+
+
+# --------------------------------------------------------- artifact assembly
+
+
+def entry_from_run(run) -> dict:
+    """The per-profile artifact entry of one ProfileRun — the exact data a
+    ``BENCH_*.json`` records per (benchmark, profile).  Must agree field
+    for field with :func:`repro.store.entry_from_record` (tested), since
+    store-served and freshly-executed cells land in the same artifact."""
+    return {
+        "cycles": run.total_cycles,
+        "instructions": run.instructions,
+        "allocated_bytes": run.allocated_bytes,
+        "gc_collections": run.gc_collections,
+        "sections": {
+            s: {"cycles": sec.cycles, "ops": sec.ops, "flops": sec.flops}
+            for s, sec in run.sections.items()
+        },
+        "metrics": run.metrics,
+    }
+
+
+def build_artifact(
+    suite,
+    profile_names,
+    entries_by_bench: Dict[str, Dict[str, dict]],
+    *,
+    scale: float,
+    git_sha: str,
+) -> dict:
+    """Assemble the BENCH artifact dict from per-profile entries.
+
+    Shared by :func:`collect` (entries from live ProfileRuns) and
+    :meth:`repro.store.ExperimentStore.export_artifact` (entries from
+    stored records), so an export can be byte-identical to the original
+    collection.  Ratios are recomputed here — cycle values round-trip
+    JSON exactly, so recomputation is exact too."""
+    benchmarks: Dict[str, dict] = {}
+    for name, params in suite:
+        entries = entries_by_bench.get(name, {})
+        per_profile = {
+            pname: entries[pname] for pname in profile_names if pname in entries
+        }
+        ratios: Dict[str, float] = {}
+        if per_profile:
+            base_name = (
+                RATIO_BASE
+                if RATIO_BASE in per_profile
+                else next(p for p in profile_names if p in per_profile)
+            )
+            base_cycles = per_profile[base_name]["cycles"]
+            ratios = {
+                f"{pname}/{base_name}": (
+                    entry["cycles"] / base_cycles if base_cycles else 0.0
+                )
+                for pname, entry in per_profile.items()
+                if pname != base_name
+            }
+        benchmarks[name] = {
+            "params": dict(params),
+            "profiles": per_profile,
+            "ratios": ratios,
+        }
+    return {
+        "schema": BENCH_SCHEMA,
+        "git_sha": git_sha,
+        "scale": scale,
+        "profiles": list(profile_names),
+        "benchmarks": benchmarks,
+    }
 
 
 # ------------------------------------------------------------------ collect
@@ -106,6 +229,7 @@ def collect(
     plan=None,
     cell_timeout: Optional[float] = None,
     dispatch: Optional[str] = None,
+    store=None,
 ) -> dict:
     """Run the suite on every profile with metrics attached; return the
     artifact dict (pure data, JSON-ready).
@@ -135,6 +259,17 @@ def collect(
     (``dispatch.speedup`` — host telemetry, the one deliberately
     nondeterministic entry).  Classic/default collections carry no such
     key, so their artifacts stay byte-identical to pre-knob layouts.
+
+    ``store`` is an optional :class:`repro.store.ExperimentStore`: every
+    cell is first looked up content-addressed (``sha256(COMPILER_VERSION,
+    profile, benchmark, canonical overrides, dispatch, seed)``) and a hit
+    is served from the store with zero compiles and zero guest cycles —
+    the served artifact is byte-identical to a fresh serial collection
+    because stored records round-trip ProfileRuns exactly.  Novel cells
+    execute as usual and are appended to the store, together with a run
+    row recording the collection; memo accounting lands on
+    ``collect.last_store``.  Memoization records only clean runs, so it
+    cannot be combined with a fault plan.
     """
     # imported here: the harness imports repro.metrics in turn
     from ..faults.report import CellFailure, annotate_cells
@@ -146,16 +281,45 @@ def collect(
     suite = list(suite if suite is not None else graph_suite(scale))
     collect.last_report = None
     collect.last_faults = None
+    collect.last_store = None
+    sha = git_sha if git_sha is not None else current_git_sha()
+    if store is not None and plan is not None:
+        raise ValueError(
+            "store memoization records only clean runs and cannot be "
+            "combined with a fault plan"
+        )
 
     runs_by_bench: Dict[str, Dict[str, object]] = {}
     faults_report = None
     use_pool = resolve_jobs(jobs) > 1 and len(suite) * len(profiles) > 1
-    if use_pool or plan is not None:
+    if use_pool or plan is not None or store is not None:
         cells = [
             (name, params or None, profile.name)
             for name, params in suite
             for profile in profiles
         ]
+        precomputed = None
+        keys = None
+        if store is not None:
+            keys = [
+                store.cell_key(name, pname, overrides=params, dispatch=dispatch)
+                for name, params, pname in cells
+            ]
+            precomputed = {}
+            for index, key in enumerate(keys):
+                run = store.lookup_run(key)
+                if run is not None:
+                    precomputed[index] = run
+            collect.last_store = {
+                "cells": len(cells),
+                "hits": len(precomputed),
+                "misses": len(cells) - len(precomputed),
+            }
+            if progress is not None:
+                progress(
+                    f"{len(precomputed)}/{len(cells)} cells served from "
+                    f"the store ({store.path})"
+                )
         spec = {
             "kind": "harness",
             "metrics": True,
@@ -166,7 +330,7 @@ def collect(
         }
         if progress is not None:
             progress(f"{len(cells)} cells across jobs={jobs}")
-        payloads, report = run_cells(spec, cells, jobs=jobs)
+        payloads, report = run_cells(spec, cells, jobs=jobs, precomputed=precomputed)
         collect.last_report = report
         for (name, _params, pname), run in zip(cells, payloads):
             if not isinstance(run, CellFailure):
@@ -177,6 +341,36 @@ def collect(
             [(name, pname) for name, _params, pname in cells], payloads, plan
         )
         collect.last_faults = faults_report
+        if store is not None:
+            from ..store import run_to_record
+
+            novel = [
+                {
+                    "key": keys[index],
+                    "benchmark": cells[index][0],
+                    "profile": cells[index][2],
+                    "params": cells[index][1],
+                    "record": run_to_record(payloads[index]),
+                }
+                for index in range(len(cells))
+                if index not in precomputed
+                and not isinstance(payloads[index], CellFailure)
+            ]
+            run_id = store.record_collection(
+                git_sha=sha,
+                scale=scale,
+                profiles=[p.name for p in profiles],
+                suite=suite,
+                dispatch=dispatch,
+                store_hits=len(precomputed),
+                cell_keys={
+                    f"{name}@{pname}": keys[index]
+                    for index, (name, _params, pname) in enumerate(cells)
+                },
+                novel=novel,
+                failures=faults_report.failures,
+            )
+            collect.last_store["run_id"] = run_id
     else:
         runner = Runner(profiles=profiles, compile_cache=cache, dispatch=dispatch)
         for name, params in suite:
@@ -184,52 +378,17 @@ def collect(
                 progress(f"{name} {params}")
             runs_by_bench[name] = runner.run(name, params or None, metrics=True)
 
-    benchmarks: Dict[str, dict] = {}
-    for name, params in suite:
-        runs = runs_by_bench.get(name, {})
-        per_profile: Dict[str, dict] = {}
-        for profile in profiles:
-            run = runs.get(profile.name)
-            if run is None:
-                continue
-            per_profile[profile.name] = {
-                "cycles": run.total_cycles,
-                "instructions": run.instructions,
-                "allocated_bytes": run.allocated_bytes,
-                "gc_collections": run.gc_collections,
-                "sections": {
-                    s: {"cycles": sec.cycles, "ops": sec.ops, "flops": sec.flops}
-                    for s, sec in run.sections.items()
-                },
-                "metrics": run.metrics,
-            }
-        ratios: Dict[str, float] = {}
-        if per_profile:
-            base_name = (
-                RATIO_BASE
-                if RATIO_BASE in per_profile
-                else next(p.name for p in profiles if p.name in per_profile)
-            )
-            base_cycles = per_profile[base_name]["cycles"]
-            ratios = {
-                f"{pname}/{base_name}": (
-                    entry["cycles"] / base_cycles if base_cycles else 0.0
-                )
-                for pname, entry in per_profile.items()
-                if pname != base_name
-            }
-        benchmarks[name] = {
-            "params": dict(params),
-            "profiles": per_profile,
-            "ratios": ratios,
-        }
-    artifact = {
-        "schema": BENCH_SCHEMA,
-        "git_sha": git_sha if git_sha is not None else current_git_sha(),
-        "scale": scale,
-        "profiles": [p.name for p in profiles],
-        "benchmarks": benchmarks,
+    entries_by_bench = {
+        name: {pname: entry_from_run(run) for pname, run in runs.items()}
+        for name, runs in runs_by_bench.items()
     }
+    artifact = build_artifact(
+        suite,
+        [p.name for p in profiles],
+        entries_by_bench,
+        scale=scale,
+        git_sha=sha,
+    )
     if faults_report is not None and faults_report.failures:
         # present only on faulted collections, so clean artifacts stay
         # byte-identical to the pre-fault-injection layout
@@ -250,6 +409,10 @@ collect.last_report = None
 #: the last collection's repro.faults.FaultMatrixReport (None unless the
 #: collection went through the pool path — always the case with a plan)
 collect.last_faults = None
+
+#: the last collection's store-memoization accounting
+#: ({"cells", "hits", "misses"}; None when no store was attached)
+collect.last_store = None
 
 
 # ------------------------------------------------------- dispatch telemetry

@@ -51,48 +51,50 @@ def _parse_tolerances(pairs: List[str]) -> Dict[str, float]:
 
 
 def _resolve_profiles(spec: Optional[str]):
-    from ..runtimes import ALL_PROFILES, get_profile
-
-    if not spec:
-        return list(ALL_PROFILES)
-    return [get_profile(name.strip()) for name in spec.split(",") if name.strip()]
+    try:
+        return baseline.resolve_profiles(spec)
+    except ValueError as exc:
+        raise SystemExit(f"repro-bench: {exc}")
 
 
 def _resolve_suite(spec: Optional[str], scale: float):
-    suite = baseline.graph_suite(scale)
-    if not spec:
-        return suite
-    wanted = [name.strip() for name in spec.split(",") if name.strip()]
-    by_name = dict(suite)
-    missing = [name for name in wanted if name not in by_name]
-    if missing:
-        raise SystemExit(
-            f"repro-bench: not in the graph suite: {', '.join(missing)} "
-            f"(available: {', '.join(name for name, _ in suite)})"
-        )
-    return [(name, by_name[name]) for name in wanted]
+    try:
+        return baseline.resolve_suite(spec, scale)
+    except ValueError as exc:
+        raise SystemExit(f"repro-bench: {exc}")
 
 
 def cmd_run(args) -> int:
-    from ..faults.cli import plan_from_args
-    from ..parallel import CompileCache
+    from ..parallel import execution_from_args
 
     profiles = _resolve_profiles(args.profiles)
     suite = _resolve_suite(args.benchmarks, args.scale)
-    cache = None if args.no_compile_cache else CompileCache(args.cache_dir)
-    plan = plan_from_args(args)
-    artifact = baseline.collect(
-        profiles=profiles,
-        suite=suite,
-        scale=args.scale,
-        git_sha=args.git_sha,
-        progress=lambda msg: print(f"repro-bench: {msg}", file=sys.stderr),
-        jobs=args.jobs,
-        cache=cache,
-        plan=plan,
-        cell_timeout=args.cell_timeout,
-        dispatch=args.dispatch,
-    )
+    execution = execution_from_args(args)
+    cache = execution.cache
+    store = None
+    if args.store:
+        from ..store import ExperimentStore
+
+        store = ExperimentStore(args.store)
+    try:
+        artifact = baseline.collect(
+            profiles=profiles,
+            suite=suite,
+            scale=args.scale,
+            git_sha=args.git_sha,
+            progress=lambda msg: print(f"repro-bench: {msg}", file=sys.stderr),
+            jobs=execution.jobs,
+            cache=cache,
+            plan=execution.plan,
+            cell_timeout=execution.cell_timeout,
+            dispatch=execution.dispatch,
+            store=store,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro-bench: {exc}")
+    finally:
+        if store is not None:
+            store.close()
     path = baseline.write_artifact(artifact, args.out, seq=args.seq)
     benches = artifact["benchmarks"]
     print(
@@ -114,6 +116,12 @@ def cmd_run(args) -> int:
         print(
             f"repro-bench: compile cache {cache.hits} hits / "
             f"{cache.misses} misses ({cache.root})"
+        )
+    store_stats = baseline.collect.last_store
+    if store_stats is not None:
+        print(
+            f"repro-bench: store {store_stats['hits']} hits / "
+            f"{store_stats['misses']} misses over {store_stats['cells']} cells"
         )
     faults_report = baseline.collect.last_faults
     if faults_report is not None and faults_report.failures:
@@ -181,22 +189,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated subset of the graph suite (default: all)")
     run.add_argument("--git-sha", default=None,
                      help="override the recorded git SHA (default: git rev-parse HEAD)")
-    from ..parallel import add_jobs_argument, default_cache_dir
+    run.add_argument("--store", default=None, metavar="DB",
+                     help="also record the collection into this SQLite "
+                          "experiment store (and serve repeat cells from it)")
+    from ..parallel import add_execution_args
 
-    add_jobs_argument(run)
-    run.add_argument("--cache-dir", default=default_cache_dir(), metavar="DIR",
-                     help="persistent compile cache location "
-                          "(default: $REPRO_CACHE_DIR or .repro-cache)")
-    run.add_argument("--no-compile-cache", action="store_true",
-                     help="compile from scratch; do not read or write the cache")
-    from ..vm.dispatch import DISPATCH_MODES
-
-    run.add_argument("--dispatch", default=None, choices=DISPATCH_MODES,
-                     help="VM dispatch engine (default: classic; non-classic "
-                          "also stamps dispatch.speedup into the artifact)")
-    from ..faults.cli import add_fault_arguments
-
-    add_fault_arguments(run)
+    add_execution_args(run)
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="diff two artifacts; exit 1 on regression")

@@ -13,6 +13,7 @@ Two cooperating pieces:
 """
 
 from .cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, CompileCache, default_cache_dir
+from .execargs import ExecutionConfig, add_execution_args, execution_from_args
 from .pool import PoolError, PoolReport, add_jobs_argument, resolve_jobs, run_cells
 
 __all__ = [
@@ -20,6 +21,9 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "CompileCache",
     "default_cache_dir",
+    "ExecutionConfig",
+    "add_execution_args",
+    "execution_from_args",
     "PoolError",
     "PoolReport",
     "add_jobs_argument",

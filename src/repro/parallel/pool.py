@@ -115,6 +115,9 @@ class PoolReport:
 
     cells: int = 0
     jobs: int = 1
+    #: cells satisfied from a caller-supplied memo (experiment store hits);
+    #: they execute nothing and charge 0.0 wall
+    memoized: int = 0
     wall_seconds: float = 0.0
     worker_pids: Tuple[int, ...] = ()
     cache_hits: int = 0
@@ -148,6 +151,8 @@ class PoolReport:
         registry.counter("parallel.cells").add(self.cells)
         registry.counter("parallel.cache.hits").add(self.cache_hits)
         registry.counter("parallel.cache.misses").add(self.cache_misses)
+        if self.memoized:
+            registry.counter("parallel.memoized").add(self.memoized)
         registry.gauge("parallel.jobs").set(self.jobs)
         registry.gauge("parallel.workers").set(self.workers_used)
         hist = registry.histogram("parallel.cell_wall_us")
@@ -172,6 +177,8 @@ class PoolReport:
             f"({self.cells_per_sec:.1f} cells/sec, jobs={self.jobs}, "
             f"workers={self.workers_used}"
         )
+        if self.memoized:
+            line += f", {self.memoized} memoized"
         if self.cache_hits or self.cache_misses:
             line += f", cache {self.cache_hits} hits / {self.cache_misses} misses"
         if self.cache_corrupted:
@@ -511,6 +518,7 @@ def run_cells(
     cells: Sequence[object],
     jobs=None,
     registry=None,
+    precomputed=None,
 ) -> Tuple[List[object], PoolReport]:
     """Run every cell and return ``(payloads_in_cell_order, report)``.
 
@@ -523,12 +531,22 @@ def run_cells(
     through the *same* cell code path, so serial-vs-parallel comparisons
     always compare like with like; each payload is either the cell's
     result record or a :class:`CellFailure`.
+
+    ``precomputed`` maps cell index to an already-known payload (an
+    experiment-store memo hit).  Those cells are merged into the output
+    in place without executing anything — a fully-precomputed call
+    compiles nothing and runs zero guest cycles.
     """
     njobs = resolve_jobs(jobs)
     started = time.perf_counter()
     indexed = list(enumerate(cells))
     outcomes: Dict[int, Tuple[object, float]] = {}
     report = PoolReport(cells=len(indexed), jobs=njobs)
+
+    if precomputed:
+        for index, payload in precomputed.items():
+            outcomes[int(index)] = (payload, 0.0)
+        report.memoized = len(precomputed)
 
     plan = spec.get("plan")
     if plan is not None:
@@ -540,10 +558,13 @@ def run_cells(
                 if record.outcome == "quarantined":
                     report.quarantined += 1
 
-    if njobs <= 1 or len(indexed) <= 1:
-        _run_serial(spec, indexed, outcomes, report)
+    pending = [(index, cell) for index, cell in indexed if index not in outcomes]
+    if not pending:
+        pass
+    elif njobs <= 1 or len(pending) <= 1:
+        _run_serial(spec, pending, outcomes, report)
     else:
-        _run_parallel(spec, indexed, njobs, outcomes, report)
+        _run_parallel(spec, pending, njobs, outcomes, report)
 
     report.wall_seconds = time.perf_counter() - started
     ordered = [outcomes[index] for index, _ in indexed]

@@ -1,0 +1,15 @@
+"""``repro.service`` — benchmark-as-a-service over the experiment store.
+
+* :mod:`repro.service.daemon` — the asyncio HTTP daemon
+  (:class:`ExperimentService`): a job queue that executes novel
+  experiment cells through :mod:`repro.parallel` and serves repeated
+  cells straight from the SQLite store, byte-identical to a direct run.
+* :mod:`repro.service.client` — :class:`ServiceClient`, the urllib
+  client the ``repro-client`` CLI wraps.
+* :mod:`repro.service.http` — the minimal stdlib HTTP/1.1 framing.
+"""
+
+from .client import ServiceClient, ServiceError
+from .daemon import ExperimentService
+
+__all__ = ["ExperimentService", "ServiceClient", "ServiceError"]

@@ -1,0 +1,303 @@
+"""``repro-serve`` / ``repro-client`` — the experiment service CLIs.
+
+::
+
+    repro-serve [--store DB] [--host H] [--port P] [--port-file PATH]
+                [--jobs N|auto] [--cache-dir DIR] [--no-compile-cache]
+                [--dispatch ENGINE]
+    repro-client [--url URL] submit --benchmarks a,b --profiles x,y
+                [--scale S] [--dispatch E] [--wait] [--out FILE]
+    repro-client status JOB | result JOB [--out FILE]
+    repro-client trends [--benchmark B] [--profile P] [--metric M]
+    repro-client stats | admin gc
+
+The daemon owns one SQLite experiment store; repeated submissions of a
+matrix already on record are served from it without compiling or running
+anything.  ``--dispatch`` on the daemon sets the default engine for jobs
+that do not name one.  The client deliberately refuses armed fault plans
+— memoized results must stay perturbation-free.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+from typing import List, Optional
+
+DEFAULT_URL = "http://127.0.0.1:8642"
+
+
+def _dump(payload: dict) -> str:
+    return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+
+# ------------------------------------------------------------------ the daemon
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    from ..parallel import add_execution_args, execution_from_args
+
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="experiment daemon: submit benchmark matrices over HTTP; "
+        "repeated cells are served from the SQLite result store",
+    )
+    parser.add_argument("--store", default=None, metavar="DB",
+                        help="experiment store path (default: $REPRO_STORE "
+                             "or experiments.sqlite)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="listen port; 0 binds an ephemeral port "
+                             "(default: 8642)")
+    parser.add_argument("--port-file", default=None, metavar="PATH",
+                        help="write the bound port here once listening "
+                             "(readiness signal for scripts/CI)")
+    add_execution_args(parser, include_faults=False)
+    args = parser.parse_args(argv)
+    execution = execution_from_args(args)
+
+    from .daemon import ExperimentService, write_port_file
+
+    service = ExperimentService(
+        args.store,
+        jobs=execution.jobs,
+        cache_dir=execution.cache_dir,
+        use_compile_cache=execution.use_compile_cache,
+        default_dispatch=execution.dispatch,
+    )
+
+    async def run() -> None:
+        await service.start(args.host, args.port)
+        host, port = service.address
+        print(f"repro-serve: listening on http://{host}:{port} "
+              f"(store {service.store_path})", file=sys.stderr)
+        if service.swept_tmp_files:
+            print(f"repro-serve: startup gc reaped {service.swept_tmp_files} "
+                  "orphaned cache temp file(s)", file=sys.stderr)
+        if args.port_file:
+            write_port_file(args.port_file, port)
+        await service.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+# ------------------------------------------------------------------ the client
+
+
+def _client(args):
+    from .client import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def cmd_submit(args) -> int:
+    from ..parallel import execution_from_args
+    from .client import ServiceError
+
+    execution = execution_from_args(args)
+    try:
+        request = execution.as_request()
+    except ValueError as exc:
+        raise SystemExit(f"repro-client: {exc}")
+    request.update(
+        benchmarks=args.benchmarks,
+        profiles=args.profiles,
+        scale=args.scale,
+        git_sha=args.git_sha,
+    )
+    client = _client(args)
+    try:
+        job = client.submit(request)
+        print(f"repro-client: job {job['id']} {job['status']}", file=sys.stderr)
+        if not args.wait:
+            print(_dump(job), end="")
+            return 0
+        job = client.wait(job["id"], timeout=args.timeout)
+        if job["status"] != "done":
+            print(f"repro-client: job {job['id']} failed: {job['error']}",
+                  file=sys.stderr)
+            return 1
+        stats = job["stats"]
+        print(
+            f"repro-client: job {job['id']} done — {stats['hits']} served / "
+            f"{stats['cells_executed']} executed of {stats['cells']} cells "
+            f"({stats['compile_calls']} compiles)",
+            file=sys.stderr,
+        )
+        artifact = client.result(job["id"])
+    except ServiceError as exc:
+        raise SystemExit(f"repro-client: {exc}")
+    blob = _dump(artifact)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(blob)
+        print(f"repro-client: wrote {args.out}", file=sys.stderr)
+    else:
+        print(blob, end="")
+    return 0
+
+
+def cmd_status(args) -> int:
+    from .client import ServiceError
+
+    try:
+        payload = _client(args).status(args.job)
+    except ServiceError as exc:
+        raise SystemExit(f"repro-client: {exc}")
+    print(_dump(payload), end="")
+    return 0 if payload["status"] != "failed" else 1
+
+
+def cmd_result(args) -> int:
+    from .client import ServiceError
+
+    try:
+        artifact = _client(args).result(args.job)
+    except ServiceError as exc:
+        raise SystemExit(f"repro-client: {exc}")
+    blob = _dump(artifact)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(blob)
+        print(f"repro-client: wrote {args.out}", file=sys.stderr)
+    else:
+        print(blob, end="")
+    return 0
+
+
+def cmd_trends(args) -> int:
+    from .client import ServiceError
+
+    try:
+        payload = _client(args).trends(
+            benchmark=args.benchmark,
+            profile=args.profile,
+            ratio_base=args.ratio_base,
+            metric=args.metric,
+        )
+    except ServiceError as exc:
+        raise SystemExit(f"repro-client: {exc}")
+    rows = payload["rows"]
+    if args.json:
+        print(_dump(payload), end="")
+        return 0
+    for row in rows:
+        ratio = row.get("ratio")
+        tail = (
+            f"ratio {ratio:.3f}" if ratio is not None
+            else f"value {row['value']:g}" if "value" in row
+            else ""
+        )
+        cycles = f" {row['cycles']} cycles" if "cycles" in row else ""
+        print(
+            f"run {row['run']} ({row['git_sha'][:12]}) "
+            f"{row['benchmark']}/{row['profile']}:{cycles} {tail}".rstrip()
+        )
+    if not rows:
+        print("repro-client: no trend rows", file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from .client import ServiceError
+
+    try:
+        payload = _client(args).stats()
+    except ServiceError as exc:
+        raise SystemExit(f"repro-client: {exc}")
+    print(_dump(payload), end="")
+    return 0
+
+
+def cmd_admin(args) -> int:
+    from .client import ServiceError
+
+    if args.admin_command == "gc":
+        try:
+            payload = _client(args).admin_gc()
+        except ServiceError as exc:
+            raise SystemExit(f"repro-client: {exc}")
+        print(
+            f"repro-client: gc reaped {payload['reaped_tmp_files']} orphaned "
+            f"temp file(s) in {payload['cache_dir']}"
+        )
+        return 0
+    raise SystemExit(f"repro-client: unknown admin command {args.admin_command!r}")
+
+
+def build_client_parser() -> argparse.ArgumentParser:
+    from ..parallel import add_execution_args
+
+    parser = argparse.ArgumentParser(
+        prog="repro-client",
+        description="client for the repro-serve experiment daemon",
+    )
+    parser.add_argument("--url", default=os.environ.get("REPRO_SERVICE_URL",
+                                                        DEFAULT_URL),
+                        help="daemon base URL (default: $REPRO_SERVICE_URL "
+                             f"or {DEFAULT_URL})")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    submit = sub.add_parser("submit", help="queue a benchmark-matrix job")
+    submit.add_argument("--benchmarks", default=None,
+                        help="comma-separated graph-suite subset (default: all)")
+    submit.add_argument("--profiles", default=None,
+                        help="comma-separated runtime profiles (default: all)")
+    submit.add_argument("--scale", type=float, default=1.0)
+    submit.add_argument("--git-sha", default=None,
+                        help="stamp this SHA instead of the daemon's HEAD")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes; print the artifact")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="--wait deadline in seconds (default: 600)")
+    submit.add_argument("--out", default=None, metavar="FILE",
+                        help="with --wait, write the artifact here")
+    # same shared flags as every runner CLI; the service rejects fault
+    # plans, so an armed --fault-* fails client-side before any HTTP
+    add_execution_args(submit)
+    submit.set_defaults(func=cmd_submit)
+
+    status = sub.add_parser("status", help="one job's state and stats")
+    status.add_argument("job", type=int)
+    status.set_defaults(func=cmd_status)
+
+    result = sub.add_parser("result", help="a finished job's BENCH artifact")
+    result.add_argument("job", type=int)
+    result.add_argument("--out", default=None, metavar="FILE")
+    result.set_defaults(func=cmd_result)
+
+    trends = sub.add_parser("trends", help="cross-run ratio ladder / metric history")
+    trends.add_argument("--benchmark", default=None)
+    trends.add_argument("--profile", default=None)
+    trends.add_argument("--ratio-base", default=None,
+                        help="ratio anchor profile (default: clr-1.1)")
+    trends.add_argument("--metric", default=None,
+                        help="flattened counter/gauge name instead of cycles")
+    trends.add_argument("--json", action="store_true",
+                        help="raw JSON rows instead of the ladder listing")
+    trends.set_defaults(func=cmd_trends)
+
+    stats = sub.add_parser("stats", help="service counters, compile stats, store counts")
+    stats.set_defaults(func=cmd_stats)
+
+    admin = sub.add_parser("admin", help="daemon administration")
+    admin.add_argument("admin_command", choices=["gc"],
+                       help="gc: reap orphaned compile-cache temp files")
+    admin.set_defaults(func=cmd_admin)
+    return parser
+
+
+def client_main(argv: Optional[List[str]] = None) -> int:
+    args = build_client_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(serve_main())

@@ -1,0 +1,88 @@
+"""``ServiceClient`` — a urllib front end for the experiment daemon."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+
+class ServiceError(Exception):
+    """An error response from the daemon (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to one daemon; every method returns the decoded JSON payload."""
+
+    def __init__(self, url: str, timeout: float = 30.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _call(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ServiceError(exc.code, detail)
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {self.url}: {exc.reason}")
+
+    # ------------------------------------------------------------------- API
+
+    def health(self) -> dict:
+        return self._call("GET", "/healthz")
+
+    def submit(self, request: dict) -> dict:
+        """POST a job; returns the queued job view (``id``, ``status``)."""
+        return self._call("POST", "/v1/jobs", request)
+
+    def jobs(self) -> dict:
+        return self._call("GET", "/v1/jobs")
+
+    def status(self, job_id: int) -> dict:
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: int) -> dict:
+        """The finished job's BENCH artifact (raises until it is done)."""
+        return self._call("GET", f"/v1/jobs/{job_id}/result")
+
+    def wait(self, job_id: int, timeout: float = 300.0, poll: float = 0.2) -> dict:
+        """Poll until the job leaves the queue; returns its final view."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["status"] in ("done", "failed"):
+                return job
+            if time.monotonic() > deadline:
+                raise ServiceError(0, f"timed out waiting for job {job_id}")
+            time.sleep(poll)
+
+    def stats(self) -> dict:
+        return self._call("GET", "/v1/stats")
+
+    def trends(self, **query: str) -> dict:
+        qs = "&".join(f"{k}={v}" for k, v in query.items() if v is not None)
+        return self._call("GET", "/v1/trends" + (f"?{qs}" if qs else ""))
+
+    def admin_gc(self) -> dict:
+        return self._call("POST", "/v1/admin/gc", {})

@@ -1,0 +1,322 @@
+"""The experiment daemon: benchmark-as-a-service over the result store.
+
+An :class:`ExperimentService` owns one SQLite experiment store and a job
+queue.  Submitted jobs are (benchmarks x profiles) matrices; each job
+runs through :func:`repro.metrics.baseline.collect` with the store
+attached, so cells already on record are **served** (zero compiles, zero
+guest cycles — the memo key is content-addressed on compiler version,
+profile, benchmark, canonical overrides and dispatch engine) and only
+novel cells execute, through the same resilient pool every CLI uses.
+The returned artifact is byte-identical to a direct serial run: that is
+the daemon-vs-direct identity invariant the test suite pins.
+
+Everything is standard library: asyncio sockets, hand-rolled HTTP/1.1
+framing (:mod:`repro.service.http`), ``sqlite3`` underneath.  Jobs
+execute one at a time in a thread-pool executor — the experiment matrix
+itself parallelizes via ``--jobs``, not via concurrent collections
+(which would interleave COMPILE_STATS accounting and compile-cache
+writes).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from typing import Dict, Optional
+
+from ..metrics.registry import MetricsRegistry
+from .http import HttpError, Request, format_response, read_request
+
+#: job lifecycle: queued -> running -> done | failed
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+class ExperimentService:
+    """One daemon instance: an HTTP front end over a store-backed queue."""
+
+    def __init__(
+        self,
+        store_path: Optional[str] = None,
+        *,
+        jobs=None,
+        cache_dir: Optional[str] = None,
+        use_compile_cache: bool = True,
+        default_dispatch: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        from ..store import default_store_path
+
+        self.store_path = store_path or default_store_path()
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.use_compile_cache = use_compile_cache
+        self.default_dispatch = default_dispatch
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._jobs: Dict[int, dict] = {}
+        self._next_job = 1
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._worker: Optional[asyncio.Task] = None
+        self.swept_tmp_files = 0
+
+    # ------------------------------------------------------------- lifecycle
+
+    def _cache(self):
+        if not self.use_compile_cache:
+            return None
+        from ..parallel import CompileCache
+
+        return CompileCache(self.cache_dir)
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind the listener (port 0 = ephemeral), run startup GC, apply
+        store migrations, and start the queue worker."""
+        cache = self._cache()
+        if cache is not None:
+            # reap compile-cache temp files orphaned by previously killed
+            # writers, so a crashed run never bloats the daemon's cache
+            self.swept_tmp_files = cache.sweep()
+        from ..store import ExperimentStore
+
+        ExperimentStore(self.store_path).close()  # create / migrate up front
+        self._server = await asyncio.start_server(self._serve_one, host, port)
+        self._worker = asyncio.ensure_future(self._drain_jobs())
+
+    @property
+    def address(self):
+        """``(host, port)`` actually bound (resolves port 0)."""
+        if self._server is None:
+            raise RuntimeError("service not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def stop(self) -> None:
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("service not started")
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------- job queue
+
+    def _submit(self, request: dict) -> dict:
+        from ..metrics import baseline
+        from ..vm.dispatch import DISPATCH_MODES
+
+        if request.get("plan") or request.get("faults"):
+            raise HttpError(
+                409,
+                "the service does not accept fault plans: memoized results "
+                "must stay perturbation-free (run repro-chaos directly)",
+            )
+        scale = request.get("scale", 1.0)
+        if not isinstance(scale, (int, float)) or isinstance(scale, bool):
+            raise HttpError(400, f"bad scale {scale!r}")
+        dispatch = request.get("dispatch")
+        if dispatch is None:
+            dispatch = self.default_dispatch
+        if dispatch is not None and dispatch not in DISPATCH_MODES:
+            raise HttpError(
+                400, f"bad dispatch {dispatch!r} (known: {', '.join(DISPATCH_MODES)})"
+            )
+        try:
+            profiles = baseline.resolve_profiles(request.get("profiles"))
+            suite = baseline.resolve_suite(request.get("benchmarks"), float(scale))
+        except ValueError as exc:
+            raise HttpError(400, str(exc))
+        job = {
+            "id": self._next_job,
+            "status": "queued",
+            "created_unix": time.time(),
+            "request": {
+                "benchmarks": [name for name, _params in suite],
+                "profiles": [p.name for p in profiles],
+                "scale": float(scale),
+                "dispatch": dispatch,
+                "git_sha": request.get("git_sha"),
+            },
+            "stats": None,
+            "error": None,
+        }
+        self._next_job += 1
+        self._jobs[job["id"]] = job
+        self._queue.put_nowait(job["id"])
+        self.registry.counter("service.jobs").add(1)
+        return job
+
+    async def _drain_jobs(self) -> None:
+        loop = asyncio.get_event_loop()
+        while True:
+            job_id = await self._queue.get()
+            job = self._jobs[job_id]
+            job["status"] = "running"
+            try:
+                await loop.run_in_executor(None, self._execute_job, job)
+                job["status"] = "done"
+            except Exception as exc:  # noqa: BLE001 — job isolation boundary
+                job["status"] = "failed"
+                job["error"] = f"{type(exc).__name__}: {exc}"
+                self.registry.counter("service.job_failures").add(1)
+
+    def _execute_job(self, job: dict) -> None:
+        """Blocking body of one job — runs on the executor thread with its
+        own store connection (sqlite3 objects are thread-bound)."""
+        from ..lang.compiler import COMPILE_STATS
+        from ..metrics import baseline
+        from ..store import ExperimentStore
+
+        request = job["request"]
+        profiles = baseline.resolve_profiles(request["profiles"])
+        suite = baseline.resolve_suite(request["benchmarks"], request["scale"])
+        compiles_before = COMPILE_STATS["compile_source_calls"]
+        with ExperimentStore(self.store_path) as store:
+            artifact = baseline.collect(
+                profiles=profiles,
+                suite=suite,
+                scale=request["scale"],
+                git_sha=request["git_sha"],
+                jobs=self.jobs,
+                cache=self._cache(),
+                dispatch=request["dispatch"],
+                store=store,
+            )
+        stats = dict(baseline.collect.last_store)
+        stats["compile_calls"] = (
+            COMPILE_STATS["compile_source_calls"] - compiles_before
+        )
+        stats["cells_executed"] = stats["cells"] - stats["hits"]
+        job["stats"] = stats
+        job["artifact"] = artifact
+        self.registry.counter("service.cells").add(stats["cells"])
+        self.registry.counter("service.cache_hits").add(stats["hits"])
+        self.registry.counter("service.cache_misses").add(stats["misses"])
+        self.registry.counter("service.cells_executed").add(
+            stats["cells_executed"]
+        )
+
+    # ---------------------------------------------------------------- routes
+
+    def _job_view(self, job: dict) -> dict:
+        return {
+            "id": job["id"],
+            "status": job["status"],
+            "created_unix": job["created_unix"],
+            "request": job["request"],
+            "stats": job["stats"],
+            "error": job["error"],
+        }
+
+    def _get_job(self, job_id: str) -> dict:
+        try:
+            job = self._jobs[int(job_id)]
+        except (KeyError, ValueError):
+            raise HttpError(404, f"no job {job_id!r}")
+        return job
+
+    def _handle(self, request: Request):
+        """Route one request; returns ``(status, payload)``."""
+        method, path = request.method, request.path.rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            from ..store import SCHEMA_VERSION
+
+            return 200, {
+                "ok": True,
+                "store": self.store_path,
+                "schema_version": SCHEMA_VERSION,
+            }
+        if path == "/v1/jobs" and method == "POST":
+            job = self._submit(request.json())
+            return 202, self._job_view(job)
+        if path == "/v1/jobs" and method == "GET":
+            return 200, {
+                "jobs": [self._job_view(j) for j in self._jobs.values()]
+            }
+        if path.startswith("/v1/jobs/") and method == "GET":
+            rest = path[len("/v1/jobs/"):]
+            if rest.endswith("/result"):
+                job = self._get_job(rest[: -len("/result")])
+                if job["status"] == "failed":
+                    raise HttpError(409, job["error"] or "job failed")
+                if job["status"] != "done":
+                    raise HttpError(404, f"job {job['id']} is {job['status']}")
+                return 200, job["artifact"]
+            return 200, self._job_view(self._get_job(rest))
+        if path == "/v1/stats" and method == "GET":
+            from ..lang.compiler import COMPILE_STATS
+            from ..store import ExperimentStore
+
+            with ExperimentStore(self.store_path) as store:
+                counts = store.counts()
+            return 200, {
+                "metrics": self.registry.snapshot(),
+                "compile_stats": dict(COMPILE_STATS),
+                "store": counts,
+                "swept_tmp_files": self.swept_tmp_files,
+                "queue_depth": self._queue.qsize(),
+            }
+        if path == "/v1/trends" and method == "GET":
+            from ..store import ExperimentStore
+
+            with ExperimentStore(self.store_path) as store:
+                if "metric" in request.query:
+                    rows = store.metric_trend(
+                        request.query["metric"],
+                        benchmark=request.query.get("benchmark"),
+                    )
+                else:
+                    rows = store.trend(
+                        benchmark=request.query.get("benchmark"),
+                        profile=request.query.get("profile"),
+                        ratio_base=request.query.get("ratio_base"),
+                    )
+            return 200, {"rows": rows}
+        if path == "/v1/admin/gc" and method == "POST":
+            cache = self._cache()
+            reaped = 0 if cache is None else cache.sweep()
+            self.swept_tmp_files += reaped
+            self.registry.counter("service.gc_runs").add(1)
+            return 200, {
+                "reaped_tmp_files": reaped,
+                "cache_dir": None if cache is None else cache.root,
+            }
+        raise HttpError(404, f"no route {method} {request.path}")
+
+    async def _serve_one(self, reader, writer) -> None:
+        status, payload = 500, {"error": "internal error"}
+        try:
+            request = await read_request(reader)
+            if request is None:
+                writer.close()
+                return
+            try:
+                status, payload = self._handle(request)
+            except HttpError as exc:
+                status, payload = exc.status, {"error": exc.message}
+            except Exception as exc:  # noqa: BLE001 — keep the daemon alive
+                status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        except HttpError as exc:
+            status, payload = exc.status, {"error": exc.message}
+        try:
+            writer.write(format_response(status, payload))
+            await writer.drain()
+        finally:
+            writer.close()
+
+
+def write_port_file(path: str, port: int) -> None:
+    """Atomically publish the bound port for readiness polling (CI)."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as handle:
+        handle.write(f"{port}\n")
+    os.replace(tmp, path)

@@ -1,0 +1,41 @@
+"""``repro.store`` — the append-only SQLite experiment store.
+
+Replaces point-in-time ``BENCH_*.json`` files as the result substrate:
+every cell result is recorded across history, keyed content-addressed on
+``sha256(COMPILER_VERSION, profile, benchmark, canonical overrides,
+dispatch, seed)``, so the bench gate, the experiment service's memo
+cache, and cross-PR trend queries all read one database.  BENCH JSON
+remains as an import/export format (``repro-store import/export``).
+"""
+
+from .codec import (
+    RECORD_SCHEMA,
+    cell_key,
+    entry_from_record,
+    run_from_record,
+    run_to_record,
+)
+from .schema import MIGRATIONS, SCHEMA_VERSION, StoreError, apply_migrations, schema_version
+from .store import (
+    DEFAULT_STORE_PATH,
+    STORE_PATH_ENV,
+    ExperimentStore,
+    default_store_path,
+)
+
+__all__ = [
+    "DEFAULT_STORE_PATH",
+    "ExperimentStore",
+    "MIGRATIONS",
+    "RECORD_SCHEMA",
+    "SCHEMA_VERSION",
+    "STORE_PATH_ENV",
+    "StoreError",
+    "apply_migrations",
+    "cell_key",
+    "default_store_path",
+    "entry_from_record",
+    "run_from_record",
+    "run_to_record",
+    "schema_version",
+]

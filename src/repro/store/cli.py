@@ -1,0 +1,156 @@
+"""``repro-store`` — inspect, backfill and export the experiment store.
+
+::
+
+    repro-store [--db DB] import BENCH_1.json [BENCH_2.json ...]
+    repro-store [--db DB] export (--run ID | --seq N) [--out FILE]
+    repro-store [--db DB] runs
+    repro-store [--db DB] trends [--benchmark B] [--profile P]
+                [--ratio-base R] [--metric M]
+
+``import`` backfills point-in-time ``BENCH_<seq>.json`` artifacts into
+the append-only store (as ``imported`` records — trend and export
+fodder, never served by the memo cache).  ``export`` reconstructs a
+run's artifact byte-identically to what ``repro-bench run`` wrote, so
+BENCH JSON is now an interchange format, not the substrate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .schema import StoreError
+from .store import ExperimentStore
+
+
+def _dump(payload: dict) -> str:
+    # the exact repro.metrics.baseline.write_artifact framing, so
+    # export-after-import round-trips byte for byte
+    return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+
+def cmd_import(args) -> int:
+    with ExperimentStore(args.db) as store:
+        for path in args.files:
+            try:
+                with open(path) as handle:
+                    artifact = json.load(handle)
+                run_id = store.import_artifact(artifact)
+            except (OSError, ValueError, KeyError, StoreError) as exc:
+                raise SystemExit(f"repro-store: {path}: {exc}")
+            print(f"repro-store: imported {path} as run {run_id}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    with ExperimentStore(args.db) as store:
+        run_id = args.run
+        if run_id is None:
+            matches = [r["id"] for r in store.runs() if r["seq"] == args.seq]
+            if not matches:
+                raise SystemExit(f"repro-store: no run with seq {args.seq}")
+            run_id = matches[-1]
+        try:
+            artifact = store.export_artifact(run_id)
+        except StoreError as exc:
+            raise SystemExit(f"repro-store: {exc}")
+    blob = _dump(artifact)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(blob)
+        print(f"repro-store: wrote {args.out}", file=sys.stderr)
+    else:
+        print(blob, end="")
+    return 0
+
+
+def cmd_runs(args) -> int:
+    with ExperimentStore(args.db) as store:
+        rows = store.runs()
+    print(f"{'run':>4} {'seq':>4} {'git':<12} {'scale':>6} {'source':<7} "
+          f"{'cells':>5} {'hits':>5} {'fails':>5}")
+    for row in rows:
+        seq = "-" if row["seq"] is None else row["seq"]
+        print(f"{row['id']:>4} {seq:>4} {row['git_sha'][:12]:<12} "
+              f"{row['scale']:>6g} {row['source']:<7} {row['cells']:>5} "
+              f"{row['store_hits']:>5} {row['failures']:>5}")
+    if not rows:
+        print("repro-store: empty store", file=sys.stderr)
+    return 0
+
+
+def cmd_trends(args) -> int:
+    with ExperimentStore(args.db) as store:
+        if args.metric:
+            rows = store.metric_trend(args.metric, benchmark=args.benchmark)
+        else:
+            rows = store.trend(
+                benchmark=args.benchmark,
+                profile=args.profile,
+                ratio_base=args.ratio_base,
+            )
+    if args.json:
+        print(_dump({"rows": rows}), end="")
+        return 0
+    for row in rows:
+        if "value" in row:
+            tail = f"value {row['value']:g}"
+        else:
+            ratio = row["ratio"]
+            tail = f"{row['cycles']} cycles"
+            if ratio is not None:
+                tail += f" ratio {ratio:.3f}"
+        print(f"run {row['run']} ({row['git_sha'][:12]}) "
+              f"{row['benchmark']}/{row['profile']}: {tail}")
+    if not rows:
+        print("repro-store: no trend rows", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-store",
+        description="SQLite experiment store: backfill, export, trends",
+    )
+    parser.add_argument("--db", default=None, metavar="DB",
+                        help="store path (default: $REPRO_STORE or "
+                             "experiments.sqlite)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    imp = sub.add_parser("import", help="backfill BENCH_*.json artifacts")
+    imp.add_argument("files", nargs="+", metavar="BENCH.json")
+    imp.set_defaults(func=cmd_import)
+
+    exp = sub.add_parser("export", help="reconstruct one run's BENCH artifact")
+    group = exp.add_mutually_exclusive_group(required=True)
+    group.add_argument("--run", type=int, default=None, help="run id")
+    group.add_argument("--seq", type=int, default=None,
+                       help="artifact sequence number (latest run wins)")
+    exp.add_argument("--out", default=None, metavar="FILE")
+    exp.set_defaults(func=cmd_export)
+
+    runs = sub.add_parser("runs", help="list recorded runs")
+    runs.set_defaults(func=cmd_runs)
+
+    trends = sub.add_parser("trends", help="cross-run ratio ladder / metric history")
+    trends.add_argument("--benchmark", default=None)
+    trends.add_argument("--profile", default=None)
+    trends.add_argument("--ratio-base", default=None,
+                        help="ratio anchor profile (default: clr-1.1)")
+    trends.add_argument("--metric", default=None,
+                        help="flattened counter/gauge name instead of cycles")
+    trends.add_argument("--json", action="store_true")
+    trends.set_defaults(func=cmd_trends)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

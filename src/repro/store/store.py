@@ -1,0 +1,410 @@
+"""The append-only, schema-versioned SQLite experiment store.
+
+One database records every cell result across history: ``runs`` (one row
+per collection/submission/import), ``cells`` (one row per *executed or
+imported* cell result, content-addressed by :func:`repro.store.cell_key`),
+``failures`` (contained CellFailure annotations), and
+``metric_snapshots`` (counters/gauges flattened for SQL trend queries).
+Rows are never updated or deleted — the schema's triggers abort any
+attempt — so the store doubles as the cross-PR history substrate behind
+trend queries like the runtime-ratio ladder.
+
+Memoization contract: :meth:`ExperimentStore.lookup` returns the latest
+*live* record for a key (imported/backfilled records are visible to
+exports and trends but are never served as results — they lack the
+section values and stdout a real run carries).  A served record rebuilds
+a :class:`~repro.harness.results.ProfileRun` whose every artifact-visible
+number is byte-identical to re-executing the cell, which is what lets the
+service answer repeat requests with zero compiles and zero guest cycles.
+
+Concurrency/crash posture: plain SQLite transactions with a busy
+timeout.  Writers append whole collections in one transaction, so a
+process killed mid-commit leaves the database readable at the prior
+state; interleaved writers serialize on the database lock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from . import codec
+from .schema import SCHEMA_VERSION, StoreError, apply_migrations, schema_version
+
+#: environment override for the store location (CLI flags still win)
+STORE_PATH_ENV = "REPRO_STORE"
+
+#: default store path, relative to the current working directory
+DEFAULT_STORE_PATH = "experiments.sqlite"
+
+
+def default_store_path() -> str:
+    return os.environ.get(STORE_PATH_ENV) or DEFAULT_STORE_PATH
+
+
+def _dumps(value) -> str:
+    """Canonical JSON for stored columns (compact, key-sorted)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+class ExperimentStore:
+    """Append-only experiment history + whole-cell memoization over one
+    SQLite file.  Open applies pending migrations; ``hits``/``misses``
+    count this instance's :meth:`lookup` outcomes."""
+
+    SCHEMA_VERSION = SCHEMA_VERSION
+
+    def __init__(self, path: Optional[str] = None, timeout: float = 30.0) -> None:
+        self.path = path or default_store_path()
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._conn = sqlite3.connect(self.path, timeout=timeout)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute(f"PRAGMA busy_timeout = {int(timeout * 1000)}")
+        apply_migrations(self._conn)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ExperimentStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    @property
+    def version(self) -> int:
+        return schema_version(self._conn)
+
+    # ----------------------------------------------------------- memoization
+
+    cell_key = staticmethod(codec.cell_key)
+
+    def lookup(self, key: str) -> Optional[dict]:
+        """The latest live record for ``key``, or None.  Each call counts
+        toward this instance's hit/miss telemetry."""
+        row = self._conn.execute(
+            "SELECT record FROM cells WHERE key = ? AND source = 'live' "
+            "ORDER BY id DESC LIMIT 1",
+            (key,),
+        ).fetchone()
+        if row is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return json.loads(row["record"])
+
+    def lookup_run(self, key: str):
+        """Like :meth:`lookup` but rebuilt as a ProfileRun."""
+        record = self.lookup(key)
+        return None if record is None else codec.run_from_record(record)
+
+    # --------------------------------------------------------------- writing
+
+    def record_collection(
+        self,
+        *,
+        git_sha: str,
+        scale: float,
+        profiles: Sequence[str],
+        suite: Sequence[Tuple[str, Dict[str, object]]],
+        bench_schema: Optional[str] = None,
+        seq: Optional[int] = None,
+        source: str = "live",
+        store_hits: int = 0,
+        dispatch: Optional[str] = None,
+        dispatch_block: Optional[dict] = None,
+        cell_keys: Optional[Dict[str, str]] = None,
+        novel: Iterable[dict] = (),
+        failures: Iterable[dict] = (),
+    ) -> int:
+        """Append one collection — run row, novel cell records, failure
+        annotations, flattened metric snapshots — in a single transaction.
+
+        ``novel`` items: ``{"key", "benchmark", "profile", "params",
+        "record"}``.  ``cell_keys`` maps ``"benchmark@profile"`` to the
+        content key of *every* cell of the run (memo hits included), so
+        :meth:`export_artifact` can resolve hit cells through the key
+        index.  Returns the new run id.
+        """
+        if bench_schema is None:
+            from ..metrics.baseline import BENCH_SCHEMA
+
+            bench_schema = BENCH_SCHEMA
+        engine = dispatch or "classic"
+        with self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO runs (seq, git_sha, scale, bench_schema, profiles,"
+                " suite, cell_keys, dispatch, source, store_hits, created_unix)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    seq,
+                    git_sha,
+                    scale,
+                    bench_schema,
+                    _dumps(list(profiles)),
+                    _dumps([[name, params] for name, params in suite]),
+                    _dumps(cell_keys or {}),
+                    None if dispatch_block is None else _dumps(dispatch_block),
+                    source,
+                    store_hits,
+                    time.time(),
+                ),
+            )
+            run_id = cursor.lastrowid
+            for cell in novel:
+                record = cell["record"]
+                cell_cursor = self._conn.execute(
+                    "INSERT INTO cells (run_id, key, benchmark, profile,"
+                    " params, dispatch, source, record)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        run_id,
+                        cell["key"],
+                        cell["benchmark"],
+                        cell["profile"],
+                        _dumps(cell.get("params") or {}),
+                        engine,
+                        source,
+                        _dumps(record),
+                    ),
+                )
+                self._flatten_metrics(cell_cursor.lastrowid, record)
+            for index, cell in enumerate(failures):
+                self._conn.execute(
+                    "INSERT INTO failures (run_id, cell_index, benchmark,"
+                    " profile, status, detail) VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        run_id,
+                        cell.get("index", index),
+                        cell.get("benchmark", ""),
+                        cell.get("profile", ""),
+                        cell.get("status", ""),
+                        _dumps(cell),
+                    ),
+                )
+        return run_id
+
+    def _flatten_metrics(self, cell_id: int, record: dict) -> None:
+        snapshot = record.get("metrics") or {}
+        rows = []
+        for kind in ("counters", "gauges"):
+            for name, value in (snapshot.get(kind) or {}).items():
+                rows.append((cell_id, kind[:-1], name, float(value)))
+        if rows:
+            self._conn.executemany(
+                "INSERT INTO metric_snapshots (cell_id, kind, name, value)"
+                " VALUES (?, ?, ?, ?)",
+                rows,
+            )
+
+    # ------------------------------------------------------- import / export
+
+    def import_artifact(self, artifact: dict) -> int:
+        """Backfill one point-in-time ``BENCH_<seq>.json`` artifact.  The
+        cells land as partial ``imported`` records (trend/export fodder,
+        never memoization), and :meth:`export_artifact` of the returned
+        run reproduces the artifact byte for byte."""
+        from ..metrics.baseline import BENCH_SCHEMA
+
+        if artifact.get("schema") != BENCH_SCHEMA:
+            raise StoreError(
+                f"not a {BENCH_SCHEMA} artifact (schema={artifact.get('schema')!r})"
+            )
+        benchmarks = artifact.get("benchmarks", {})
+        suite = [[name, entry["params"]] for name, entry in benchmarks.items()]
+        novel = []
+        cell_keys: Dict[str, str] = {}
+        for name, entry in benchmarks.items():
+            for pname, profile_entry in entry.get("profiles", {}).items():
+                key = codec.cell_key(name, pname, entry["params"])
+                cell_keys[f"{name}@{pname}"] = key
+                novel.append(
+                    {
+                        "key": key,
+                        "benchmark": name,
+                        "profile": pname,
+                        "params": entry["params"],
+                        "record": codec.record_from_artifact_entry(
+                            name, pname, profile_entry
+                        ),
+                    }
+                )
+        return self.record_collection(
+            git_sha=artifact.get("git_sha", "unknown"),
+            scale=artifact.get("scale", 1.0),
+            profiles=artifact.get("profiles", []),
+            suite=suite,
+            bench_schema=artifact["schema"],
+            seq=artifact.get("seq"),
+            source="import",
+            dispatch_block=artifact.get("dispatch"),
+            cell_keys=cell_keys,
+            novel=novel,
+            failures=artifact.get("failures", ()),
+        )
+
+    def export_artifact(self, run_id: int) -> dict:
+        """Reconstruct the BENCH artifact dict of one run.  Cells recorded
+        under the run resolve directly; memo-hit cells (recorded by an
+        earlier run) resolve through the run's content keys."""
+        from ..metrics.baseline import build_artifact
+
+        run = self._conn.execute(
+            "SELECT * FROM runs WHERE id = ?", (run_id,)
+        ).fetchone()
+        if run is None:
+            raise StoreError(f"no run {run_id} in {self.path}")
+        suite = [(name, params) for name, params in json.loads(run["suite"])]
+        profiles = json.loads(run["profiles"])
+        cell_keys = json.loads(run["cell_keys"])
+        own: Dict[Tuple[str, str], dict] = {}
+        for row in self._conn.execute(
+            "SELECT benchmark, profile, record FROM cells WHERE run_id = ?"
+            " ORDER BY id",
+            (run_id,),
+        ):
+            own[(row["benchmark"], row["profile"])] = json.loads(row["record"])
+        entries: Dict[str, Dict[str, dict]] = {}
+        for name, _params in suite:
+            per: Dict[str, dict] = {}
+            for pname in profiles:
+                record = own.get((name, pname))
+                if record is None:
+                    key = cell_keys.get(f"{name}@{pname}")
+                    if key is not None:
+                        row = self._conn.execute(
+                            "SELECT record FROM cells WHERE key = ?"
+                            " ORDER BY id DESC LIMIT 1",
+                            (key,),
+                        ).fetchone()
+                        record = None if row is None else json.loads(row["record"])
+                if record is not None:
+                    per[pname] = codec.entry_from_record(record)
+            entries[name] = per
+        artifact = build_artifact(
+            suite, profiles, entries, scale=run["scale"], git_sha=run["git_sha"]
+        )
+        artifact["schema"] = run["bench_schema"]
+        failures = [
+            json.loads(row["detail"])
+            for row in self._conn.execute(
+                "SELECT detail FROM failures WHERE run_id = ? ORDER BY id",
+                (run_id,),
+            )
+        ]
+        if failures:
+            artifact["failures"] = failures
+        if run["dispatch"] is not None:
+            artifact["dispatch"] = json.loads(run["dispatch"])
+        if run["seq"] is not None:
+            artifact["seq"] = run["seq"]
+        return artifact
+
+    # --------------------------------------------------------------- queries
+
+    def runs(self) -> List[dict]:
+        """Run metadata in append order."""
+        out = []
+        for row in self._conn.execute(
+            "SELECT id, seq, git_sha, scale, source, store_hits, created_unix,"
+            " (SELECT COUNT(*) FROM cells WHERE run_id = runs.id) AS cells,"
+            " (SELECT COUNT(*) FROM failures WHERE run_id = runs.id) AS failures"
+            " FROM runs ORDER BY id"
+        ):
+            out.append(dict(row))
+        return out
+
+    def counts(self) -> dict:
+        return {
+            "runs": self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0],
+            "cells": self._conn.execute("SELECT COUNT(*) FROM cells").fetchone()[0],
+            "failures": self._conn.execute(
+                "SELECT COUNT(*) FROM failures"
+            ).fetchone()[0],
+        }
+
+    def trend(
+        self,
+        benchmark: Optional[str] = None,
+        profile: Optional[str] = None,
+        ratio_base: Optional[str] = None,
+    ) -> List[dict]:
+        """The cross-run runtime-ratio ladder: one row per (run, benchmark,
+        profile) with cycles and the ratio against ``ratio_base`` (default
+        the BENCH anchor, CLR 1.1) *within the same run* — exactly the
+        trajectory the paper's graphs plot, but across history."""
+        from ..metrics.baseline import RATIO_BASE
+
+        base_profile = ratio_base or RATIO_BASE
+        rows: List[dict] = []
+        base_cycles: Dict[Tuple[int, str], float] = {}
+        cells = self._conn.execute(
+            "SELECT cells.run_id, runs.seq, runs.git_sha, cells.benchmark,"
+            " cells.profile, cells.record FROM cells"
+            " JOIN runs ON runs.id = cells.run_id ORDER BY cells.id"
+        ).fetchall()
+        for row in cells:
+            if row["profile"] == base_profile:
+                record = json.loads(row["record"])
+                base_cycles[(row["run_id"], row["benchmark"])] = record[
+                    "total_cycles"
+                ]
+        for row in cells:
+            if benchmark is not None and row["benchmark"] != benchmark:
+                continue
+            if profile is not None and row["profile"] != profile:
+                continue
+            record = json.loads(row["record"])
+            base = base_cycles.get((row["run_id"], row["benchmark"]))
+            ratio = None
+            if base and row["profile"] != base_profile:
+                ratio = record["total_cycles"] / base
+            rows.append(
+                {
+                    "run": row["run_id"],
+                    "seq": row["seq"],
+                    "git_sha": row["git_sha"],
+                    "benchmark": row["benchmark"],
+                    "profile": row["profile"],
+                    "cycles": record["total_cycles"],
+                    "ratio": ratio,
+                }
+            )
+        return rows
+
+    def metric_trend(
+        self, name: str, benchmark: Optional[str] = None
+    ) -> List[dict]:
+        """Per-run history of one flattened counter/gauge."""
+        query = (
+            "SELECT cells.run_id, runs.seq, runs.git_sha, cells.benchmark,"
+            " cells.profile, metric_snapshots.value FROM metric_snapshots"
+            " JOIN cells ON cells.id = metric_snapshots.cell_id"
+            " JOIN runs ON runs.id = cells.run_id"
+            " WHERE metric_snapshots.name = ?"
+        )
+        args: List[object] = [name]
+        if benchmark is not None:
+            query += " AND cells.benchmark = ?"
+            args.append(benchmark)
+        query += " ORDER BY metric_snapshots.cell_id"
+        return [
+            {
+                "run": row["run_id"],
+                "seq": row["seq"],
+                "git_sha": row["git_sha"],
+                "benchmark": row["benchmark"],
+                "profile": row["profile"],
+                "value": row["value"],
+            }
+            for row in self._conn.execute(query, args)
+        ]

@@ -1,0 +1,271 @@
+"""The experiment daemon, its client, and the shared execution-args
+wiring: daemon-vs-direct byte identity, the zero-work warm path, HTTP
+error handling, and cache GC."""
+
+import argparse
+import asyncio
+import json
+import os
+import threading
+
+import pytest
+
+from repro.lang.compiler import COMPILE_STATS
+from repro.metrics import baseline
+from repro.parallel import (
+    ExecutionConfig,
+    add_execution_args,
+    execution_from_args,
+)
+from repro.service import ExperimentService, ServiceClient, ServiceError
+
+
+class DaemonHarness:
+    """One live daemon on an ephemeral port, event loop on a thread."""
+
+    def __init__(self, tmp_path, **kwargs):
+        self.store_path = str(tmp_path / "exp.sqlite")
+        self.cache_dir = str(tmp_path / "cache")
+        kwargs.setdefault("jobs", 1)
+        kwargs.setdefault("cache_dir", self.cache_dir)
+        self.service = ExperimentService(self.store_path, **kwargs)
+        self.loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def body():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.service.start("127.0.0.1", 0))
+            ready.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=body, daemon=True)
+        self.thread.start()
+        assert ready.wait(30), "daemon failed to start"
+        host, port = self.service.address
+        self.url = f"http://{host}:{port}"
+        self.client = ServiceClient(self.url)
+
+    def close(self):
+        asyncio.run_coroutine_threadsafe(self.service.stop(), self.loop).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        self.loop.close()
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    harness = DaemonHarness(tmp_path)
+    yield harness
+    harness.close()
+
+
+SMALL = {"benchmarks": "micro.arith,grande.sieve",
+         "profiles": "clr-1.1,native-c", "scale": 0.0, "git_sha": "cafe"}
+
+
+class TestDaemon:
+    def test_health_and_stats_shape(self, daemon):
+        health = daemon.client.health()
+        assert health["ok"] and health["store"] == daemon.store_path
+        stats = daemon.client.stats()
+        assert set(stats) >= {"metrics", "compile_stats", "store", "queue_depth"}
+
+    def test_full_matrix_matches_direct_serial_run(self, daemon):
+        request = {"scale": 0.0, "git_sha": "cafe"}  # full suite, all profiles
+        job = daemon.client.submit(request)
+        done = daemon.client.wait(job["id"], timeout=600)
+        assert done["status"] == "done", done["error"]
+        served = daemon.client.result(job["id"])
+        direct = baseline.collect(
+            profiles=baseline.resolve_profiles(None),
+            suite=baseline.resolve_suite(None, 0.0),
+            scale=0.0, git_sha="cafe", jobs=1,
+        )
+        assert json.dumps(served, sort_keys=True) == json.dumps(direct, sort_keys=True)
+
+    def test_repeat_submission_executes_nothing(self, daemon):
+        cold = daemon.client.wait(daemon.client.submit(SMALL)["id"])
+        assert cold["stats"]["hits"] == 0
+        before = COMPILE_STATS["compile_source_calls"]
+        warm = daemon.client.wait(daemon.client.submit(SMALL)["id"])
+        stats = warm["stats"]
+        assert stats["hits"] == stats["cells"] == 4
+        assert stats["cells_executed"] == 0
+        assert stats["compile_calls"] == 0
+        assert COMPILE_STATS["compile_source_calls"] == before
+        blob = lambda j: json.dumps(daemon.client.result(j["id"]), sort_keys=True)
+        assert blob(cold) == blob(warm)
+        counters = daemon.client.stats()["metrics"]["counters"]
+        assert counters["service.cache_hits"] == 4
+        assert counters["service.jobs"] == 2
+
+    def test_trends_reflect_recorded_runs(self, daemon):
+        daemon.client.wait(daemon.client.submit(SMALL)["id"])
+        rows = daemon.client.trends(benchmark="micro.arith",
+                                    profile="native-c")["rows"]
+        assert len(rows) == 1 and rows[0]["ratio"] is not None
+
+    def test_error_statuses(self, daemon):
+        with pytest.raises(ServiceError) as err:
+            daemon.client.submit({"benchmarks": "no.such"})
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            daemon.client.submit({"profiles": "no-such"})
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            daemon.client.submit({"dispatch": "warp-drive"})
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            daemon.client.submit({"plan": {"seed": 1}})
+        assert err.value.status == 409
+        with pytest.raises(ServiceError) as err:
+            daemon.client.status(999)
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            daemon.client.result(999)
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            daemon.client._call("GET", "/v1/nonsense")
+        assert err.value.status == 404
+
+    def test_result_before_done_is_404_not_crash(self, daemon):
+        job = daemon.client.submit(SMALL)
+        try:
+            daemon.client.result(job["id"])
+        except ServiceError as err:
+            # job was still queued/running — the route answers 404, the
+            # daemon stays up (the wait below proves it)
+            assert err.status == 404
+        final = daemon.client.wait(job["id"])
+        assert final["status"] == "done"
+
+
+class TestCacheGc:
+    def _orphan(self, cache_dir):
+        path = os.path.join(cache_dir, "asm", "de", "adbeef.tmp")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write("torn write")
+        return path
+
+    def test_startup_sweep_reaps_orphans(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        orphan = self._orphan(cache_dir)
+        harness = DaemonHarness(tmp_path)
+        try:
+            assert not os.path.exists(orphan)
+            assert harness.service.swept_tmp_files == 1
+        finally:
+            harness.close()
+
+    def test_admin_gc_reaps_orphans(self, daemon):
+        orphan = self._orphan(daemon.cache_dir)
+        payload = daemon.client.admin_gc()
+        assert payload["reaped_tmp_files"] == 1
+        assert not os.path.exists(orphan)
+        counters = daemon.client.stats()["metrics"]["counters"]
+        assert counters["service.gc_runs"] == 1
+
+
+class TestClientCli:
+    def test_submit_wait_out_and_result(self, daemon, tmp_path, capsys):
+        from repro.service.cli import client_main
+
+        cold = str(tmp_path / "cold.json")
+        warm = str(tmp_path / "warm.json")
+        base = ["--url", daemon.url, "submit",
+                "--benchmarks", "micro.arith", "--profiles", "clr-1.1,native-c",
+                "--scale", "0.0", "--git-sha", "cafe", "--wait"]
+        assert client_main(base + ["--out", cold]) == 0
+        assert client_main(base + ["--out", warm]) == 0
+        assert open(cold, "rb").read() == open(warm, "rb").read()
+        assert client_main(["--url", daemon.url, "status", "1"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["status"] == "done"
+        assert client_main(["--url", daemon.url, "result", "2"]) == 0
+        artifact = json.loads(capsys.readouterr().out)
+        assert artifact == json.load(open(cold))
+
+    def test_armed_fault_plan_fails_before_http(self, tmp_path):
+        from repro.service.cli import client_main
+
+        with pytest.raises(SystemExit, match="fault plans"):
+            client_main(["--url", "http://127.0.0.1:1", "submit",
+                         "--fault-seed", "3", "--wait"])
+
+    def test_unreachable_daemon_is_a_clean_error(self):
+        from repro.service.cli import client_main
+
+        with pytest.raises(SystemExit, match="cannot reach"):
+            client_main(["--url", "http://127.0.0.1:1", "stats"])
+
+
+class TestExecutionArgs:
+    def _parse(self, argv, **kwargs):
+        parser = argparse.ArgumentParser()
+        add_execution_args(parser, **kwargs)
+        return parser.parse_args(argv)
+
+    def test_defaults_round_trip(self):
+        execution = execution_from_args(self._parse([]))
+        assert isinstance(execution, ExecutionConfig)
+        assert execution.jobs is None
+        assert execution.use_compile_cache and execution.cache is not None
+        assert execution.dispatch is None and execution.plan is None
+
+    def test_flags_map_through(self, tmp_path):
+        execution = execution_from_args(self._parse([
+            "--jobs", "4", "--cache-dir", str(tmp_path), "--dispatch",
+            "threaded", "--fault-seed", "7", "--fault-sites", "alloc_oom",
+        ]))
+        assert execution.jobs == "4"
+        assert execution.cache.root.startswith(str(tmp_path))
+        assert execution.dispatch == "threaded"
+        assert execution.plan is not None and execution.plan.seed == 7
+
+    def test_no_compile_cache_disables_cache(self):
+        execution = execution_from_args(self._parse(["--no-compile-cache"]))
+        assert execution.cache is None
+
+    def test_bare_fault_prefix(self):
+        args = self._parse(["--seed", "3"], fault_prefix="")
+        assert execution_from_args(args).plan.seed == 3
+
+    def test_include_faults_false_has_no_plan(self):
+        execution = execution_from_args(self._parse([], include_faults=False))
+        assert execution.plan is None
+
+    def test_as_request_rejects_armed_plan(self):
+        execution = execution_from_args(self._parse(["--fault-seed", "1"]))
+        with pytest.raises(ValueError):
+            execution.as_request()
+
+    @pytest.mark.parametrize("build, argv", [
+        ("repro.metrics.cli", ["run", "--jobs", "2", "--dispatch", "threaded",
+                               "--fault-seed", "5", "--store", "x.sqlite"]),
+        ("repro.faults.cli", ["run", "--seed", "5", "--jobs", "2",
+                              "--dispatch", "threaded"]),
+        ("repro.service.cli", ["submit", "--jobs", "2", "--dispatch",
+                               "threaded", "--fault-seed", "5"]),
+    ])
+    def test_every_cli_accepts_the_shared_flags(self, build, argv):
+        import importlib
+
+        module = importlib.import_module(build)
+        if build == "repro.service.cli":
+            args = module.build_client_parser().parse_args(argv)
+        else:
+            args = module.build_parser().parse_args(argv)
+        execution = execution_from_args(args)
+        assert execution.jobs == "2" and execution.dispatch == "threaded"
+        assert execution.plan is not None
+
+    def test_hpcnet_run_accepts_the_shared_flags(self, tmp_path, capsys):
+        from repro.harness.cli import main
+
+        rc = main(["run", "micro.arith", "--profiles", "clr-1.1",
+                   "--param", "Reps=50", "--jobs", "1",
+                   "--cache-dir", str(tmp_path / "cache"),
+                   "--dispatch", "threaded"])
+        assert rc == 0
+        assert "micro.arith" in capsys.readouterr().out

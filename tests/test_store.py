@@ -1,0 +1,319 @@
+"""The SQLite experiment store: migrations, append-only enforcement,
+memoization identity, import/export round-trips, concurrency and crash
+consistency."""
+
+import json
+import multiprocessing
+import os
+import sqlite3
+import subprocess
+import sys
+
+import pytest
+
+from repro.lang.compiler import COMPILE_STATS
+from repro.metrics import baseline
+from repro.store import (
+    MIGRATIONS,
+    RECORD_SCHEMA,
+    SCHEMA_VERSION,
+    ExperimentStore,
+    StoreError,
+    apply_migrations,
+    cell_key,
+    entry_from_record,
+    run_from_record,
+    run_to_record,
+    schema_version,
+)
+
+
+def fake_record(bench="micro.arith", profile="clr-1.1", cycles=1000):
+    return {
+        "schema": RECORD_SCHEMA,
+        "benchmark": bench,
+        "profile": profile,
+        "clock_hz": 1.0e9,
+        "total_cycles": cycles,
+        "allocated_bytes": 64,
+        "instructions": cycles // 2,
+        "gc_collections": 0,
+        "gc_live_objects": 3,
+        "stdout": ["ok"],
+        "metrics": {"counters": {"vm.instructions": float(cycles // 2)},
+                    "gauges": {"heap.bytes": 64.0}, "histograms": {}},
+        "faults": None,
+        "sections": {
+            "main": {"cycles": cycles, "ops": 10, "flops": 0,
+                     "ops_per_sec": 123.5, "mflops": 0.0,
+                     "seconds": 0.25, "results": [42]},
+        },
+    }
+
+
+def append_run(store, git_sha="aaaa", bench="micro.arith",
+               profiles=("clr-1.1", "native-c"), cycles=(1000, 250)):
+    novel = []
+    cell_keys = {}
+    for profile, cyc in zip(profiles, cycles):
+        key = cell_key(bench, profile, {"N": 4})
+        cell_keys[f"{bench}@{profile}"] = key
+        novel.append({"key": key, "benchmark": bench, "profile": profile,
+                      "params": {"N": 4},
+                      "record": fake_record(bench, profile, cyc)})
+    return store.record_collection(
+        git_sha=git_sha, scale=0.0, profiles=list(profiles),
+        suite=[(bench, {"N": 4})], cell_keys=cell_keys, novel=novel,
+    )
+
+
+class TestMigrations:
+    def test_fresh_store_is_at_head(self, tmp_path):
+        with ExperimentStore(str(tmp_path / "e.sqlite")) as store:
+            assert store.version == SCHEMA_VERSION
+
+    @pytest.mark.parametrize("start", [v for v, _ in MIGRATIONS])
+    def test_upgrade_from_every_historical_version(self, tmp_path, start):
+        path = str(tmp_path / "e.sqlite")
+        conn = sqlite3.connect(path)
+        apply_migrations(conn, target=start)
+        assert schema_version(conn) == start
+        conn.close()
+        # opening the store applies the remaining migrations
+        with ExperimentStore(path) as store:
+            assert store.version == SCHEMA_VERSION
+            append_run(store)
+        # idempotent: a second open re-applies nothing and data survives
+        with ExperimentStore(path) as store:
+            assert store.version == SCHEMA_VERSION
+            assert store.counts()["cells"] == 2
+
+    def test_newer_store_than_build_is_refused(self, tmp_path):
+        path = str(tmp_path / "e.sqlite")
+        ExperimentStore(path).close()
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute("UPDATE schema_meta SET version = ?",
+                         (SCHEMA_VERSION + 1,))
+        conn.close()
+        with pytest.raises(StoreError):
+            ExperimentStore(path)
+
+
+class TestAppendOnly:
+    @pytest.mark.parametrize("statement", [
+        "UPDATE cells SET record = '{}' WHERE id = 1",
+        "DELETE FROM cells WHERE id = 1",
+        "UPDATE runs SET git_sha = 'rewritten' WHERE id = 1",
+        "DELETE FROM runs WHERE id = 1",
+    ])
+    def test_mutation_is_rejected(self, tmp_path, statement):
+        path = str(tmp_path / "e.sqlite")
+        with ExperimentStore(path) as store:
+            append_run(store)
+        conn = sqlite3.connect(path)
+        with pytest.raises(sqlite3.IntegrityError):
+            conn.execute(statement)
+        conn.close()
+
+
+class TestCellKey:
+    def test_param_types_do_not_collide(self):
+        keys = {
+            cell_key("micro.arith", "clr-1.1", {"N": 1}),
+            cell_key("micro.arith", "clr-1.1", {"N": 1.0}),
+            cell_key("micro.arith", "clr-1.1", {"N": True}),
+        }
+        assert len(keys) == 3
+
+    def test_dispatch_none_is_classic(self):
+        assert cell_key("b", "p", dispatch=None) == cell_key("b", "p", dispatch="classic")
+        assert cell_key("b", "p", dispatch="threaded") != cell_key("b", "p")
+
+    def test_profile_benchmark_seed_separate(self):
+        assert cell_key("b", "p1") != cell_key("b", "p2")
+        assert cell_key("b1", "p") != cell_key("b2", "p")
+        assert cell_key("b", "p", seed=1) != cell_key("b", "p")
+
+
+class TestCodec:
+    def test_record_round_trip_and_entry_agreement(self):
+        from repro.harness.runner import Runner
+        from repro.runtimes import get_profile
+
+        suite = baseline.resolve_suite("micro.arith", 0.0)
+        name, params = suite[0]
+        runner = Runner(profiles=[get_profile("clr-1.1")])
+        run = runner.run(name, params or None, metrics=True)["clr-1.1"]
+        record = run_to_record(run)
+        # the record survives a JSON wire trip exactly
+        wired = json.loads(json.dumps(record))
+        rebuilt = run_from_record(wired)
+        assert run_to_record(rebuilt) == record
+        # and the artifact entry derived either way is identical
+        assert entry_from_record(wired) == baseline.entry_from_run(run)
+
+
+class TestMemoization:
+    def test_warm_collection_serves_all_cells_with_zero_compiles(self, tmp_path):
+        store = ExperimentStore(str(tmp_path / "e.sqlite"))
+        profiles = baseline.resolve_profiles("clr-1.1,native-c")
+        suite = baseline.resolve_suite("micro.arith,grande.sieve", 0.0)
+        cold = baseline.collect(profiles=profiles, suite=suite, scale=0.0,
+                                git_sha="cafe", store=store)
+        assert baseline.collect.last_store["misses"] == 4
+        before = COMPILE_STATS["compile_source_calls"]
+        warm = baseline.collect(profiles=profiles, suite=suite, scale=0.0,
+                                git_sha="cafe", store=store)
+        assert COMPILE_STATS["compile_source_calls"] == before, (
+            "a warm store collection must not compile anything"
+        )
+        stats = baseline.collect.last_store
+        assert stats["hits"] == 4 and stats["misses"] == 0
+        # zero guest cycles: every cell was merged from the memo
+        assert baseline.collect.last_report.memoized == 4
+        direct = baseline.collect(profiles=profiles, suite=suite, scale=0.0,
+                                  git_sha="cafe")
+        blob = lambda a: json.dumps(a, sort_keys=True)
+        assert blob(cold) == blob(direct)
+        assert blob(warm) == blob(direct)
+        store.close()
+
+    def test_store_with_fault_plan_is_rejected(self, tmp_path):
+        from repro.faults import FaultPlan
+
+        store = ExperimentStore(str(tmp_path / "e.sqlite"))
+        with pytest.raises(ValueError):
+            baseline.collect(
+                profiles=baseline.resolve_profiles("clr-1.1"),
+                suite=baseline.resolve_suite("micro.arith", 0.0),
+                scale=0.0, git_sha="x", store=store,
+                plan=FaultPlan(seed=1, sites=("alloc_oom",)),
+            )
+        store.close()
+
+    def test_imported_records_are_never_served(self, tmp_path):
+        store = ExperimentStore(str(tmp_path / "e.sqlite"))
+        profiles = baseline.resolve_profiles("clr-1.1")
+        suite = baseline.resolve_suite("micro.arith", 0.0)
+        artifact = baseline.collect(profiles=profiles, suite=suite, scale=0.0,
+                                    git_sha="cafe")
+        store.import_artifact(artifact)
+        baseline.collect(profiles=profiles, suite=suite, scale=0.0,
+                         git_sha="cafe", store=store)
+        # partial imported records must not satisfy the memo lookup
+        assert baseline.collect.last_store["hits"] == 0
+        store.close()
+
+
+class TestImportExport:
+    def test_export_after_import_is_byte_identical(self, tmp_path):
+        profiles = baseline.resolve_profiles("clr-1.1,native-c")
+        suite = baseline.resolve_suite("micro.arith", 0.0)
+        artifact = baseline.collect(profiles=profiles, suite=suite, scale=0.0,
+                                    git_sha="feedface")
+        artifact["seq"] = 7
+        src = tmp_path / "BENCH_7.json"
+        with open(src, "w") as handle:
+            json.dump(artifact, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        db = str(tmp_path / "e.sqlite")
+        out = str(tmp_path / "exported.json")
+        env = dict(os.environ, PYTHONPATH="src")
+        subprocess.run(
+            [sys.executable, "-m", "repro.store.cli", "--db", db,
+             "import", str(src)],
+            check=True, env=env, cwd=os.path.dirname(os.path.dirname(__file__)),
+        )
+        subprocess.run(
+            [sys.executable, "-m", "repro.store.cli", "--db", db,
+             "export", "--seq", "7", "--out", out],
+            check=True, env=env, cwd=os.path.dirname(os.path.dirname(__file__)),
+        )
+        assert open(out, "rb").read() == open(src, "rb").read()
+
+    def test_round_trip_preserves_failures_block(self, tmp_path):
+        artifact = baseline.collect(
+            profiles=baseline.resolve_profiles("clr-1.1"),
+            suite=baseline.resolve_suite("micro.arith", 0.0),
+            scale=0.0, git_sha="feedface",
+        )
+        artifact["seq"] = 1
+        artifact["failures"] = [
+            {"index": 3, "benchmark": "micro.exception", "profile": "mono-0.23",
+             "status": "fault", "error": "OutOfMemoryException", "fired": True},
+        ]
+        blob = json.dumps(artifact, indent=1, sort_keys=True) + "\n"
+        with ExperimentStore(str(tmp_path / "e.sqlite")) as store:
+            run_id = store.import_artifact(json.loads(blob))
+            exported = store.export_artifact(run_id)
+        assert json.dumps(exported, indent=1, sort_keys=True) + "\n" == blob
+
+    def test_import_rejects_foreign_schema(self, tmp_path):
+        with ExperimentStore(str(tmp_path / "e.sqlite")) as store:
+            with pytest.raises(StoreError):
+                store.import_artifact({"schema": "something/else"})
+
+
+def _writer(path, tag, count):
+    with ExperimentStore(path) as store:
+        for i in range(count):
+            append_run(store, git_sha=f"{tag}-{i}")
+
+
+class TestConcurrencyAndCrashes:
+    def test_two_interleaved_writers_both_land(self, tmp_path):
+        path = str(tmp_path / "e.sqlite")
+        ExperimentStore(path).close()
+        procs = [
+            multiprocessing.Process(target=_writer, args=(path, tag, 8))
+            for tag in ("left", "right")
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(60)
+            assert p.exitcode == 0
+        with ExperimentStore(path) as store:
+            shas = [r["git_sha"] for r in store.runs()]
+            assert sorted(shas) == sorted(
+                [f"left-{i}" for i in range(8)] + [f"right-{i}" for i in range(8)]
+            )
+            assert store.counts()["cells"] == 32
+
+    def test_kill_mid_commit_leaves_store_readable(self, tmp_path):
+        path = str(tmp_path / "e.sqlite")
+        with ExperimentStore(path) as store:
+            append_run(store, git_sha="survivor")
+        script = (
+            "import sqlite3, os, sys\n"
+            "conn = sqlite3.connect(sys.argv[1])\n"
+            "conn.execute('BEGIN')\n"
+            "conn.execute(\"INSERT INTO runs (git_sha, scale, bench_schema,"
+            " profiles, suite, cell_keys, source, store_hits, created_unix)"
+            " VALUES ('torn', 0.0, 's', '[]', '[]', '{}', 'live', 0, 0)\")\n"
+            "os._exit(9)\n"  # die inside the open transaction
+        )
+        proc = subprocess.run([sys.executable, "-c", script, path])
+        assert proc.returncode == 9
+        with ExperimentStore(path) as store:
+            shas = [r["git_sha"] for r in store.runs()]
+            assert shas == ["survivor"], "the torn transaction must roll back"
+            append_run(store, git_sha="after")  # still writable
+
+
+class TestQueries:
+    def test_trend_ratio_ladder(self, tmp_path):
+        with ExperimentStore(str(tmp_path / "e.sqlite")) as store:
+            append_run(store, git_sha="r1", cycles=(1000, 250))
+            append_run(store, git_sha="r2", cycles=(1000, 200))
+            rows = store.trend(benchmark="micro.arith", profile="native-c")
+            assert [row["ratio"] for row in rows] == [0.25, 0.2]
+            base_rows = store.trend(profile="clr-1.1")
+            assert all(row["ratio"] is None for row in base_rows)
+
+    def test_metric_trend(self, tmp_path):
+        with ExperimentStore(str(tmp_path / "e.sqlite")) as store:
+            append_run(store, git_sha="r1", cycles=(1000, 250))
+            rows = store.metric_trend("vm.instructions", benchmark="micro.arith")
+            assert [row["value"] for row in rows] == [500.0, 125.0]
