@@ -21,6 +21,12 @@ from .baseline import (
     render_compare,
     write_artifact,
 )
+from .exposition import (
+    EXPOSITION_CONTENT_TYPE,
+    parse_exposition,
+    render_exposition,
+    validate_exposition,
+)
 from .instrument import JitMetricsTrace, MachineMetrics
 from .registry import (
     Counter,
@@ -35,6 +41,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "Counter",
     "DEFAULT_TOLERANCES",
+    "EXPOSITION_CONTENT_TYPE",
     "Gauge",
     "Histogram",
     "JitMetricsTrace",
@@ -48,7 +55,10 @@ __all__ = [
     "current_git_sha",
     "graph_suite",
     "load_artifact",
+    "parse_exposition",
     "regressions",
     "render_compare",
+    "render_exposition",
+    "validate_exposition",
     "write_artifact",
 ]

@@ -230,6 +230,7 @@ def collect(
     cell_timeout: Optional[float] = None,
     dispatch: Optional[str] = None,
     store=None,
+    trace=None,
 ) -> dict:
     """Run the suite on every profile with metrics attached; return the
     artifact dict (pure data, JSON-ready).
@@ -270,12 +271,21 @@ def collect(
     row recording the collection; memo accounting lands on
     ``collect.last_store``.  Memoization records only clean runs, so it
     cannot be combined with a fault plan.
+
+    ``trace`` is an optional :class:`repro.trace.TraceContext` (the
+    daemon threads one through): ``store.lookup``, the pool fan-out, and
+    ``store.record`` each open wall-clock spans in the submission's
+    trace.  Tracing is operational telemetry only — it never changes a
+    single byte of the returned artifact.
     """
     # imported here: the harness imports repro.metrics in turn
     from ..faults.report import CellFailure, annotate_cells
     from ..harness.runner import Runner, check_cross_profile_results
     from ..parallel import resolve_jobs, run_cells
     from ..runtimes import ALL_PROFILES
+    from ..trace import NULL_CONTEXT
+
+    trace = trace if trace is not None else NULL_CONTEXT
 
     profiles = list(profiles or ALL_PROFILES)
     suite = list(suite if suite is not None else graph_suite(scale))
@@ -301,15 +311,18 @@ def collect(
         precomputed = None
         keys = None
         if store is not None:
-            keys = [
-                store.cell_key(name, pname, overrides=params, dispatch=dispatch)
-                for name, params, pname in cells
-            ]
-            precomputed = {}
-            for index, key in enumerate(keys):
-                run = store.lookup_run(key)
-                if run is not None:
-                    precomputed[index] = run
+            with trace.child("store.lookup", cells=len(cells),
+                             track="store") as lookup_span:
+                keys = [
+                    store.cell_key(name, pname, overrides=params, dispatch=dispatch)
+                    for name, params, pname in cells
+                ]
+                precomputed = {}
+                for index, key in enumerate(keys):
+                    run = store.lookup_run(key)
+                    if run is not None:
+                        precomputed[index] = run
+                lookup_span.set(hits=len(precomputed))
             collect.last_store = {
                 "cells": len(cells),
                 "hits": len(precomputed),
@@ -330,7 +343,9 @@ def collect(
         }
         if progress is not None:
             progress(f"{len(cells)} cells across jobs={jobs}")
-        payloads, report = run_cells(spec, cells, jobs=jobs, precomputed=precomputed)
+        payloads, report = run_cells(
+            spec, cells, jobs=jobs, precomputed=precomputed, trace=trace
+        )
         collect.last_report = report
         for (name, _params, pname), run in zip(cells, payloads):
             if not isinstance(run, CellFailure):
@@ -356,20 +371,23 @@ def collect(
                 if index not in precomputed
                 and not isinstance(payloads[index], CellFailure)
             ]
-            run_id = store.record_collection(
-                git_sha=sha,
-                scale=scale,
-                profiles=[p.name for p in profiles],
-                suite=suite,
-                dispatch=dispatch,
-                store_hits=len(precomputed),
-                cell_keys={
-                    f"{name}@{pname}": keys[index]
-                    for index, (name, _params, pname) in enumerate(cells)
-                },
-                novel=novel,
-                failures=faults_report.failures,
-            )
+            with trace.child("store.record", novel=len(novel),
+                             track="store") as record_span:
+                run_id = store.record_collection(
+                    git_sha=sha,
+                    scale=scale,
+                    profiles=[p.name for p in profiles],
+                    suite=suite,
+                    dispatch=dispatch,
+                    store_hits=len(precomputed),
+                    cell_keys={
+                        f"{name}@{pname}": keys[index]
+                        for index, (name, _params, pname) in enumerate(cells)
+                    },
+                    novel=novel,
+                    failures=faults_report.failures,
+                )
+                record_span.set(run_id=run_id)
             collect.last_store["run_id"] = run_id
     else:
         runner = Runner(profiles=profiles, compile_cache=cache, dispatch=dispatch)

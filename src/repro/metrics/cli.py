@@ -8,6 +8,7 @@
                     [--dispatch classic|threaded|threaded-nofuse]
     repro-bench compare BASE.json NEW.json [--tolerance metric=frac ...]
                     [--show-ok]
+    repro-bench compare NEW.json --store DB [--base-sha SHA]
     repro-bench dispatch-smoke [--min-speedup X] [--engine E]
                     [--benchmark B] [--repeats N]
 
@@ -159,8 +160,22 @@ def cmd_dispatch_smoke(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    base = baseline.load_artifact(args.base)
-    new = baseline.load_artifact(args.new)
+    if args.store:
+        if args.new is not None:
+            raise SystemExit(
+                "repro-bench: compare --store takes one artifact "
+                "(the candidate); the baseline comes from store history"
+            )
+        new = baseline.load_artifact(args.base)  # sole positional = candidate
+        base = _store_baseline(args, new)
+    else:
+        if args.new is None:
+            raise SystemExit(
+                "repro-bench: compare needs BASE.json and NEW.json "
+                "(or --store DB with one candidate artifact)"
+            )
+        base = baseline.load_artifact(args.base)
+        new = baseline.load_artifact(args.new)
     tolerances = _parse_tolerances(args.tolerance)
     try:
         rows = baseline.compare(base, new, tolerances)
@@ -168,6 +183,43 @@ def cmd_compare(args) -> int:
         raise SystemExit(f"repro-bench: {exc}")
     print(baseline.render_compare(rows, base, new, show_ok=args.show_ok))
     return 1 if baseline.regressions(rows) else 0
+
+
+def _store_baseline(args, new: dict) -> dict:
+    """Gate directly against store history: baseline = the export of the
+    latest recorded run — pinned to ``--base-sha`` when given, otherwise
+    the latest run not stamped with the candidate's own SHA (so a rerun
+    of HEAD still gates against the last *different* revision)."""
+    from ..store import ExperimentStore
+    from ..store.schema import StoreError
+
+    with ExperimentStore(args.store) as store:
+        if args.base_sha:
+            run_id = store.latest_run(git_sha=args.base_sha)
+            if run_id is None:
+                raise SystemExit(
+                    f"repro-bench: no run with git sha {args.base_sha!r} "
+                    f"in {store.path}"
+                )
+        else:
+            run_id = store.latest_run(exclude_sha=new.get("git_sha"))
+            if run_id is None:
+                run_id = store.latest_run()
+            if run_id is None:
+                raise SystemExit(
+                    f"repro-bench: store {store.path} has no runs to "
+                    "gate against"
+                )
+        try:
+            base = store.export_artifact(run_id)
+        except StoreError as exc:
+            raise SystemExit(f"repro-bench: {exc}")
+    print(
+        f"repro-bench: baseline = store run {run_id} "
+        f"(git {base.get('git_sha', 'unknown')[:12]}) from {args.store}",
+        file=sys.stderr,
+    )
+    return base
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -198,8 +250,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="diff two artifacts; exit 1 on regression")
-    compare.add_argument("base", help="baseline BENCH_*.json")
-    compare.add_argument("new", help="candidate BENCH_*.json")
+    compare.add_argument("base", help="baseline BENCH_*.json (with --store: "
+                                      "the candidate artifact)")
+    compare.add_argument("new", nargs="?", default=None,
+                         help="candidate BENCH_*.json (omitted with --store)")
+    compare.add_argument("--store", default=None, metavar="DB",
+                         help="gate against store history: baseline = the "
+                              "latest recorded run's export (see --base-sha)")
+    compare.add_argument("--base-sha", default=None, metavar="SHA",
+                         help="with --store, pin the baseline to the latest "
+                              "run recorded for this git SHA")
     compare.add_argument("--tolerance", action="append", default=[],
                          metavar="METRIC=FRAC",
                          help="override a tolerance, e.g. cycles=0.05 (repeatable)")

@@ -1,0 +1,147 @@
+"""Prometheus text exposition of a :class:`MetricsRegistry`.
+
+Renders the registry into the text-based exposition format (version
+0.0.4) that ``GET /metrics`` on the experiment daemon serves, so any
+standard scraper — or plain ``curl`` — can watch the service's counters,
+gauges and latency histograms.  Hierarchical metric names
+(``service.http_latency_us``) map to Prometheus names by replacing every
+non-identifier character with ``_`` and prefixing ``repro_``; histograms
+render the standard cumulative ``_bucket{le=...}`` / ``_sum`` /
+``_count`` triplet with a ``+Inf`` bucket.
+
+:func:`validate_exposition` is a small independent parser used by the
+tests and the CI smoke job to assert format validity without pulling in
+a Prometheus client library.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+
+#: content type of the text exposition format
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(name: str, prefix: str = "repro_") -> str:
+    """``service.http_latency_us`` -> ``repro_service_http_latency_us``."""
+    flat = _NAME_RE.sub("_", name)
+    if not flat or flat[0].isdigit():
+        flat = "_" + flat
+    return prefix + flat
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "+Inf"
+        if value == float("-inf"):
+            return "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def render_exposition(registry: MetricsRegistry, prefix: str = "repro_") -> str:
+    """The registry as one exposition-format document (trailing newline
+    included, as the format requires)."""
+    lines: List[str] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        flat = metric_name(name, prefix)
+        if isinstance(metric, Counter):
+            lines.append(f"# HELP {flat} counter {name}")
+            lines.append(f"# TYPE {flat} counter")
+            lines.append(f"{flat} {_fmt(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# HELP {flat} gauge {name}")
+            lines.append(f"# TYPE {flat} gauge")
+            lines.append(f"{flat} {_fmt(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# HELP {flat} histogram {name}")
+            lines.append(f"# TYPE {flat} histogram")
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.bucket_counts):
+                cumulative += count
+                lines.append(f'{flat}_bucket{{le="{_fmt(float(bound))}"}} '
+                             f"{cumulative}")
+            lines.append(f'{flat}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{flat}_sum {_fmt(metric.total)}")
+            lines.append(f"{flat}_count {metric.count}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)(?: \d+)?$"
+)
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"$')
+
+
+def parse_exposition(text: str) -> Dict[str, List[Tuple[str, float]]]:
+    """Parse an exposition document into ``{metric_name: [(labels, value)]}``.
+
+    Raises ValueError on any malformed line — this *is* the validity
+    check; scrape tests assert it passes and then inspect the values.
+    """
+    samples: Dict[str, List[Tuple[str, float]]] = {}
+    typed: Dict[str, str] = {}
+    for lineno, line in enumerate(text.split("\n"), 1):
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                raise ValueError(f"line {lineno}: bad TYPE line {line!r}")
+            if parts[2] in typed:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {parts[2]}")
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            if not line.startswith(("# HELP ", "# TYPE ", "# EOF")):
+                raise ValueError(f"line {lineno}: bad comment {line!r}")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        labels = match.group("labels") or ""
+        if labels:
+            for pair in labels.split(","):
+                if not _LABEL_RE.match(pair.strip()):
+                    raise ValueError(f"line {lineno}: bad label {pair!r}")
+        raw = match.group("value")
+        try:
+            value = float(raw)
+        except ValueError:
+            if raw not in ("+Inf", "-Inf", "NaN"):
+                raise ValueError(f"line {lineno}: bad value {raw!r}")
+            value = float(raw.replace("Inf", "inf"))
+        samples.setdefault(match.group("name"), []).append((labels, value))
+    # histograms must carry their _sum/_count companions
+    for name, kind in typed.items():
+        if kind == "histogram":
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name + suffix not in samples:
+                    raise ValueError(f"histogram {name} missing {suffix}")
+            buckets = samples[name + "_bucket"]
+            counts = [v for _labels, v in buckets]
+            if counts != sorted(counts):
+                raise ValueError(f"histogram {name} buckets not cumulative")
+            if not any('le="+Inf"' in labels for labels, _v in buckets):
+                raise ValueError(f"histogram {name} missing +Inf bucket")
+    return samples
+
+
+def validate_exposition(text: str) -> Dict[str, List[Tuple[str, float]]]:
+    """Alias of :func:`parse_exposition` — named for reading in CI."""
+    return parse_exposition(text)

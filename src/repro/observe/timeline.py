@@ -66,10 +66,18 @@ class Timeline:
     # --------------------------------------------------------------- export
 
     def to_chrome_trace(
-        self, clock_hz: float, meta: Optional[Dict[str, object]] = None
+        self, clock_hz: float, meta: Optional[Dict[str, object]] = None,
+        pid: int = 1, label: Optional[str] = None,
     ) -> Dict[str, object]:
         """The trace-event JSON object; ``ts`` in microseconds at
-        ``clock_hz`` (Perfetto's expected unit)."""
+        ``clock_hz`` (Perfetto's expected unit).
+
+        ``pid``/``label`` exist for multi-domain merges
+        (:func:`repro.trace.merge_chrome_trace` re-homes simulated
+        timelines next to wall-clock service spans); the defaults keep
+        the historical single-process output byte-identical — ``label``
+        lands in ``otherData`` only when given.
+        """
         scale = 1e6 / clock_hz
         out: List[dict] = []
         for ph, name, ts, tid, cat, payload in self.events:
@@ -77,7 +85,7 @@ class Timeline:
                 "name": name,
                 "ph": ph,
                 "ts": ts * scale,
-                "pid": 1,
+                "pid": pid,
                 "tid": tid,
             }
             if cat:
@@ -97,6 +105,8 @@ class Timeline:
                 "dropped_events": self.dropped,
             },
         }
+        if label is not None:
+            trace["otherData"]["label"] = label
         if meta:
             trace["otherData"].update(meta)
         return trace

@@ -54,6 +54,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
 from ..faults.report import CellFailure
+from ..trace import NULL_CONTEXT
 
 #: retry budget when no FaultPlan supplies one (real worker deaths are
 #: still retried and quarantined without any injection armed)
@@ -306,11 +307,15 @@ def _apply_worker_fault(plan, index: int, attempt: int, queue) -> None:
 
 
 def _worker_main(spec: dict, chunk: Sequence[Tuple[int, object, int]], queue) -> None:
-    """Stream one ``("cell", pid, index, payload, wall)`` message per cell,
-    then ``("done", pid, hits, misses, corrupted)``.  Streaming (rather
-    than batching the chunk) is what makes the parent's penalty rule sound:
-    when this process dies, exactly the unreported cells are outstanding
-    and the first of them is the one being executed."""
+    """Stream one ``("cell", pid, index, payload, wall, t0)`` message per
+    cell, then ``("done", pid, hits, misses, corrupted)``.  Streaming
+    (rather than batching the chunk) is what makes the parent's penalty
+    rule sound: when this process dies, exactly the unreported cells are
+    outstanding and the first of them is the one being executed.  ``t0``
+    is the worker's ``time.monotonic()`` at cell start — comparable
+    across processes on one host, so the parent can fold the cell into
+    the submission's wall-clock trace as a span with a real start time.
+    """
     try:
         state = _make_state(spec)
         plan = spec.get("plan")
@@ -318,9 +323,12 @@ def _worker_main(spec: dict, chunk: Sequence[Tuple[int, object, int]], queue) ->
         for index, cell, attempt in chunk:
             if plan is not None:
                 _apply_worker_fault(plan, index, attempt, queue)
+            t0_mono = time.monotonic()
             t0 = time.perf_counter()
             payload = _run_cell(state, spec, cell, index)
-            queue.put(("cell", pid, index, payload, time.perf_counter() - t0))
+            queue.put(
+                ("cell", pid, index, payload, time.perf_counter() - t0, t0_mono)
+            )
         cache = state.get("cache")
         if cache is not None:
             queue.put(("done", pid, cache.hits, cache.misses, cache.corrupted))
@@ -367,7 +375,20 @@ def _quarantine_failure(index: int, attempts: int, max_retries: int, plan) -> Ce
     )
 
 
-def _run_serial(spec: dict, indexed, outcomes, report: PoolReport) -> None:
+def _cell_label(spec: dict, cell, index: int) -> str:
+    """Human-readable span name for one cell: ``cell:bench@profile`` for
+    harness matrices, ``cell:<index>`` for fuzz programs."""
+    if spec.get("kind") == "harness":
+        try:
+            bench, _params, profile_name = cell
+            return f"cell:{bench}@{profile_name}"
+        except (TypeError, ValueError):
+            pass
+    return f"cell:{index}"
+
+
+def _run_serial(spec: dict, indexed, outcomes, report: PoolReport,
+                trace=NULL_CONTEXT) -> None:
     """The jobs=1 path.  Worker-level faults are *simulated* from the plan
     (failed attempts are skipped, not executed) so the final outcome of
     every cell — recovered cells run once, quarantined cells never run —
@@ -382,10 +403,19 @@ def _run_serial(spec: dict, indexed, outcomes, report: PoolReport) -> None:
                 _quarantine_failure(index, record.fail_attempts, max_retries, plan),
                 0.0,
             )
+            trace.event(
+                "cell.quarantined", index=index, cell=_cell_label(spec, cell, index),
+            )
             continue
+        t0_mono = time.monotonic()
         t0 = time.perf_counter()
         payload = _run_cell(state, spec, cell, index)
-        outcomes[index] = (payload, time.perf_counter() - t0)
+        wall = time.perf_counter() - t0
+        outcomes[index] = (payload, wall)
+        trace.record(
+            _cell_label(spec, cell, index), t0=t0_mono, dur=wall,
+            index=index, track="serial",
+        )
     cache = state.get("cache")
     if cache is not None:
         report.cache_hits, report.cache_misses = cache.hits, cache.misses
@@ -393,7 +423,8 @@ def _run_serial(spec: dict, indexed, outcomes, report: PoolReport) -> None:
     report.worker_pids = (os.getpid(),)
 
 
-def _run_parallel(spec: dict, indexed, njobs: int, outcomes, report: PoolReport) -> None:
+def _run_parallel(spec: dict, indexed, njobs: int, outcomes, report: PoolReport,
+                  trace=NULL_CONTEXT) -> None:
     """Dispatch rounds of workers until every cell has an outcome.
 
     Per round: shard the pending cells statically, stream results, and
@@ -414,6 +445,7 @@ def _run_parallel(spec: dict, indexed, njobs: int, outcomes, report: PoolReport)
     ctx = _pool_context()
     queue = ctx.Queue()
     attempts: Dict[int, int] = {index: 0 for index, _ in indexed}
+    labels = {index: _cell_label(spec, cell, index) for index, cell in indexed}
     pids: List[int] = []
     host_errors: List[str] = []
 
@@ -424,6 +456,10 @@ def _run_parallel(spec: dict, indexed, njobs: int, outcomes, report: PoolReport)
                 outcomes[index] = (
                     _quarantine_failure(index, attempts[index], max_retries, plan),
                     0.0,
+                )
+                trace.event(
+                    "cell.quarantined", index=index, cell=labels[index],
+                    attempts=attempts[index],
                 )
         pending = [(i, c) for i, c in pending if i not in outcomes]
         if not pending or host_errors:
@@ -455,6 +491,12 @@ def _run_parallel(spec: dict, indexed, njobs: int, outcomes, report: PoolReport)
             ]
             if unreported:
                 attempts[unreported[0]] += 1
+                trace.event(
+                    "cell.retry", index=unreported[0],
+                    cell=labels[unreported[0]],
+                    attempt=attempts[unreported[0]],
+                    worker=worker["proc"].pid,
+                )
 
         while any(not w["done"] for w in workers):
             try:
@@ -466,11 +508,15 @@ def _run_parallel(spec: dict, indexed, njobs: int, outcomes, report: PoolReport)
                 kind = message[0]
                 worker = by_pid.get(message[1])
                 if kind == "cell":
-                    _k, _pid, index, payload, wall = message
+                    _k, pid, index, payload, wall, t0_mono = message
                     if worker is not None:
                         worker["reported"].add(index)
                     if index not in outcomes:
                         outcomes[index] = (payload, wall)
+                        trace.record(
+                            labels[index], t0=t0_mono, dur=wall,
+                            index=index, worker=pid, track=f"worker-{pid}",
+                        )
                 elif kind == "done":
                     _k, _pid, hits, misses, corrupted = message
                     report.cache_hits += hits
@@ -519,6 +565,7 @@ def run_cells(
     jobs=None,
     registry=None,
     precomputed=None,
+    trace=None,
 ) -> Tuple[List[object], PoolReport]:
     """Run every cell and return ``(payloads_in_cell_order, report)``.
 
@@ -536,7 +583,15 @@ def run_cells(
     experiment-store memo hit).  Those cells are merged into the output
     in place without executing anything — a fully-precomputed call
     compiles nothing and runs zero guest cycles.
+
+    ``trace`` is a :class:`~repro.trace.TraceContext` (or None): the
+    fan-out opens a ``pool.run_cells`` span with one child span per
+    executed cell (worker-stamped start times under parallel runs) plus
+    retry/quarantine events.  Tracing is wall-clock telemetry only —
+    payloads, the report's measured fields, and artifacts are identical
+    with or without it.
     """
+    trace = trace if trace is not None else NULL_CONTEXT
     njobs = resolve_jobs(jobs)
     started = time.perf_counter()
     indexed = list(enumerate(cells))
@@ -559,12 +614,17 @@ def run_cells(
                     report.quarantined += 1
 
     pending = [(index, cell) for index, cell in indexed if index not in outcomes]
-    if not pending:
-        pass
-    elif njobs <= 1 or len(pending) <= 1:
-        _run_serial(spec, pending, outcomes, report)
-    else:
-        _run_parallel(spec, pending, njobs, outcomes, report)
+    with trace.child(
+        "pool.run_cells", cells=len(indexed), jobs=njobs,
+        memoized=report.memoized, track="pool",
+    ) as pool_trace:
+        if not pending:
+            pass
+        elif njobs <= 1 or len(pending) <= 1:
+            _run_serial(spec, pending, outcomes, report, trace=pool_trace)
+        else:
+            _run_parallel(spec, pending, njobs, outcomes, report,
+                          trace=pool_trace)
 
     report.wall_seconds = time.perf_counter() - started
     ordered = [outcomes[index] for index, _ in indexed]

@@ -3,13 +3,14 @@
 ::
 
     repro-serve [--store DB] [--host H] [--port P] [--port-file PATH]
-                [--jobs N|auto] [--cache-dir DIR] [--no-compile-cache]
-                [--dispatch ENGINE]
-    repro-client [--url URL] submit --benchmarks a,b --profiles x,y
-                [--scale S] [--dispatch E] [--wait] [--out FILE]
+                [--trace-log LOG.jsonl] [--jobs N|auto] [--cache-dir DIR]
+                [--no-compile-cache] [--dispatch ENGINE]
+    repro-client [--url URL] [--trace[=ID]] submit --benchmarks a,b
+                --profiles x,y [--scale S] [--dispatch E] [--wait]
+                [--out FILE]
     repro-client status JOB | result JOB [--out FILE]
     repro-client trends [--benchmark B] [--profile P] [--metric M]
-    repro-client stats | admin gc
+    repro-client stats | metrics | admin gc
 
 The daemon owns one SQLite experiment store; repeated submissions of a
 matrix already on record are served from it without compiling or running
@@ -55,6 +56,9 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--port-file", default=None, metavar="PATH",
                         help="write the bound port here once listening "
                              "(readiness signal for scripts/CI)")
+    parser.add_argument("--trace-log", default=None, metavar="LOG.jsonl",
+                        help="append every finished trace span to this JSONL "
+                             "file (inspect with repro-trace)")
     add_execution_args(parser, include_faults=False)
     args = parser.parse_args(argv)
     execution = execution_from_args(args)
@@ -67,6 +71,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         cache_dir=execution.cache_dir,
         use_compile_cache=execution.use_compile_cache,
         default_dispatch=execution.dispatch,
+        trace_log=args.trace_log,
     )
 
     async def run() -> None:
@@ -74,6 +79,9 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         host, port = service.address
         print(f"repro-serve: listening on http://{host}:{port} "
               f"(store {service.store_path})", file=sys.stderr)
+        if args.trace_log:
+            print(f"repro-serve: tracing spans to {args.trace_log}",
+                  file=sys.stderr)
         if service.swept_tmp_files:
             print(f"repro-serve: startup gc reaped {service.swept_tmp_files} "
                   "orphaned cache temp file(s)", file=sys.stderr)
@@ -92,9 +100,15 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
 
 
 def _client(args):
+    from ..trace import new_trace_id
     from .client import ServiceClient
 
-    return ServiceClient(args.url)
+    trace_id = getattr(args, "trace", None)
+    if trace_id == "":  # bare --trace: mint a fresh id
+        trace_id = new_trace_id()
+    if trace_id:
+        print(f"repro-client: trace {trace_id}", file=sys.stderr)
+    return ServiceClient(args.url, trace_id=trace_id)
 
 
 def cmd_submit(args) -> int:
@@ -144,6 +158,20 @@ def cmd_submit(args) -> int:
     return 0
 
 
+def _timing_line(job: dict) -> str:
+    """One human line of the job's lifecycle timing for stderr."""
+    bits = [f"job {job['id']} {job['status']}"]
+    if job.get("queue_position") is not None:
+        bits.append(f"queue position {job['queue_position']}")
+    if job.get("queue_wait_seconds") is not None:
+        bits.append(f"queued {job['queue_wait_seconds']:.3f}s")
+    if job.get("run_seconds") is not None:
+        bits.append(f"ran {job['run_seconds']:.3f}s")
+    if job.get("trace_id"):
+        bits.append(f"trace {job['trace_id']}")
+    return ", ".join(bits)
+
+
 def cmd_status(args) -> int:
     from .client import ServiceError
 
@@ -151,6 +179,7 @@ def cmd_status(args) -> int:
         payload = _client(args).status(args.job)
     except ServiceError as exc:
         raise SystemExit(f"repro-client: {exc}")
+    print(f"repro-client: {_timing_line(payload)}", file=sys.stderr)
     print(_dump(payload), end="")
     return 0 if payload["status"] != "failed" else 1
 
@@ -216,6 +245,17 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    from .client import ServiceError
+
+    try:
+        text = _client(args).metrics()
+    except ServiceError as exc:
+        raise SystemExit(f"repro-client: {exc}")
+    print(text, end="")
+    return 0
+
+
 def cmd_admin(args) -> int:
     from .client import ServiceError
 
@@ -243,6 +283,11 @@ def build_client_parser() -> argparse.ArgumentParser:
                                                         DEFAULT_URL),
                         help="daemon base URL (default: $REPRO_SERVICE_URL "
                              f"or {DEFAULT_URL})")
+    parser.add_argument("--trace", nargs="?", const="", default=None,
+                        metavar="ID",
+                        help="propagate X-Repro-Trace on every request; "
+                             "bare --trace mints a fresh trace id, --trace ID "
+                             "joins an existing trace")
     sub = parser.add_subparsers(dest="command", required=True)
 
     submit = sub.add_parser("submit", help="queue a benchmark-matrix job")
@@ -287,6 +332,11 @@ def build_client_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="service counters, compile stats, store counts")
     stats.set_defaults(func=cmd_stats)
 
+    metrics = sub.add_parser(
+        "metrics", help="raw GET /metrics text exposition (Prometheus format)"
+    )
+    metrics.set_defaults(func=cmd_metrics)
+
     admin = sub.add_parser("admin", help="daemon administration")
     admin.add_argument("admin_command", choices=["gc"],
                        help="gc: reap orphaned compile-cache temp files")
@@ -294,7 +344,23 @@ def build_client_parser() -> argparse.ArgumentParser:
     return parser
 
 
+_CLIENT_COMMANDS = {"submit", "status", "result", "trends", "stats",
+                    "metrics", "admin"}
+
+
 def client_main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    for i, tok in enumerate(argv):
+        if tok in _CLIENT_COMMANDS:
+            break
+        if tok == "--trace":
+            # argparse's nargs="?" would swallow a following subcommand
+            # token as the trace id; rewrite bare --trace to --trace= so
+            # ``repro-client --trace submit ...`` mints an id as documented
+            nxt = argv[i + 1] if i + 1 < len(argv) else None
+            if nxt is None or nxt in _CLIENT_COMMANDS or nxt.startswith("-"):
+                argv[i] = "--trace="
+            break
     args = build_client_parser().parse_args(argv)
     return args.func(args)
 

@@ -1,4 +1,14 @@
-"""``ServiceClient`` — a urllib front end for the experiment daemon."""
+"""``ServiceClient`` — a urllib front end for the experiment daemon.
+
+Constructed with ``trace_id=``, the client stamps every request with the
+``X-Repro-Trace`` propagation header, so the daemon's ``http.request``
+spans join the client's trace instead of each minting their own.  The
+client sends the bare trace id (no parent span): the daemon's request
+spans stay roots of the server-side tree, and the JSONL trace log never
+references a span it does not contain.  ``last_trace`` holds the
+``X-Repro-Trace`` value echoed on the most recent response — the handle
+for fetching the server-side span tree via ``GET /v1/traces/<id>``.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +17,8 @@ import time
 import urllib.error
 import urllib.request
 from typing import Optional
+
+from ..trace import TRACE_HEADER
 
 
 class ServiceError(Exception):
@@ -21,13 +33,19 @@ class ServiceError(Exception):
 class ServiceClient:
     """Talk to one daemon; every method returns the decoded JSON payload."""
 
-    def __init__(self, url: str, timeout: float = 30.0):
+    def __init__(self, url: str, timeout: float = 30.0,
+                 trace_id: Optional[str] = None):
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.trace_id = trace_id
+        #: X-Repro-Trace header of the last response (None before any call)
+        self.last_trace: Optional[str] = None
 
     def _call(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
         body = None
         headers = {"Accept": "application/json"}
+        if self.trace_id:
+            headers["X-Repro-Trace"] = self.trace_id
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -36,14 +54,33 @@ class ServiceClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                self.last_trace = response.headers.get(TRACE_HEADER)
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
+            self.last_trace = exc.headers.get(TRACE_HEADER)
             detail = exc.read().decode("utf-8", "replace")
             try:
                 detail = json.loads(detail).get("error", detail)
             except ValueError:
                 pass
             raise ServiceError(exc.code, detail)
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {self.url}: {exc.reason}")
+
+    def _call_text(self, path: str) -> str:
+        """GET a text (non-JSON) endpoint — ``/metrics``."""
+        headers = {}
+        if self.trace_id:
+            headers["X-Repro-Trace"] = self.trace_id
+        request = urllib.request.Request(
+            self.url + path, headers=headers, method="GET"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                self.last_trace = response.headers.get(TRACE_HEADER)
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, exc.read().decode("utf-8", "replace"))
         except urllib.error.URLError as exc:
             raise ServiceError(0, f"cannot reach {self.url}: {exc.reason}")
 
@@ -79,6 +116,14 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._call("GET", "/v1/stats")
+
+    def metrics(self) -> str:
+        """The Prometheus text exposition document from ``GET /metrics``."""
+        return self._call_text("/metrics")
+
+    def trace(self, trace_id: str) -> dict:
+        """Server-side spans for one trace (``{"trace", "spans"}``)."""
+        return self._call("GET", f"/v1/traces/{trace_id}")
 
     def trends(self, **query: str) -> dict:
         qs = "&".join(f"{k}={v}" for k, v in query.items() if v is not None)

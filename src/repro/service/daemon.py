@@ -10,6 +10,18 @@ novel cells execute, through the same resilient pool every CLI uses.
 The returned artifact is byte-identical to a direct serial run: that is
 the daemon-vs-direct identity invariant the test suite pins.
 
+Every request is traced (:mod:`repro.trace`): the daemon parses
+``X-Repro-Trace`` off the wire (minting a fresh trace id when absent),
+roots an ``http.request`` span per connection, and threads the context
+through submit -> queue wait -> executor -> ``baseline.collect`` ->
+pool fan-out -> store, so one submission is one span tree across the
+whole stack.  The span buffer is served on ``GET /v1/traces/<id>``, an
+optional JSONL sink (``trace_log=``) persists spans as they close, and
+``GET /metrics`` exposes the registry — queue depth and inflight gauges,
+HTTP/queue-wait/execution latency histograms — in Prometheus text
+exposition format.  All of this is wall-clock operational telemetry;
+none of it touches measured artifacts.
+
 Everything is standard library: asyncio sockets, hand-rolled HTTP/1.1
 framing (:mod:`repro.service.http`), ``sqlite3`` underneath.  Jobs
 execute one at a time in a thread-pool executor — the experiment matrix
@@ -25,11 +37,31 @@ import os
 import time
 from typing import Dict, Optional
 
+from ..metrics.exposition import EXPOSITION_CONTENT_TYPE, render_exposition
 from ..metrics.registry import MetricsRegistry
+from ..trace import (
+    NULL_CONTEXT,
+    TRACE_HEADER,
+    JsonlSink,
+    TraceContext,
+    Tracer,
+    format_trace_header,
+    new_span_id,
+    new_trace_id,
+    parse_trace_header,
+)
 from .http import HttpError, Request, format_response, read_request
 
 #: job lifecycle: queued -> running -> done | failed
 JOB_STATES = ("queued", "running", "done", "failed")
+
+#: microsecond-scale latency buckets for the service histograms
+#: (100us .. ~100s; jobs that execute cells land in the upper decades,
+#: memo-served ones in the lower)
+LATENCY_BUCKETS_US = (
+    100, 1_000, 5_000, 25_000, 100_000, 500_000,
+    2_000_000, 10_000_000, 30_000_000, 100_000_000,
+)
 
 
 class ExperimentService:
@@ -44,6 +76,7 @@ class ExperimentService:
         use_compile_cache: bool = True,
         default_dispatch: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
+        trace_log: Optional[str] = None,
     ):
         from ..store import default_store_path
 
@@ -53,12 +86,28 @@ class ExperimentService:
         self.use_compile_cache = use_compile_cache
         self.default_dispatch = default_dispatch
         self.registry = registry if registry is not None else MetricsRegistry()
+        self._trace_sink = JsonlSink(trace_log) if trace_log else None
+        self.tracer = Tracer(
+            sinks=(self._trace_sink,) if self._trace_sink else ()
+        )
         self._jobs: Dict[int, dict] = {}
         self._next_job = 1
         self._queue: asyncio.Queue = asyncio.Queue()
         self._server: Optional[asyncio.AbstractServer] = None
         self._worker: Optional[asyncio.Task] = None
+        self._inflight = 0
+        self.started_unix: Optional[float] = None
+        self._started_monotonic: Optional[float] = None
         self.swept_tmp_files = 0
+        # register the service gauges/histograms up front so a fresh
+        # daemon's /metrics already carries the full instrument set
+        self.registry.gauge("service.queue_depth")
+        self.registry.gauge("service.inflight")
+        self.registry.histogram("service.http_latency_us", LATENCY_BUCKETS_US)
+        self.registry.histogram(
+            "service.job_queue_wait_us", LATENCY_BUCKETS_US
+        )
+        self.registry.histogram("service.job_exec_us", LATENCY_BUCKETS_US)
 
     # ------------------------------------------------------------- lifecycle
 
@@ -82,6 +131,8 @@ class ExperimentService:
         ExperimentStore(self.store_path).close()  # create / migrate up front
         self._server = await asyncio.start_server(self._serve_one, host, port)
         self._worker = asyncio.ensure_future(self._drain_jobs())
+        self.started_unix = time.time()
+        self._started_monotonic = time.monotonic()
 
     @property
     def address(self):
@@ -102,6 +153,9 @@ class ExperimentService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._trace_sink is not None:
+            self._trace_sink.close()
+            self._trace_sink = None
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -110,7 +164,11 @@ class ExperimentService:
 
     # ------------------------------------------------------------- job queue
 
-    def _submit(self, request: dict) -> dict:
+    def _refresh_gauges(self) -> None:
+        self.registry.gauge("service.queue_depth").set(self._queue.qsize())
+        self.registry.gauge("service.inflight").set(self._inflight)
+
+    def _submit(self, request: dict, ctx=NULL_CONTEXT) -> dict:
         from ..metrics import baseline
         from ..vm.dispatch import DISPATCH_MODES
 
@@ -148,28 +206,82 @@ class ExperimentService:
             },
             "stats": None,
             "error": None,
+            # wall-clock lifecycle stamps: unix pairs for display,
+            # monotonic pairs for durations (immune to clock steps)
+            "submitted_monotonic": time.monotonic(),
+            "started_unix": None,
+            "started_monotonic": None,
+            "finished_unix": None,
+            "finished_monotonic": None,
+            # submission's trace: job spans are parented under the
+            # submitting request's http.request span
+            "trace_id": ctx.trace_id,
+            "submit_span": ctx.span_id,
         }
         self._next_job += 1
         self._jobs[job["id"]] = job
         self._queue.put_nowait(job["id"])
         self.registry.counter("service.jobs").add(1)
+        self._refresh_gauges()
         return job
+
+    def _job_context(self, job: dict) -> TraceContext:
+        """The trace position job-lifecycle spans hang off — the submit
+        request's span when the submission carried one."""
+        if job.get("trace_id") is None:
+            return self.tracer.context()
+        return self.tracer.context(
+            trace_id=job["trace_id"], parent_id=job["submit_span"]
+        )
 
     async def _drain_jobs(self) -> None:
         loop = asyncio.get_event_loop()
         while True:
             job_id = await self._queue.get()
             job = self._jobs[job_id]
+            now = time.monotonic()
+            queue_wait = now - job["submitted_monotonic"]
             job["status"] = "running"
+            job["started_unix"] = time.time()
+            job["started_monotonic"] = now
+            self._inflight += 1
+            self._refresh_gauges()
+            ctx = self._job_context(job)
+            ctx.record(
+                "job.queue_wait",
+                t0=job["submitted_monotonic"],
+                dur=queue_wait,
+                job=job["id"],
+                track="queue",
+            )
+            self.registry.histogram(
+                "service.job_queue_wait_us", LATENCY_BUCKETS_US
+            ).observe(queue_wait * 1e6)
             try:
-                await loop.run_in_executor(None, self._execute_job, job)
+                with ctx.child(
+                    "job.execute", job=job["id"], track="executor"
+                ) as span:
+                    await loop.run_in_executor(
+                        None, self._execute_job, job, span
+                    )
                 job["status"] = "done"
             except Exception as exc:  # noqa: BLE001 — job isolation boundary
                 job["status"] = "failed"
                 job["error"] = f"{type(exc).__name__}: {exc}"
                 self.registry.counter("service.job_failures").add(1)
+            finally:
+                job["finished_unix"] = time.time()
+                job["finished_monotonic"] = time.monotonic()
+                self._inflight -= 1
+                self._refresh_gauges()
+                self.registry.histogram(
+                    "service.job_exec_us", LATENCY_BUCKETS_US
+                ).observe(
+                    (job["finished_monotonic"] - job["started_monotonic"])
+                    * 1e6
+                )
 
-    def _execute_job(self, job: dict) -> None:
+    def _execute_job(self, job: dict, ctx=NULL_CONTEXT) -> None:
         """Blocking body of one job — runs on the executor thread with its
         own store connection (sqlite3 objects are thread-bound)."""
         from ..lang.compiler import COMPILE_STATS
@@ -190,6 +302,7 @@ class ExperimentService:
                 cache=self._cache(),
                 dispatch=request["dispatch"],
                 store=store,
+                trace=ctx,
             )
         stats = dict(baseline.collect.last_store)
         stats["compile_calls"] = (
@@ -198,6 +311,11 @@ class ExperimentService:
         stats["cells_executed"] = stats["cells"] - stats["hits"]
         job["stats"] = stats
         job["artifact"] = artifact
+        ctx.set(
+            cells=stats["cells"],
+            hits=stats["hits"],
+            compile_calls=stats["compile_calls"],
+        )
         self.registry.counter("service.cells").add(stats["cells"])
         self.registry.counter("service.cache_hits").add(stats["hits"])
         self.registry.counter("service.cache_misses").add(stats["misses"])
@@ -208,10 +326,33 @@ class ExperimentService:
     # ---------------------------------------------------------------- routes
 
     def _job_view(self, job: dict) -> dict:
+        queue_wait = run = None
+        if job["started_monotonic"] is not None:
+            queue_wait = job["started_monotonic"] - job["submitted_monotonic"]
+            end = (
+                job["finished_monotonic"]
+                if job["finished_monotonic"] is not None
+                else time.monotonic()
+            )
+            run = end - job["started_monotonic"]
+        position = None
+        if job["status"] == "queued":
+            position = 1 + sum(
+                1
+                for other in self._jobs.values()
+                if other["status"] == "queued" and other["id"] < job["id"]
+            )
         return {
             "id": job["id"],
             "status": job["status"],
             "created_unix": job["created_unix"],
+            "submitted_at": job["created_unix"],
+            "started_at": job["started_unix"],
+            "finished_at": job["finished_unix"],
+            "queue_wait_seconds": queue_wait,
+            "run_seconds": run,
+            "queue_position": position,
+            "trace_id": job["trace_id"],
             "request": job["request"],
             "stats": job["stats"],
             "error": job["error"],
@@ -224,8 +365,9 @@ class ExperimentService:
             raise HttpError(404, f"no job {job_id!r}")
         return job
 
-    def _handle(self, request: Request):
-        """Route one request; returns ``(status, payload)``."""
+    def _handle(self, request: Request, ctx=NULL_CONTEXT):
+        """Route one request; returns ``(status, payload)`` or
+        ``(status, payload, content_type)`` for non-JSON bodies."""
         method, path = request.method, request.path.rstrip("/") or "/"
         if path == "/healthz" and method == "GET":
             from ..store import SCHEMA_VERSION
@@ -235,8 +377,11 @@ class ExperimentService:
                 "store": self.store_path,
                 "schema_version": SCHEMA_VERSION,
             }
+        if path == "/metrics" and method == "GET":
+            self._refresh_gauges()
+            return 200, render_exposition(self.registry), EXPOSITION_CONTENT_TYPE
         if path == "/v1/jobs" and method == "POST":
-            job = self._submit(request.json())
+            job = self._submit(request.json(), ctx)
             return 202, self._job_view(job)
         if path == "/v1/jobs" and method == "GET":
             return 200, {
@@ -252,18 +397,49 @@ class ExperimentService:
                     raise HttpError(404, f"job {job['id']} is {job['status']}")
                 return 200, job["artifact"]
             return 200, self._job_view(self._get_job(rest))
+        if path == "/v1/traces" and method == "GET":
+            return 200, {"traces": self.tracer.trace_ids()}
+        if path.startswith("/v1/traces/") and method == "GET":
+            trace_id = path[len("/v1/traces/"):]
+            spans = self.tracer.snapshot(trace_id)
+            if not spans:
+                raise HttpError(404, f"no trace {trace_id!r}")
+            return 200, {
+                "trace": trace_id,
+                "spans": [s.to_dict() for s in spans],
+            }
         if path == "/v1/stats" and method == "GET":
             from ..lang.compiler import COMPILE_STATS
             from ..store import ExperimentStore
 
             with ExperimentStore(self.store_path) as store:
                 counts = store.counts()
+            self._refresh_gauges()
+            by_status = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                by_status[job["status"]] += 1
             return 200, {
                 "metrics": self.registry.snapshot(),
                 "compile_stats": dict(COMPILE_STATS),
                 "store": counts,
                 "swept_tmp_files": self.swept_tmp_files,
                 "queue_depth": self._queue.qsize(),
+                "inflight": self._inflight,
+                "jobs": by_status,
+                "uptime_seconds": (
+                    time.monotonic() - self._started_monotonic
+                    if self._started_monotonic is not None
+                    else None
+                ),
+                "trace": {
+                    "buffered_spans": len(self.tracer.snapshot()),
+                    "dropped_spans": self.tracer.dropped,
+                    "log": (
+                        self._trace_sink.path
+                        if self._trace_sink is not None
+                        else None
+                    ),
+                },
             }
         if path == "/v1/trends" and method == "GET":
             from ..store import ExperimentStore
@@ -293,30 +469,87 @@ class ExperimentService:
         raise HttpError(404, f"no route {method} {request.path}")
 
     async def _serve_one(self, reader, writer) -> None:
-        status, payload = 500, {"error": "internal error"}
+        t_request = time.monotonic()
+        status, payload, content_type = 500, {"error": "internal error"}, None
+        request: Optional[Request] = None
+        trace_id = parent = None
         try:
             request = await read_request(reader)
+        except HttpError as exc:
+            status, payload = exc.status, {"error": exc.message}
+        else:
             if request is None:
                 writer.close()
                 return
+            trace_id, parent = parse_trace_header(
+                request.headers.get(TRACE_HEADER)
+            )
+        # every response — including protocol errors — carries a trace:
+        # the http.request span roots the submission's tree (or is the
+        # client's child when the header named a parent span)
+        trace_id = trace_id or new_trace_id()
+        request_span = new_span_id()
+        ctx = TraceContext(self.tracer, trace_id, request_span)
+        if request is not None:
             try:
-                status, payload = self._handle(request)
+                result = self._handle(request, ctx)
+                status, payload = result[0], result[1]
+                content_type = result[2] if len(result) > 2 else None
             except HttpError as exc:
                 status, payload = exc.status, {"error": exc.message}
             except Exception as exc:  # noqa: BLE001 — keep the daemon alive
                 status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        except HttpError as exc:
-            status, payload = exc.status, {"error": exc.message}
         try:
-            writer.write(format_response(status, payload))
+            writer.write(
+                format_response(
+                    status,
+                    payload,
+                    content_type=content_type,
+                    headers={
+                        "X-Repro-Trace": format_trace_header(
+                            trace_id, request_span
+                        )
+                    },
+                )
+            )
             await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            # client went away mid-response; the daemon shrugs
+            self.registry.counter("service.client_disconnects").add(1)
         finally:
             writer.close()
+            now = time.monotonic()
+            attrs = {"status": status, "track": "http"}
+            if request is not None:
+                attrs["method"] = request.method
+                attrs["path"] = request.path
+            self.tracer.record(
+                "http.request",
+                trace_id,
+                parent_id=parent,
+                t0=t_request,
+                dur=now - t_request,
+                attrs=attrs,
+                span_id=request_span,
+            )
+            self.registry.counter("service.http_requests").add(1)
+            if status >= 400:
+                self.registry.counter("service.http_errors").add(1)
+            self.registry.histogram(
+                "service.http_latency_us", LATENCY_BUCKETS_US
+            ).observe((now - t_request) * 1e6)
 
 
 def write_port_file(path: str, port: int) -> None:
-    """Atomically publish the bound port for readiness polling (CI)."""
-    tmp = f"{path}.tmp"
+    """Atomically publish the bound port for readiness polling (CI).
+
+    PID-unique temp name (two daemons racing on one path never clobber
+    each other's tmp), fsync before rename so a reader that sees the file
+    never sees a torn write.
+    """
+    tmp = f"{path}.{os.getpid()}.tmp"
     with open(tmp, "w") as handle:
         handle.write(f"{port}\n")
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)

@@ -9,6 +9,7 @@ beyond the standard library.  One request per connection
 
 from __future__ import annotations
 
+import asyncio
 import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -60,10 +61,19 @@ class Request:
 
 
 async def read_request(reader) -> Optional[Request]:
-    """Parse one request off an asyncio stream; None on a clean EOF."""
+    """Parse one request off an asyncio stream; None on a clean EOF (or a
+    peer that vanished mid-request).  An oversized header block is a
+    *protocol* error the daemon answers with 400 rather than a hangup —
+    asyncio's stream limit surfaces it as LimitOverrunError."""
     try:
         head = await reader.readuntil(b"\r\n\r\n")
-    except Exception:  # IncompleteReadError (EOF), LimitOverrunError
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "header block too large")
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial and len(exc.partial) >= MAX_HEADER_BYTES:
+            raise HttpError(400, "header block too large")
+        return None
+    except Exception:  # connection reset and friends
         return None
     if len(head) > MAX_HEADER_BYTES:
         raise HttpError(400, "header block too large")
@@ -80,10 +90,18 @@ async def read_request(reader) -> Optional[Request]:
         name, sep, value = line.partition(":")
         if sep:
             headers[name.strip().lower()] = value.strip()
-    length = int(headers.get("content-length", "0") or "0")
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise HttpError(400, "malformed Content-Length")
+    if length < 0:
+        raise HttpError(400, "malformed Content-Length")
     if length > MAX_BODY_BYTES:
         raise HttpError(400, "body too large")
-    body = await reader.readexactly(length) if length else b""
+    try:
+        body = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError:
+        return None  # peer hung up mid-body
     return Request(
         method=method.upper(),
         path=split.path,
@@ -93,13 +111,37 @@ async def read_request(reader) -> Optional[Request]:
     )
 
 
-def format_response(status: int, payload: object) -> bytes:
-    """One JSON response, Content-Length framed, Connection: close."""
-    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+def format_response(
+    status: int,
+    payload: object,
+    content_type: Optional[str] = None,
+    headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """One Content-Length framed, Connection: close response.
+
+    ``str``/``bytes`` payloads go out verbatim (``text/plain`` unless a
+    ``content_type`` overrides — the ``/metrics`` exposition path);
+    anything else is JSON.  ``headers`` adds extra response headers — the
+    daemon uses it to echo ``X-Repro-Trace`` on every response, including
+    4xx/5xx.
+    """
+    if isinstance(payload, bytes):
+        body = payload
+        ctype = content_type or "text/plain; charset=utf-8"
+    elif isinstance(payload, str):
+        body = payload.encode("utf-8")
+        ctype = content_type or "text/plain; charset=utf-8"
+    else:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        ctype = content_type or "application/json"
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}\r\n"
-        "Content-Type: application/json\r\n"
+        f"Content-Type: {ctype}\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
         "Connection: close\r\n"
         "\r\n"
     ).encode("latin-1")

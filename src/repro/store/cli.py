@@ -7,12 +7,18 @@
     repro-store [--db DB] runs
     repro-store [--db DB] trends [--benchmark B] [--profile P]
                 [--ratio-base R] [--metric M]
+    repro-store [--db DB] report [--benchmark B] [--profile P]
+                [--attribute BASE NEW] [--json]
 
 ``import`` backfills point-in-time ``BENCH_<seq>.json`` artifacts into
 the append-only store (as ``imported`` records — trend and export
 fodder, never served by the memo cache).  ``export`` reconstructs a
 run's artifact byte-identically to what ``repro-bench run`` wrote, so
-BENCH JSON is now an interchange format, not the substrate.
+BENCH JSON is now an interchange format, not the substrate.  ``report``
+renders the cross-run anchored-ratio history as sparkline trend ladders
+(one per benchmark x profile) and, with ``--attribute BASE NEW``, breaks
+the delta between two runs down per profile x benchmark x metric
+snapshot to name the cells responsible for a flagged regression.
 """
 
 from __future__ import annotations
@@ -110,6 +116,134 @@ def cmd_trends(args) -> int:
     return 0
 
 
+#: eight-level block ramp for the text trend ladders
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: List[float]) -> str:
+    """Values as one block character each, min..max normalized; a flat
+    series renders mid-ramp so 'no movement' is visually distinct from
+    'bottomed out'."""
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high == low:
+        return SPARK_BLOCKS[3] * len(values)
+    span = high - low
+    return "".join(
+        SPARK_BLOCKS[
+            min(len(SPARK_BLOCKS) - 1,
+                int((value - low) / span * len(SPARK_BLOCKS)))
+        ]
+        for value in values
+    )
+
+
+def _render_report(rows: List[dict], metric: str) -> List[str]:
+    """Sparkline trend ladders: one line per (benchmark, profile) series,
+    in run order, with first/last values and the relative move."""
+    series: dict = {}
+    for row in rows:
+        value = row.get("ratio") if metric == "ratio" else row.get("cycles")
+        if value is None:
+            continue
+        series.setdefault((row["benchmark"], row["profile"]), []).append(
+            (row["run"], value)
+        )
+    lines = []
+    for (bench, profile), points in sorted(series.items()):
+        points.sort()
+        values = [value for _run, value in points]
+        first, last = values[0], values[-1]
+        move = (last - first) / first if first else 0.0
+        unit = "" if metric == "ratio" else " cycles"
+        lines.append(
+            f"{bench + '/' + profile:<28} {sparkline(values)} "
+            f"{first:>12g} -> {last:>12g}{unit} "
+            f"({move:+.1%} over {len(values)} runs)"
+        )
+    return lines
+
+
+def _render_attribution(attribution: dict) -> List[str]:
+    lines = [
+        f"attribution: run {attribution['base_run']} "
+        f"({attribution['base_sha'][:12]}) -> run {attribution['new_run']} "
+        f"({attribution['new_sha'][:12]})"
+    ]
+    flagged = {cell for cell in attribution["flagged_cells"]}
+    for block in attribution["cells"]:
+        name = f"{block['benchmark']}@{block['profile']}"
+        if name not in flagged:
+            continue
+        lines.append(f"  REGRESSED {name}:")
+        for metric, delta in sorted(block["deltas"].items()):
+            if not delta.get("flagged"):
+                continue
+            lines.append(
+                f"    {metric}: {delta['base']:g} -> {delta['new']:g} "
+                f"({delta['rel']:+.2%})"
+            )
+        for mover in block["movers"]:
+            rel = "new" if mover["rel"] is None else f"{mover['rel']:+.2%}"
+            lines.append(
+                f"    mover {mover['metric']}: {mover['base']:g} -> "
+                f"{mover['new']:g} ({rel})"
+            )
+    for entry in attribution["ratios"]:
+        if entry["flagged"]:
+            lines.append(
+                f"  RATIO DRIFT {entry['benchmark']}@{entry['profile']}: "
+                f"{entry['base_ratio']:.3f} -> {entry['new_ratio']:.3f} "
+                f"({entry['rel']:+.2%} vs {attribution['ratio_base']})"
+            )
+    if not flagged and not attribution["flagged_ratios"]:
+        lines.append("  no cell exceeds the tolerance policy")
+    for key in ("only_in_base", "only_in_new"):
+        if attribution[key]:
+            lines.append(f"  {key.replace('_', ' ')}: "
+                         + ", ".join(attribution[key]))
+    return lines
+
+
+def cmd_report(args) -> int:
+    with ExperimentStore(args.db) as store:
+        rows = store.trend(
+            benchmark=args.benchmark,
+            profile=args.profile,
+            ratio_base=args.ratio_base,
+        )
+        attribution = None
+        if args.attribute:
+            base_id, new_id = args.attribute
+            try:
+                attribution = store.attribute(
+                    base_id, new_id, ratio_base=args.ratio_base
+                )
+            except StoreError as exc:
+                raise SystemExit(f"repro-store: {exc}")
+    if args.json:
+        payload: dict = {"rows": rows}
+        if attribution is not None:
+            payload["attribution"] = attribution
+        print(_dump(payload), end="")
+        return 0
+    metric = "ratio" if not args.cycles else "cycles"
+    lines = _render_report(rows, metric)
+    header = ("anchored-ratio trend" if metric == "ratio"
+              else "cycles trend")
+    if lines:
+        print(f"{header} ({len(lines)} series):")
+        for line in lines:
+            print(f"  {line}")
+    else:
+        print("repro-store: no trend series", file=sys.stderr)
+    if attribution is not None:
+        for line in _render_attribution(attribution):
+            print(line)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-store",
@@ -144,6 +278,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="flattened counter/gauge name instead of cycles")
     trends.add_argument("--json", action="store_true")
     trends.set_defaults(func=cmd_trends)
+
+    report = sub.add_parser(
+        "report",
+        help="sparkline trend ladders + two-run regression attribution",
+    )
+    report.add_argument("--benchmark", default=None)
+    report.add_argument("--profile", default=None)
+    report.add_argument("--ratio-base", default=None,
+                        help="ratio anchor profile (default: clr-1.1)")
+    report.add_argument("--cycles", action="store_true",
+                        help="ladder raw cycles instead of anchored ratios")
+    report.add_argument("--attribute", nargs=2, type=int, default=None,
+                        metavar=("BASE", "NEW"),
+                        help="attribute the BASE->NEW run delta to "
+                             "responsible cells")
+    report.add_argument("--json", action="store_true")
+    report.set_defaults(func=cmd_report)
     return parser
 
 

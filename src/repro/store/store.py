@@ -252,17 +252,20 @@ class ExperimentStore:
             failures=artifact.get("failures", ()),
         )
 
-    def export_artifact(self, run_id: int) -> dict:
-        """Reconstruct the BENCH artifact dict of one run.  Cells recorded
-        under the run resolve directly; memo-hit cells (recorded by an
-        earlier run) resolve through the run's content keys."""
-        from ..metrics.baseline import build_artifact
-
+    def _run_row(self, run_id: int):
         run = self._conn.execute(
             "SELECT * FROM runs WHERE id = ?", (run_id,)
         ).fetchone()
         if run is None:
             raise StoreError(f"no run {run_id} in {self.path}")
+        return run
+
+    def resolve_cells(self, run_id: int) -> Dict[Tuple[str, str], dict]:
+        """Every ``(benchmark, profile) -> record`` of one run.  Cells
+        recorded under the run resolve directly; memo-hit cells (recorded
+        by an earlier run) resolve through the run's content keys — the
+        same resolution :meth:`export_artifact` performs."""
+        run = self._run_row(run_id)
         suite = [(name, params) for name, params in json.loads(run["suite"])]
         profiles = json.loads(run["profiles"])
         cell_keys = json.loads(run["cell_keys"])
@@ -273,9 +276,8 @@ class ExperimentStore:
             (run_id,),
         ):
             own[(row["benchmark"], row["profile"])] = json.loads(row["record"])
-        entries: Dict[str, Dict[str, dict]] = {}
+        resolved: Dict[Tuple[str, str], dict] = {}
         for name, _params in suite:
-            per: Dict[str, dict] = {}
             for pname in profiles:
                 record = own.get((name, pname))
                 if record is None:
@@ -287,6 +289,48 @@ class ExperimentStore:
                             (key,),
                         ).fetchone()
                         record = None if row is None else json.loads(row["record"])
+                if record is not None:
+                    resolved[(name, pname)] = record
+        return resolved
+
+    def latest_run(
+        self,
+        git_sha: Optional[str] = None,
+        exclude_sha: Optional[str] = None,
+    ) -> Optional[int]:
+        """Id of the most recent run, optionally pinned to one git SHA
+        (``git_sha=``) or to history before a SHA (``exclude_sha=`` skips
+        runs stamped with it) — the baseline-selection primitive behind
+        ``repro-bench compare --store``."""
+        query = "SELECT id FROM runs"
+        clauses, args = [], []
+        if git_sha is not None:
+            clauses.append("git_sha = ?")
+            args.append(git_sha)
+        if exclude_sha is not None:
+            clauses.append("git_sha != ?")
+            args.append(exclude_sha)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY id DESC LIMIT 1"
+        row = self._conn.execute(query, args).fetchone()
+        return None if row is None else row["id"]
+
+    def export_artifact(self, run_id: int) -> dict:
+        """Reconstruct the BENCH artifact dict of one run.  Cells recorded
+        under the run resolve directly; memo-hit cells (recorded by an
+        earlier run) resolve through the run's content keys."""
+        from ..metrics.baseline import build_artifact
+
+        run = self._run_row(run_id)
+        suite = [(name, params) for name, params in json.loads(run["suite"])]
+        profiles = json.loads(run["profiles"])
+        resolved = self.resolve_cells(run_id)
+        entries: Dict[str, Dict[str, dict]] = {}
+        for name, _params in suite:
+            per: Dict[str, dict] = {}
+            for pname in profiles:
+                record = resolved.get((name, pname))
                 if record is not None:
                     per[pname] = codec.entry_from_record(record)
             entries[name] = per
@@ -408,3 +452,169 @@ class ExperimentStore:
             }
             for row in self._conn.execute(query, args)
         ]
+
+    # ------------------------------------------------------------ attribution
+
+    def attribute(
+        self,
+        base_run_id: int,
+        new_run_id: int,
+        tolerances: Optional[Dict[str, float]] = None,
+        ratio_base: Optional[str] = None,
+        movers: int = 5,
+    ) -> dict:
+        """Break the delta between two runs down to the responsible cells.
+
+        For every ``(benchmark, profile)`` present in both runs the cell
+        block carries the cycles / instructions deltas (relative to base)
+        plus, for flagged cells, the largest-moving flattened
+        counters/gauges from the recorded metric snapshots — the "what
+        inside the cell moved" evidence.  The ratio block applies the
+        BENCH gate's anchored-ratio lens (each profile's cycles over the
+        anchor profile's, within the same run).  A cell or ratio is
+        *flagged* when its relative delta exceeds the tolerance policy —
+        by default the same one the regression gate uses (one-sided on
+        raw metrics: only growth regresses; two-sided on ratios).
+        """
+        from ..metrics.baseline import DEFAULT_TOLERANCES, RATIO_BASE
+
+        tol = dict(DEFAULT_TOLERANCES)
+        if tolerances:
+            tol.update(tolerances)
+        anchor = ratio_base or RATIO_BASE
+        base_run = self._run_row(base_run_id)
+        new_run = self._run_row(new_run_id)
+        base_cells = self.resolve_cells(base_run_id)
+        new_cells = self.resolve_cells(new_run_id)
+        shared = sorted(set(base_cells) & set(new_cells))
+
+        def _rel(base_value, new_value):
+            if not base_value:
+                return None
+            return (new_value - base_value) / base_value
+
+        cells: List[dict] = []
+        flagged_cells: List[str] = []
+        for (bench, profile) in shared:
+            base_record = base_cells[(bench, profile)]
+            new_record = new_cells[(bench, profile)]
+            block = {"benchmark": bench, "profile": profile, "deltas": {},
+                     "flagged": False, "movers": []}
+            for metric in ("total_cycles", "instructions",
+                           "allocated_bytes", "gc_collections"):
+                base_value = base_record.get(metric)
+                new_value = new_record.get(metric)
+                if base_value is None or new_value is None:
+                    continue
+                rel = _rel(base_value, new_value)
+                block["deltas"][metric] = {
+                    "base": base_value,
+                    "new": new_value,
+                    "delta": new_value - base_value,
+                    "rel": rel,
+                }
+                # the gate's one-sided rule: only growth regresses
+                bound = tol.get(
+                    "cycles" if metric == "total_cycles" else metric,
+                    tol.get("instructions", 0.02),
+                )
+                if rel is not None and metric in ("total_cycles",
+                                                  "instructions"):
+                    if rel > bound:
+                        block["deltas"][metric]["flagged"] = True
+                        block["flagged"] = True
+            if block["flagged"]:
+                flagged_cells.append(f"{bench}@{profile}")
+                block["movers"] = self._metric_movers(
+                    base_record, new_record, movers
+                )
+            cells.append(block)
+
+        ratios: List[dict] = []
+        benches = sorted({bench for bench, _p in shared})
+        for bench in benches:
+            base_anchor = base_cells.get((bench, anchor))
+            new_anchor = new_cells.get((bench, anchor))
+            if base_anchor is None or new_anchor is None:
+                continue
+            for (cell_bench, profile) in shared:
+                if cell_bench != bench or profile == anchor:
+                    continue
+                base_ratio = (
+                    base_cells[(bench, profile)]["total_cycles"]
+                    / base_anchor["total_cycles"]
+                )
+                new_ratio = (
+                    new_cells[(bench, profile)]["total_cycles"]
+                    / new_anchor["total_cycles"]
+                )
+                rel = _rel(base_ratio, new_ratio)
+                entry = {
+                    "benchmark": bench,
+                    "profile": profile,
+                    "base_ratio": base_ratio,
+                    "new_ratio": new_ratio,
+                    "rel": rel,
+                    # two-sided: a ratio moving either way is a drift
+                    "flagged": rel is not None and abs(rel) > tol["ratio"],
+                }
+                ratios.append(entry)
+
+        return {
+            "base_run": base_run_id,
+            "new_run": new_run_id,
+            "base_sha": base_run["git_sha"],
+            "new_sha": new_run["git_sha"],
+            "ratio_base": anchor,
+            "tolerances": tol,
+            "cells": cells,
+            "ratios": ratios,
+            "flagged_cells": flagged_cells,
+            "flagged_ratios": [
+                f"{r['benchmark']}@{r['profile']}" for r in ratios
+                if r["flagged"]
+            ],
+            "only_in_base": sorted(
+                f"{b}@{p}" for b, p in set(base_cells) - set(new_cells)
+            ),
+            "only_in_new": sorted(
+                f"{b}@{p}" for b, p in set(new_cells) - set(base_cells)
+            ),
+        }
+
+    @staticmethod
+    def _metric_movers(base_record: dict, new_record: dict, limit: int) -> List[dict]:
+        """The flagged cell's largest relative counter/gauge moves, base
+        vs new — names the subsystem (gc, jit, dispatch...) that moved."""
+        base_snapshot = base_record.get("metrics") or {}
+        new_snapshot = new_record.get("metrics") or {}
+        moves: List[dict] = []
+        for kind in ("counters", "gauges"):
+            base_values = base_snapshot.get(kind) or {}
+            new_values = new_snapshot.get(kind) or {}
+            for name in sorted(set(base_values) | set(new_values)):
+                base_value = base_values.get(name, 0)
+                new_value = new_values.get(name, 0)
+                if base_value == new_value:
+                    continue
+                rel = (
+                    (new_value - base_value) / base_value
+                    if base_value else None
+                )
+                moves.append(
+                    {
+                        "metric": name,
+                        "kind": kind[:-1],
+                        "base": base_value,
+                        "new": new_value,
+                        "delta": new_value - base_value,
+                        "rel": rel,
+                    }
+                )
+        moves.sort(
+            key=lambda m: (
+                float("inf") if m["rel"] is None else abs(m["rel"])
+            ),
+            reverse=True,
+        )
+        return moves[:limit]

@@ -1,0 +1,350 @@
+"""Wall-clock, span-structured tracing for the experiment service stack.
+
+This is the *other* clock domain.  Everything the engine measures lives on
+the simulated clock (:mod:`repro.observe`); this module instead follows a
+real submission across real processes on the host's monotonic clock —
+client request, daemon HTTP framing, job queue wait, executor, pool
+fan-out, store memo lookup/record — so a slow or stalled submission is
+visible end-to-end.  Nothing recorded here ever enters a measured
+artifact: tracing is operational telemetry with the same discipline as
+:class:`~repro.parallel.PoolReport`.
+
+The contract mirrors distributed tracing: a **trace** is one logical
+operation identified by a hex ``trace_id`` propagated across process and
+HTTP boundaries (the ``X-Repro-Trace`` header); a **span** is one named,
+timed region with a ``span_id`` and a ``parent_id`` linking it into the
+trace tree.  Spans are recorded on ``time.monotonic()`` (comparable
+across processes on one host — the pool's workers stamp cell start times
+that the parent folds into the same trace) and fan out to pluggable
+sinks: an in-memory ring buffer (served by ``GET /v1/traces/<id>``), a
+JSONL event log (one span per line, flushed as it closes), and the
+:class:`~repro.metrics.MetricsRegistry` latency histograms.
+
+Zero-perturbation rule: code paths thread a :class:`TraceContext`
+through; the disabled form is :data:`NULL_CONTEXT`, whose every method is
+a no-op, so an untraced run executes no tracing logic beyond attribute
+lookups and produces byte-identical artifacts (asserted by test).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, List, Optional
+
+#: the propagation header: ``<trace_id>`` or ``<trace_id>:<parent_span_id>``
+TRACE_HEADER = "x-repro-trace"
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit hex trace id."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit hex span id."""
+    return os.urandom(8).hex()
+
+
+def format_trace_header(trace_id: str, span_id: Optional[str] = None) -> str:
+    return f"{trace_id}:{span_id}" if span_id else trace_id
+
+
+def parse_trace_header(value: Optional[str]):
+    """``(trace_id, parent_span_id)`` from a header value; (None, None)
+    when absent or unusable.  Ids are hex-validated so a hostile header
+    cannot smuggle arbitrary bytes into the JSONL log."""
+    if not value:
+        return None, None
+    trace_id, _, parent = value.strip().partition(":")
+
+    def _hex(s):
+        try:
+            int(s, 16)
+        except ValueError:
+            return False
+        return 0 < len(s) <= 64
+
+    if not _hex(trace_id):
+        return None, None
+    return trace_id, (parent if _hex(parent) else None)
+
+
+class Span:
+    """One closed, timed region of a trace.  ``t0`` is ``time.monotonic()``
+    seconds, ``dur`` is seconds (0.0 for point events)."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "t0", "dur",
+                 "kind", "attrs")
+
+    def __init__(self, trace_id, span_id, parent_id, name, t0, dur,
+                 kind="span", attrs=None):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.t0 = t0
+        self.dur = dur
+        self.kind = kind
+        self.attrs = attrs or {}
+
+    def to_dict(self) -> dict:
+        return {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "t0": self.t0,
+            "dur": self.dur,
+            "kind": self.kind,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            data["trace"], data["span"], data.get("parent"), data["name"],
+            data["t0"], data["dur"], data.get("kind", "span"),
+            data.get("attrs") or {},
+        )
+
+
+class JsonlSink:
+    """Append each finished span as one JSON line (flushed immediately, so
+    a killed daemon loses at most the span being written)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._handle = open(path, "a")
+
+    def __call__(self, span: Span) -> None:
+        self._handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+class Tracer:
+    """Thread-safe span collector with pluggable sinks and a bounded
+    in-memory ring buffer of the most recent spans."""
+
+    def __init__(self, sinks: Iterable[Callable[[Span], None]] = (),
+                 max_spans: int = 50_000) -> None:
+        self.sinks: List[Callable[[Span], None]] = list(sinks)
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.dropped = 0
+        self._lock = threading.Lock()
+        #: wall-clock epoch matching monotonic 0, for absolute-time export
+        self.monotonic_epoch_unix = time.time() - time.monotonic()
+
+    # ------------------------------------------------------------- recording
+
+    def record(
+        self,
+        name: str,
+        trace_id: str,
+        parent_id: Optional[str] = None,
+        t0: Optional[float] = None,
+        dur: float = 0.0,
+        kind: str = "span",
+        attrs: Optional[dict] = None,
+        span_id: Optional[str] = None,
+    ) -> Span:
+        """Record one already-timed span (explicit ``t0``/``dur``) — the
+        API the pool uses to fold worker-reported cell times in."""
+        span = Span(
+            trace_id,
+            span_id or new_span_id(),
+            parent_id,
+            name,
+            time.monotonic() if t0 is None else t0,
+            dur,
+            kind,
+            attrs,
+        )
+        with self._lock:
+            if len(self.spans) >= self.max_spans:
+                self.dropped += 1
+            else:
+                self.spans.append(span)
+        for sink in self.sinks:
+            sink(span)
+        return span
+
+    # --------------------------------------------------------------- queries
+
+    def snapshot(self, trace_id: Optional[str] = None) -> List[Span]:
+        with self._lock:
+            spans = list(self.spans)
+        if trace_id is None:
+            return spans
+        return [s for s in spans if s.trace_id == trace_id]
+
+    def trace_ids(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for span in self.snapshot():
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    # --------------------------------------------------------------- context
+
+    def context(self, trace_id: Optional[str] = None,
+                parent_id: Optional[str] = None) -> "TraceContext":
+        """A context rooted at ``parent_id`` (or trace root when None)."""
+        return TraceContext(self, trace_id or new_trace_id(), parent_id)
+
+
+class TraceContext:
+    """One position in a trace tree: (tracer, trace id, current span id).
+
+    ``child`` opens a nested span around a code region; ``record`` folds
+    an externally-timed span in; ``event`` marks a zero-duration point
+    (retries, quarantines).  All methods are safe to call from any
+    thread.  The disabled counterpart is :data:`NULL_CONTEXT`.
+    """
+
+    __slots__ = ("tracer", "trace_id", "span_id")
+
+    enabled = True
+
+    def __init__(self, tracer: Tracer, trace_id: str,
+                 span_id: Optional[str] = None) -> None:
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    @contextmanager
+    def child(self, name: str, **attrs):
+        """Open a span around the with-block; yields the child context
+        (whose ``set`` updates the span's attrs before it closes)."""
+        span_id = new_span_id()
+        ctx = _OpenSpanContext(self.tracer, self.trace_id, span_id, dict(attrs))
+        t0 = time.monotonic()
+        try:
+            yield ctx
+        finally:
+            self.tracer.record(
+                name,
+                self.trace_id,
+                parent_id=self.span_id,
+                t0=t0,
+                dur=time.monotonic() - t0,
+                attrs=ctx._attrs,
+                span_id=span_id,
+            )
+
+    def record(self, name: str, t0: float, dur: float, **attrs) -> None:
+        self.tracer.record(
+            name, self.trace_id, parent_id=self.span_id,
+            t0=t0, dur=dur, attrs=attrs or None,
+        )
+
+    def event(self, name: str, **attrs) -> None:
+        self.tracer.record(
+            name, self.trace_id, parent_id=self.span_id,
+            dur=0.0, kind="event", attrs=attrs or None,
+        )
+
+    def set(self, **attrs) -> None:  # pragma: no cover - overridden where open
+        """Attrs on a closed/root context go nowhere (kept for symmetry)."""
+
+    def header(self) -> str:
+        return format_trace_header(self.trace_id, self.span_id)
+
+
+class _OpenSpanContext(TraceContext):
+    """The context yielded inside ``child`` — same API, plus its ``set``
+    lands on the span being recorded when the block closes."""
+
+    __slots__ = ("_attrs",)
+
+    def __init__(self, tracer, trace_id, span_id, attrs):
+        super().__init__(tracer, trace_id, span_id)
+        self._attrs = attrs
+
+    def set(self, **attrs) -> None:
+        self._attrs.update(attrs)
+
+
+class _NullContext:
+    """The disabled trace context: every operation is a no-op, so threading
+    a context through hot paths costs one attribute lookup when tracing is
+    off and artifacts stay byte-identical."""
+
+    __slots__ = ()
+
+    enabled = False
+    tracer = None
+    trace_id = None
+    span_id = None
+
+    @contextmanager
+    def child(self, name: str, **attrs):
+        yield self
+
+    def record(self, name: str, t0: float, dur: float, **attrs) -> None:
+        pass
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def header(self) -> Optional[str]:
+        return None
+
+
+#: the shared disabled context — pass this (or None) to trace= parameters
+NULL_CONTEXT = _NullContext()
+
+
+# ------------------------------------------------------------------ analysis
+
+
+def load_jsonl(path: str) -> List[Span]:
+    """Read a JSONL trace log back into spans (blank lines skipped)."""
+    spans = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def orphan_spans(spans: Iterable[Span]) -> List[Span]:
+    """Spans whose ``parent`` id is not itself in the span set (per trace).
+    An empty list is the well-formedness invariant the tests pin."""
+    spans = list(spans)
+    known = {(s.trace_id, s.span_id) for s in spans}
+    return [
+        s for s in spans
+        if s.parent_id is not None and (s.trace_id, s.parent_id) not in known
+    ]
+
+
+def covered_seconds(spans: Iterable[Span], t0: float, t1: float) -> float:
+    """Total seconds of ``[t0, t1]`` covered by the union of the spans'
+    intervals — the measure behind the >= 95%% end-to-end coverage gate."""
+    intervals = sorted(
+        (max(s.t0, t0), min(s.t0 + s.dur, t1))
+        for s in spans
+        if s.t0 < t1 and s.t0 + s.dur > t0
+    )
+    covered = 0.0
+    cursor = t0
+    for start, end in intervals:
+        if end <= cursor:
+            continue
+        covered += end - max(start, cursor)
+        cursor = max(cursor, end)
+    return covered

@@ -222,3 +222,72 @@ class TestCli:
         path = write_artifact(artifact, str(tmp_path))
         with pytest.raises(SystemExit, match="tolerance"):
             bench_main(["compare", path, path, "--tolerance", "cycles"])
+
+
+class TestStoreGate:
+    """``compare --store``: gate a candidate artifact directly against
+    store history instead of a checked-in BENCH file."""
+
+    def _run(self, out, db, sha):
+        assert bench_main([
+            "run", "--out", out, "--scale", "0.01",
+            "--profiles", "clr-1.1,mono-0.23", "--benchmarks", "micro.arith",
+            "--git-sha", sha, "--store", db,
+        ]) == 0
+
+    def _history(self, tmp_path):
+        out, db = str(tmp_path / "bench"), str(tmp_path / "exp.sqlite")
+        self._run(out, db, "shaA")  # store run 1
+        self._run(out, db, "shaB")  # store run 2 (all memo hits)
+        return out, db
+
+    def test_clean_candidate_passes_and_skips_own_sha(self, tmp_path, capsys):
+        out, db = self._history(tmp_path)
+        candidate = f"{out}/BENCH_1.json"  # git_sha shaB
+        assert bench_main(["compare", candidate, "--store", db]) == 0
+        captured = capsys.readouterr()
+        # the rerun-of-HEAD rule: shaB's own run is skipped as baseline
+        assert "baseline = store run 1 (git shaA)" in captured.err
+        assert "VERDICT: ok" in captured.out
+
+    def test_base_sha_pins_the_baseline(self, tmp_path, capsys):
+        out, db = self._history(tmp_path)
+        candidate = f"{out}/BENCH_0.json"
+        assert bench_main(["compare", candidate, "--store", db,
+                           "--base-sha", "shaB"]) == 0
+        assert "baseline = store run 2 (git shaB)" in capsys.readouterr().err
+        with pytest.raises(SystemExit, match="no run with git sha"):
+            bench_main(["compare", candidate, "--store", db,
+                        "--base-sha", "nope"])
+
+    def test_injected_regression_fails_the_gate(self, tmp_path, capsys):
+        out, db = self._history(tmp_path)
+        doctored = perturbed(
+            load_artifact(f"{out}/BENCH_1.json"), "micro.arith", "mono-0.23",
+            1.25,
+        )
+        doctored["git_sha"] = "shaC"
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps(doctored))
+        assert bench_main(["compare", str(bad), "--store", db]) == 1
+        captured = capsys.readouterr()
+        assert "baseline = store run 2" in captured.err  # latest non-shaC run
+        assert "REGRESSION" in captured.out
+        assert "micro.arith" in captured.out
+
+    def test_argument_errors(self, tmp_path, artifact):
+        path = write_artifact(artifact, str(tmp_path))
+        db = str(tmp_path / "exp.sqlite")
+        with pytest.raises(SystemExit, match="takes one artifact"):
+            bench_main(["compare", path, path, "--store", db])
+        with pytest.raises(SystemExit, match="needs BASE.json"):
+            bench_main(["compare", path])
+
+    def test_empty_store_is_a_clean_error(self, tmp_path, artifact):
+        from repro.store import ExperimentStore
+
+        path = write_artifact(artifact, str(tmp_path))
+        db = str(tmp_path / "exp.sqlite")
+        ExperimentStore(db).close()
+        with pytest.raises(SystemExit, match="no runs"):
+            bench_main(["compare", path, "--store", db])

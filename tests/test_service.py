@@ -140,6 +140,156 @@ class TestDaemon:
         assert final["status"] == "done"
 
 
+class TestJobTiming:
+    def test_finished_job_carries_lifecycle_stamps(self, daemon):
+        done = daemon.client.wait(daemon.client.submit(SMALL)["id"])
+        assert done["submitted_at"] <= done["started_at"] <= done["finished_at"]
+        assert done["queue_wait_seconds"] >= 0.0
+        assert done["run_seconds"] > 0.0
+        assert done["queue_position"] is None
+        assert done["trace_id"]  # daemon-minted even without a client header
+
+    def test_queued_job_reports_its_position(self, daemon):
+        first = daemon.client.submit(SMALL)
+        second = daemon.client.submit(dict(SMALL, scale=0.0, git_sha="beef"))
+        view = daemon.client.status(second["id"])
+        if view["status"] == "queued":  # first may already have drained
+            assert view["queue_position"] >= 1
+            assert view["started_at"] is None and view["finished_at"] is None
+        daemon.client.wait(first["id"])
+        daemon.client.wait(second["id"])
+
+    def test_status_cli_prints_timing_line(self, daemon, capsys):
+        from repro.service.cli import client_main
+
+        daemon.client.wait(daemon.client.submit(SMALL)["id"])
+        assert client_main(["--url", daemon.url, "status", "1"]) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # stdout stays machine-readable
+        assert "job 1 done" in captured.err
+        assert "ran" in captured.err and "trace" in captured.err
+
+
+class TestMetricsEndpoint:
+    def test_exposition_is_valid_and_counters_move(self, daemon):
+        from repro.metrics import validate_exposition
+
+        cold = validate_exposition(daemon.client.metrics())
+        # the request counter lands *after* each response is written, so
+        # the very first scrape may or may not see itself — only movement
+        # is asserted
+        cold_http = dict(
+            cold.get("repro_service_http_requests", [("", 0.0)])
+        ).get("", 0.0)
+        daemon.client.wait(daemon.client.submit(SMALL)["id"])
+        daemon.client.wait(daemon.client.submit(SMALL)["id"])
+        warm = validate_exposition(daemon.client.metrics())
+        assert dict(warm["repro_service_cells"])[""] == 8.0
+        assert dict(warm["repro_service_cache_hits"])[""] == 4.0
+        assert dict(warm["repro_service_jobs"])[""] == 2.0
+        assert (dict(warm["repro_service_http_requests"])[""]
+                > cold_http)
+        # latency histograms observed every request and both job phases
+        assert dict(warm["repro_service_http_latency_us_count"])[""] >= 4.0
+        assert dict(warm["repro_service_job_exec_us_count"])[""] == 2.0
+        assert dict(warm["repro_service_job_queue_wait_us_count"])[""] == 2.0
+        buckets = warm["repro_service_http_latency_us_bucket"]
+        assert any('le="+Inf"' in labels for labels, _v in buckets)
+
+    def test_content_type_is_prometheus_text(self, daemon):
+        import urllib.request
+
+        from repro.metrics import EXPOSITION_CONTENT_TYPE
+
+        with urllib.request.urlopen(daemon.url + "/metrics", timeout=10) as rsp:
+            assert rsp.headers["Content-Type"] == EXPOSITION_CONTENT_TYPE
+
+    def test_stats_carries_job_and_trace_summary(self, daemon):
+        daemon.client.wait(daemon.client.submit(SMALL)["id"])
+        stats = daemon.client.stats()
+        assert stats["jobs"]["done"] == 1
+        assert stats["inflight"] == 0
+        assert stats["uptime_seconds"] > 0.0
+        assert stats["trace"]["buffered_spans"] > 0
+        assert stats["trace"]["dropped_spans"] == 0
+
+    def test_metrics_cli_prints_exposition(self, daemon, capsys):
+        from repro.metrics import validate_exposition
+        from repro.service.cli import client_main
+
+        assert client_main(["--url", daemon.url, "metrics"]) == 0
+        validate_exposition(capsys.readouterr().out)
+
+
+def _raw_request(url: str, blob: bytes) -> bytes:
+    """Speak raw bytes to the daemon (malformed-input tests bypass urllib)."""
+    import socket
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(url)
+    with socket.create_connection((parts.hostname, parts.port), timeout=10) as s:
+        try:
+            s.sendall(blob)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # daemon may answer-and-close before we finish sending
+        response = b""
+        while True:
+            try:
+                chunk = s.recv(65536)
+            except ConnectionResetError:
+                break
+            if not chunk:
+                break
+            response += chunk
+    return response
+
+
+class TestHttpRobustness:
+    def test_malformed_request_line_gets_400(self, daemon):
+        response = _raw_request(daemon.url, b"GARBAGE\r\n\r\n")
+        assert response.startswith(b"HTTP/1.1 400")
+        assert b"x-repro-trace:" in response.lower()
+
+    def test_oversized_header_block_gets_400(self, daemon):
+        blob = (b"GET /healthz HTTP/1.1\r\nX-Junk: " + b"a" * 70_000)
+        response = _raw_request(daemon.url, blob)
+        assert response.startswith(b"HTTP/1.1 400")
+
+    def test_oversized_body_gets_400(self, daemon):
+        blob = (b"POST /v1/jobs HTTP/1.1\r\n"
+                b"Content-Length: 9000000\r\n\r\n")
+        response = _raw_request(daemon.url, blob)
+        assert response.startswith(b"HTTP/1.1 400")
+        assert b"body too large" in response
+
+    def test_bad_content_length_gets_400(self, daemon):
+        blob = (b"POST /v1/jobs HTTP/1.1\r\n"
+                b"Content-Length: banana\r\n\r\n")
+        response = _raw_request(daemon.url, blob)
+        assert response.startswith(b"HTTP/1.1 400")
+
+    def test_disconnect_mid_request_leaves_daemon_healthy(self, daemon):
+        import socket
+        from urllib.parse import urlsplit
+
+        parts = urlsplit(daemon.url)
+        for _ in range(3):
+            s = socket.create_connection((parts.hostname, parts.port),
+                                         timeout=10)
+            s.sendall(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\n")
+            s.close()  # hang up before the body arrives
+        assert daemon.client.health()["ok"]
+
+    def test_error_responses_carry_trace_ids(self, daemon):
+        with pytest.raises(ServiceError):
+            daemon.client.status(999)
+        assert daemon.client.last_trace  # 404 still echoes X-Repro-Trace
+        client = ServiceClient(daemon.url, trace_id="feedface")
+        with pytest.raises(ServiceError):
+            client.status(999)
+        assert client.last_trace.startswith("feedface:")
+
+
 class TestCacheGc:
     def _orphan(self, cache_dir):
         path = os.path.join(cache_dir, "asm", "de", "adbeef.tmp")
@@ -185,6 +335,22 @@ class TestClientCli:
         assert client_main(["--url", daemon.url, "result", "2"]) == 0
         artifact = json.loads(capsys.readouterr().out)
         assert artifact == json.load(open(cold))
+
+    def test_bare_trace_flag_before_subcommand(self, daemon, capsys):
+        # argparse's nargs="?" would otherwise eat "stats" as the trace id
+        from repro.service.cli import client_main
+
+        assert client_main(["--url", daemon.url, "--trace", "stats"]) == 0
+        captured = capsys.readouterr()
+        assert "repro-client: trace " in captured.err
+        minted = captured.err.split("repro-client: trace ")[1].split()[0]
+        assert len(minted) == 32  # a fresh full trace id was minted
+        json.loads(captured.out)  # stats still ran and printed JSON
+
+        # an explicit id is passed through untouched
+        assert client_main(
+            ["--url", daemon.url, "--trace", "feedface", "stats"]) == 0
+        assert "repro-client: trace feedface" in capsys.readouterr().err
 
     def test_armed_fault_plan_fails_before_http(self, tmp_path):
         from repro.service.cli import client_main

@@ -302,6 +302,191 @@ class TestConcurrencyAndCrashes:
             append_run(store, git_sha="after")  # still writable
 
 
+class TestBaselineSelection:
+    def test_latest_run_filters(self, tmp_path):
+        with ExperimentStore(str(tmp_path / "e.sqlite")) as store:
+            assert store.latest_run() is None
+            first = append_run(store, git_sha="aaa")
+            second = append_run(store, git_sha="bbb")
+            third = append_run(store, git_sha="bbb")
+            assert store.latest_run() == third
+            assert store.latest_run(git_sha="bbb") == third
+            assert store.latest_run(git_sha="aaa") == first
+            # a rerun of HEAD gates against the last *different* revision
+            assert store.latest_run(exclude_sha="bbb") == first
+            assert store.latest_run(git_sha="zzz") is None
+            assert second < third
+
+    def test_resolve_cells_follows_memo_keys(self, tmp_path):
+        with ExperimentStore(str(tmp_path / "e.sqlite")) as store:
+            append_run(store, git_sha="cold", cycles=(1000, 250))
+            # a fully-warm run records no cells of its own, only the keys
+            cell_keys = {
+                f"micro.arith@{profile}": cell_key("micro.arith", profile,
+                                                   {"N": 4})
+                for profile in ("clr-1.1", "native-c")
+            }
+            warm = store.record_collection(
+                git_sha="warm", scale=0.0,
+                profiles=["clr-1.1", "native-c"],
+                suite=[("micro.arith", {"N": 4})],
+                cell_keys=cell_keys, novel=[], store_hits=2,
+            )
+            resolved = store.resolve_cells(warm)
+            assert set(resolved) == {("micro.arith", "clr-1.1"),
+                                     ("micro.arith", "native-c")}
+            assert resolved[("micro.arith", "clr-1.1")]["total_cycles"] == 1000
+            assert resolved[("micro.arith", "native-c")]["total_cycles"] == 250
+
+    def test_unknown_run_raises(self, tmp_path):
+        with ExperimentStore(str(tmp_path / "e.sqlite")) as store:
+            with pytest.raises(StoreError):
+                store.resolve_cells(99)
+            with pytest.raises(StoreError):
+                store.attribute(1, 99)
+
+
+class TestAttribution:
+    def test_injected_regression_names_cell_and_movers(self, tmp_path):
+        with ExperimentStore(str(tmp_path / "e.sqlite")) as store:
+            base = append_run(store, git_sha="base", cycles=(1000, 250))
+            # clr-1.1 grows 10% (and with it vm.instructions); native-c flat
+            new = append_run(store, git_sha="new", cycles=(1100, 250))
+            attribution = store.attribute(base, new)
+        assert attribution["base_sha"] == "base"
+        assert attribution["new_sha"] == "new"
+        assert attribution["flagged_cells"] == ["micro.arith@clr-1.1"]
+        cell = next(b for b in attribution["cells"]
+                    if b["profile"] == "clr-1.1")
+        delta = cell["deltas"]["total_cycles"]
+        assert delta["flagged"] and delta["rel"] == pytest.approx(0.10)
+        assert delta["base"] == 1000 and delta["new"] == 1100
+        # the metric-snapshot evidence names what moved inside the cell
+        assert [m["metric"] for m in cell["movers"]] == ["vm.instructions"]
+        assert cell["movers"][0]["rel"] == pytest.approx(0.10)
+        # the unflagged sibling carries deltas but no movers
+        flat = next(b for b in attribution["cells"]
+                    if b["profile"] == "native-c")
+        assert not flat["flagged"] and flat["movers"] == []
+        # the anchored ratio drifted (two-sided: improvement counts too)
+        assert attribution["flagged_ratios"] == ["micro.arith@native-c"]
+        (ratio,) = attribution["ratios"]
+        assert ratio["base_ratio"] == pytest.approx(0.25)
+        assert ratio["new_ratio"] == pytest.approx(250 / 1100)
+        assert ratio["rel"] == pytest.approx(-1 / 11)
+
+    def test_identical_runs_flag_nothing(self, tmp_path):
+        with ExperimentStore(str(tmp_path / "e.sqlite")) as store:
+            base = append_run(store, git_sha="one")
+            new = append_run(store, git_sha="two")
+            attribution = store.attribute(base, new)
+        assert attribution["flagged_cells"] == []
+        assert attribution["flagged_ratios"] == []
+        assert all(not block["flagged"] for block in attribution["cells"])
+
+    def test_within_tolerance_growth_is_not_flagged(self, tmp_path):
+        with ExperimentStore(str(tmp_path / "e.sqlite")) as store:
+            base = append_run(store, cycles=(1000, 250))
+            new = append_run(store, cycles=(1010, 250))  # +1% < 2% bound
+            attribution = store.attribute(base, new)
+        assert attribution["flagged_cells"] == []
+        # ...and a custom tolerance tightens the gate
+        with ExperimentStore(str(tmp_path / "e.sqlite")) as store:
+            tightened = store.attribute(base, new,
+                                        tolerances={"cycles": 0.005})
+        assert tightened["flagged_cells"] == ["micro.arith@clr-1.1"]
+
+    def test_coverage_changes_are_reported(self, tmp_path):
+        with ExperimentStore(str(tmp_path / "e.sqlite")) as store:
+            base = append_run(store, bench="micro.arith", git_sha="b1")
+            new = append_run(store, bench="grande.sieve", git_sha="b2")
+            attribution = store.attribute(base, new)
+        assert attribution["cells"] == [] and attribution["ratios"] == []
+        assert attribution["only_in_base"] == [
+            "micro.arith@clr-1.1", "micro.arith@native-c"]
+        assert attribution["only_in_new"] == [
+            "grande.sieve@clr-1.1", "grande.sieve@native-c"]
+
+
+class TestReportCli:
+    def _seed(self, db):
+        with ExperimentStore(db) as store:
+            append_run(store, git_sha="r1", cycles=(1000, 250))
+            append_run(store, git_sha="r2", cycles=(1000, 200))
+            append_run(store, git_sha="r3", cycles=(1100, 200))
+
+    def test_sparkline_shapes(self):
+        from repro.store.cli import SPARK_BLOCKS, sparkline
+
+        assert sparkline([]) == ""
+        assert sparkline([5.0, 5.0]) == SPARK_BLOCKS[3] * 2  # flat != bottom
+        ramp = sparkline([0.0, 0.5, 1.0])
+        assert ramp[0] == SPARK_BLOCKS[0] and ramp[-1] == SPARK_BLOCKS[-1]
+
+    def test_report_renders_trend_ladder(self, tmp_path, capsys):
+        from repro.store.cli import SPARK_BLOCKS, main as store_main
+
+        db = str(tmp_path / "e.sqlite")
+        self._seed(db)
+        assert store_main(["--db", db, "report"]) == 0
+        out = capsys.readouterr().out
+        assert "anchored-ratio trend" in out
+        assert "micro.arith/native-c" in out
+        assert any(block in out for block in SPARK_BLOCKS)
+        assert "over 3 runs" in out
+        # the raw-cycles ladder is a different lens over the same runs
+        assert store_main(["--db", db, "report", "--cycles"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles trend" in out and " cycles " in out
+        assert "micro.arith/clr-1.1" in out  # the anchor rows appear here
+
+    def test_report_attributes_injected_regression(self, tmp_path, capsys):
+        from repro.store.cli import main as store_main
+
+        db = str(tmp_path / "e.sqlite")
+        self._seed(db)
+        assert store_main(["--db", db, "report",
+                           "--attribute", "1", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "attribution: run 1" in out
+        assert "REGRESSED micro.arith@clr-1.1" in out
+        assert "total_cycles: 1000 -> 1100 (+10.00%)" in out
+        assert "mover vm.instructions" in out
+        assert "RATIO DRIFT micro.arith@native-c" in out
+
+    def test_report_clean_pair_says_so(self, tmp_path, capsys):
+        from repro.store.cli import main as store_main
+
+        db = str(tmp_path / "e.sqlite")
+        with ExperimentStore(db) as store:
+            append_run(store, git_sha="r1")
+            append_run(store, git_sha="r2")
+        assert store_main(["--db", db, "report",
+                           "--attribute", "1", "2"]) == 0
+        assert "no cell exceeds the tolerance policy" in capsys.readouterr().out
+
+    def test_report_json_contract(self, tmp_path, capsys):
+        from repro.store.cli import main as store_main
+
+        db = str(tmp_path / "e.sqlite")
+        self._seed(db)
+        assert store_main(["--db", db, "report", "--json",
+                           "--attribute", "1", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"rows", "attribution"}
+        assert payload["attribution"]["flagged_cells"] == [
+            "micro.arith@clr-1.1"]
+        assert payload["rows"]  # trend rows ride along for tooling
+
+    def test_report_unknown_run_is_a_clean_error(self, tmp_path):
+        from repro.store.cli import main as store_main
+
+        db = str(tmp_path / "e.sqlite")
+        self._seed(db)
+        with pytest.raises(SystemExit, match="no run"):
+            store_main(["--db", db, "report", "--attribute", "1", "99"])
+
+
 class TestQueries:
     def test_trend_ratio_ladder(self, tmp_path):
         with ExperimentStore(str(tmp_path / "e.sqlite")) as store:
