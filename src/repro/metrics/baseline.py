@@ -333,6 +333,14 @@ def collect(
                     f"{len(precomputed)}/{len(cells)} cells served from "
                     f"the store ({store.path})"
                 )
+            # compile accounting is measured *here*, inside whatever
+            # process runs the collection, so a daemon running jobs in
+            # isolated workers gets each job's own delta instead of
+            # sampling a shared global around an executor call (which
+            # double-counts the moment two jobs overlap)
+            from ..lang.compiler import COMPILE_STATS
+
+            compiles_before = COMPILE_STATS["compile_source_calls"]
         spec = {
             "kind": "harness",
             "metrics": True,
@@ -389,6 +397,12 @@ def collect(
                 )
                 record_span.set(run_id=run_id)
             collect.last_store["run_id"] = run_id
+            collect.last_store["compile_calls"] = (
+                COMPILE_STATS["compile_source_calls"] - compiles_before
+            )
+            collect.last_store["cells_executed"] = (
+                collect.last_store["cells"] - collect.last_store["hits"]
+            )
     else:
         runner = Runner(profiles=profiles, compile_cache=cache, dispatch=dispatch)
         for name, params in suite:
@@ -428,8 +442,11 @@ collect.last_report = None
 #: collection went through the pool path — always the case with a plan)
 collect.last_faults = None
 
-#: the last collection's store-memoization accounting
-#: ({"cells", "hits", "misses"}; None when no store was attached)
+#: the last collection's store-memoization accounting ({"cells", "hits",
+#: "misses", "run_id", "compile_calls", "cells_executed"}; None when no
+#: store was attached).  ``compile_calls`` is the COMPILE_STATS delta
+#: measured around this collection in the executing process — the value
+#: the service's isolated job workers report back
 collect.last_store = None
 
 

@@ -23,6 +23,10 @@ class ExecutionConfig:
     """One CLI invocation's execution plumbing, parsed and resolved."""
 
     jobs: Optional[object] = None
+    #: service-level concurrency (``repro-serve --workers``): how many
+    #: jobs the daemon executes at once, orthogonal to ``jobs`` (the
+    #: per-collection cell fan-out)
+    workers: Optional[object] = None
     cache_dir: Optional[str] = None
     use_compile_cache: bool = True
     dispatch: Optional[str] = None
@@ -49,18 +53,28 @@ class ExecutionConfig:
 
 
 def add_execution_args(parser, *, fault_prefix: str = "fault",
-                       jobs_default=None, include_faults: bool = True) -> None:
+                       jobs_default=None, include_faults: bool = True,
+                       include_workers: bool = False) -> None:
     """Attach the shared execution options to an argparse parser.
 
     ``fault_prefix`` follows the :func:`repro.faults.cli.add_fault_arguments`
     convention: ``"fault"`` yields ``--fault-seed`` etc. (hpcnet /
     repro-bench), ``""`` yields bare ``--seed`` (repro-chaos).  Pass
     ``include_faults=False`` for surfaces that cannot accept a plan at
-    all (the service client).
+    all (the service client).  ``include_workers=True`` adds the daemon's
+    ``--workers N|auto`` concurrency flag (repro-serve only).
     """
     from ..vm.dispatch import DISPATCH_MODES
 
     add_jobs_argument(parser, default=jobs_default)
+    if include_workers:
+        parser.add_argument(
+            "--workers", default=None, metavar="N",
+            help="concurrent job executions (int or 'auto' for one per "
+                 "CPU; default: 1).  Each job runs in its own isolated "
+                 "subprocess; identical in-flight submissions coalesce "
+                 "onto one execution.",
+        )
     parser.add_argument("--cache-dir", default=default_cache_dir(), metavar="DIR",
                         help="persistent compile cache location "
                              "(default: $REPRO_CACHE_DIR or .repro-cache)")
@@ -86,6 +100,7 @@ def execution_from_args(args) -> ExecutionConfig:
         plan = plan_from_args(args)
     return ExecutionConfig(
         jobs=getattr(args, "jobs", None),
+        workers=getattr(args, "workers", None),
         cache_dir=getattr(args, "cache_dir", None),
         use_compile_cache=not getattr(args, "no_compile_cache", False),
         dispatch=getattr(args, "dispatch", None),

@@ -3,8 +3,8 @@
 ::
 
     repro-serve [--store DB] [--host H] [--port P] [--port-file PATH]
-                [--trace-log LOG.jsonl] [--jobs N|auto] [--cache-dir DIR]
-                [--no-compile-cache] [--dispatch ENGINE]
+                [--trace-log LOG.jsonl] [--workers N|auto] [--jobs N|auto]
+                [--cache-dir DIR] [--no-compile-cache] [--dispatch ENGINE]
     repro-client [--url URL] [--trace[=ID]] submit --benchmarks a,b
                 --profiles x,y [--scale S] [--dispatch E] [--wait]
                 [--out FILE]
@@ -14,9 +14,12 @@
 
 The daemon owns one SQLite experiment store; repeated submissions of a
 matrix already on record are served from it without compiling or running
-anything.  ``--dispatch`` on the daemon sets the default engine for jobs
-that do not name one.  The client deliberately refuses armed fault plans
-— memoized results must stay perturbation-free.
+anything.  ``--workers`` executes that many jobs concurrently, each in
+its own isolated subprocess (identical in-flight submissions coalesce
+onto one execution); ``--jobs`` is the per-collection cell fan-out.
+``--dispatch`` on the daemon sets the default engine for jobs that do
+not name one.  The client deliberately refuses armed fault plans —
+memoized results must stay perturbation-free.
 """
 
 from __future__ import annotations
@@ -59,26 +62,31 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--trace-log", default=None, metavar="LOG.jsonl",
                         help="append every finished trace span to this JSONL "
                              "file (inspect with repro-trace)")
-    add_execution_args(parser, include_faults=False)
+    add_execution_args(parser, include_faults=False, include_workers=True)
     args = parser.parse_args(argv)
     execution = execution_from_args(args)
 
     from .daemon import ExperimentService, write_port_file
 
-    service = ExperimentService(
-        args.store,
-        jobs=execution.jobs,
-        cache_dir=execution.cache_dir,
-        use_compile_cache=execution.use_compile_cache,
-        default_dispatch=execution.dispatch,
-        trace_log=args.trace_log,
-    )
+    try:
+        service = ExperimentService(
+            args.store,
+            jobs=execution.jobs,
+            workers=execution.workers,
+            cache_dir=execution.cache_dir,
+            use_compile_cache=execution.use_compile_cache,
+            default_dispatch=execution.dispatch,
+            trace_log=args.trace_log,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro-serve: {exc}")
 
     async def run() -> None:
         await service.start(args.host, args.port)
         host, port = service.address
         print(f"repro-serve: listening on http://{host}:{port} "
-              f"(store {service.store_path})", file=sys.stderr)
+              f"(store {service.store_path}, workers {service.workers})",
+              file=sys.stderr)
         if args.trace_log:
             print(f"repro-serve: tracing spans to {args.trace_log}",
                   file=sys.stderr)
@@ -163,6 +171,8 @@ def _timing_line(job: dict) -> str:
     bits = [f"job {job['id']} {job['status']}"]
     if job.get("queue_position") is not None:
         bits.append(f"queue position {job['queue_position']}")
+    if job.get("coalesced_with") is not None:
+        bits.append(f"coalesced with job {job['coalesced_with']}")
     if job.get("queue_wait_seconds") is not None:
         bits.append(f"queued {job['queue_wait_seconds']:.3f}s")
     if job.get("run_seconds") is not None:

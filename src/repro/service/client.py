@@ -1,4 +1,15 @@
-"""``ServiceClient`` — a urllib front end for the experiment daemon.
+"""``ServiceClient`` — a pooled, keep-alive front end for the daemon.
+
+Built on ``http.client`` so connections persist across requests: every
+request goes out with ``Connection: keep-alive`` (the daemon's framing
+keeps connections open only for clients that ask), and the client keeps
+up to ``pool_size`` idle connections warm.  A polling ``wait()`` loop or
+a burst of submissions therefore reuses one TCP connection instead of a
+handshake per request.  The pool is thread-safe — connections beyond the
+idle cap are simply closed on release — and ``created``/``reused``
+counters on :meth:`pool_stats` make reuse observable in tests.  A stale
+pooled connection (daemon restarted, idle timeout) is retried once on a
+fresh connection before surfacing an error.
 
 Constructed with ``trace_id=``, the client stamps every request with the
 ``X-Repro-Trace`` propagation header, so the daemon's ``http.request``
@@ -8,15 +19,18 @@ spans stay roots of the server-side tree, and the JSONL trace log never
 references a span it does not contain.  ``last_trace`` holds the
 ``X-Repro-Trace`` value echoed on the most recent response — the handle
 for fetching the server-side span tree via ``GET /v1/traces/<id>``.
+Propagation is per-request: every request on a reused connection carries
+the header and every response echoes it.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import threading
 import time
-import urllib.error
-import urllib.request
-from typing import Optional
+from typing import List, Optional, Tuple
+from urllib.parse import urlsplit
 
 from ..trace import TRACE_HEADER
 
@@ -34,55 +48,130 @@ class ServiceClient:
     """Talk to one daemon; every method returns the decoded JSON payload."""
 
     def __init__(self, url: str, timeout: float = 30.0,
-                 trace_id: Optional[str] = None):
+                 trace_id: Optional[str] = None, pool_size: int = 2):
         self.url = url.rstrip("/")
         self.timeout = timeout
         self.trace_id = trace_id
+        self.pool_size = max(1, int(pool_size))
         #: X-Repro-Trace header of the last response (None before any call)
         self.last_trace: Optional[str] = None
+        split = urlsplit(self.url)
+        if split.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme in {url!r} (http only)")
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port or 80
+        self._idle: List[http.client.HTTPConnection] = []
+        self._lock = threading.Lock()
+        self.created = 0
+        self.reused = 0
+
+    # ------------------------------------------------------ connection pool
+
+    def _acquire(self) -> Tuple[http.client.HTTPConnection, bool]:
+        """An open connection and whether it is freshly made (a reused one
+        may be stale and earns one retry)."""
+        with self._lock:
+            if self._idle:
+                self.reused += 1
+                return self._idle.pop(), False
+            self.created += 1
+        return (
+            http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout
+            ),
+            True,
+        )
+
+    def _release(self, conn: http.client.HTTPConnection) -> None:
+        with self._lock:
+            if len(self._idle) < self.pool_size:
+                self._idle.append(conn)
+                return
+        conn.close()
+
+    def close(self) -> None:
+        """Close every pooled connection (the daemon drops them on stop
+        anyway; this makes shutdown symmetric on the client side)."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def pool_stats(self) -> dict:
+        with self._lock:
+            return {
+                "idle": len(self._idle),
+                "created": self.created,
+                "reused": self.reused,
+            }
+
+    # ------------------------------------------------------------- transport
+
+    def _roundtrip(self, method: str, path: str, body: Optional[bytes],
+                   headers: dict):
+        """One request/response over a pooled connection; returns
+        ``(status, response_headers, payload_bytes)``.  Retries once on a
+        stale pooled connection; a fresh connection's failure means the
+        daemon is genuinely unreachable."""
+        last_exc: Optional[Exception] = None
+        for _attempt in (1, 2):
+            conn, fresh = self._acquire()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                conn.close()
+                last_exc = exc
+                if fresh:
+                    break
+                continue  # stale keep-alive connection — retry fresh
+            reuse = (
+                response.getheader("Connection", "").strip().lower()
+                == "keep-alive"
+            )
+            if reuse:
+                self._release(conn)
+            else:
+                conn.close()
+            return response.status, response, data
+        raise ServiceError(0, f"cannot reach {self.url}: {last_exc}")
 
     def _call(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
         body = None
-        headers = {"Accept": "application/json"}
+        headers = {"Accept": "application/json", "Connection": "keep-alive"}
         if self.trace_id:
             headers["X-Repro-Trace"] = self.trace_id
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            self.url + path, data=body, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                self.last_trace = response.headers.get(TRACE_HEADER)
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            self.last_trace = exc.headers.get(TRACE_HEADER)
-            detail = exc.read().decode("utf-8", "replace")
+        status, response, data = self._roundtrip(method, path, body, headers)
+        self.last_trace = response.getheader(TRACE_HEADER)
+        if status >= 400:
+            detail = data.decode("utf-8", "replace")
             try:
                 detail = json.loads(detail).get("error", detail)
             except ValueError:
                 pass
-            raise ServiceError(exc.code, detail)
-        except urllib.error.URLError as exc:
-            raise ServiceError(0, f"cannot reach {self.url}: {exc.reason}")
+            raise ServiceError(status, detail)
+        return json.loads(data.decode("utf-8"))
 
     def _call_text(self, path: str) -> str:
         """GET a text (non-JSON) endpoint — ``/metrics``."""
-        headers = {}
+        headers = {"Connection": "keep-alive"}
         if self.trace_id:
             headers["X-Repro-Trace"] = self.trace_id
-        request = urllib.request.Request(
-            self.url + path, headers=headers, method="GET"
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                self.last_trace = response.headers.get(TRACE_HEADER)
-                return response.read().decode("utf-8")
-        except urllib.error.HTTPError as exc:
-            raise ServiceError(exc.code, exc.read().decode("utf-8", "replace"))
-        except urllib.error.URLError as exc:
-            raise ServiceError(0, f"cannot reach {self.url}: {exc.reason}")
+        status, response, data = self._roundtrip("GET", path, None, headers)
+        self.last_trace = response.getheader(TRACE_HEADER)
+        if status >= 400:
+            raise ServiceError(status, data.decode("utf-8", "replace"))
+        return data.decode("utf-8")
 
     # ------------------------------------------------------------------- API
 

@@ -10,32 +10,59 @@ novel cells execute, through the same resilient pool every CLI uses.
 The returned artifact is byte-identical to a direct serial run: that is
 the daemon-vs-direct identity invariant the test suite pins.
 
+Concurrency model (``workers=`` / ``repro-serve --workers N|auto``):
+
+* N drain tasks pull from one queue into a thread-pool executor, and
+  **each job executes in its own forked subprocess** — per-job isolation
+  of every piece of process-global state that concurrent in-process
+  collections would corrupt (the ``COMPILE_STATS`` counter, the
+  ``collect.last_*`` function attributes, compile-cache writes).  The
+  worker measures its own compile delta and reports it back over a pipe,
+  so warm-path zero-compile assertions stay exact under overlap.
+* Identical in-flight submissions **coalesce**: a submission whose
+  content-addressed cell-key set (plus git SHA) matches a queued or
+  running job attaches to it as a follower instead of re-executing —
+  same artifact, zero compiles, zero guest cycles, ``coalesced_with`` in
+  the job view and a ``service.coalesced_total`` counter.  Fault-plan
+  submissions are rejected before coalescing can see them.
+* Read endpoints (``/v1/trends``, ``/v1/stats``) draw from a
+  :class:`~repro.store.StoreReadPool` of read-only connections against
+  the WAL-mode store, so high-QPS reads never contend with the
+  appending job workers.
+* Connections are ``Connection: close`` by default; a client that sends
+  ``Connection: keep-alive`` (the pooled ``ServiceClient``) gets the
+  connection reused across requests.
+
+All daemon bookkeeping — job dicts, the queue mirror, metric counters —
+mutates only on the event-loop thread; executor threads do nothing but
+shepherd the worker subprocess and hand its payload back, so no job
+state needs locking.
+
 Every request is traced (:mod:`repro.trace`): the daemon parses
 ``X-Repro-Trace`` off the wire (minting a fresh trace id when absent),
-roots an ``http.request`` span per connection, and threads the context
+roots an ``http.request`` span per request, and threads the context
 through submit -> queue wait -> executor -> ``baseline.collect`` ->
-pool fan-out -> store, so one submission is one span tree across the
-whole stack.  The span buffer is served on ``GET /v1/traces/<id>``, an
-optional JSONL sink (``trace_log=``) persists spans as they close, and
-``GET /metrics`` exposes the registry — queue depth and inflight gauges,
-HTTP/queue-wait/execution latency histograms — in Prometheus text
-exposition format.  All of this is wall-clock operational telemetry;
-none of it touches measured artifacts.
+pool fan-out -> store.  The worker subprocess records its spans into a
+local tracer and ships them back with the result; the daemon ingests
+them into its ring buffer and JSONL sink, so one submission is still one
+span tree across the whole stack.  The span buffer is served on ``GET
+/v1/traces/<id>``, and ``GET /metrics`` exposes the registry in
+Prometheus text exposition format.  All of this is wall-clock
+operational telemetry; none of it touches measured artifacts.
 
 Everything is standard library: asyncio sockets, hand-rolled HTTP/1.1
-framing (:mod:`repro.service.http`), ``sqlite3`` underneath.  Jobs
-execute one at a time in a thread-pool executor — the experiment matrix
-itself parallelizes via ``--jobs``, not via concurrent collections
-(which would interleave COMPILE_STATS accounting and compile-cache
-writes).
+framing (:mod:`repro.service.http`), ``multiprocessing`` pipes,
+``sqlite3`` underneath.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import os
 import time
-from typing import Dict, Optional
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Set
 
 from ..metrics.exposition import EXPOSITION_CONTENT_TYPE, render_exposition
 from ..metrics.registry import MetricsRegistry
@@ -43,6 +70,7 @@ from ..trace import (
     NULL_CONTEXT,
     TRACE_HEADER,
     JsonlSink,
+    Span,
     TraceContext,
     Tracer,
     format_trace_header,
@@ -64,6 +92,123 @@ LATENCY_BUCKETS_US = (
 )
 
 
+class _RemoteJobError(Exception):
+    """A job failure reported by the worker subprocess — the message is
+    already formatted (``TypeName: detail``), so the daemon surfaces it
+    verbatim instead of nesting exception names."""
+
+
+def _collect_in_worker(config: dict) -> dict:
+    """The actual collection, running inside the job subprocess.
+
+    Everything process-global is private here: ``COMPILE_STATS``, the
+    ``collect.last_*`` attributes, the store connection.  Spans land in a
+    local tracer rooted at the job's ``job.execute`` span and travel back
+    as dicts; the compile delta comes from ``collect.last_store`` —
+    measured around the execution *in this process*, which is what makes
+    per-job compile accounting exact under daemon-level overlap.
+    """
+    from ..metrics import baseline
+    from ..parallel import CompileCache
+    from ..store import ExperimentStore
+
+    request = config["request"]
+    profiles = baseline.resolve_profiles(request["profiles"])
+    suite = baseline.resolve_suite(request["benchmarks"], request["scale"])
+    tracer = Tracer()
+    ctx = TraceContext(
+        tracer, config["trace_id"] or new_trace_id(), config["parent_span"]
+    )
+    cache = (
+        CompileCache(config["cache_dir"])
+        if config["use_compile_cache"]
+        else None
+    )
+    with ExperimentStore(config["store_path"]) as store:
+        artifact = baseline.collect(
+            profiles=profiles,
+            suite=suite,
+            scale=request["scale"],
+            git_sha=request["git_sha"],
+            jobs=config["jobs"],
+            cache=cache,
+            dispatch=request["dispatch"],
+            store=store,
+            trace=ctx,
+        )
+    stats = dict(baseline.collect.last_store)
+    return {
+        "artifact": artifact,
+        "stats": stats,
+        "spans": [span.to_dict() for span in tracer.snapshot()],
+    }
+
+
+def _job_worker(conn, config: dict) -> None:
+    """Subprocess entry point: run the collection, ship one message back."""
+    try:
+        message = ("ok", _collect_in_worker(config))
+    except BaseException as exc:  # noqa: BLE001 — job isolation boundary
+        message = ("error", f"{type(exc).__name__}: {exc}")
+    try:
+        conn.send(message)
+    finally:
+        conn.close()
+
+
+def _run_job_subprocess(config: dict) -> dict:
+    """Run one job in a fresh subprocess; return its result payload.
+
+    Runs on an executor thread.  Fork context where available (same
+    choice as the cell pool); the pipe carries exactly one message.  A
+    worker that dies without reporting (OOM-kill, hard crash) surfaces
+    as a job failure, not a daemon crash.
+    """
+    from ..parallel.pool import _pool_context
+
+    ctx = _pool_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_job_worker, args=(child_conn, config))
+    proc.start()
+    child_conn.close()
+    try:
+        try:
+            kind, payload = parent_conn.recv()
+        except EOFError:
+            proc.join()
+            raise _RemoteJobError(
+                f"job worker (pid {proc.pid}) died without reporting "
+                f"a result (exit code {proc.exitcode})"
+            )
+    finally:
+        parent_conn.close()
+        proc.join()
+    if kind != "ok":
+        raise _RemoteJobError(payload)
+    return payload
+
+
+def _coalesce_key(suite, profiles, dispatch, git_sha) -> str:
+    """The submission-identity digest: the sorted content-addressed cell
+    keys (already covering compiler version, profile, benchmark, resolved
+    params and dispatch engine) plus the git SHA stamp, which lives in
+    the artifact but not in any cell key.  Two submissions with equal
+    digests are guaranteed byte-identical artifacts — the precondition
+    that makes coalescing a pure optimization."""
+    from ..store import cell_key
+
+    digest = hashlib.sha256()
+    for key in sorted(
+        cell_key(name, profile.name, overrides=params or None, dispatch=dispatch)
+        for name, params in suite
+        for profile in profiles
+    ):
+        digest.update(key.encode())
+        digest.update(b"\x00")
+    digest.update(f"git:{git_sha!r}".encode())
+    return digest.hexdigest()
+
+
 class ExperimentService:
     """One daemon instance: an HTTP front end over a store-backed queue."""
 
@@ -72,16 +217,21 @@ class ExperimentService:
         store_path: Optional[str] = None,
         *,
         jobs=None,
+        workers=None,
         cache_dir: Optional[str] = None,
         use_compile_cache: bool = True,
         default_dispatch: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
         trace_log: Optional[str] = None,
     ):
+        from ..parallel import resolve_jobs
         from ..store import default_store_path
 
         self.store_path = store_path or default_store_path()
         self.jobs = jobs
+        #: concurrent job executions (``--workers``): N drain tasks over
+        #: one queue, each job in its own subprocess
+        self.workers = resolve_jobs(workers)
         self.cache_dir = cache_dir
         self.use_compile_cache = use_compile_cache
         self.default_dispatch = default_dispatch
@@ -93,16 +243,30 @@ class ExperimentService:
         self._jobs: Dict[int, dict] = {}
         self._next_job = 1
         self._queue: asyncio.Queue = asyncio.Queue()
+        #: mirror of the queue's job ids in dequeue order — the source of
+        #: truth for ``queue_position`` (a job leaves it the moment a
+        #: drain task picks it up, unlike a status scan over ``_jobs``)
+        self._pending: List[int] = []
+        #: coalesce digest -> primary job id, for every queued/running job
+        self._inflight_keys: Dict[str, int] = {}
+        #: daemon-owned compile accounting: the sum of per-job deltas the
+        #: workers report — never a snapshot of any process-global
+        self._compile_totals: Dict[str, int] = {"compile_source_calls": 0}
         self._server: Optional[asyncio.AbstractServer] = None
-        self._worker: Optional[asyncio.Task] = None
+        self._drainers: List[asyncio.Task] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._read_pool = None
+        self._connections: Set[object] = set()
         self._inflight = 0
         self.started_unix: Optional[float] = None
         self._started_monotonic: Optional[float] = None
         self.swept_tmp_files = 0
-        # register the service gauges/histograms up front so a fresh
-        # daemon's /metrics already carries the full instrument set
+        self.journal_mode: Optional[str] = None
+        # register the service gauges/histograms/counters up front so a
+        # fresh daemon's /metrics already carries the full instrument set
         self.registry.gauge("service.queue_depth")
         self.registry.gauge("service.inflight")
+        self.registry.counter("service.coalesced_total")
         self.registry.histogram("service.http_latency_us", LATENCY_BUCKETS_US)
         self.registry.histogram(
             "service.job_queue_wait_us", LATENCY_BUCKETS_US
@@ -120,17 +284,30 @@ class ExperimentService:
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
         """Bind the listener (port 0 = ephemeral), run startup GC, apply
-        store migrations, and start the queue worker."""
+        store migrations, and start the drain tasks."""
         cache = self._cache()
         if cache is not None:
             # reap compile-cache temp files orphaned by previously killed
             # writers, so a crashed run never bloats the daemon's cache
             self.swept_tmp_files = cache.sweep()
-        from ..store import ExperimentStore
+        from ..store import ExperimentStore, StoreReadPool
 
-        ExperimentStore(self.store_path).close()  # create / migrate up front
+        # create / migrate / switch to WAL up front, then warm the
+        # read-only pool the query endpoints draw from
+        store = ExperimentStore(self.store_path)
+        self.journal_mode = store.journal_mode
+        store.close()
+        self._read_pool = StoreReadPool(
+            self.store_path, size=max(2, self.workers)
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-job"
+        )
         self._server = await asyncio.start_server(self._serve_one, host, port)
-        self._worker = asyncio.ensure_future(self._drain_jobs())
+        self._drainers = [
+            asyncio.ensure_future(self._drain_jobs())
+            for _ in range(self.workers)
+        ]
         self.started_unix = time.time()
         self._started_monotonic = time.monotonic()
 
@@ -142,17 +319,29 @@ class ExperimentService:
         return self._server.sockets[0].getsockname()[:2]
 
     async def stop(self) -> None:
-        if self._worker is not None:
-            self._worker.cancel()
+        for task in self._drainers:
+            task.cancel()
+        for task in self._drainers:
             try:
-                await self._worker
+                await task
             except asyncio.CancelledError:
                 pass
-            self._worker = None
+        self._drainers = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        # keep-alive clients may still hold connections open; close them
+        # so stop() never blocks on an idle peer
+        for writer in list(self._connections):
+            writer.close()
+        self._connections.clear()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._read_pool is not None:
+            self._read_pool.close()
+            self._read_pool = None
         if self._trace_sink is not None:
             self._trace_sink.close()
             self._trace_sink = None
@@ -217,13 +406,41 @@ class ExperimentService:
             # submitting request's http.request span
             "trace_id": ctx.trace_id,
             "submit_span": ctx.span_id,
+            "coalesce_key": _coalesce_key(
+                suite, profiles, dispatch, request.get("git_sha")
+            ),
+            "coalesced_with": None,
+            "followers": [],
         }
         self._next_job += 1
         self._jobs[job["id"]] = job
-        self._queue.put_nowait(job["id"])
+        primary = self._jobs.get(
+            self._inflight_keys.get(job["coalesce_key"], -1)
+        )
+        if primary is not None and primary["status"] in ("queued", "running"):
+            # identical in-flight submission: attach, don't re-execute
+            job["coalesced_with"] = primary["id"]
+            primary["followers"].append(job["id"])
+            if primary["status"] == "running":
+                self._mark_running(job, time.monotonic())
+            self.registry.counter("service.coalesced_total").add(1)
+            if job["trace_id"] is not None:
+                self._job_context(job).event(
+                    "job.coalesced", job=job["id"], primary=primary["id"]
+                )
+        else:
+            self._inflight_keys[job["coalesce_key"]] = job["id"]
+            self._pending.append(job["id"])
+            self._queue.put_nowait(job["id"])
         self.registry.counter("service.jobs").add(1)
         self._refresh_gauges()
         return job
+
+    @staticmethod
+    def _mark_running(job: dict, now: float) -> None:
+        job["status"] = "running"
+        job["started_unix"] = time.time()
+        job["started_monotonic"] = now
 
     def _job_context(self, job: dict) -> TraceContext:
         """The trace position job-lifecycle spans hang off — the submit
@@ -234,16 +451,78 @@ class ExperimentService:
             trace_id=job["trace_id"], parent_id=job["submit_span"]
         )
 
+    def _job_config(self, job: dict, ctx) -> dict:
+        """Everything the worker subprocess needs, as plain data."""
+        return {
+            "request": dict(job["request"]),
+            "store_path": self.store_path,
+            "jobs": self.jobs,
+            "cache_dir": self.cache_dir,
+            "use_compile_cache": self.use_compile_cache,
+            "trace_id": job["trace_id"],
+            "parent_span": getattr(ctx, "span_id", None),
+        }
+
+    def _absorb_result(self, job: dict, payload: dict, span) -> None:
+        """Fold one worker payload into daemon state (event-loop thread):
+        adopt the worker's spans, stats and artifact, accumulate the
+        daemon-owned compile totals, bump the service counters."""
+        for data in payload.get("spans", ()):
+            self.tracer.ingest(Span.from_dict(data))
+        stats = payload["stats"]
+        job["stats"] = stats
+        job["artifact"] = payload["artifact"]
+        span.set(
+            cells=stats["cells"],
+            hits=stats["hits"],
+            compile_calls=stats["compile_calls"],
+        )
+        self._compile_totals["compile_source_calls"] += stats["compile_calls"]
+        self.registry.counter("service.cells").add(stats["cells"])
+        self.registry.counter("service.cache_hits").add(stats["hits"])
+        self.registry.counter("service.cache_misses").add(stats["misses"])
+        self.registry.counter("service.cells_executed").add(
+            stats["cells_executed"]
+        )
+
+    def _resolve_followers(self, job: dict) -> None:
+        """Propagate a finished primary to its coalesced followers: same
+        artifact and timestamps, but zero compiles and zero executed
+        cells of their own — they are served entirely from the primary's
+        execution."""
+        for follower_id in job["followers"]:
+            follower = self._jobs[follower_id]
+            follower["status"] = job["status"]
+            follower["finished_unix"] = job["finished_unix"]
+            follower["finished_monotonic"] = job["finished_monotonic"]
+            if job["status"] == "done":
+                follower["artifact"] = job["artifact"]
+                stats = dict(job["stats"])
+                stats["hits"] = stats["cells"]
+                stats["misses"] = 0
+                stats["compile_calls"] = 0
+                stats["cells_executed"] = 0
+                follower["stats"] = stats
+            else:
+                follower["error"] = (
+                    f"coalesced with job {job['id']}, which failed: "
+                    f"{job['error']}"
+                )
+
     async def _drain_jobs(self) -> None:
         loop = asyncio.get_event_loop()
         while True:
             job_id = await self._queue.get()
             job = self._jobs[job_id]
+            try:
+                self._pending.remove(job_id)
+            except ValueError:
+                pass
             now = time.monotonic()
             queue_wait = now - job["submitted_monotonic"]
-            job["status"] = "running"
-            job["started_unix"] = time.time()
-            job["started_monotonic"] = now
+            self._mark_running(job, now)
+            for follower_id in job["followers"]:
+                self._mark_running(self._jobs[follower_id], now)
             self._inflight += 1
             self._refresh_gauges()
             ctx = self._job_context(job)
@@ -261,18 +540,28 @@ class ExperimentService:
                 with ctx.child(
                     "job.execute", job=job["id"], track="executor"
                 ) as span:
-                    await loop.run_in_executor(
-                        None, self._execute_job, job, span
+                    payload = await loop.run_in_executor(
+                        self._executor,
+                        _run_job_subprocess,
+                        self._job_config(job, span),
                     )
+                    self._absorb_result(job, payload, span)
                 job["status"] = "done"
             except Exception as exc:  # noqa: BLE001 — job isolation boundary
                 job["status"] = "failed"
-                job["error"] = f"{type(exc).__name__}: {exc}"
+                job["error"] = (
+                    str(exc)
+                    if isinstance(exc, _RemoteJobError)
+                    else f"{type(exc).__name__}: {exc}"
+                )
                 self.registry.counter("service.job_failures").add(1)
             finally:
                 job["finished_unix"] = time.time()
                 job["finished_monotonic"] = time.monotonic()
                 self._inflight -= 1
+                if self._inflight_keys.get(job["coalesce_key"]) == job["id"]:
+                    del self._inflight_keys[job["coalesce_key"]]
+                self._resolve_followers(job)
                 self._refresh_gauges()
                 self.registry.histogram(
                     "service.job_exec_us", LATENCY_BUCKETS_US
@@ -280,48 +569,6 @@ class ExperimentService:
                     (job["finished_monotonic"] - job["started_monotonic"])
                     * 1e6
                 )
-
-    def _execute_job(self, job: dict, ctx=NULL_CONTEXT) -> None:
-        """Blocking body of one job — runs on the executor thread with its
-        own store connection (sqlite3 objects are thread-bound)."""
-        from ..lang.compiler import COMPILE_STATS
-        from ..metrics import baseline
-        from ..store import ExperimentStore
-
-        request = job["request"]
-        profiles = baseline.resolve_profiles(request["profiles"])
-        suite = baseline.resolve_suite(request["benchmarks"], request["scale"])
-        compiles_before = COMPILE_STATS["compile_source_calls"]
-        with ExperimentStore(self.store_path) as store:
-            artifact = baseline.collect(
-                profiles=profiles,
-                suite=suite,
-                scale=request["scale"],
-                git_sha=request["git_sha"],
-                jobs=self.jobs,
-                cache=self._cache(),
-                dispatch=request["dispatch"],
-                store=store,
-                trace=ctx,
-            )
-        stats = dict(baseline.collect.last_store)
-        stats["compile_calls"] = (
-            COMPILE_STATS["compile_source_calls"] - compiles_before
-        )
-        stats["cells_executed"] = stats["cells"] - stats["hits"]
-        job["stats"] = stats
-        job["artifact"] = artifact
-        ctx.set(
-            cells=stats["cells"],
-            hits=stats["hits"],
-            compile_calls=stats["compile_calls"],
-        )
-        self.registry.counter("service.cells").add(stats["cells"])
-        self.registry.counter("service.cache_hits").add(stats["hits"])
-        self.registry.counter("service.cache_misses").add(stats["misses"])
-        self.registry.counter("service.cells_executed").add(
-            stats["cells_executed"]
-        )
 
     # ---------------------------------------------------------------- routes
 
@@ -335,13 +582,16 @@ class ExperimentService:
                 else time.monotonic()
             )
             run = end - job["started_monotonic"]
+        # position comes from actual queue membership, not a status scan:
+        # failed/stale entries and concurrently-dequeued jobs never shift
+        # it, and coalesced followers (which are "queued" but never
+        # enqueued) report no position at all
         position = None
-        if job["status"] == "queued":
-            position = 1 + sum(
-                1
-                for other in self._jobs.values()
-                if other["status"] == "queued" and other["id"] < job["id"]
-            )
+        if job["status"] == "queued" and job["coalesced_with"] is None:
+            try:
+                position = self._pending.index(job["id"]) + 1
+            except ValueError:
+                position = None
         return {
             "id": job["id"],
             "status": job["status"],
@@ -353,6 +603,8 @@ class ExperimentService:
             "run_seconds": run,
             "queue_position": position,
             "trace_id": job["trace_id"],
+            "coalesced_with": job["coalesced_with"],
+            "followers": list(job["followers"]),
             "request": job["request"],
             "stats": job["stats"],
             "error": job["error"],
@@ -365,6 +617,16 @@ class ExperimentService:
             raise HttpError(404, f"no job {job_id!r}")
         return job
 
+    def _read_store(self):
+        """A read connection for query endpoints — pooled when the daemon
+        is started, a throwaway writer-capable one otherwise (tests poke
+        handlers on unstarted instances)."""
+        if self._read_pool is not None:
+            return self._read_pool.connection()
+        from ..store import ExperimentStore
+
+        return ExperimentStore(self.store_path)
+
     def _handle(self, request: Request, ctx=NULL_CONTEXT):
         """Route one request; returns ``(status, payload)`` or
         ``(status, payload, content_type)`` for non-JSON bodies."""
@@ -376,6 +638,7 @@ class ExperimentService:
                 "ok": True,
                 "store": self.store_path,
                 "schema_version": SCHEMA_VERSION,
+                "workers": self.workers,
             }
         if path == "/metrics" and method == "GET":
             self._refresh_gauges()
@@ -409,10 +672,7 @@ class ExperimentService:
                 "spans": [s.to_dict() for s in spans],
             }
         if path == "/v1/stats" and method == "GET":
-            from ..lang.compiler import COMPILE_STATS
-            from ..store import ExperimentStore
-
-            with ExperimentStore(self.store_path) as store:
+            with self._read_store() as store:
                 counts = store.counts()
             self._refresh_gauges()
             by_status = {state: 0 for state in JOB_STATES}
@@ -420,11 +680,22 @@ class ExperimentService:
                 by_status[job["status"]] += 1
             return 200, {
                 "metrics": self.registry.snapshot(),
-                "compile_stats": dict(COMPILE_STATS),
+                # daemon-owned accumulated per-job deltas — never a
+                # snapshot of a live process-global mid-execution
+                "compile_stats": dict(self._compile_totals),
                 "store": counts,
                 "swept_tmp_files": self.swept_tmp_files,
                 "queue_depth": self._queue.qsize(),
                 "inflight": self._inflight,
+                "workers": self.workers,
+                "journal_mode": self.journal_mode,
+                "coalesced_total": self.registry.value(
+                    "service.coalesced_total"
+                ),
+                "read_pool": (
+                    None if self._read_pool is None
+                    else self._read_pool.stats()
+                ),
                 "jobs": by_status,
                 "uptime_seconds": (
                     time.monotonic() - self._started_monotonic
@@ -442,9 +713,7 @@ class ExperimentService:
                 },
             }
         if path == "/v1/trends" and method == "GET":
-            from ..store import ExperimentStore
-
-            with ExperimentStore(self.store_path) as store:
+            with self._read_store() as store:
                 if "metric" in request.query:
                     rows = store.metric_trend(
                         request.query["metric"],
@@ -469,6 +738,20 @@ class ExperimentService:
         raise HttpError(404, f"no route {method} {request.path}")
 
     async def _serve_one(self, reader, writer) -> None:
+        """One connection: serve requests until the peer closes or a
+        request declines keep-alive (the default)."""
+        self.registry.counter("service.http_connections").add(1)
+        self._connections.add(writer)
+        try:
+            while await self._serve_request(reader, writer):
+                pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+
+    async def _serve_request(self, reader, writer) -> bool:
+        """Serve one request off the connection; returns True when the
+        connection should be kept open for another."""
         t_request = time.monotonic()
         status, payload, content_type = 500, {"error": "internal error"}, None
         request: Optional[Request] = None
@@ -479,8 +762,7 @@ class ExperimentService:
             status, payload = exc.status, {"error": exc.message}
         else:
             if request is None:
-                writer.close()
-                return
+                return False  # clean EOF between requests
             trace_id, parent = parse_trace_header(
                 request.headers.get(TRACE_HEADER)
             )
@@ -490,6 +772,9 @@ class ExperimentService:
         trace_id = trace_id or new_trace_id()
         request_span = new_span_id()
         ctx = TraceContext(self.tracer, trace_id, request_span)
+        # keep-alive is strictly opt-in (pooled clients ask for it);
+        # protocol errors always close
+        keep_alive = request is not None and request.wants_keep_alive()
         if request is not None:
             try:
                 result = self._handle(request, ctx)
@@ -510,14 +795,15 @@ class ExperimentService:
                             trace_id, request_span
                         )
                     },
+                    keep_alive=keep_alive,
                 )
             )
             await writer.drain()
         except (ConnectionResetError, BrokenPipeError, OSError):
             # client went away mid-response; the daemon shrugs
             self.registry.counter("service.client_disconnects").add(1)
+            keep_alive = False
         finally:
-            writer.close()
             now = time.monotonic()
             attrs = {"status": status, "track": "http"}
             if request is not None:
@@ -538,6 +824,7 @@ class ExperimentService:
             self.registry.histogram(
                 "service.http_latency_us", LATENCY_BUCKETS_US
             ).observe((now - t_request) * 1e6)
+        return keep_alive
 
 
 def write_port_file(path: str, port: int) -> None:

@@ -2,9 +2,13 @@
 
 The service speaks just enough HTTP for a JSON request/response API —
 ``urllib`` and ``curl`` both talk to it — without importing anything
-beyond the standard library.  One request per connection
-(``Connection: close``), bodies are UTF-8 JSON, responses carry
-``Content-Length`` so clients never block on EOF.
+beyond the standard library.  Bodies are UTF-8 JSON, responses carry
+``Content-Length`` so clients never block on EOF.  The default posture
+is one request per connection (``Connection: close``); a client that
+sends ``Connection: keep-alive`` explicitly (the pooled
+:class:`~repro.service.client.ServiceClient` does) gets the connection
+held open for further requests — opt-in, so naive read-until-EOF
+clients never hang.  Protocol errors always close.
 """
 
 from __future__ import annotations
@@ -58,6 +62,10 @@ class Request:
         if not isinstance(payload, dict):
             raise HttpError(400, "JSON body must be an object")
         return payload
+
+    def wants_keep_alive(self) -> bool:
+        """True when the client explicitly asked to reuse the connection."""
+        return self.headers.get("connection", "").strip().lower() == "keep-alive"
 
 
 async def read_request(reader) -> Optional[Request]:
@@ -116,8 +124,11 @@ def format_response(
     payload: object,
     content_type: Optional[str] = None,
     headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = False,
 ) -> bytes:
-    """One Content-Length framed, Connection: close response.
+    """One Content-Length framed response (``Connection: close`` unless
+    ``keep_alive`` — the framing stays Content-Length either way, so a
+    reused connection knows exactly where each response ends).
 
     ``str``/``bytes`` payloads go out verbatim (``text/plain`` unless a
     ``content_type`` overrides — the ``/metrics`` exposition path);
@@ -137,12 +148,13 @@ def format_response(
     extra = "".join(
         f"{name}: {value}\r\n" for name, value in (headers or {}).items()
     )
+    connection = "keep-alive" if keep_alive else "close"
     head = (
         f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}\r\n"
         f"Content-Type: {ctype}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"{extra}"
-        "Connection: close\r\n"
+        f"Connection: {connection}\r\n"
         "\r\n"
     ).encode("latin-1")
     return head + body

@@ -15,11 +15,19 @@ from .codec import (
     run_from_record,
     run_to_record,
 )
-from .schema import MIGRATIONS, SCHEMA_VERSION, StoreError, apply_migrations, schema_version
+from .schema import (
+    MIGRATIONS,
+    SCHEMA_VERSION,
+    StoreError,
+    apply_migrations,
+    enable_wal,
+    schema_version,
+)
 from .store import (
     DEFAULT_STORE_PATH,
     STORE_PATH_ENV,
     ExperimentStore,
+    StoreReadPool,
     default_store_path,
 )
 
@@ -31,9 +39,11 @@ __all__ = [
     "SCHEMA_VERSION",
     "STORE_PATH_ENV",
     "StoreError",
+    "StoreReadPool",
     "apply_migrations",
     "cell_key",
     "default_store_path",
+    "enable_wal",
     "entry_from_record",
     "run_from_record",
     "run_to_record",

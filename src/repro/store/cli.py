@@ -38,6 +38,17 @@ def _dump(payload: dict) -> str:
     return json.dumps(payload, indent=1, sort_keys=True) + "\n"
 
 
+def _open_for_read(db) -> ExperimentStore:
+    """A read-only store when the database exists — so ``runs``/``trends``
+    /``report`` against a live daemon's WAL store never take a write lock
+    or attempt a migration.  Falls back to a normal open (which creates
+    the file) for the empty-store listing paths."""
+    try:
+        return ExperimentStore(db, read_only=True)
+    except StoreError:
+        return ExperimentStore(db)
+
+
 def cmd_import(args) -> int:
     with ExperimentStore(args.db) as store:
         for path in args.files:
@@ -52,7 +63,7 @@ def cmd_import(args) -> int:
 
 
 def cmd_export(args) -> int:
-    with ExperimentStore(args.db) as store:
+    with _open_for_read(args.db) as store:
         run_id = args.run
         if run_id is None:
             matches = [r["id"] for r in store.runs() if r["seq"] == args.seq]
@@ -74,7 +85,7 @@ def cmd_export(args) -> int:
 
 
 def cmd_runs(args) -> int:
-    with ExperimentStore(args.db) as store:
+    with _open_for_read(args.db) as store:
         rows = store.runs()
     print(f"{'run':>4} {'seq':>4} {'git':<12} {'scale':>6} {'source':<7} "
           f"{'cells':>5} {'hits':>5} {'fails':>5}")
@@ -89,7 +100,7 @@ def cmd_runs(args) -> int:
 
 
 def cmd_trends(args) -> int:
-    with ExperimentStore(args.db) as store:
+    with _open_for_read(args.db) as store:
         if args.metric:
             rows = store.metric_trend(args.metric, benchmark=args.benchmark)
         else:
@@ -207,7 +218,7 @@ def _render_attribution(attribution: dict) -> List[str]:
 
 
 def cmd_report(args) -> int:
-    with ExperimentStore(args.db) as store:
+    with _open_for_read(args.db) as store:
         rows = store.trend(
             benchmark=args.benchmark,
             profile=args.profile,

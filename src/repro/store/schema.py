@@ -134,6 +134,23 @@ MIGRATIONS: Tuple[Tuple[int, Sequence[str]], ...] = (
 SCHEMA_VERSION = MIGRATIONS[-1][0]
 
 
+def enable_wal(conn: sqlite3.Connection) -> str:
+    """Switch ``conn``'s database to WAL journaling; returns the resulting
+    mode (lowercased).
+
+    WAL is what makes the daemon's read paths cheap under load: readers
+    (``/v1/trends``, ``/v1/stats``, a live ``repro-store report``) never
+    block the single appender and never see a half-committed collection.
+    The mode is persistent — set once, every later open inherits it.
+    SQLite may refuse (e.g. some network filesystems); callers treat the
+    returned mode as informational, not a failure — rollback journaling
+    keeps every correctness invariant, just with coarser read/write
+    blocking.
+    """
+    row = conn.execute("PRAGMA journal_mode=WAL").fetchone()
+    return str(row[0]).lower()
+
+
 def schema_version(conn: sqlite3.Connection) -> int:
     """Current schema version of ``conn``'s database (0 = empty/new)."""
     row = conn.execute(

@@ -17,10 +17,15 @@ a :class:`~repro.harness.results.ProfileRun` whose every artifact-visible
 number is byte-identical to re-executing the cell, which is what lets the
 service answer repeat requests with zero compiles and zero guest cycles.
 
-Concurrency/crash posture: plain SQLite transactions with a busy
+Concurrency/crash posture: SQLite in WAL journal mode with a busy
 timeout.  Writers append whole collections in one transaction, so a
 process killed mid-commit leaves the database readable at the prior
-state; interleaved writers serialize on the database lock.
+state; interleaved writers serialize on the database lock, and WAL lets
+readers proceed against the last committed snapshot while a collection
+is being appended.  ``ExperimentStore(path, read_only=True)`` opens
+without write capability (and without attempting migrations);
+:class:`StoreReadPool` keeps a small set of such connections warm for
+high-QPS read paths like the daemon's ``/v1/trends`` and ``/v1/stats``.
 """
 
 from __future__ import annotations
@@ -28,11 +33,20 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import threading
 import time
+from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from urllib.parse import quote
 
 from . import codec
-from .schema import SCHEMA_VERSION, StoreError, apply_migrations, schema_version
+from .schema import (
+    SCHEMA_VERSION,
+    StoreError,
+    apply_migrations,
+    enable_wal,
+    schema_version,
+)
 
 #: environment override for the store location (CLI flags still win)
 STORE_PATH_ENV = "REPRO_STORE"
@@ -57,15 +71,52 @@ class ExperimentStore:
 
     SCHEMA_VERSION = SCHEMA_VERSION
 
-    def __init__(self, path: Optional[str] = None, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        timeout: float = 30.0,
+        *,
+        read_only: bool = False,
+        wal: bool = True,
+    ) -> None:
         self.path = path or default_store_path()
-        parent = os.path.dirname(self.path)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
-        self._conn = sqlite3.connect(self.path, timeout=timeout)
+        self.read_only = read_only
+        if read_only:
+            # mode=ro refuses to create the file and strips write
+            # capability at the sqlite layer, so a reader can never take
+            # a write lock against a live daemon's appends
+            try:
+                self._conn = sqlite3.connect(
+                    f"file:{quote(self.path)}?mode=ro",
+                    timeout=timeout,
+                    uri=True,
+                )
+            except sqlite3.OperationalError as exc:
+                raise StoreError(
+                    f"cannot open {self.path} read-only: {exc}"
+                )
+        else:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._conn = sqlite3.connect(self.path, timeout=timeout)
         self._conn.row_factory = sqlite3.Row
         self._conn.execute(f"PRAGMA busy_timeout = {int(timeout * 1000)}")
-        apply_migrations(self._conn)
+        self.journal_mode: Optional[str] = None
+        if read_only:
+            # migrations are writes; a read-only open just refuses a
+            # future schema instead of upgrading
+            current = schema_version(self._conn)
+            if current > SCHEMA_VERSION:
+                self._conn.close()
+                raise StoreError(
+                    f"store schema version {current} is newer than this "
+                    f"build supports ({SCHEMA_VERSION}); refusing to open"
+                )
+        else:
+            if wal:
+                self.journal_mode = enable_wal(self._conn)
+            apply_migrations(self._conn)
         self.hits = 0
         self.misses = 0
 
@@ -135,6 +186,11 @@ class ExperimentStore:
         :meth:`export_artifact` can resolve hit cells through the key
         index.  Returns the new run id.
         """
+        if self.read_only:
+            raise StoreError(
+                f"{self.path} was opened read-only; collections cannot "
+                "be recorded through this connection"
+            )
         if bench_schema is None:
             from ..metrics.baseline import BENCH_SCHEMA
 
@@ -618,3 +674,86 @@ class ExperimentStore:
             reverse=True,
         )
         return moves[:limit]
+
+
+class StoreReadPool:
+    """A small pool of read-only store connections over one database.
+
+    sqlite3 connections are thread-bound, so the daemon cannot share one
+    store across its HTTP handlers and executor threads; before this
+    pool it opened (and migrated) a fresh connection per ``/v1/trends``
+    or ``/v1/stats`` request.  The pool keeps up to ``size`` read-only
+    :class:`ExperimentStore` instances warm and hands them out under a
+    context manager::
+
+        pool = StoreReadPool(path, size=4)
+        with pool.connection() as store:
+            rows = store.trend()
+
+    Checked-out connections beyond ``size`` are opened fresh and closed
+    on return instead of pooled, so a burst of readers degrades to the
+    old per-request behavior rather than blocking.  On filesystems where
+    a read-only WAL open is refused the pool falls back to normal
+    read-write opens (reads only ever flow through it, so the contract
+    holds either way).  ``created``/``reused`` counters make pooling
+    observable in tests and ``/v1/stats``.
+    """
+
+    def __init__(self, path: str, size: int = 4, timeout: float = 30.0) -> None:
+        self.path = path
+        self.size = max(1, int(size))
+        self.timeout = timeout
+        self.created = 0
+        self.reused = 0
+        self._idle: List[ExperimentStore] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def _open(self) -> ExperimentStore:
+        self.created += 1
+        try:
+            return ExperimentStore(
+                self.path, timeout=self.timeout, read_only=True
+            )
+        except StoreError:
+            return ExperimentStore(self.path, timeout=self.timeout)
+
+    def acquire(self) -> ExperimentStore:
+        with self._lock:
+            if self._closed:
+                raise StoreError(f"read pool for {self.path} is closed")
+            if self._idle:
+                self.reused += 1
+                return self._idle.pop()
+        return self._open()
+
+    def release(self, store: ExperimentStore) -> None:
+        with self._lock:
+            if not self._closed and len(self._idle) < self.size:
+                self._idle.append(store)
+                return
+        store.close()
+
+    @contextmanager
+    def connection(self):
+        store = self.acquire()
+        try:
+            yield store
+        finally:
+            self.release(store)
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+            self._closed = True
+        for store in idle:
+            store.close()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": self.size,
+                "idle": len(self._idle),
+                "created": self.created,
+                "reused": self.reused,
+            }

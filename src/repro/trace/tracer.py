@@ -114,7 +114,14 @@ class Span:
 
 class JsonlSink:
     """Append each finished span as one JSON line (flushed immediately, so
-    a killed daemon loses at most the span being written)."""
+    a killed daemon loses at most the span being written).
+
+    Writes take a lock: with ``--workers N`` the daemon's executor threads
+    all close spans concurrently, and an unlocked ``write`` + ``flush``
+    pair can interleave two spans into one corrupt line.  Each span is
+    serialized outside the lock and written as a single string, so the
+    critical section is one buffered write + flush.
+    """
 
     def __init__(self, path: str) -> None:
         self.path = path
@@ -122,13 +129,17 @@ class JsonlSink:
         if parent:
             os.makedirs(parent, exist_ok=True)
         self._handle = open(path, "a")
+        self._lock = threading.Lock()
 
     def __call__(self, span: Span) -> None:
-        self._handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
-        self._handle.flush()
+        line = json.dumps(span.to_dict(), sort_keys=True) + "\n"
+        with self._lock:
+            self._handle.write(line)
+            self._handle.flush()
 
     def close(self) -> None:
-        self._handle.close()
+        with self._lock:
+            self._handle.close()
 
 
 class Tracer:
@@ -170,6 +181,13 @@ class Tracer:
             kind,
             attrs,
         )
+        return self.ingest(span)
+
+    def ingest(self, span: Span) -> Span:
+        """Fold one already-built span into the ring buffer and sinks —
+        the path the daemon uses to adopt spans reported back by a job
+        worker subprocess (monotonic clocks are comparable across
+        processes on one host, so worker t0/dur need no translation)."""
         with self._lock:
             if len(self.spans) >= self.max_spans:
                 self.dropped += 1

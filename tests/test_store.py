@@ -19,6 +19,7 @@ from repro.store import (
     SCHEMA_VERSION,
     ExperimentStore,
     StoreError,
+    StoreReadPool,
     apply_migrations,
     cell_key,
     entry_from_record,
@@ -502,3 +503,83 @@ class TestQueries:
             append_run(store, git_sha="r1", cycles=(1000, 250))
             rows = store.metric_trend("vm.instructions", benchmark="micro.arith")
             assert [row["value"] for row in rows] == [500.0, 125.0]
+
+
+class TestWalAndReadOnly:
+    def test_store_opens_in_wal_mode(self, tmp_path):
+        path = str(tmp_path / "e.sqlite")
+        with ExperimentStore(path) as store:
+            assert store.journal_mode == "wal"
+        # the mode is persistent: a raw reopen still reports WAL
+        conn = sqlite3.connect(path)
+        try:
+            assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        finally:
+            conn.close()
+
+    def test_read_only_reader_sees_committed_writes(self, tmp_path):
+        path = str(tmp_path / "e.sqlite")
+        with ExperimentStore(path) as writer:
+            append_run(writer, git_sha="r1")
+            with ExperimentStore(path, read_only=True) as reader:
+                assert len(reader.runs()) == 1
+                # a write landing while the reader is open becomes
+                # visible on its next query (WAL snapshot semantics)
+                append_run(writer, git_sha="r2", cycles=(1000, 200))
+                assert len(reader.runs()) == 2
+
+    def test_read_only_refuses_writes_and_missing_files(self, tmp_path):
+        path = str(tmp_path / "e.sqlite")
+        with pytest.raises(StoreError, match="read-only"):
+            ExperimentStore(path, read_only=True)  # refuses to create
+        with ExperimentStore(path) as writer:
+            append_run(writer)
+        with ExperimentStore(path, read_only=True) as reader:
+            with pytest.raises(StoreError, match="read-only"):
+                append_run(reader)
+
+    def test_read_only_refuses_future_schema(self, tmp_path):
+        path = str(tmp_path / "e.sqlite")
+        with ExperimentStore(path) as store:
+            store._conn.execute(
+                "UPDATE schema_meta SET version = ?", (SCHEMA_VERSION + 1,)
+            )
+            store._conn.commit()
+        with pytest.raises(StoreError, match="newer"):
+            ExperimentStore(path, read_only=True)
+
+
+class TestStoreReadPool:
+    def test_connections_are_reused_and_counted(self, tmp_path):
+        path = str(tmp_path / "e.sqlite")
+        with ExperimentStore(path) as writer:
+            append_run(writer)
+        pool = StoreReadPool(path, size=2)
+        try:
+            for _ in range(3):
+                with pool.connection() as store:
+                    assert store.read_only
+                    assert len(store.runs()) == 1
+            stats = pool.stats()
+            assert stats["created"] == 1
+            assert stats["reused"] == 2
+            assert stats["idle"] == 1
+        finally:
+            pool.close()
+
+    def test_burst_beyond_size_degrades_without_blocking(self, tmp_path):
+        path = str(tmp_path / "e.sqlite")
+        with ExperimentStore(path) as writer:
+            append_run(writer)
+        pool = StoreReadPool(path, size=1)
+        try:
+            first = pool.acquire()
+            second = pool.acquire()  # over the cap: opened fresh, not queued
+            assert pool.stats()["created"] == 2
+            pool.release(first)
+            pool.release(second)  # idle cap reached — closed, not pooled
+            assert pool.stats()["idle"] == 1
+        finally:
+            pool.close()
+        with pytest.raises(StoreError, match="closed"):
+            pool.acquire()

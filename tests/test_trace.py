@@ -125,6 +125,41 @@ class TestJsonlSink:
         assert [s.name for s in spans] == ["outer", "mark"]
         assert spans[0].to_dict() == tracer.snapshot()[0].to_dict()
 
+    def test_concurrent_writers_never_interleave_lines(self, tmp_path):
+        # daemon executor threads and the event loop both flush spans
+        # through one sink; under the lock every JSONL line must stay a
+        # complete, parseable record with no torn or interleaved writes
+        import threading
+
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path)
+        tracer = Tracer(max_spans=10_000, sinks=(sink,))
+        threads_n, spans_n = 8, 200
+
+        def body(worker):
+            ctx = tracer.context()
+            for index in range(spans_n):
+                ctx.event(f"w{worker}.s{index}", worker=worker)
+
+        threads = [
+            threading.Thread(target=body, args=(worker,))
+            for worker in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        sink.close()
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == threads_n * spans_n
+        names = {json.loads(line)["name"] for line in lines}  # every line parses
+        assert names == {
+            f"w{worker}.s{index}"
+            for worker in range(threads_n)
+            for index in range(spans_n)
+        }
+
 
 class TestAnalysis:
     def test_orphans_flagged_per_trace(self):
