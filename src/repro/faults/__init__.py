@@ -23,6 +23,7 @@ from .plan import (
     FaultPlan,
     FaultRecord,
     MACHINE_SITES,
+    SERVICE_SITES,
     MachineFaults,
     WORKER_SITES,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "ALL_SITES",
     "CACHE_SITES",
     "MACHINE_SITES",
+    "SERVICE_SITES",
     "WORKER_SITES",
     "FAULTS_SCHEMA",
     "CellFailure",

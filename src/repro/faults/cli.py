@@ -9,6 +9,7 @@
                     [--jobs N|auto] [--out REPORT.json]
     repro-chaos verify --seed N [same matrix/fault flags]
     repro-chaos check REPORT.json
+    repro-chaos service [--seed N] [--out REPORT.json]
 
 ``run`` executes one (benchmark x profile) matrix under a
 :class:`~repro.faults.FaultPlan`, writes the failure-annotation report,
@@ -18,7 +19,10 @@ failure lacks an explanation.  ``verify`` runs the same campaign at
 ``--jobs 1``, ``2`` and ``4`` and asserts the three reports are
 byte-identical (the determinism acceptance gate).  ``check`` re-evaluates
 the containment policy of an existing report file — CI uses it to assert
-the exit-code contract without re-running the matrix.
+the exit-code contract without re-running the matrix.  ``service`` runs
+the seeded daemon-level chaos scenarios (subprocess kills, lease steals,
+store contention, dropped connections, overload) from
+:mod:`repro.faults.service_chaos` under the same containment policy.
 
 This module also hosts the shared ``--fault-*`` argparse helpers that
 ``hpcnet run`` and ``repro-bench run`` use to accept a plan.
@@ -214,6 +218,12 @@ def cmd_verify(args) -> int:
     return 0 if report.contained else 1
 
 
+def cmd_service(args) -> int:
+    from .service_chaos import run_service_campaign
+
+    return run_service_campaign(args.fault_seed or 0, out=args.out)
+
+
 def cmd_check(args) -> int:
     try:
         report = load_report(args.report)
@@ -264,6 +274,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("report", help="a repro.faults/1 report JSON file")
     check.set_defaults(func=cmd_check)
+
+    service = sub.add_parser(
+        "service",
+        help="seeded daemon-level chaos scenarios (kills, lease steals, "
+             "contention, dropped connections, overload); exit by containment",
+    )
+    service.add_argument("--seed", type=int, default=0, metavar="N",
+                         dest="fault_seed",
+                         help="campaign seed feeding every injected fault "
+                              "parameter (default: 0)")
+    service.add_argument("--out", default="", metavar="PATH",
+                         help="scenario report JSON path ('' to skip)")
+    service.set_defaults(func=cmd_service)
     return parser
 
 

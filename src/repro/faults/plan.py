@@ -40,7 +40,19 @@ WORKER_SITES = ("worker_crash", "worker_hang")
 #: injection sites that fire inside the compile cache
 CACHE_SITES = ("cache_corrupt",)
 
-ALL_SITES = MACHINE_SITES + WORKER_SITES + CACHE_SITES
+#: injection sites that fire at the experiment-service level — consumed
+#: by the daemon's drain tasks (keyed by *job id*, not cell index) and
+#: the ``repro-chaos service`` harness.  ``connection_drop`` is
+#: client-side (the harness drops the socket mid-request); the other
+#: three are injected daemon-side just before the job executes.
+SERVICE_SITES = (
+    "job_kill",           # SIGKILL the job's subprocess group at start
+    "store_contention",   # a rival writer holds BEGIN IMMEDIATE
+    "lease_steal",        # a rival daemon steals the writer lease
+    "connection_drop",    # the client vanishes mid-request
+)
+
+ALL_SITES = MACHINE_SITES + WORKER_SITES + CACHE_SITES + SERVICE_SITES
 
 #: where a seeded site parameter lands, per site (1-based "fire at the Nth
 #: event" spans; small enough that tiny test cells still reach the event)
@@ -50,6 +62,7 @@ _PARAM_SPANS = {
     "monitor_fail": 8,     # Nth Monitor.Enter
     "compile_fail": 12,    # Nth unique method compiled
     "cache_corrupt": 8,    # Nth cache load per worker
+    "store_contention": 8,  # scales the rival writer's lock-hold time
 }
 
 
@@ -209,6 +222,20 @@ class FaultPlan:
         backoff = sum(self.backoff_base << a for a in range(retries))
         outcome = "quarantined" if fail_attempts > self.max_retries else "recovered"
         return FaultRecord(index, site, fail_attempts, retries, backoff, outcome)
+
+    def service_fault(self, job_id: int) -> Optional[str]:
+        """The service-level site armed for job ``job_id``, or None.
+        First site in :data:`SERVICE_SITES` order wins when several are
+        armed — deterministic, like every other plan decision."""
+        for site in SERVICE_SITES:
+            if self.site_armed(job_id, site):
+                return site
+        return None
+
+    def service_param(self, job_id: int) -> int:
+        """Seeded magnitude parameter for service sites that need one
+        (lock-hold scaling for ``store_contention``)."""
+        return self._param(job_id, "store_contention")
 
     def cache_corrupt_loads(self) -> Tuple[int, ...]:
         """Cache-load ordinals (1-based, per worker cache instance) whose

@@ -231,6 +231,7 @@ def collect(
     dispatch: Optional[str] = None,
     store=None,
     trace=None,
+    record: bool = True,
 ) -> dict:
     """Run the suite on every profile with metrics attached; return the
     artifact dict (pure data, JSON-ready).
@@ -271,6 +272,11 @@ def collect(
     row recording the collection; memo accounting lands on
     ``collect.last_store``.  Memoization records only clean runs, so it
     cannot be combined with a fault plan.
+
+    ``record=False`` serves store hits without appending the collection —
+    the daemon's degraded *memo-only* mode runs warm submissions through
+    a read-only store handle this way (admission guarantees every cell is
+    a hit, so nothing novel is lost by not recording).
 
     ``trace`` is an optional :class:`repro.trace.TraceContext` (the
     daemon threads one through): ``store.lookup``, the pool fan-out, and
@@ -367,35 +373,37 @@ def collect(
         if store is not None:
             from ..store import run_to_record
 
-            novel = [
-                {
-                    "key": keys[index],
-                    "benchmark": cells[index][0],
-                    "profile": cells[index][2],
-                    "params": cells[index][1],
-                    "record": run_to_record(payloads[index]),
-                }
-                for index in range(len(cells))
-                if index not in precomputed
-                and not isinstance(payloads[index], CellFailure)
-            ]
-            with trace.child("store.record", novel=len(novel),
-                             track="store") as record_span:
-                run_id = store.record_collection(
-                    git_sha=sha,
-                    scale=scale,
-                    profiles=[p.name for p in profiles],
-                    suite=suite,
-                    dispatch=dispatch,
-                    store_hits=len(precomputed),
-                    cell_keys={
-                        f"{name}@{pname}": keys[index]
-                        for index, (name, _params, pname) in enumerate(cells)
-                    },
-                    novel=novel,
-                    failures=faults_report.failures,
-                )
-                record_span.set(run_id=run_id)
+            run_id = None
+            if record:
+                novel = [
+                    {
+                        "key": keys[index],
+                        "benchmark": cells[index][0],
+                        "profile": cells[index][2],
+                        "params": cells[index][1],
+                        "record": run_to_record(payloads[index]),
+                    }
+                    for index in range(len(cells))
+                    if index not in precomputed
+                    and not isinstance(payloads[index], CellFailure)
+                ]
+                with trace.child("store.record", novel=len(novel),
+                                 track="store") as record_span:
+                    run_id = store.record_collection(
+                        git_sha=sha,
+                        scale=scale,
+                        profiles=[p.name for p in profiles],
+                        suite=suite,
+                        dispatch=dispatch,
+                        store_hits=len(precomputed),
+                        cell_keys={
+                            f"{name}@{pname}": keys[index]
+                            for index, (name, _params, pname) in enumerate(cells)
+                        },
+                        novel=novel,
+                        failures=faults_report.failures,
+                    )
+                    record_span.set(run_id=run_id)
             collect.last_store["run_id"] = run_id
             collect.last_store["compile_calls"] = (
                 COMPILE_STATS["compile_source_calls"] - compiles_before

@@ -27,6 +27,10 @@ class ExecutionConfig:
     #: jobs the daemon executes at once, orthogonal to ``jobs`` (the
     #: per-collection cell fan-out)
     workers: Optional[object] = None
+    #: admission bound on queued jobs (``repro-serve --max-queue N|auto``;
+    #: "auto" = 4x workers, None = unbounded) — over-capacity submissions
+    #: are shed with a structured 429 + Retry-After
+    max_queue: Optional[object] = None
     cache_dir: Optional[str] = None
     use_compile_cache: bool = True
     dispatch: Optional[str] = None
@@ -75,6 +79,14 @@ def add_execution_args(parser, *, fault_prefix: str = "fault",
                  "subprocess; identical in-flight submissions coalesce "
                  "onto one execution.",
         )
+        parser.add_argument(
+            "--max-queue", default=None, metavar="N",
+            help="admission bound on queued jobs (int, or 'auto' for 4x "
+                 "workers; default: unbounded).  Over-capacity "
+                 "submissions get a structured 429 with a deterministic "
+                 "Retry-After instead of growing the queue without "
+                 "bound.",
+        )
     parser.add_argument("--cache-dir", default=default_cache_dir(), metavar="DIR",
                         help="persistent compile cache location "
                              "(default: $REPRO_CACHE_DIR or .repro-cache)")
@@ -101,6 +113,7 @@ def execution_from_args(args) -> ExecutionConfig:
     return ExecutionConfig(
         jobs=getattr(args, "jobs", None),
         workers=getattr(args, "workers", None),
+        max_queue=getattr(args, "max_queue", None),
         cache_dir=getattr(args, "cache_dir", None),
         use_compile_cache=not getattr(args, "no_compile_cache", False),
         dispatch=getattr(args, "dispatch", None),

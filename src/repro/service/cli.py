@@ -4,10 +4,13 @@
 
     repro-serve [--store DB] [--host H] [--port P] [--port-file PATH]
                 [--trace-log LOG.jsonl] [--workers N|auto] [--jobs N|auto]
+                [--max-queue N|auto] [--job-deadline S] [--degraded]
+                [--breaker-threshold K] [--breaker-cooldown S]
+                [--drain-grace S] [--no-lease] [--lease-ttl S]
                 [--cache-dir DIR] [--no-compile-cache] [--dispatch ENGINE]
-    repro-client [--url URL] [--trace[=ID]] submit --benchmarks a,b
-                --profiles x,y [--scale S] [--dispatch E] [--wait]
-                [--out FILE]
+    repro-client [--url URL] [--trace[=ID]] [--retries N] submit
+                --benchmarks a,b --profiles x,y [--scale S] [--dispatch E]
+                [--deadline S] [--wait] [--out FILE]
     repro-client status JOB | result JOB [--out FILE]
     repro-client trends [--benchmark B] [--profile P] [--metric M]
     repro-client stats | metrics | admin gc
@@ -62,6 +65,29 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--trace-log", default=None, metavar="LOG.jsonl",
                         help="append every finished trace span to this JSONL "
                              "file (inspect with repro-trace)")
+    parser.add_argument("--job-deadline", type=float, default=None, metavar="S",
+                        help="default per-job wall-clock deadline in seconds; "
+                             "also caps client-requested deadlines (default: "
+                             "no default deadline, cap 3600s)")
+    parser.add_argument("--degraded", action="store_true",
+                        help="start in memo-only mode: serve warm cells from "
+                             "the store, refuse cold work with 503")
+    parser.add_argument("--breaker-threshold", type=int, default=5, metavar="K",
+                        help="consecutive job-subprocess failures that trip "
+                             "the breaker into memo-only mode (default: 5)")
+    parser.add_argument("--breaker-cooldown", type=float, default=30.0,
+                        metavar="S",
+                        help="seconds an open breaker waits before admitting "
+                             "a half-open probe job (default: 30)")
+    parser.add_argument("--drain-grace", type=float, default=5.0, metavar="S",
+                        help="seconds SIGTERM drain lets running jobs finish "
+                             "before deadline-killing them (default: 5)")
+    parser.add_argument("--no-lease", action="store_true",
+                        help="skip the store writer lease (single-daemon "
+                             "deployments only; concurrent writers can race)")
+    parser.add_argument("--lease-ttl", type=float, default=None, metavar="S",
+                        help="writer-lease expiry in seconds (default: 15); "
+                             "a dead holder is taken over after this long")
     add_execution_args(parser, include_faults=False, include_workers=True)
     args = parser.parse_args(argv)
     execution = execution_from_args(args)
@@ -73,15 +99,32 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
             args.store,
             jobs=execution.jobs,
             workers=execution.workers,
+            max_queue=execution.max_queue,
             cache_dir=execution.cache_dir,
             use_compile_cache=execution.use_compile_cache,
             default_dispatch=execution.dispatch,
             trace_log=args.trace_log,
+            job_deadline=args.job_deadline,
+            degraded=args.degraded,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            drain_grace=args.drain_grace,
+            use_lease=not args.no_lease,
+            lease_ttl=args.lease_ttl,
         )
     except ValueError as exc:
         raise SystemExit(f"repro-serve: {exc}")
 
     async def run() -> None:
+        import signal
+
+        loop = asyncio.get_running_loop()
+        stop_event = asyncio.Event()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, stop_event.set)
+            loop.add_signal_handler(signal.SIGINT, stop_event.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-unix event loop: Ctrl-C still raises KeyboardInterrupt
         await service.start(args.host, args.port)
         host, port = service.address
         print(f"repro-serve: listening on http://{host}:{port} "
@@ -95,7 +138,21 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
                   "orphaned cache temp file(s)", file=sys.stderr)
         if args.port_file:
             write_port_file(args.port_file, port)
-        await service.serve_forever()
+        serve_task = asyncio.ensure_future(service.serve_forever())
+        stop_task = asyncio.ensure_future(stop_event.wait())
+        try:
+            await asyncio.wait(
+                [serve_task, stop_task],
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+        finally:
+            for task in (serve_task, stop_task):
+                task.cancel()
+        if stop_event.is_set():
+            print("repro-serve: signal received, draining "
+                  f"(grace {args.drain_grace:g}s)", file=sys.stderr)
+            await service.drain()
+            print("repro-serve: drained, exiting", file=sys.stderr)
 
     try:
         asyncio.run(run())
@@ -116,7 +173,12 @@ def _client(args):
         trace_id = new_trace_id()
     if trace_id:
         print(f"repro-client: trace {trace_id}", file=sys.stderr)
-    return ServiceClient(args.url, trace_id=trace_id)
+    return ServiceClient(
+        args.url,
+        trace_id=trace_id,
+        max_retries=getattr(args, "retries", 0) or 0,
+        backoff_seed=os.getpid(),
+    )
 
 
 def cmd_submit(args) -> int:
@@ -134,6 +196,8 @@ def cmd_submit(args) -> int:
         scale=args.scale,
         git_sha=args.git_sha,
     )
+    if args.deadline is not None:
+        request["deadline"] = args.deadline
     client = _client(args)
     try:
         job = client.submit(request)
@@ -298,6 +362,10 @@ def build_client_parser() -> argparse.ArgumentParser:
                         help="propagate X-Repro-Trace on every request; "
                              "bare --trace mints a fresh trace id, --trace ID "
                              "joins an existing trace")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry 429/503 admission rejections up to N "
+                             "times with seeded exponential backoff honoring "
+                             "the daemon's Retry-After (default: 0)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     submit = sub.add_parser("submit", help="queue a benchmark-matrix job")
@@ -308,6 +376,10 @@ def build_client_parser() -> argparse.ArgumentParser:
     submit.add_argument("--scale", type=float, default=1.0)
     submit.add_argument("--git-sha", default=None,
                         help="stamp this SHA instead of the daemon's HEAD")
+    submit.add_argument("--deadline", type=float, default=None, metavar="S",
+                        help="per-job wall-clock deadline in seconds; the "
+                             "daemon caps it at its own --job-deadline / 1h "
+                             "and kills the job's subprocess group on expiry")
     submit.add_argument("--wait", action="store_true",
                         help="block until the job finishes; print the artifact")
     submit.add_argument("--timeout", type=float, default=600.0,

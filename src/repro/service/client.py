@@ -25,6 +25,7 @@ the header and every response echoes it.
 
 from __future__ import annotations
 
+import hashlib
 import http.client
 import json
 import threading
@@ -34,25 +35,59 @@ from urllib.parse import urlsplit
 
 from ..trace import TRACE_HEADER
 
+#: wait()'s poll backoff: start fast, cap at 2s so N waiting clients
+#: don't hammer /v1/jobs/<id> at saturation
+WAIT_POLL_INITIAL = 0.1
+WAIT_POLL_CAP = 2.0
+
 
 class ServiceError(Exception):
-    """An error response from the daemon (carries the HTTP status)."""
+    """An error response from the daemon (carries the HTTP status).
 
-    def __init__(self, status: int, message: str):
+    ``retry_after`` is the parsed ``Retry-After`` header (seconds) when
+    the daemon sent one (429/503 admission rejections do), and ``fields``
+    carries the rest of the structured JSON error body (``reason``,
+    ``failure``, ...)."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None,
+                 fields: Optional[dict] = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.retry_after = retry_after
+        self.fields = dict(fields or {})
 
 
 class ServiceClient:
-    """Talk to one daemon; every method returns the decoded JSON payload."""
+    """Talk to one daemon; every method returns the decoded JSON payload.
+
+    ``max_retries > 0`` arms deterministic seeded exponential
+    backoff-with-jitter on 429/503 responses: the delay honors the
+    daemon's ``Retry-After`` when present (plus a small seeded jitter so
+    a fleet of rejected clients doesn't return in lockstep), otherwise
+    doubles from ``backoff_base``.  The jitter is ``sha256(seed,
+    attempt)`` — reproducible for a given seed, desynchronized across
+    seeds.  Retrying a rejected submission is safe by construction: a
+    429/503 admission rejection means the job was never enqueued.
+    """
 
     def __init__(self, url: str, timeout: float = 30.0,
-                 trace_id: Optional[str] = None, pool_size: int = 2):
+                 trace_id: Optional[str] = None, pool_size: int = 2,
+                 max_retries: int = 0, backoff_base: float = 0.2,
+                 backoff_cap: float = 30.0, backoff_seed: int = 0):
         self.url = url.rstrip("/")
         self.timeout = timeout
         self.trace_id = trace_id
         self.pool_size = max(1, int(pool_size))
+        self.max_retries = max(0, int(max_retries))
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.backoff_seed = int(backoff_seed)
+        #: total 429/503 retries performed (observable in tests)
+        self.retries_performed = 0
+        #: requests actually sent (wait()'s poll-count regression test)
+        self.requests_sent = 0
         #: X-Repro-Trace header of the last response (None before any call)
         self.last_trace: Optional[str] = None
         split = urlsplit(self.url)
@@ -123,6 +158,7 @@ class ServiceClient:
         for _attempt in (1, 2):
             conn, fresh = self._acquire()
             try:
+                self.requests_sent += 1
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()
                 data = response.read()
@@ -143,7 +179,24 @@ class ServiceClient:
             return response.status, response, data
         raise ServiceError(0, f"cannot reach {self.url}: {last_exc}")
 
-    def _call(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+    def _backoff_delay(self, attempt: int,
+                       retry_after: Optional[float] = None) -> float:
+        """Deterministic seeded exponential backoff with jitter.  Honors
+        the server's ``Retry-After`` as the floor when present (plus a
+        seeded jitter fraction of the base so rejected clients spread
+        out); otherwise doubles from ``backoff_base``."""
+        digest = hashlib.sha256(
+            f"{self.backoff_seed}:{int(attempt)}".encode("utf-8")
+        ).digest()
+        jitter = int.from_bytes(digest[:8], "big") / float(2 ** 64)
+        if retry_after is not None:
+            delay = float(retry_after) + jitter * self.backoff_base
+        else:
+            delay = self.backoff_base * (2 ** attempt) * (0.5 + jitter)
+        return min(self.backoff_cap, delay)
+
+    def _call_once(self, method: str, path: str,
+                   payload: Optional[dict] = None) -> dict:
         body = None
         headers = {"Accept": "application/json", "Connection": "keep-alive"}
         if self.trace_id:
@@ -155,12 +208,44 @@ class ServiceClient:
         self.last_trace = response.getheader(TRACE_HEADER)
         if status >= 400:
             detail = data.decode("utf-8", "replace")
+            fields: dict = {}
             try:
-                detail = json.loads(detail).get("error", detail)
+                decoded = json.loads(detail)
+                if isinstance(decoded, dict):
+                    fields = decoded
+                    detail = decoded.get("error", detail)
             except ValueError:
                 pass
-            raise ServiceError(status, detail)
+            retry_after = None
+            header = response.getheader("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass
+            if retry_after is None and "retry_after" in fields:
+                try:
+                    retry_after = float(fields["retry_after"])
+                except (TypeError, ValueError):
+                    pass
+            raise ServiceError(
+                status, detail, retry_after=retry_after, fields=fields
+            )
         return json.loads(data.decode("utf-8"))
+
+    def _call(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        """One API call, with optional 429/503 retry (``max_retries``)."""
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(method, path, payload)
+            except ServiceError as exc:
+                if exc.status not in (429, 503) or attempt >= self.max_retries:
+                    raise
+                delay = self._backoff_delay(attempt, exc.retry_after)
+                attempt += 1
+                self.retries_performed += 1
+                time.sleep(delay)
 
     def _call_text(self, path: str) -> str:
         """GET a text (non-JSON) endpoint — ``/metrics``."""
@@ -192,16 +277,25 @@ class ServiceClient:
         """The finished job's BENCH artifact (raises until it is done)."""
         return self._call("GET", f"/v1/jobs/{job_id}/result")
 
-    def wait(self, job_id: int, timeout: float = 300.0, poll: float = 0.2) -> dict:
-        """Poll until the job leaves the queue; returns its final view."""
+    def wait(self, job_id: int, timeout: float = 300.0,
+             poll: float = WAIT_POLL_INITIAL,
+             poll_cap: float = WAIT_POLL_CAP) -> dict:
+        """Poll until the job leaves the queue; returns its final view.
+
+        The poll interval backs off exponentially from ``poll`` to
+        ``poll_cap`` (0.1s -> 2s by default): a quick job is noticed
+        fast, a long-running one costs a bounded ~0.5 req/s instead of
+        the old fixed-interval hammering."""
         deadline = time.monotonic() + timeout
+        delay = max(0.01, float(poll))
         while True:
             job = self.status(job_id)
             if job["status"] in ("done", "failed"):
                 return job
             if time.monotonic() > deadline:
                 raise ServiceError(0, f"timed out waiting for job {job_id}")
-            time.sleep(poll)
+            time.sleep(min(delay, max(0.0, deadline - time.monotonic())))
+            delay = min(poll_cap, delay * 2)
 
     def stats(self) -> dict:
         return self._call("GET", "/v1/stats")

@@ -21,12 +21,27 @@ from urllib.parse import parse_qsl, urlsplit
 
 
 class HttpError(Exception):
-    """A request the daemon answers with an error status (not a crash)."""
+    """A request the daemon answers with an error status (not a crash).
 
-    def __init__(self, status: int, message: str):
+    ``headers`` ride on the response verbatim (the admission layer sets
+    ``Retry-After`` this way) and ``fields`` are merged into the JSON
+    error body next to ``"error"`` — a rejection is structured data a
+    client can act on, not just a string.
+    """
+
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None,
+                 **fields: object):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = dict(headers or {})
+        self.fields = fields
+
+    def payload(self) -> Dict[str, object]:
+        body: Dict[str, object] = {"error": self.message}
+        body.update(self.fields)
+        return body
 
 
 #: the subset of status lines the daemon emits
@@ -37,7 +52,9 @@ REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 MAX_BODY_BYTES = 8 * 1024 * 1024

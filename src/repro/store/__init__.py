@@ -15,6 +15,8 @@ from .codec import (
     run_from_record,
     run_to_record,
 )
+from .lease import DEFAULT_TTL as DEFAULT_LEASE_TTL
+from .lease import LeaseLost, WriterLease
 from .schema import (
     MIGRATIONS,
     SCHEMA_VERSION,
@@ -32,8 +34,11 @@ from .store import (
 )
 
 __all__ = [
+    "DEFAULT_LEASE_TTL",
     "DEFAULT_STORE_PATH",
     "ExperimentStore",
+    "LeaseLost",
+    "WriterLease",
     "MIGRATIONS",
     "RECORD_SCHEMA",
     "SCHEMA_VERSION",

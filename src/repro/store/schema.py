@@ -128,6 +128,31 @@ MIGRATIONS: Tuple[Tuple[int, Sequence[str]], ...] = (
         # product, so runs joins the append-only tables
         _append_only("runs"),
     ),
+    (
+        5,
+        [
+            # single-row writer lease: the fencing authority for every
+            # append.  Deliberately *mutable* (no append-only triggers) —
+            # it is coordination state, not history.  ``token`` increments
+            # on every change of holder, so a writer that lost the lease
+            # holds a provably stale token; ``epoch`` counts ownership
+            # changes for observability.
+            """
+            CREATE TABLE writer_lease (
+                id INTEGER PRIMARY KEY CHECK (id = 1),
+                holder TEXT,
+                token INTEGER NOT NULL DEFAULT 0,
+                epoch INTEGER NOT NULL DEFAULT 0,
+                acquired_unix REAL,
+                expires_unix REAL
+            )
+            """,
+            "INSERT INTO writer_lease (id, holder, token, epoch) VALUES (1, NULL, 0, 0)",
+            # which lease token wrote each run (NULL = unfenced writer,
+            # e.g. CLI imports outside any daemon)
+            "ALTER TABLE runs ADD COLUMN lease_token INTEGER",
+        ],
+    ),
 )
 
 #: the version a freshly-opened store ends up at

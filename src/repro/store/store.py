@@ -119,6 +119,9 @@ class ExperimentStore:
             apply_migrations(self._conn)
         self.hits = 0
         self.misses = 0
+        #: (holder, token) armed by :meth:`set_write_fence`; every append
+        #: re-validates it against ``writer_lease`` inside the transaction
+        self._fence: Optional[Tuple[str, int]] = None
 
     # ------------------------------------------------------------- lifecycle
 
@@ -158,7 +161,50 @@ class ExperimentStore:
         record = self.lookup(key)
         return None if record is None else codec.run_from_record(record)
 
+    def has_live(self, key: str) -> bool:
+        """Whether a live record exists for ``key`` — the memo-only
+        admission check.  Does not touch hit/miss telemetry (nothing is
+        served by this probe)."""
+        row = self._conn.execute(
+            "SELECT 1 FROM cells WHERE key = ? AND source = 'live' LIMIT 1",
+            (key,),
+        ).fetchone()
+        return row is not None
+
     # --------------------------------------------------------------- writing
+
+    def set_write_fence(self, holder: str, token: int) -> None:
+        """Arm lease fencing: every later :meth:`record_collection` aborts
+        with :class:`~repro.store.lease.LeaseLost` unless ``writer_lease``
+        still names this (holder, token) at commit time."""
+        self._fence = (str(holder), int(token))
+
+    def clear_write_fence(self) -> None:
+        self._fence = None
+
+    def _check_fence(self) -> Optional[int]:
+        """Validate the armed fence against the lease row (must be called
+        inside an open IMMEDIATE transaction so the check and the append
+        are atomic against a concurrent steal).  Returns the token to
+        stamp on the run row (None when unfenced)."""
+        if self._fence is None:
+            return None
+        from .lease import LeaseLost  # local import: lease imports schema
+
+        holder, token = self._fence
+        row = self._conn.execute(
+            "SELECT holder, token FROM writer_lease WHERE id = 1"
+        ).fetchone()
+        current_holder = None if row is None else row["holder"]
+        current_token = None if row is None else int(row["token"])
+        if row is None or current_holder != holder or current_token != token:
+            raise LeaseLost(
+                f"writer lease lost: {holder!r} (token {token}) superseded "
+                f"by {current_holder!r} (token {current_token}); append refused",
+                holder=current_holder,
+                token=current_token,
+            )
+        return token
 
     def record_collection(
         self,
@@ -196,11 +242,18 @@ class ExperimentStore:
 
             bench_schema = BENCH_SCHEMA
         engine = dispatch or "classic"
-        with self._conn:
+        # BEGIN IMMEDIATE takes the write lock *before* the fence check,
+        # so no competing writer can steal the lease between the check
+        # and the commit — the fencing guarantee is transactional, not
+        # advisory.
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            lease_token = self._check_fence()
             cursor = self._conn.execute(
                 "INSERT INTO runs (seq, git_sha, scale, bench_schema, profiles,"
-                " suite, cell_keys, dispatch, source, store_hits, created_unix)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                " suite, cell_keys, dispatch, source, store_hits, created_unix,"
+                " lease_token)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     seq,
                     git_sha,
@@ -213,6 +266,7 @@ class ExperimentStore:
                     source,
                     store_hits,
                     time.time(),
+                    lease_token,
                 ),
             )
             run_id = cursor.lastrowid
@@ -247,6 +301,12 @@ class ExperimentStore:
                         _dumps(cell),
                     ),
                 )
+        except BaseException:
+            if self._conn.in_transaction:
+                self._conn.execute("ROLLBACK")
+            raise
+        else:
+            self._conn.execute("COMMIT")
         return run_id
 
     def _flatten_metrics(self, cell_id: int, record: dict) -> None:

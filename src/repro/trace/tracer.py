@@ -137,6 +137,15 @@ class JsonlSink:
             self._handle.write(line)
             self._handle.flush()
 
+    def flush(self) -> None:
+        """Force buffered lines to disk (drain calls this before the
+        daemon exits; per-span writes already flush, so this is the
+        belt-and-braces barrier for the final lines)."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+
     def close(self) -> None:
         with self._lock:
             self._handle.close()
@@ -196,6 +205,13 @@ class Tracer:
         for sink in self.sinks:
             sink(span)
         return span
+
+    def flush(self) -> None:
+        """Flush every sink that supports it (JSONL logs on drain)."""
+        for sink in self.sinks:
+            flush = getattr(sink, "flush", None)
+            if callable(flush):
+                flush()
 
     # --------------------------------------------------------------- queries
 
